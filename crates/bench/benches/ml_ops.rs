@@ -1,0 +1,69 @@
+//! ML-operator kernel benches: the compute side (`c_i`) of the OEP/OMP
+//! trade-offs, per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_common::SplitMix64;
+use helix_data::{Example, FeatureVector, Split};
+use helix_ml::{KMeans, LogisticRegression, RandomFourierFeatures, Word2Vec};
+use std::hint::black_box;
+
+fn blobs(n: usize, dim: usize, seed: u64) -> Vec<Example> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            let label = (i % 2) as f64;
+            let center = if label > 0.5 { 1.5 } else { -1.5 };
+            let x: Vec<f64> =
+                (0..dim).map(|_| center + rng.next_gaussian() * 0.5).collect();
+            Example::new(FeatureVector::Dense(x), Some(label), Split::Train)
+        })
+        .collect()
+}
+
+fn bench_logistic(c: &mut Criterion) {
+    let data = blobs(2_000, 32, 5);
+    c.bench_function("lr_fit_2k_x32", |b| {
+        b.iter(|| black_box(LogisticRegression::default().fit(&data, 32).unwrap()))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let points: Vec<FeatureVector> =
+        blobs(2_000, 16, 9).into_iter().map(|e| e.features).collect();
+    c.bench_function("kmeans_fit_2k_x16_k8", |b| {
+        b.iter(|| black_box(KMeans::with_k(8).fit(&points).unwrap()))
+    });
+}
+
+fn bench_word2vec(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let vocab: Vec<String> = (0..200).map(|i| format!("w{i}")).collect();
+    let corpus: Vec<Vec<String>> = (0..200)
+        .map(|_| (0..20).map(|_| vocab[rng.index(vocab.len())].clone()).collect())
+        .collect();
+    c.bench_function("word2vec_200sent_dim16", |b| {
+        b.iter(|| {
+            black_box(
+                Word2Vec { dim: 16, epochs: 1, ..Default::default() }.fit(&corpus).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_rff(c: &mut Criterion) {
+    let model = RandomFourierFeatures { dim_out: 256, ..Default::default() }.fit(256).unwrap();
+    let x = FeatureVector::Dense(vec![0.5; 256]);
+    c.bench_function("rff_transform_256to256", |b| {
+        b.iter(|| black_box(RandomFourierFeatures::transform(&model, &x).unwrap()))
+    });
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let text = "The quick brown fox jumps over the lazy dog. ".repeat(100);
+    c.bench_function("tokenize_1k_words", |b| {
+        b.iter(|| black_box(helix_ml::text::tokenize(&text).len()))
+    });
+}
+
+criterion_group!(benches, bench_logistic, bench_kmeans, bench_word2vec, bench_rff, bench_tokenize);
+criterion_main!(benches);

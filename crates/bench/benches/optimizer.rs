@@ -1,0 +1,86 @@
+//! Micro-benchmarks for the compile-time optimizer: the max-flow OEP
+//! solver (paper Algorithm 1), the PSP reduction, and signature chaining.
+//! Establishes that optimization overhead is negligible next to operator
+//! run times (the paper's compile phase is "milliseconds").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_common::SplitMix64;
+use helix_flow::oep::{NodeCosts, OepProblem};
+use helix_flow::{Dag, NodeId, ProjectSelection};
+use std::hint::black_box;
+
+/// Layered random DAG shaped like a real workflow (sources → features →
+/// learner → reducers).
+fn random_workflow_dag(n: usize, seed: u64) -> (Dag<()>, Vec<NodeCosts>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut dag: Dag<()> = Dag::new();
+    let ids: Vec<NodeId> = (0..n).map(|_| dag.add_node(())).collect();
+    for i in 1..n {
+        // 1-3 parents among the previous nodes, biased to recent ones.
+        let parents = 1 + rng.index(3.min(i));
+        for _ in 0..parents {
+            let lookback = 1 + rng.index(8.min(i));
+            dag.add_edge(ids[i - lookback], ids[i]).unwrap();
+        }
+    }
+    let costs: Vec<NodeCosts> = (0..n)
+        .map(|i| {
+            let compute = 1_000_000 + rng.next_below(50_000_000);
+            let load = rng.chance(0.6).then(|| 100_000 + rng.next_below(5_000_000));
+            let mut c = NodeCosts::new(compute, load);
+            if i == n - 1 {
+                c = c.required();
+            } else if rng.chance(0.1) {
+                c = c.forced();
+            }
+            c
+        })
+        .collect();
+    (dag, costs)
+}
+
+fn bench_oep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oep_maxflow");
+    for n in [20usize, 100, 400] {
+        let (dag, costs) = random_workflow_dag(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let sol = OepProblem::new(&dag, &costs).solve();
+                black_box(sol.total_cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_psp(c: &mut Criterion) {
+    c.bench_function("psp_mincut_200", |b| {
+        let mut rng = SplitMix64::new(3);
+        let mut psp = ProjectSelection::new();
+        for _ in 0..200 {
+            psp.add_project(rng.next_below(2_001) as i128 - 1_000);
+        }
+        for i in 1..200 {
+            for _ in 0..2 {
+                psp.add_prerequisite(i, rng.index(i));
+            }
+        }
+        b.iter(|| black_box(psp.solve().profit))
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    c.bench_function("signature_chain_1k", |b| {
+        let base = helix_common::Signature::of_str("operator-declaration");
+        b.iter(|| {
+            let mut sig = base;
+            for i in 0..1_000u64 {
+                sig = sig.chain_u64(i);
+            }
+            black_box(sig)
+        })
+    });
+}
+
+criterion_group!(benches, bench_oep, bench_psp, bench_signatures);
+criterion_main!(benches);

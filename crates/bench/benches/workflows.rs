@@ -1,0 +1,88 @@
+//! End-to-end workflow benches: the cost of an initial census iteration vs
+//! a PPR-change iteration under each materialization policy — the
+//! per-iteration contrast behind Figures 5/9 — plus the OMP-heuristic
+//! ablation (Algorithm 2 vs the exact exponential solver on a small DAG).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_core::{MatStrategy, Session, SessionConfig};
+use helix_workloads::{CensusWorkload, ChangeKind, Workload};
+use std::hint::black_box;
+
+fn bench_census_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("census_iteration");
+    group.sample_size(10);
+
+    group.bench_function("initial_opt", |b| {
+        b.iter(|| {
+            let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+            let wl = CensusWorkload::small();
+            black_box(session.run(&wl.build()).unwrap().metrics.total_nanos())
+        })
+    });
+
+    for (label, strategy) in [
+        ("ppr_rerun_opt", MatStrategy::Opt),
+        ("ppr_rerun_am", MatStrategy::Always),
+        ("ppr_rerun_nm", MatStrategy::Never),
+    ] {
+        group.bench_function(label, |b| {
+            // Setup outside the timing loop: iteration 0 populates the
+            // catalog; we measure the PPR-change iteration only.
+            b.iter_batched(
+                || {
+                    let mut session = Session::new(
+                        SessionConfig::in_memory().with_strategy(strategy),
+                    )
+                    .unwrap();
+                    let mut wl = CensusWorkload::small();
+                    session.run(&wl.build()).unwrap();
+                    wl.apply_change(ChangeKind::Ppr);
+                    (session, wl)
+                },
+                |(mut session, wl)| {
+                    black_box(session.run(&wl.build()).unwrap().metrics.total_nanos())
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_omp_heuristic_vs_exact(c: &mut Criterion) {
+    use helix_core::materialize::{exact_omp, streaming_omp_choices};
+    use helix_flow::{Dag, NodeId};
+
+    // The paper's §5.3 pathological chain at n = 10.
+    let n = 10usize;
+    let mut dag: Dag<()> = Dag::new();
+    let ids: Vec<NodeId> = (0..n).map(|_| dag.add_node(())).collect();
+    for w in ids.windows(2) {
+        dag.add_edge(w[0], w[1]).unwrap();
+    }
+    let compute: Vec<u64> = vec![3_000; n];
+    let loads: Vec<u64> = (1..=n as u64).map(|i| i * 1_000).collect();
+    let sizes: Vec<u64> = (1..=n as u64).collect();
+    let executed = vec![true; n];
+    let outputs: Vec<bool> = (0..n).map(|i| i == n - 1).collect();
+
+    c.bench_function("omp_streaming_chain10", |b| {
+        b.iter(|| {
+            black_box(streaming_omp_choices(
+                &dag,
+                MatStrategy::Opt,
+                &compute,
+                &loads,
+                &sizes,
+                &executed,
+                u64::MAX,
+            ))
+        })
+    });
+    c.bench_function("omp_exact_chain10", |b| {
+        b.iter(|| black_box(exact_omp(&dag, &compute, &loads, &sizes, &outputs, u64::MAX)))
+    });
+}
+
+criterion_group!(benches, bench_census_iterations, bench_omp_heuristic_vs_exact);
+criterion_main!(benches);

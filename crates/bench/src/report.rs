@@ -1,0 +1,251 @@
+//! ASCII rendering of experiment results in the paper's figure layouts.
+
+use crate::experiments::{Fig10, Fig5, Fig7a, Fig7b, Fig8, Fig9, SystemRun};
+use helix_common::fmt::{human_bytes, human_nanos, pad_left, pad_right};
+
+fn cumulative_table(title: &str, schedule: &[&'static str], runs: &[SystemRun]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} — cumulative run time ==\n"));
+    out.push_str(&pad_right("iter", 6));
+    out.push_str(&pad_right("change", 8));
+    for run in runs {
+        out.push_str(&pad_left(run.system.label(), 14));
+    }
+    out.push('\n');
+    let iterations = runs.first().map_or(0, |r| r.cumulative_nanos.len());
+    for i in 0..iterations {
+        out.push_str(&pad_right(&i.to_string(), 6));
+        let change = if i == 0 { "init" } else { schedule.get(i - 1).copied().unwrap_or("?") };
+        out.push_str(&pad_right(change, 8));
+        for run in runs {
+            out.push_str(&pad_left(&human_nanos(run.cumulative_nanos[i]), 14));
+        }
+        out.push('\n');
+    }
+    if let Some(helix) = runs.first() {
+        for other in &runs[1..] {
+            let h = *helix.cumulative_nanos.last().unwrap_or(&1) as f64;
+            let o = *other.cumulative_nanos.last().unwrap_or(&1) as f64;
+            out.push_str(&format!(
+                "   {} / {} = {:.1}x\n",
+                other.system.label(),
+                helix.system.label(),
+                o / h.max(1.0)
+            ));
+        }
+    }
+    out
+}
+
+/// Render Figure 5 (cumulative run time, all systems).
+pub fn render_fig5(fig: &Fig5) -> String {
+    let mut out = String::from("\n################ Figure 5: cumulative run time ################\n");
+    for (name, schedule, runs) in &fig.workloads {
+        out.push_str(&cumulative_table(name, schedule, runs));
+    }
+    out
+}
+
+/// Render Figure 6 (per-iteration component breakdown for HELIX OPT).
+pub fn render_fig6(fig: &Fig5) -> String {
+    let mut out = String::from(
+        "\n################ Figure 6: Helix per-iteration breakdown ################\n",
+    );
+    for (name, schedule, runs) in &fig.workloads {
+        let Some(helix) = runs.iter().find(|r| {
+            matches!(r.system, crate::experiments::SystemKind::HelixOpt)
+        }) else {
+            continue;
+        };
+        out.push_str(&format!("\n== {name} ==\n"));
+        out.push_str(&format!(
+            "{}{}{}{}{}{}\n",
+            pad_right("iter", 6),
+            pad_right("change", 8),
+            pad_left("DPR", 12),
+            pad_left("L/I", 12),
+            pad_left("PPR", 12),
+            pad_left("Mat.", 12),
+        ));
+        for (i, (dpr, li, ppr, mat)) in helix.breakdown.iter().enumerate() {
+            let change = if i == 0 { "init" } else { schedule.get(i - 1).copied().unwrap_or("?") };
+            out.push_str(&format!(
+                "{}{}{}{}{}{}\n",
+                pad_right(&i.to_string(), 6),
+                pad_right(change, 8),
+                pad_left(&human_nanos(*dpr), 12),
+                pad_left(&human_nanos(*li), 12),
+                pad_left(&human_nanos(*ppr), 12),
+                pad_left(&human_nanos(*mat), 12),
+            ));
+        }
+    }
+    out
+}
+
+/// Render Figure 7(a): dataset-size scaling.
+pub fn render_fig7a(fig: &Fig7a) -> String {
+    let mut out =
+        String::from("\n################ Figure 7a: dataset-size scaling ################\n");
+    for (label, runs) in &fig.runs {
+        out.push_str(&format!("\n-- {label} --\n"));
+        for run in runs {
+            out.push_str(&format!(
+                "  {}: total {}\n",
+                run.system.label(),
+                human_nanos(*run.cumulative_nanos.last().unwrap_or(&0))
+            ));
+        }
+    }
+    out
+}
+
+/// Render Figure 7(b): worker scaling.
+pub fn render_fig7b(fig: &Fig7b) -> String {
+    let mut out =
+        String::from("\n################ Figure 7b: cluster-size scaling ################\n");
+    for (workers, runs) in &fig.runs {
+        out.push_str(&format!("\n-- {workers} workers --\n"));
+        for run in runs {
+            out.push_str(&format!(
+                "  {}: total {}\n",
+                run.system.label(),
+                human_nanos(*run.cumulative_nanos.last().unwrap_or(&0))
+            ));
+        }
+    }
+    out
+}
+
+/// Render Figure 8: S_c/S_l/S_p fractions per iteration.
+pub fn render_fig8(fig: &Fig8) -> String {
+    let mut out = String::from(
+        "\n################ Figure 8: node-state fractions (Sc/Sl/Sp) ################\n",
+    );
+    for (name, runs) in &fig.runs {
+        for run in runs {
+            out.push_str(&format!("\n-- {name} / {} --\n", run.system.label()));
+            for (i, (c, l, p)) in run.states.iter().enumerate() {
+                let total = (c + l + p).max(1) as f64;
+                out.push_str(&format!(
+                    "  iter {i}: Sc {:.2}  Sl {:.2}  Sp {:.2}\n",
+                    *c as f64 / total,
+                    *l as f64 / total,
+                    *p as f64 / total,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render Figure 9: OPT vs AM vs NM, with storage for census/genomics.
+pub fn render_fig9(fig: &Fig9) -> String {
+    let mut out = String::from(
+        "\n################ Figure 9: materialization policies ################\n",
+    );
+    for (name, runs) in &fig.runs {
+        out.push_str(&format!("\n== {name} — cumulative time ==\n"));
+        for run in runs {
+            out.push_str(&format!(
+                "  {}: total {}\n",
+                run.system.label(),
+                human_nanos(*run.cumulative_nanos.last().unwrap_or(&0))
+            ));
+        }
+        if name == "census" || name == "genomics" {
+            out.push_str("  storage per iteration:\n");
+            for run in runs {
+                let series: Vec<String> =
+                    run.storage_bytes.iter().map(|b| human_bytes(*b)).collect();
+                out.push_str(&format!(
+                    "    {}: [{}]\n",
+                    run.system.label(),
+                    series.join(", ")
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render Figure 10: memory per iteration.
+pub fn render_fig10(fig: &Fig10) -> String {
+    let mut out =
+        String::from("\n################ Figure 10: peak/avg memory ################\n");
+    for (name, run) in &fig.runs {
+        out.push_str(&format!("\n-- {name} --\n"));
+        for (i, (peak, avg)) in run.memory_bytes.iter().enumerate() {
+            out.push_str(&format!(
+                "  iter {i}: peak {} avg {}\n",
+                human_bytes(*peak),
+                human_bytes(*avg)
+            ));
+        }
+    }
+    out
+}
+
+/// Render Table 1.
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "\n################ Table 1: scikit-learn coverage by basis functions F ################\n",
+    );
+    for (sk, basis) in crate::experiments::table1() {
+        out.push_str(&format!("  {}  ->  {}\n", pad_right(sk, 28), basis));
+    }
+    out
+}
+
+/// Render Table 2.
+pub fn render_table2() -> String {
+    let mut out = String::from(
+        "\n################ Table 2: workflow characteristics & support ################\n",
+    );
+    for row in crate::experiments::table2() {
+        for cell in row {
+            out.push_str(&pad_right(cell, 20));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::SystemKind;
+
+    fn dummy_run() -> SystemRun {
+        SystemRun {
+            system: SystemKind::HelixOpt,
+            iteration_nanos: vec![100, 50],
+            cumulative_nanos: vec![100, 150],
+            breakdown: vec![(50, 30, 20, 0), (10, 20, 20, 0)],
+            states: vec![(3, 0, 0), (1, 1, 1)],
+            storage_bytes: vec![1024, 2048],
+            memory_bytes: vec![(4096, 2048), (1024, 512)],
+        }
+    }
+
+    #[test]
+    fn renderers_produce_output() {
+        let fig5 = Fig5 {
+            workloads: vec![("census".into(), vec!["PPR"], vec![dummy_run()])],
+        };
+        let text = render_fig5(&fig5);
+        assert!(text.contains("census"));
+        assert!(text.contains("Helix Opt"));
+        let text6 = render_fig6(&fig5);
+        assert!(text6.contains("DPR"));
+        assert!(render_table1().contains("fit_transform"));
+        assert!(render_table2().contains("KeystoneML"));
+    }
+
+    #[test]
+    fn fig8_fractions_render() {
+        let fig = Fig8 { runs: vec![("census".into(), vec![dummy_run()])] };
+        let text = render_fig8(&fig);
+        assert!(text.contains("Sc 0.33"), "{text}");
+    }
+}

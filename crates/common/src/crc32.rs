@@ -1,0 +1,97 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) for storage-frame integrity.
+//!
+//! The materialization catalog (`helix-storage`) frames every artifact with
+//! a CRC so that torn writes or bit rot are detected at load time rather
+//! than silently corrupting a reuse decision. Table-driven, one byte at a
+//! time — the catalog is bandwidth-throttled anyway (see
+//! `helix_storage::disk`), so CRC speed is never the bottleneck.
+
+/// Reflected polynomial for CRC-32 (IEEE).
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32 state.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a new checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ t[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Finish and return the checksum value.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"hello world, this is helix".to_vec();
+        let original = crc32(&data);
+        data[5] ^= 0x10;
+        assert_ne!(crc32(&data), original);
+    }
+}

@@ -1,0 +1,123 @@
+//! Workspace-wide error type.
+//!
+//! All fallible public APIs in the HELIX reproduction return
+//! [`Result<T>`](crate::Result) with this error. Variants are coarse by
+//! design: the system's recovery strategy (abort the iteration, report to
+//! the user) never branches on fine-grained error detail, so we favour a
+//! small, stable surface with rich messages.
+
+use std::fmt;
+
+/// The unified error type for the HELIX workspace.
+#[derive(Debug)]
+pub enum HelixError {
+    /// Underlying I/O failure (catalog reads/writes, data sources).
+    Io(std::io::Error),
+    /// Corrupt or incompatible bytes in the materialization store.
+    Codec { detail: String },
+    /// Malformed workflow graph (cycles, dangling references, …).
+    Graph { detail: String },
+    /// A named object (node, collection, catalog entry) does not exist.
+    NotFound { what: &'static str, name: String },
+    /// Workflow specification error detected at compile time.
+    Spec { detail: String },
+    /// Runtime execution failure inside an operator.
+    Exec { operator: String, detail: String },
+    /// An ML routine received invalid input (dimension mismatch, empty data).
+    Ml { detail: String },
+    /// Configuration / parameter validation failure.
+    Config { detail: String },
+}
+
+impl fmt::Display for HelixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HelixError::Io(e) => write!(f, "io error: {e}"),
+            HelixError::Codec { detail } => write!(f, "codec error: {detail}"),
+            HelixError::Graph { detail } => write!(f, "graph error: {detail}"),
+            HelixError::NotFound { what, name } => write!(f, "{what} not found: {name}"),
+            HelixError::Spec { detail } => write!(f, "workflow spec error: {detail}"),
+            HelixError::Exec { operator, detail } => {
+                write!(f, "execution error in operator `{operator}`: {detail}")
+            }
+            HelixError::Ml { detail } => write!(f, "ml error: {detail}"),
+            HelixError::Config { detail } => write!(f, "config error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for HelixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HelixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HelixError {
+    fn from(e: std::io::Error) -> Self {
+        HelixError::Io(e)
+    }
+}
+
+impl HelixError {
+    /// Convenience constructor for codec failures.
+    pub fn codec(detail: impl Into<String>) -> Self {
+        HelixError::Codec { detail: detail.into() }
+    }
+
+    /// Convenience constructor for graph failures.
+    pub fn graph(detail: impl Into<String>) -> Self {
+        HelixError::Graph { detail: detail.into() }
+    }
+
+    /// Convenience constructor for spec failures.
+    pub fn spec(detail: impl Into<String>) -> Self {
+        HelixError::Spec { detail: detail.into() }
+    }
+
+    /// Convenience constructor for operator execution failures.
+    pub fn exec(operator: impl Into<String>, detail: impl Into<String>) -> Self {
+        HelixError::Exec { operator: operator.into(), detail: detail.into() }
+    }
+
+    /// Convenience constructor for ML failures.
+    pub fn ml(detail: impl Into<String>) -> Self {
+        HelixError::Ml { detail: detail.into() }
+    }
+
+    /// Convenience constructor for config failures.
+    pub fn config(detail: impl Into<String>) -> Self {
+        HelixError::Config { detail: detail.into() }
+    }
+
+    /// Convenience constructor for lookup failures.
+    pub fn not_found(what: &'static str, name: impl Into<String>) -> Self {
+        HelixError::NotFound { what, name: name.into() }
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, HelixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = HelixError::exec("tokenizer", "empty input");
+        assert_eq!(e.to_string(), "execution error in operator `tokenizer`: empty input");
+        let e = HelixError::not_found("node", "rows");
+        assert_eq!(e.to_string(), "node not found: rows");
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        let io = std::io::Error::other("disk on fire");
+        let e: HelixError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

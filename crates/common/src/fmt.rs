@@ -1,0 +1,78 @@
+//! Human-readable rendering of bytes and durations for experiment reports.
+
+use crate::timing::Nanos;
+
+/// Render a byte count with a binary-prefix unit, e.g. `3.2 MiB`.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.1} {}", UNITS[unit])
+}
+
+/// Render nanoseconds with an adaptive unit, e.g. `1.25 s`, `340 ms`.
+pub fn human_nanos(nanos: Nanos) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Left-pad a string to `width` (for ASCII tables in the figure harness).
+pub fn pad_left(s: &str, width: usize) -> String {
+    if s.len() >= width {
+        s.to_string()
+    } else {
+        format!("{}{}", " ".repeat(width - s.len()), s)
+    }
+}
+
+/// Right-pad a string to `width`.
+pub fn pad_right(s: &str, width: usize) -> String {
+    if s.len() >= width {
+        s.to_string()
+    } else {
+        format!("{}{}", s, " ".repeat(width - s.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_rendering() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 + 200 * 1024), "3.2 MiB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 * 1024), "5.0 GiB");
+    }
+
+    #[test]
+    fn nanos_rendering() {
+        assert_eq!(human_nanos(17), "17 ns");
+        assert_eq!(human_nanos(1_500), "1.5 µs");
+        assert_eq!(human_nanos(340_000_000), "340.0 ms");
+        assert_eq!(human_nanos(1_250_000_000), "1.25 s");
+    }
+
+    #[test]
+    fn padding() {
+        assert_eq!(pad_left("ab", 4), "  ab");
+        assert_eq!(pad_right("ab", 4), "ab  ");
+        assert_eq!(pad_left("abcdef", 4), "abcdef");
+    }
+}

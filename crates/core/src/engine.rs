@@ -1,0 +1,438 @@
+//! The execution engine (paper §2.1 "Execution Engine", §5.3, §5.4).
+//!
+//! Executes an OEP-planned iteration in deterministic topological order:
+//!
+//! * `Load` nodes read their artifact from the catalog (bandwidth-
+//!   throttled), `Compute` nodes run their operator on cached parent
+//!   values, `Prune` nodes are skipped entirely;
+//! * every node's wall time is measured — these are the `c_i`/`l_i`
+//!   statistics the next iteration's optimizer consumes;
+//! * the moment a node goes *out of scope* (its last compute-state child
+//!   finished), the engine makes the streaming OPT-MAT-PLAN decision
+//!   (Algorithm 2) and then eagerly evicts the value from cache
+//!   (Constraint 3 + §5.4 Cache Pruning);
+//! * workflow outputs are captured for the caller and — under any policy
+//!   but `Never` — materialized as mandatory outputs (Figure 3's "drum"
+//!   nodes).
+
+use crate::dsl::Workflow;
+use crate::materialize::{cumulative_run_time, should_materialize, MatStrategy};
+use helix_common::hash::Signature;
+use helix_common::timing::{timed, Nanos};
+use helix_common::{HelixError, Result};
+use helix_data::{ByteSized, Value};
+use helix_exec::{
+    CachePolicy, IterationMetrics, MemoryTracker, NodeRun, RunState, ValueCache, WorkerPool,
+};
+use helix_flow::oep::State;
+use helix_flow::NodeId;
+use helix_storage::MaterializationCatalog;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything the engine needs for one iteration.
+pub struct EngineParams<'a> {
+    /// The workflow to execute.
+    pub wf: &'a Workflow,
+    /// OEP state per node.
+    pub states: &'a [State],
+    /// Storage signatures per node (post volatile-nonce refresh).
+    pub sigs: &'a [Signature],
+    /// The materialization catalog.
+    pub catalog: &'a MaterializationCatalog,
+    /// Materialization policy.
+    pub strategy: MatStrategy,
+    /// Storage budget in bytes (total catalog footprint cap).
+    pub budget_bytes: u64,
+    /// Worker-pool width for data-parallel operators.
+    pub workers: usize,
+    /// Cache eviction policy.
+    pub cache_policy: CachePolicy,
+    /// Iteration number (for catalog bookkeeping).
+    pub iteration: u64,
+    /// Session seed (mixed with node signatures for per-node RNG streams).
+    pub seed: u64,
+}
+
+/// What an iteration produced.
+pub struct ExecOutcome {
+    /// Aggregated metrics (feeds Figures 5, 6, 8, 9, 10).
+    pub metrics: IterationMetrics,
+    /// Output values by node name.
+    pub outputs: HashMap<String, Arc<Value>>,
+    /// Measured compute times by signature (feeds the next OEP).
+    pub compute_times: Vec<(Signature, Nanos)>,
+}
+
+/// Run one planned iteration.
+pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
+    let EngineParams {
+        wf,
+        states,
+        sigs,
+        catalog,
+        strategy,
+        budget_bytes,
+        workers,
+        cache_policy,
+        iteration,
+        seed,
+    } = params;
+    let dag = wf.dag();
+    let n = dag.len();
+    assert_eq!(states.len(), n);
+    assert_eq!(sigs.len(), n);
+
+    let pool = WorkerPool::new(workers);
+    let mut cache = ValueCache::new(cache_policy);
+    let mut memory = MemoryTracker::new();
+    let mut outputs = HashMap::new();
+    let mut compute_times = Vec::new();
+    let mut incurred: Vec<Nanos> = vec![0; n];
+    let mut runs: Vec<Option<NodeRun>> = (0..n).map(|_| None).collect();
+
+    // A node is out of scope once all of its compute-state children have
+    // finished (loaded/pruned children never read the in-memory value).
+    let mut pending: Vec<usize> = (0..n)
+        .map(|i| {
+            dag.children(NodeId(i as u32))
+                .iter()
+                .filter(|c| states[c.ix()] == State::Compute)
+                .count()
+        })
+        .collect();
+    let mut done = vec![false; n];
+
+    let order = dag.topo_order()?;
+    for id in order {
+        let i = id.ix();
+        let spec = dag.payload(id);
+        match states[i] {
+            State::Prune => {
+                runs[i] = Some(NodeRun {
+                    node: id.0,
+                    name: spec.name.clone(),
+                    phase: spec.phase,
+                    state: RunState::Pruned,
+                    run_nanos: 0,
+                    materialize_nanos: 0,
+                    materialized_bytes: 0,
+                    output_bytes: 0,
+                });
+            }
+            State::Load => {
+                let (value, load_nanos) = catalog.load(sigs[i])?;
+                let value = Arc::new(value);
+                incurred[i] = load_nanos;
+                runs[i] = Some(NodeRun {
+                    node: id.0,
+                    name: spec.name.clone(),
+                    phase: spec.phase,
+                    state: RunState::Loaded,
+                    run_nanos: load_nanos,
+                    materialize_nanos: 0,
+                    materialized_bytes: 0,
+                    output_bytes: value.byte_size(),
+                });
+                if spec.is_output {
+                    outputs.insert(spec.name.clone(), Arc::clone(&value));
+                }
+                cache.put(id.0, value);
+                memory.record(cache.resident_bytes());
+            }
+            State::Compute => {
+                let inputs: Vec<Arc<Value>> = dag
+                    .parents(id)
+                    .iter()
+                    .map(|p| {
+                        cache.get(p.0).ok_or_else(|| {
+                            HelixError::exec(
+                                &spec.name,
+                                format!(
+                                    "input `{}` missing from cache (premature eviction?)",
+                                    dag.payload(*p).name
+                                ),
+                            )
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let ctx = crate::operator::ExecContext {
+                    pool,
+                    seed: seed ^ (sigs[i].0 as u64) ^ ((sigs[i].0 >> 64) as u64),
+                };
+                let (result, run_nanos) = timed(|| spec.operator.execute(&inputs, &ctx));
+                let value = Arc::new(result?);
+                incurred[i] = run_nanos;
+                compute_times.push((sigs[i], run_nanos));
+                runs[i] = Some(NodeRun {
+                    node: id.0,
+                    name: spec.name.clone(),
+                    phase: spec.phase,
+                    state: RunState::Computed,
+                    run_nanos,
+                    materialize_nanos: 0,
+                    materialized_bytes: 0,
+                    output_bytes: value.byte_size(),
+                });
+                if spec.is_output {
+                    outputs.insert(spec.name.clone(), Arc::clone(&value));
+                }
+                cache.put(id.0, value);
+                memory.record(cache.resident_bytes());
+            }
+        }
+        done[i] = true;
+
+        // Out-of-scope sweep: this node (if it has no compute children) and
+        // any parent whose last compute child was this node.
+        if states[i] == State::Compute {
+            for p in dag.parents(id) {
+                pending[p.ix()] -= 1;
+            }
+        }
+        let mut to_finalize: Vec<NodeId> = Vec::new();
+        if pending[i] == 0 && states[i] != State::Prune {
+            to_finalize.push(id);
+        }
+        for p in dag.parents(id) {
+            if done[p.ix()] && pending[p.ix()] == 0 && states[p.ix()] != State::Prune {
+                to_finalize.push(*p);
+            }
+        }
+        for node in to_finalize {
+            finalize_node(
+                wf,
+                node,
+                states,
+                sigs,
+                catalog,
+                strategy,
+                budget_bytes,
+                iteration,
+                &incurred,
+                &mut cache,
+                &mut runs,
+            )?;
+            memory.record(cache.resident_bytes());
+        }
+    }
+
+    debug_assert!(
+        (0..n).all(|i| states[i] == State::Prune || !cache.contains(i as u32)),
+        "every non-pruned node must have been finalized and evicted"
+    );
+
+    let mut metrics = IterationMetrics::new(iteration);
+    for run in runs.into_iter().flatten() {
+        metrics.record(run);
+    }
+    metrics.peak_memory_bytes = memory.peak_bytes();
+    metrics.avg_memory_bytes = memory.avg_bytes();
+    metrics.storage_bytes = catalog.total_bytes();
+    Ok(ExecOutcome { metrics, outputs, compute_times })
+}
+
+/// Constraint 3: an out-of-scope node is either materialized immediately
+/// or dropped from cache.
+#[allow(clippy::too_many_arguments)]
+fn finalize_node(
+    wf: &Workflow,
+    node: NodeId,
+    states: &[State],
+    sigs: &[Signature],
+    catalog: &MaterializationCatalog,
+    strategy: MatStrategy,
+    budget_bytes: u64,
+    iteration: u64,
+    incurred: &[Nanos],
+    cache: &mut ValueCache,
+    runs: &mut [Option<NodeRun>],
+) -> Result<()> {
+    let i = node.ix();
+    if !cache.contains(node.0) {
+        return Ok(()); // already finalized via another child
+    }
+    let spec = wf.dag().payload(node);
+    // Only computed values are candidates: loaded ones are already on disk.
+    if states[i] == State::Compute && !catalog.contains(sigs[i]) {
+        let value = cache.get(node.0).expect("checked above");
+        let size = value.byte_size();
+        let budget_remaining = budget_bytes.saturating_sub(catalog.total_bytes());
+        let mandatory = spec.is_output && strategy != MatStrategy::Never;
+        let elective = should_materialize(
+            strategy,
+            cumulative_run_time(wf.dag(), incurred, node),
+            catalog.disk().estimate_load_nanos(size),
+            size,
+            budget_remaining,
+        );
+        if mandatory || elective {
+            let (bytes, write_nanos) =
+                catalog.store(sigs[i], &spec.name, iteration, &value)?;
+            if let Some(run) = runs[i].as_mut() {
+                run.materialize_nanos = write_nanos;
+                run.materialized_bytes = bytes;
+            }
+        }
+    }
+    cache.evict(node.0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track::chain_signatures;
+    use helix_data::Scalar;
+    use helix_exec::RunState;
+    use helix_storage::DiskProfile;
+
+    fn chain_wf() -> Workflow {
+        let mut wf = Workflow::new("e");
+        let a = wf.source("a", 1, |_| Ok(Value::Scalar(Scalar::I64(5))));
+        let b = wf.reduce("b", a, 1, |v, _| {
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x * 2.0)))
+        });
+        let c = wf.reduce("c", b, 1, |v, _| {
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x + 1.0)))
+        });
+        wf.output(c);
+        wf
+    }
+
+    fn run_all_compute(
+        wf: &Workflow,
+        catalog: &MaterializationCatalog,
+        strategy: MatStrategy,
+    ) -> ExecOutcome {
+        let sigs = chain_signatures(wf, &HashMap::new());
+        let states = vec![State::Compute; wf.len()];
+        execute(EngineParams {
+            wf,
+            states: &states,
+            sigs: &sigs,
+            catalog,
+            strategy,
+            budget_bytes: u64::MAX,
+            workers: 1,
+            cache_policy: CachePolicy::Eager,
+            iteration: 0,
+            seed: 7,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn computes_chain_and_captures_output() {
+        let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        let outcome = run_all_compute(&chain_wf(), &catalog, MatStrategy::Opt);
+        let out = outcome.outputs.get("c").unwrap();
+        assert_eq!(out.as_scalar().unwrap().as_f64(), Some(11.0));
+        assert_eq!(outcome.metrics.computed, 3);
+        assert_eq!(outcome.compute_times.len(), 3);
+    }
+
+    #[test]
+    fn outputs_are_mandatorily_materialized_except_under_never() {
+        let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        let wf = chain_wf();
+        let sigs = chain_signatures(&wf, &HashMap::new());
+        let c = wf.node_by_name("c").unwrap();
+        run_all_compute(&wf, &catalog, MatStrategy::Opt);
+        assert!(catalog.contains(sigs[c.ix()]), "output must be stored");
+
+        let catalog2 = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        run_all_compute(&wf, &catalog2, MatStrategy::Never);
+        assert!(catalog2.is_empty(), "NM writes nothing at all");
+    }
+
+    #[test]
+    fn always_strategy_materializes_everything() {
+        let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        let outcome = run_all_compute(&chain_wf(), &catalog, MatStrategy::Always);
+        assert_eq!(catalog.len(), 3);
+        assert!(outcome.metrics.materialized_bytes > 0);
+        assert_eq!(outcome.metrics.storage_bytes, catalog.total_bytes());
+    }
+
+    #[test]
+    fn load_state_reads_from_catalog() {
+        let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        let wf = chain_wf();
+        let sigs = chain_signatures(&wf, &HashMap::new());
+        run_all_compute(&wf, &catalog, MatStrategy::Always);
+
+        // Second run: load the output, prune the rest.
+        let states = vec![State::Prune, State::Prune, State::Load];
+        let outcome = execute(EngineParams {
+            wf: &wf,
+            states: &states,
+            sigs: &sigs,
+            catalog: &catalog,
+            strategy: MatStrategy::Opt,
+            budget_bytes: u64::MAX,
+            workers: 1,
+            cache_policy: CachePolicy::Eager,
+            iteration: 1,
+            seed: 7,
+        })
+        .unwrap();
+        assert_eq!(outcome.outputs["c"].as_scalar().unwrap().as_f64(), Some(11.0));
+        assert_eq!(outcome.metrics.loaded, 1);
+        assert_eq!(outcome.metrics.pruned, 2);
+        assert_eq!(outcome.metrics.computed, 0);
+        assert!(outcome.compute_times.is_empty());
+        let run_states: Vec<RunState> =
+            outcome.metrics.node_runs.iter().map(|r| r.state).collect();
+        assert_eq!(run_states, vec![RunState::Pruned, RunState::Pruned, RunState::Loaded]);
+    }
+
+    #[test]
+    fn budget_blocks_elective_materialization() {
+        let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        let wf = chain_wf();
+        let sigs = chain_signatures(&wf, &HashMap::new());
+        let states = vec![State::Compute; wf.len()];
+        let outcome = execute(EngineParams {
+            wf: &wf,
+            states: &states,
+            sigs: &sigs,
+            catalog: &catalog,
+            strategy: MatStrategy::Opt,
+            budget_bytes: 0, // nothing elective fits
+            workers: 1,
+            cache_policy: CachePolicy::Eager,
+            iteration: 0,
+            seed: 7,
+        })
+        .unwrap();
+        // Only the mandatory output may be present.
+        assert!(catalog.len() <= 1);
+        assert!(outcome.outputs.contains_key("c"));
+    }
+
+    #[test]
+    fn compute_with_missing_parent_value_errors() {
+        // Deliberately infeasible states (parent pruned, child computed):
+        // the engine must fail loudly rather than silently recompute.
+        let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        let wf = chain_wf();
+        let sigs = chain_signatures(&wf, &HashMap::new());
+        let states = vec![State::Prune, State::Compute, State::Compute];
+        let err = execute(EngineParams {
+            wf: &wf,
+            states: &states,
+            sigs: &sigs,
+            catalog: &catalog,
+            strategy: MatStrategy::Opt,
+            budget_bytes: u64::MAX,
+            workers: 1,
+            cache_policy: CachePolicy::Eager,
+            iteration: 0,
+            seed: 7,
+        });
+        assert!(err.is_err());
+    }
+}

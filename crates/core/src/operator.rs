@@ -1,0 +1,130 @@
+//! The operator abstraction behind every Workflow DAG node.
+//!
+//! A node is "the output of `f_i`" (paper Definition 1); [`NodeSpec`]
+//! bundles the executable `f_i` with everything the compiler and tracker
+//! need to know about it: its declaration signature (for representational
+//! equivalence, §4.2), its workflow phase (for the Figure 6 breakdown), and
+//! whether it is volatile (non-deterministic, like the MNIST random
+//! Fourier projection).
+
+use helix_common::hash::Signature;
+use helix_common::Result;
+use helix_common::SplitMix64;
+use helix_data::Value;
+use helix_exec::{Phase, WorkerPool};
+use std::sync::Arc;
+
+/// Runtime context handed to operators.
+pub struct ExecContext {
+    /// Data-parallel worker pool (paper: Spark executors).
+    pub pool: WorkerPool,
+    /// Deterministic per-node seed (session seed ⊕ node signature).
+    pub seed: u64,
+}
+
+impl ExecContext {
+    /// A serial context for tests.
+    pub fn serial(seed: u64) -> ExecContext {
+        ExecContext { pool: WorkerPool::serial(), seed }
+    }
+
+    /// A fresh deterministic RNG for this execution.
+    pub fn rng(&self) -> SplitMix64 {
+        SplitMix64::new(self.seed)
+    }
+}
+
+/// An executable workflow operator.
+///
+/// Operators are pure functions of their inputs plus the context seed;
+/// *declared* volatility (see [`NodeSpec::volatile`]) is how
+/// non-determinism enters the model — the session feeds a fresh nonce into
+/// the seed of a volatile operator each time it actually re-executes.
+pub trait Operator: Send + Sync {
+    /// Compute the node's output from resolved input values.
+    fn execute(&self, inputs: &[Arc<Value>], ctx: &ExecContext) -> Result<Value>;
+}
+
+/// Blanket operator for plain closures.
+impl<F> Operator for F
+where
+    F: Fn(&[Arc<Value>], &ExecContext) -> Result<Value> + Send + Sync,
+{
+    fn execute(&self, inputs: &[Arc<Value>], ctx: &ExecContext) -> Result<Value> {
+        self(inputs, ctx)
+    }
+}
+
+/// Everything the compiler knows about one DAG node.
+pub struct NodeSpec {
+    /// Unique, stable operator name (identity for cross-iteration state
+    /// such as volatile nonces; reuse identity is the *signature*).
+    pub name: String,
+    /// Workflow component for run-time breakdowns.
+    pub phase: Phase,
+    /// Signature of the operator *declaration*: type + parameters + UDF
+    /// version token. Parent linkage is chained in by the tracker.
+    pub decl_sig: Signature,
+    /// Declared non-determinism: re-execution yields different results.
+    pub volatile: bool,
+    /// Marked `is_output()` in the DSL.
+    pub is_output: bool,
+    /// The executable.
+    pub operator: Arc<dyn Operator>,
+}
+
+impl std::fmt::Debug for NodeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeSpec")
+            .field("name", &self.name)
+            .field("phase", &self.phase)
+            .field("decl_sig", &self.decl_sig)
+            .field("volatile", &self.volatile)
+            .field("is_output", &self.is_output)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Helper to build declaration signatures: hash the operator type name and
+/// an ordered list of parameter renderings.
+pub fn decl_signature(op_type: &str, params: &[&str]) -> Signature {
+    let mut sig = Signature::of_str(op_type);
+    for p in params {
+        sig = sig.chain(Signature::of_str(p));
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_data::Scalar;
+
+    #[test]
+    fn closure_operators_execute() {
+        let op = |_inputs: &[Arc<Value>], ctx: &ExecContext| {
+            Ok(Value::Scalar(Scalar::I64(ctx.seed as i64)))
+        };
+        let out = op.execute(&[], &ExecContext::serial(7)).unwrap();
+        assert_eq!(out.as_scalar().unwrap().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn decl_signature_orders_params() {
+        let a = decl_signature("Learner", &["LR", "reg=0.1"]);
+        let b = decl_signature("Learner", &["LR", "reg=0.2"]);
+        let c = decl_signature("Learner", &["reg=0.1", "LR"]);
+        assert_ne!(a, b, "parameter change must change the signature");
+        assert_ne!(a, c, "parameter order is significant");
+        assert_eq!(a, decl_signature("Learner", &["LR", "reg=0.1"]));
+    }
+
+    #[test]
+    fn context_rng_is_seed_deterministic() {
+        let a = ExecContext::serial(5).rng().next_u64();
+        let b = ExecContext::serial(5).rng().next_u64();
+        let c = ExecContext::serial(6).rng().next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,23 @@
+//! The built-in operator library.
+//!
+//! Covers the basis functions `F` of paper §3.1 with concrete, reusable
+//! operators:
+//!
+//! | paper basis fn        | operators here                                   |
+//! |-----------------------|--------------------------------------------------|
+//! | parsing               | [`source::CsvScan`], [`source::RecordScan`]      |
+//! | join                  | [`synth::KbJoin`]                                |
+//! | feature extraction    | [`extract::FieldExtractor`], [`extract::TokenizeColumn`], [`extract::UdfExtractor`] |
+//! | feature transformation| [`extract::BucketizerExtractor`], learned transforms applied by [`learn::Predict`] |
+//! | feature concatenation | [`synth::AssembleExamples`]                      |
+//! | learning              | [`learn::Learner`] (LR, k-means, word2vec, NB, RFF) |
+//! | inference             | [`learn::Predict`], [`synth::EmbedEntities`]     |
+//! | reduce                | [`reduce`] (accuracy, F1, inertia, UDF)          |
+
+pub mod extract;
+pub mod learn;
+pub mod reduce;
+pub mod source;
+pub mod synth;
+
+pub use learn::Algo;

@@ -1,0 +1,186 @@
+//! Reducer operators: PPR computations with data-size-independent outputs
+//! (paper §3.1: "We refer to a computation with output sizes independent of
+//! input sizes as a reduce").
+
+use crate::operator::{ExecContext, Operator};
+use helix_common::{HelixError, Result};
+use helix_data::{Scalar, Split, Value};
+use helix_ml::metrics::{accuracy, Confusion};
+use std::sync::Arc;
+
+/// The paper's `checkResults` (Figure 3a lines 17–20): prediction accuracy
+/// over the test split of an example collection.
+pub struct AccuracyReducer;
+
+impl Operator for AccuracyReducer {
+    fn execute(&self, inputs: &[Arc<Value>], _ctx: &ExecContext) -> Result<Value> {
+        let pairs = test_pairs(inputs)?;
+        Ok(Value::Scalar(Scalar::Metrics(vec![
+            ("accuracy".into(), accuracy(&pairs)),
+            ("test_examples".into(), pairs.len() as f64),
+        ])))
+    }
+}
+
+/// Precision / recall / F1 over the test split (the IE workflow's
+/// evaluation).
+pub struct F1Reducer;
+
+impl Operator for F1Reducer {
+    fn execute(&self, inputs: &[Arc<Value>], _ctx: &ExecContext) -> Result<Value> {
+        let pairs = test_pairs(inputs)?;
+        let confusion = Confusion::from_pairs(&pairs);
+        Ok(Value::Scalar(Scalar::Metrics(vec![
+            ("precision".into(), confusion.precision()),
+            ("recall".into(), confusion.recall()),
+            ("f1".into(), confusion.f1()),
+            ("test_examples".into(), pairs.len() as f64),
+        ])))
+    }
+}
+
+/// Cluster-size summary for unsupervised workloads (the Genomics
+/// workflow's "more qualitative and exploratory evaluations", §6.2).
+pub struct ClusterSummaryReducer {
+    /// Number of clusters expected (sizes reported per cluster id).
+    pub k: usize,
+}
+
+impl Operator for ClusterSummaryReducer {
+    fn execute(&self, inputs: &[Arc<Value>], _ctx: &ExecContext) -> Result<Value> {
+        let [input] = inputs else {
+            return Err(HelixError::exec("cluster-summary", "expects one input"));
+        };
+        let batch = input.as_collection()?.as_examples()?;
+        let mut sizes = vec![0f64; self.k];
+        for e in &batch.examples {
+            if let Some(c) = e.prediction {
+                let c = c as usize;
+                if c < self.k {
+                    sizes[c] += 1.0;
+                }
+            }
+        }
+        let mut metrics: Vec<(String, f64)> =
+            sizes.iter().enumerate().map(|(c, n)| (format!("cluster_{c}"), *n)).collect();
+        metrics.push(("clusters".into(), self.k as f64));
+        Ok(Value::Scalar(Scalar::Metrics(metrics)))
+    }
+}
+
+/// Arbitrary scalar UDF (the paper's Reducer with an embedded Scala UDF;
+/// here a Rust closure with an explicit version token carried by the DSL).
+pub struct UdfReducer<F> {
+    udf: F,
+}
+
+impl<F> UdfReducer<F>
+where
+    F: Fn(&Value, &ExecContext) -> Result<Value> + Send + Sync,
+{
+    /// Wrap the closure.
+    pub fn new(udf: F) -> Self {
+        UdfReducer { udf }
+    }
+}
+
+impl<F> Operator for UdfReducer<F>
+where
+    F: Fn(&Value, &ExecContext) -> Result<Value> + Send + Sync,
+{
+    fn execute(&self, inputs: &[Arc<Value>], ctx: &ExecContext) -> Result<Value> {
+        let [input] = inputs else {
+            return Err(HelixError::exec("udf-reducer", "expects one input"));
+        };
+        let out = (self.udf)(input, ctx)?;
+        match out {
+            Value::Scalar(_) => Ok(out),
+            other => Err(HelixError::exec(
+                "udf-reducer",
+                format!("reducers must output scalars, got {:?}", other.kind()),
+            )),
+        }
+    }
+}
+
+/// `(truth, prediction)` pairs over the test split.
+fn test_pairs(inputs: &[Arc<Value>]) -> Result<Vec<(f64, f64)>> {
+    let [input] = inputs else {
+        return Err(HelixError::exec("reducer", "expects one input"));
+    };
+    let batch = input.as_collection()?.as_examples()?;
+    Ok(batch
+        .examples
+        .iter()
+        .filter(|e| e.split == Split::Test)
+        .filter_map(|e| Some((e.label?, e.prediction?)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_data::{Example, ExampleBatch, FeatureVector};
+
+    fn predicted_batch() -> Arc<Value> {
+        let mk = |label: f64, pred: f64, split: Split| {
+            let mut e = Example::new(FeatureVector::zeros(1), Some(label), split);
+            e.prediction = Some(pred);
+            e
+        };
+        Arc::new(Value::examples(ExampleBatch::dense(vec![
+            mk(1.0, 0.9, Split::Test),
+            mk(0.0, 0.2, Split::Test),
+            mk(1.0, 0.1, Split::Test),
+            mk(0.0, 0.9, Split::Train), // train split is excluded
+        ])))
+    }
+
+    #[test]
+    fn accuracy_reducer_uses_test_split_only() {
+        let out = AccuracyReducer
+            .execute(&[predicted_batch()], &ExecContext::serial(0))
+            .unwrap();
+        let scalar = out.as_scalar().unwrap();
+        assert!((scalar.metric("accuracy").unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(scalar.metric("test_examples"), Some(3.0));
+    }
+
+    #[test]
+    fn f1_reducer_metrics() {
+        let out = F1Reducer.execute(&[predicted_batch()], &ExecContext::serial(0)).unwrap();
+        let scalar = out.as_scalar().unwrap();
+        assert_eq!(scalar.metric("precision"), Some(1.0));
+        assert!((scalar.metric("recall").unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_summary_counts() {
+        let mk = |pred: f64| {
+            let mut e = Example::new(FeatureVector::zeros(1), None, Split::Train);
+            e.prediction = Some(pred);
+            e
+        };
+        let batch = Arc::new(Value::examples(ExampleBatch::dense(vec![
+            mk(0.0),
+            mk(0.0),
+            mk(1.0),
+        ])));
+        let out = ClusterSummaryReducer { k: 2 }
+            .execute(&[batch], &ExecContext::serial(0))
+            .unwrap();
+        let scalar = out.as_scalar().unwrap();
+        assert_eq!(scalar.metric("cluster_0"), Some(2.0));
+        assert_eq!(scalar.metric("cluster_1"), Some(1.0));
+    }
+
+    #[test]
+    fn udf_reducer_enforces_scalar_output() {
+        let ok = UdfReducer::new(|_v: &Value, _ctx: &ExecContext| {
+            Ok(Value::Scalar(Scalar::F64(1.0)))
+        });
+        assert!(ok.execute(&[predicted_batch()], &ExecContext::serial(0)).is_ok());
+        let bad = UdfReducer::new(|v: &Value, _ctx: &ExecContext| Ok(v.clone()));
+        assert!(bad.execute(&[predicted_batch()], &ExecContext::serial(0)).is_err());
+    }
+}

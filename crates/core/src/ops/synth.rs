@@ -1,0 +1,445 @@
+//! Synthesizer operators: join and example assembly (paper §3.2.2).
+
+use crate::operator::{ExecContext, Operator};
+use helix_common::{HelixError, Result};
+use helix_data::{
+    Example, ExampleBatch, FeatureBundle, FeatureSpace, FeatureVector, SemanticUnit, Split,
+    UnitBatch, Value,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Join token units against a knowledge base (paper: the Genomics workflow
+/// joins literature tokens "with a genomic knowledge base"; the IE workflow
+/// joins candidate pairs with known spouses). Emits one *keyed* unit per
+/// occurrence of a KB entity, carrying the surrounding token context.
+pub struct KbJoin {
+    /// Column of the KB record batch holding entity names.
+    pub kb_column: String,
+    /// Tokens of context kept on each side of the match.
+    pub context_window: usize,
+}
+
+impl Operator for KbJoin {
+    fn execute(&self, inputs: &[Arc<Value>], _ctx: &ExecContext) -> Result<Value> {
+        let [units, kb] = inputs else {
+            return Err(HelixError::exec("kb-join", "expects (units, kb) inputs"));
+        };
+        let units = units.as_collection()?.as_units()?;
+        let kb = kb.as_collection()?.as_records()?;
+        let idx = kb
+            .schema
+            .index_of(&self.kb_column)
+            .ok_or_else(|| HelixError::not_found("kb column", self.kb_column.clone()))?;
+        let entities: HashSet<&str> =
+            kb.rows.iter().filter_map(|r| r.values[idx].as_text()).collect();
+
+        let mut out = Vec::new();
+        for unit in &units.units {
+            let FeatureBundle::Tokens(tokens) = &unit.features else { continue };
+            for (pos, token) in tokens.iter().enumerate() {
+                if !entities.contains(token.as_str()) {
+                    continue;
+                }
+                let lo = pos.saturating_sub(self.context_window);
+                let hi = (pos + self.context_window + 1).min(tokens.len());
+                out.push(SemanticUnit {
+                    origin: unit.origin,
+                    split: unit.split,
+                    features: FeatureBundle::Tokens(tokens[lo..hi].to_vec()),
+                    key: Some(token.clone()),
+                });
+            }
+        }
+        Ok(Value::units(UnitBatch::new(out)))
+    }
+}
+
+/// The central synthesizer: assemble examples from a base collection plus
+/// any number of extractor unit batches (paper: `rows has_extractors(...)`
+/// + `income results_from rows with_labels target`).
+///
+/// This operator is HELIX's *loop fusion* point (paper §6.5.3): all
+/// feature-name interning, categorical indexing, and label indexing happen
+/// in a single pass over the data, instead of one pass per learned
+/// transform.
+///
+/// Inputs: `[base, ext_1, …, ext_k]` and optionally a label extractor as
+/// the *last* input when `labeled` is true. `owners[i]` records the DAG
+/// node id of `ext_i` for feature provenance.
+pub struct AssembleExamples {
+    /// DAG node ids of the extractor inputs, aligned with `ext_names`.
+    pub owners: Vec<u32>,
+    /// Stable extractor names used to prefix feature names.
+    pub ext_names: Vec<String>,
+    /// Whether the last input is the label extractor.
+    pub labeled: bool,
+}
+
+impl Operator for AssembleExamples {
+    fn execute(&self, inputs: &[Arc<Value>], _ctx: &ExecContext) -> Result<Value> {
+        if inputs.len() < 2 {
+            return Err(HelixError::exec("assemble", "expects base + at least one extractor"));
+        }
+        let base_len = match inputs[0].as_collection()? {
+            helix_data::DataCollection::Records(b) => b.len(),
+            helix_data::DataCollection::Units(b) => b.len(),
+            helix_data::DataCollection::Examples(b) => b.len(),
+        };
+        let extractor_inputs = &inputs[1..];
+        let feature_count =
+            if self.labeled { extractor_inputs.len() - 1 } else { extractor_inputs.len() };
+        if feature_count == 0 {
+            return Err(HelixError::exec("assemble", "no feature extractors"));
+        }
+        if self.owners.len() != feature_count || self.ext_names.len() != feature_count {
+            return Err(HelixError::exec(
+                "assemble",
+                "owner/name metadata misaligned with extractor inputs",
+            ));
+        }
+
+        // Index units by origin for each extractor.
+        let mut by_origin: Vec<HashMap<u32, &SemanticUnit>> = Vec::with_capacity(feature_count);
+        for input in &extractor_inputs[..feature_count] {
+            let units = input.as_collection()?.as_units()?;
+            let mut map = HashMap::with_capacity(units.len());
+            for u in &units.units {
+                map.insert(u.origin, u);
+            }
+            by_origin.push(map);
+        }
+        let labels: Option<HashMap<u32, &SemanticUnit>> = if self.labeled {
+            let units = extractor_inputs[feature_count].as_collection()?.as_units()?;
+            let mut map = HashMap::with_capacity(units.len());
+            for u in &units.units {
+                map.insert(u.origin, u);
+            }
+            Some(map)
+        } else {
+            None
+        };
+
+        // Single fused pass: intern features, index categorical labels,
+        // and emit sparse vectors.
+        type SparseRow = (Vec<(u32, f64)>, Option<f64>, Split, Option<String>);
+        let mut space = FeatureSpace::new();
+        let mut label_index: HashMap<String, f64> = HashMap::new();
+        let mut sparse_rows: Vec<SparseRow> = Vec::with_capacity(base_len);
+
+        for origin in 0..base_len as u32 {
+            let mut pairs: Vec<(u32, f64)> = Vec::new();
+            let mut split = None;
+            let mut tag = None;
+            for (slot, units) in by_origin.iter().enumerate() {
+                let Some(unit) = units.get(&origin) else { continue };
+                split.get_or_insert(unit.split);
+                if tag.is_none() {
+                    tag = unit.key.clone();
+                }
+                let owner = self.owners[slot];
+                let prefix = &self.ext_names[slot];
+                match &unit.features {
+                    FeatureBundle::Categorical(kv) => {
+                        for (k, v) in kv {
+                            let dim = space.intern(&format!("{prefix}:{k}={v}"), owner);
+                            pairs.push((dim, 1.0));
+                        }
+                    }
+                    FeatureBundle::Numeric(kv) => {
+                        for (k, v) in kv {
+                            let dim = space.intern(&format!("{prefix}:{k}"), owner);
+                            pairs.push((dim, *v));
+                        }
+                    }
+                    FeatureBundle::Vector(vec) => {
+                        let dense = vec.to_dense();
+                        for (j, x) in dense.iter().enumerate() {
+                            if *x != 0.0 {
+                                let dim = space.intern(&format!("{prefix}[{j}]"), owner);
+                                pairs.push((dim, *x));
+                            }
+                        }
+                    }
+                    FeatureBundle::Tokens(tokens) => {
+                        for token in tokens {
+                            let dim = space.intern(&format!("{prefix}:tok={token}"), owner);
+                            pairs.push((dim, 1.0));
+                        }
+                    }
+                    FeatureBundle::Empty => {}
+                }
+            }
+            let label = match &labels {
+                None => None,
+                Some(map) => map.get(&origin).and_then(|u| match &u.features {
+                    FeatureBundle::Numeric(kv) => kv.first().map(|(_, v)| *v),
+                    FeatureBundle::Categorical(kv) => kv.first().map(|(_, v)| {
+                        let next = label_index.len() as f64;
+                        *label_index.entry(v.clone()).or_insert(next)
+                    }),
+                    _ => None,
+                }),
+            };
+            let split = split.unwrap_or(Split::Train);
+            sparse_rows.push((pairs, label, split, tag));
+        }
+
+        let dim = space.dim() as u32;
+        let space = Arc::new(space);
+        let examples: Vec<Example> = sparse_rows
+            .into_iter()
+            .map(|(pairs, label, split, tag)| {
+                let mut e =
+                    Example::new(FeatureVector::sparse_from_pairs(dim, pairs), label, split);
+                e.tag = tag;
+                e
+            })
+            .collect();
+        Ok(Value::examples(ExampleBatch::new(space, examples)))
+    }
+}
+
+/// Turn keyed token units plus a learned embedding model into one example
+/// per distinct entity (the Genomics workflow's bridge from word2vec to
+/// k-means: "cluster the vector representation of genes").
+pub struct EmbedEntities;
+
+impl Operator for EmbedEntities {
+    fn execute(&self, inputs: &[Arc<Value>], _ctx: &ExecContext) -> Result<Value> {
+        let [model, units] = inputs else {
+            return Err(HelixError::exec("embed-entities", "expects (model, units)"));
+        };
+        let helix_data::Model::Embeddings(embeddings) = model.as_model()? else {
+            return Err(HelixError::exec("embed-entities", "expects an embedding model"));
+        };
+        let units = units.as_collection()?.as_units()?;
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut examples = Vec::new();
+        for unit in &units.units {
+            let Some(key) = unit.key.as_deref() else { continue };
+            if !seen.insert(key) {
+                continue;
+            }
+            let Some(vector) = embeddings.embedding(key) else { continue };
+            examples.push(
+                Example::new(FeatureVector::Dense(vector.to_vec()), None, Split::Train)
+                    .with_tag(key),
+            );
+        }
+        if examples.is_empty() {
+            return Err(HelixError::exec("embed-entities", "no entities with embeddings"));
+        }
+        Ok(Value::examples(ExampleBatch::dense(examples)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_data::{EmbeddingModel, FieldValue, Model, Record, RecordBatch, Schema};
+
+    fn unit(origin: u32, features: FeatureBundle) -> SemanticUnit {
+        SemanticUnit { origin, split: Split::Train, features, key: None }
+    }
+
+    #[test]
+    fn assemble_merges_extractors_with_provenance() {
+        let base = Arc::new(Value::records(
+            RecordBatch::new(
+                Schema::new(["id"]),
+                vec![
+                    Record::train(vec![FieldValue::Int(0)]),
+                    Record::test(vec![FieldValue::Int(1)]),
+                ],
+            )
+            .unwrap(),
+        ));
+        let edu = Arc::new(Value::units(UnitBatch::new(vec![
+            unit(0, FeatureBundle::Categorical(vec![("edu".into(), "BS".into())])),
+            SemanticUnit {
+                origin: 1,
+                split: Split::Test,
+                features: FeatureBundle::Categorical(vec![("edu".into(), "PhD".into())]),
+                key: None,
+            },
+        ])));
+        let age = Arc::new(Value::units(UnitBatch::new(vec![
+            unit(0, FeatureBundle::Numeric(vec![("age".into(), 25.0)])),
+            SemanticUnit {
+                origin: 1,
+                split: Split::Test,
+                features: FeatureBundle::Numeric(vec![("age".into(), 45.0)]),
+                key: None,
+            },
+        ])));
+        let label = Arc::new(Value::units(UnitBatch::new(vec![
+            unit(0, FeatureBundle::Numeric(vec![("target".into(), 1.0)])),
+            SemanticUnit {
+                origin: 1,
+                split: Split::Test,
+                features: FeatureBundle::Numeric(vec![("target".into(), 0.0)]),
+                key: None,
+            },
+        ])));
+        let op = AssembleExamples {
+            owners: vec![10, 11],
+            ext_names: vec!["eduExt".into(), "ageExt".into()],
+            labeled: true,
+        };
+        let out = op.execute(&[base, edu, age, label], &ExecContext::serial(0)).unwrap();
+        let binding = out.as_collection().unwrap();
+        let batch = binding.as_examples().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.examples[0].label, Some(1.0));
+        assert_eq!(batch.examples[1].split, Split::Test);
+        // Provenance: the edu feature dims belong to owner 10.
+        let edu_dims = batch.space.dims_of_owner(10);
+        assert_eq!(edu_dims.len(), 2, "BS and PhD dims");
+        assert!(batch.space.name(edu_dims[0]).unwrap().starts_with("eduExt:"));
+        // Numeric feature keeps its value.
+        let age_dim = batch.space.index_of("ageExt:age").unwrap();
+        assert_eq!(batch.examples[1].features.get(age_dim as usize), 45.0);
+    }
+
+    #[test]
+    fn assemble_categorical_labels_are_indexed() {
+        let base = Arc::new(Value::records(
+            RecordBatch::new(
+                Schema::new(["id"]),
+                vec![
+                    Record::train(vec![FieldValue::Int(0)]),
+                    Record::train(vec![FieldValue::Int(1)]),
+                    Record::train(vec![FieldValue::Int(2)]),
+                ],
+            )
+            .unwrap(),
+        ));
+        let feat = Arc::new(Value::units(UnitBatch::new(vec![
+            unit(0, FeatureBundle::Numeric(vec![("x".into(), 1.0)])),
+            unit(1, FeatureBundle::Numeric(vec![("x".into(), 2.0)])),
+            unit(2, FeatureBundle::Numeric(vec![("x".into(), 3.0)])),
+        ])));
+        let label = Arc::new(Value::units(UnitBatch::new(vec![
+            unit(0, FeatureBundle::Categorical(vec![("y".into(), ">50K".into())])),
+            unit(1, FeatureBundle::Categorical(vec![("y".into(), "<=50K".into())])),
+            unit(2, FeatureBundle::Categorical(vec![("y".into(), ">50K".into())])),
+        ])));
+        let op = AssembleExamples {
+            owners: vec![1],
+            ext_names: vec!["x".into()],
+            labeled: true,
+        };
+        let out = op.execute(&[base, feat, label], &ExecContext::serial(0)).unwrap();
+        let binding = out.as_collection().unwrap();
+        let batch = binding.as_examples().unwrap();
+        assert_eq!(batch.examples[0].label, Some(0.0));
+        assert_eq!(batch.examples[1].label, Some(1.0));
+        assert_eq!(batch.examples[2].label, Some(0.0), "repeat category reuses index");
+    }
+
+    #[test]
+    fn assemble_missing_units_leave_gaps() {
+        // Extractor only produced a unit for origin 0; origin 1 gets no
+        // features but still yields an example.
+        let base = Arc::new(Value::records(
+            RecordBatch::new(
+                Schema::new(["id"]),
+                vec![
+                    Record::train(vec![FieldValue::Int(0)]),
+                    Record::train(vec![FieldValue::Int(1)]),
+                ],
+            )
+            .unwrap(),
+        ));
+        let feat = Arc::new(Value::units(UnitBatch::new(vec![unit(
+            0,
+            FeatureBundle::Numeric(vec![("x".into(), 5.0)]),
+        )])));
+        let op = AssembleExamples {
+            owners: vec![1],
+            ext_names: vec!["x".into()],
+            labeled: false,
+        };
+        let out = op.execute(&[base, feat], &ExecContext::serial(0)).unwrap();
+        let binding = out.as_collection().unwrap();
+        let batch = binding.as_examples().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.examples[1].features.nnz(), 0);
+    }
+
+    #[test]
+    fn assemble_validates_metadata() {
+        let base = Arc::new(Value::records(RecordBatch::empty(Schema::new(["id"]))));
+        let feat = Arc::new(Value::units(UnitBatch::default()));
+        let bad = AssembleExamples { owners: vec![], ext_names: vec![], labeled: false };
+        assert!(bad.execute(&[base.clone(), feat.clone()], &ExecContext::serial(0)).is_err());
+        let bad2 = AssembleExamples { owners: vec![1, 2], ext_names: vec!["a".into()], labeled: false };
+        assert!(bad2.execute(&[base, feat], &ExecContext::serial(0)).is_err());
+    }
+
+    #[test]
+    fn kb_join_emits_keyed_context() {
+        let units = Arc::new(Value::units(UnitBatch::new(vec![unit(
+            0,
+            FeatureBundle::Tokens(
+                ["the", "brca1", "gene", "causes", "cancer"].iter().map(|s| s.to_string()).collect(),
+            ),
+        )])));
+        let kb = Arc::new(Value::records(
+            RecordBatch::new(
+                Schema::new(["gene"]),
+                vec![
+                    Record::train(vec![FieldValue::Text("brca1".into())]),
+                    Record::train(vec![FieldValue::Text("tp53".into())]),
+                ],
+            )
+            .unwrap(),
+        ));
+        let op = KbJoin { kb_column: "gene".into(), context_window: 1 };
+        let out = op.execute(&[units, kb], &ExecContext::serial(0)).unwrap();
+        let binding = out.as_collection().unwrap();
+        let joined = binding.as_units().unwrap();
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined.units[0].key.as_deref(), Some("brca1"));
+        match &joined.units[0].features {
+            FeatureBundle::Tokens(ts) => assert_eq!(ts, &vec!["the", "brca1", "gene"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn embed_entities_one_example_per_entity() {
+        let model = Arc::new(Value::Model(Model::Embeddings(EmbeddingModel {
+            vocab: [("brca1".to_string(), 0u32)].into_iter().collect(),
+            vectors: vec![0.5, -0.5],
+            dim: 2,
+        })));
+        let units = Arc::new(Value::units(UnitBatch::new(vec![
+            SemanticUnit {
+                origin: 0,
+                split: Split::Train,
+                features: FeatureBundle::Empty,
+                key: Some("brca1".into()),
+            },
+            SemanticUnit {
+                origin: 1,
+                split: Split::Train,
+                features: FeatureBundle::Empty,
+                key: Some("brca1".into()),
+            },
+            SemanticUnit {
+                origin: 2,
+                split: Split::Train,
+                features: FeatureBundle::Empty,
+                key: Some("unknown_gene".into()),
+            },
+        ])));
+        let out = EmbedEntities.execute(&[model, units], &ExecContext::serial(0)).unwrap();
+        let binding = out.as_collection().unwrap();
+        let batch = binding.as_examples().unwrap();
+        assert_eq!(batch.len(), 1, "dedup + OOV skip");
+        assert_eq!(batch.examples[0].tag.as_deref(), Some("brca1"));
+        assert_eq!(batch.examples[0].features.to_dense(), vec![0.5, -0.5]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Data-driven pruning (paper §5.4).
+//!
+//! HELIX "performs additional provenance bookkeeping to track the
+//! operators that led to each feature in the model … Operators resulting
+//! in features with zero weights can be pruned without changing the
+//! prediction outcome." Our `FeatureSpace` records the producing operator
+//! of every dimension; this module inspects a trained linear model and
+//! reports extractors whose *entire* feature block is (near-)zero.
+
+use helix_data::{FeatureSpace, LinearModel};
+
+/// Operators all of whose features have `|weight| < threshold` in every
+/// class head — candidates for pruning from the next iteration's workflow.
+///
+/// Returns the owner node ids recorded in the feature space, in ascending
+/// order. Owners with *no* features in the space are not reported (nothing
+/// to conclude about them).
+pub fn zero_weight_owners(
+    model: &LinearModel,
+    space: &FeatureSpace,
+    threshold: f64,
+) -> Vec<u32> {
+    let dim = model.dim as usize;
+    let mut owners: Vec<u32> = (0..space.dim() as u32)
+        .filter_map(|d| space.owner(d))
+        .collect();
+    owners.sort_unstable();
+    owners.dedup();
+    owners
+        .into_iter()
+        .filter(|&owner| {
+            let dims = space.dims_of_owner(owner);
+            !dims.is_empty()
+                && dims.iter().all(|&d| {
+                    let d = d as usize;
+                    d < dim
+                        && model
+                            .weights
+                            .iter()
+                            .all(|head| head.get(d).is_none_or(|w| w.abs() < threshold))
+                })
+        })
+        .collect()
+}
+
+/// Total absolute weight attributed to each owner (diagnostics for the
+/// pruning report).
+pub fn owner_weight_mass(model: &LinearModel, space: &FeatureSpace) -> Vec<(u32, f64)> {
+    let dim = model.dim as usize;
+    let mut owners: Vec<u32> = (0..space.dim() as u32)
+        .filter_map(|d| space.owner(d))
+        .collect();
+    owners.sort_unstable();
+    owners.dedup();
+    owners
+        .into_iter()
+        .map(|owner| {
+            let mass: f64 = space
+                .dims_of_owner(owner)
+                .iter()
+                .filter(|&&d| (d as usize) < dim)
+                .map(|&d| {
+                    model
+                        .weights
+                        .iter()
+                        .map(|head| head[d as usize].abs())
+                        .sum::<f64>()
+                })
+                .sum();
+            (owner, mass)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> FeatureSpace {
+        let mut s = FeatureSpace::new();
+        s.intern("useful:a", 1);
+        s.intern("useful:b", 1);
+        s.intern("dead:a", 2);
+        s.intern("dead:b", 2);
+        s.intern("mixed:a", 3);
+        s.intern("mixed:b", 3);
+        s
+    }
+
+    fn model(weights: Vec<f64>) -> LinearModel {
+        let dim = weights.len() as u32;
+        LinearModel { weights: vec![weights], bias: vec![0.0], dim }
+    }
+
+    #[test]
+    fn identifies_fully_zero_owners() {
+        let m = model(vec![0.8, -0.5, 1e-9, 0.0, 0.0, 0.7]);
+        let dead = zero_weight_owners(&m, &space(), 1e-6);
+        assert_eq!(dead, vec![2], "only the all-zero extractor is prunable");
+    }
+
+    #[test]
+    fn multiclass_requires_zero_in_all_heads() {
+        let s = space();
+        let m = LinearModel {
+            weights: vec![vec![0.0; 6], {
+                let mut w = vec![0.0; 6];
+                w[2] = 0.9; // owner 2 matters to class 1
+                w
+            }],
+            bias: vec![0.0, 0.0],
+            dim: 6,
+        };
+        let dead = zero_weight_owners(&m, &s, 1e-6);
+        assert!(!dead.contains(&2));
+        assert!(dead.contains(&1) && dead.contains(&3));
+    }
+
+    #[test]
+    fn weight_mass_ranks_owners() {
+        let m = model(vec![0.8, -0.5, 0.0, 0.0, 0.1, 0.1]);
+        let mass = owner_weight_mass(&m, &space());
+        let get = |o: u32| mass.iter().find(|(x, _)| *x == o).unwrap().1;
+        assert!(get(1) > get(3));
+        assert_eq!(get(2), 0.0);
+    }
+
+    #[test]
+    fn empty_space_reports_nothing() {
+        let m = model(vec![]);
+        assert!(zero_weight_owners(&m, &FeatureSpace::new(), 1e-6).is_empty());
+        assert!(owner_weight_mass(&m, &FeatureSpace::new()).is_empty());
+    }
+}

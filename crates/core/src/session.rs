@@ -1,0 +1,526 @@
+//! The iteration driver (paper §2.2, "The Workflow Lifecycle").
+//!
+//! A [`Session`] persists across iterations: it owns the materialization
+//! catalog, the per-signature run-time statistics, and volatile-operator
+//! nonces. Each `run(&workflow)` performs the full lifecycle:
+//!
+//! 1. **DAG compilation** — chain signatures (`track`).
+//! 2. **Purge** — deprecated materializations of original operators are
+//!    removed (paper §6.6: storage is non-monotonic for this reason).
+//! 3. **DAG optimization** — OPT-EXEC-PLAN via max-flow (`plan`).
+//! 4. **Volatile refresh** — non-deterministic operators about to
+//!    re-execute get fresh nonces; the plan is recomputed so stale
+//!    downstream artifacts cannot be loaded.
+//! 5. **Execution + materialization** — the engine runs the plan, making
+//!    streaming OPT-MAT-PLAN decisions (Algorithm 2) under the budget.
+//! 6. **Statistics update** — measured times feed the next iteration.
+//!
+//! Baselines from the paper's evaluation are session configurations:
+//! [`SessionConfig::keystoneml_like`] (no reuse, no materialization) and
+//! [`SessionConfig::deepdive_like`] (materialize everything, reuse DPR
+//! only).
+
+use crate::dsl::Workflow;
+use crate::engine::{execute, EngineParams};
+use crate::materialize::MatStrategy;
+use crate::plan::{plan, PlanInputs};
+use crate::track::{chain_signatures, signature_snapshot};
+use helix_common::hash::Signature;
+use helix_common::timing::Nanos;
+use helix_common::Result;
+use helix_data::{Scalar, Value};
+use helix_exec::{CachePolicy, IterationMetrics};
+use helix_flow::oep::State;
+use helix_storage::{DiskProfile, MaterializationCatalog};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Which operator phases may reuse materialized results across iterations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReuseScope {
+    /// HELIX: any equivalent materialization is reusable.
+    All,
+    /// DeepDive-like: only data-preprocessing results are reused;
+    /// learning/inference and postprocessing always recompute.
+    DprOnly,
+    /// KeystoneML-like: no cross-iteration reuse at all.
+    None,
+}
+
+/// Session configuration.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Worker-pool width for data-parallel operators.
+    pub workers: usize,
+    /// Materialization policy (OPT / AM / NM).
+    pub strategy: MatStrategy,
+    /// Reuse scope (system personality).
+    pub reuse: ReuseScope,
+    /// Storage budget in bytes (paper §6.3 used 10 GB).
+    pub storage_budget_bytes: u64,
+    /// Emulated disk characteristics.
+    pub disk: DiskProfile,
+    /// Catalog directory; `None` = fresh temp directory.
+    pub catalog_dir: Option<PathBuf>,
+    /// Master seed for all stochastic operators.
+    pub seed: u64,
+    /// In-memory cache policy (HELIX's eager eviction by default).
+    pub cache_policy: CachePolicy,
+    /// Compute-time estimate for operators never measured before.
+    pub default_compute_nanos: Nanos,
+}
+
+impl SessionConfig {
+    /// HELIX OPT on an unthrottled temp catalog (tests, examples).
+    pub fn in_memory() -> SessionConfig {
+        SessionConfig {
+            workers: 1,
+            strategy: MatStrategy::Opt,
+            reuse: ReuseScope::All,
+            storage_budget_bytes: 256 << 20,
+            disk: DiskProfile::unthrottled(),
+            catalog_dir: None,
+            seed: 42,
+            cache_policy: CachePolicy::Eager,
+            default_compute_nanos: 1_000_000,
+        }
+    }
+
+    /// The KeystoneML-like baseline: one-shot execution, "no intermediate
+    /// results are materialized … it does not optimize execution across
+    /// iterations" (paper §6.1).
+    pub fn keystoneml_like() -> SessionConfig {
+        SessionConfig {
+            strategy: MatStrategy::Never,
+            reuse: ReuseScope::None,
+            ..Self::in_memory()
+        }
+    }
+
+    /// The DeepDive-like baseline: "all intermediate results are
+    /// materialized" (paper §6.1), but only DPR results are reused across
+    /// iterations (its learning/evaluation always rerun, §6.5.1).
+    pub fn deepdive_like() -> SessionConfig {
+        SessionConfig {
+            strategy: MatStrategy::Always,
+            reuse: ReuseScope::DprOnly,
+            ..Self::in_memory()
+        }
+    }
+
+    /// Builder: set the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> SessionConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Builder: set the disk profile.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskProfile) -> SessionConfig {
+        self.disk = disk;
+        self
+    }
+
+    /// Builder: set the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> SessionConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: set the storage budget.
+    #[must_use]
+    pub fn with_budget(mut self, bytes: u64) -> SessionConfig {
+        self.storage_budget_bytes = bytes;
+        self
+    }
+
+    /// Builder: set the materialization strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: MatStrategy) -> SessionConfig {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// What one iteration returned to the user.
+pub struct IterationReport {
+    /// Iteration number (0-based).
+    pub iteration: u64,
+    /// Aggregated metrics.
+    pub metrics: IterationMetrics,
+    /// Output values by node name.
+    pub outputs: HashMap<String, Arc<Value>>,
+    /// Final state per node, by name (Figure 8's raw data).
+    pub states: Vec<(String, State)>,
+}
+
+impl IterationReport {
+    /// An output value by name.
+    pub fn output(&self, name: &str) -> Option<&Arc<Value>> {
+        self.outputs.get(name)
+    }
+
+    /// An output scalar by name.
+    pub fn output_scalar(&self, name: &str) -> Option<&Scalar> {
+        self.outputs.get(name).and_then(|v| v.as_scalar().ok())
+    }
+
+    /// Total wall time of the iteration (execution + materialization).
+    pub fn total_nanos(&self) -> Nanos {
+        self.metrics.total_nanos()
+    }
+}
+
+/// The cross-iteration driver.
+pub struct Session {
+    config: SessionConfig,
+    catalog: MaterializationCatalog,
+    iteration: u64,
+    nonce_counter: u64,
+    volatile_nonces: HashMap<String, u64>,
+    compute_stats: HashMap<Signature, Nanos>,
+    prev_sigs: HashMap<String, HashMap<String, Signature>>,
+    history: Vec<IterationMetrics>,
+}
+
+impl Session {
+    /// Open a session (creating or reopening the catalog).
+    pub fn new(config: SessionConfig) -> Result<Session> {
+        let catalog = match &config.catalog_dir {
+            Some(dir) => MaterializationCatalog::open(dir, config.disk)?,
+            None => MaterializationCatalog::open_temp(config.disk)?,
+        };
+        Ok(Session {
+            config,
+            catalog,
+            iteration: 0,
+            nonce_counter: 1,
+            volatile_nonces: HashMap::new(),
+            compute_stats: HashMap::new(),
+            prev_sigs: HashMap::new(),
+            history: Vec::new(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The materialization catalog.
+    pub fn catalog(&self) -> &MaterializationCatalog {
+        &self.catalog
+    }
+
+    /// Per-iteration metrics so far.
+    pub fn history(&self) -> &[IterationMetrics] {
+        &self.history
+    }
+
+    /// Iterations run so far.
+    pub fn iterations_run(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Run one iteration of `wf` through the full lifecycle.
+    pub fn run(&mut self, wf: &Workflow) -> Result<IterationReport> {
+        // 1. Compile: chain signatures under current nonces.
+        let planning_sigs = chain_signatures(wf, &self.volatile_nonces);
+
+        // 2. Purge deprecated materializations of original operators
+        //    (paper §6.6) so budget is not wasted on unreachable artifacts.
+        if let Some(previous) = self.prev_sigs.get(wf.name()) {
+            for (id, spec) in wf.dag().iter() {
+                if let Some(old_sig) = previous.get(&spec.name) {
+                    if *old_sig != planning_sigs[id.ix()] {
+                        self.catalog.purge(*old_sig)?;
+                    }
+                }
+            }
+        }
+
+        // 3. Optimize: OPT-EXEC-PLAN.
+        let inputs = PlanInputs {
+            sigs: &planning_sigs,
+            catalog: &self.catalog,
+            reuse: self.config.reuse,
+            compute_stats: &self.compute_stats,
+            default_compute_nanos: self.config.default_compute_nanos,
+        };
+        let mut planned = plan(wf, &inputs);
+
+        // 4. Volatile refresh: any non-deterministic operator about to
+        //    re-execute gets a fresh nonce; descendants' signatures change,
+        //    so re-plan to guarantee no stale downstream artifact is loaded.
+        let mut refreshed = false;
+        for (id, spec) in wf.dag().iter() {
+            if spec.volatile && planned.states[id.ix()] == State::Compute {
+                self.volatile_nonces.insert(spec.name.clone(), self.nonce_counter);
+                self.nonce_counter += 1;
+                refreshed = true;
+            }
+        }
+        let storage_sigs = if refreshed {
+            let sigs = chain_signatures(wf, &self.volatile_nonces);
+            let inputs = PlanInputs {
+                sigs: &sigs,
+                catalog: &self.catalog,
+                reuse: self.config.reuse,
+                compute_stats: &self.compute_stats,
+                default_compute_nanos: self.config.default_compute_nanos,
+            };
+            planned = plan(wf, &inputs);
+            sigs
+        } else {
+            planning_sigs
+        };
+
+        // 5. Execute + materialize.
+        let outcome = execute(EngineParams {
+            wf,
+            states: &planned.states,
+            sigs: &storage_sigs,
+            catalog: &self.catalog,
+            strategy: self.config.strategy,
+            budget_bytes: self.config.storage_budget_bytes,
+            workers: self.config.workers,
+            cache_policy: self.config.cache_policy,
+            iteration: self.iteration,
+            seed: self.config.seed,
+        })?;
+
+        // 6. Update statistics and snapshots.
+        for (sig, nanos) in &outcome.compute_times {
+            self.compute_stats.insert(*sig, *nanos);
+        }
+        self.prev_sigs
+            .insert(wf.name().to_string(), signature_snapshot(wf, &storage_sigs));
+        let states: Vec<(String, State)> = wf
+            .dag()
+            .iter()
+            .map(|(id, spec)| (spec.name.clone(), planned.states[id.ix()]))
+            .collect();
+        self.history.push(outcome.metrics.clone());
+        let report = IterationReport {
+            iteration: self.iteration,
+            metrics: outcome.metrics,
+            outputs: outcome.outputs,
+            states,
+        };
+        self.iteration += 1;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Algo;
+    use helix_data::{Example, ExampleBatch, FeatureVector, Split};
+
+    /// Busy-wait so operator compute costs dominate load costs — without
+    /// this, the optimizer correctly prefers recomputing trivial scalars
+    /// over disk loads and reuse assertions become timing-dependent.
+    fn spin(millis: u64) {
+        let until = std::time::Instant::now() + std::time::Duration::from_millis(millis);
+        while std::time::Instant::now() < until {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn scalar_chain(b_version: u64) -> Workflow {
+        let mut wf = Workflow::new("chain");
+        let a = wf.source("a", 1, |_| {
+            spin(3);
+            Ok(Value::Scalar(Scalar::I64(10)))
+        });
+        let b = wf.reduce("b", a, b_version, move |v, _| {
+            spin(3);
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x * (b_version as f64))))
+        });
+        let c = wf.reduce("c", b, 1, |v, _| {
+            spin(3);
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x + 1.0)))
+        });
+        wf.output(c);
+        wf
+    }
+
+    #[test]
+    fn iteration_zero_computes_everything() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        let report = session.run(&scalar_chain(1)).unwrap();
+        assert_eq!(report.output_scalar("c").unwrap().as_f64(), Some(11.0));
+        assert_eq!(report.metrics.computed, 3);
+        assert_eq!(report.metrics.pruned, 0);
+    }
+
+    #[test]
+    fn identical_rerun_reuses_output() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        session.run(&scalar_chain(1)).unwrap();
+        let rerun = session.run(&scalar_chain(1)).unwrap();
+        assert_eq!(rerun.output_scalar("c").unwrap().as_f64(), Some(11.0));
+        assert_eq!(rerun.metrics.computed, 0, "nothing recomputes on a pure rerun");
+        assert!(rerun.metrics.loaded >= 1);
+        assert!(
+            rerun.metrics.total_nanos() < session.history()[0].total_nanos(),
+            "rerun must be cheaper"
+        );
+    }
+
+    #[test]
+    fn ppr_change_recomputes_only_downstream() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        session.run(&scalar_chain(1)).unwrap();
+
+        // Change c's UDF only.
+        let mut wf = Workflow::new("chain");
+        let a = wf.source("a", 1, |_| Ok(Value::Scalar(Scalar::I64(10))));
+        let b = wf.reduce("b", a, 1, |v, _| {
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x * 1.0)))
+        });
+        let c = wf.reduce("c", b, 2, |v, _| {
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x + 100.0)))
+        });
+        wf.output(c);
+
+        let report = session.run(&wf).unwrap();
+        assert_eq!(report.output_scalar("c").unwrap().as_f64(), Some(110.0));
+        let by_name: HashMap<&str, State> =
+            report.states.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        assert_eq!(by_name["c"], State::Compute, "changed node recomputes");
+        assert_ne!(by_name["a"], State::Compute, "unchanged upstream never recomputes");
+    }
+
+    #[test]
+    fn upstream_change_deprecates_downstream() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        session.run(&scalar_chain(1)).unwrap();
+        let report = session.run(&scalar_chain(3)).unwrap();
+        assert_eq!(report.output_scalar("c").unwrap().as_f64(), Some(31.0));
+        let by_name: HashMap<&str, State> =
+            report.states.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        assert_eq!(by_name["b"], State::Compute);
+        assert_eq!(by_name["c"], State::Compute);
+    }
+
+    #[test]
+    fn purge_removes_deprecated_artifacts() {
+        let mut session = Session::new(
+            SessionConfig::in_memory().with_strategy(MatStrategy::Always),
+        )
+        .unwrap();
+        session.run(&scalar_chain(1)).unwrap();
+        let after_first = session.catalog().len();
+        assert_eq!(after_first, 3);
+        // Change b: b and c deprecated and purged; a's artifact kept.
+        session.run(&scalar_chain(2)).unwrap();
+        assert_eq!(session.catalog().len(), 3, "two purged, two rewritten, one kept");
+    }
+
+    #[test]
+    fn keystoneml_baseline_never_reuses() {
+        let mut session = Session::new(SessionConfig::keystoneml_like()).unwrap();
+        session.run(&scalar_chain(1)).unwrap();
+        let rerun = session.run(&scalar_chain(1)).unwrap();
+        assert_eq!(rerun.metrics.computed, 3, "full recompute every iteration");
+        assert_eq!(rerun.metrics.loaded, 0);
+        assert!(session.catalog().is_empty());
+    }
+
+    #[test]
+    fn deepdive_baseline_reuses_dpr_only() {
+        let mut session = Session::new(SessionConfig::deepdive_like()).unwrap();
+        session.run(&scalar_chain(1)).unwrap();
+        let rerun = session.run(&scalar_chain(1)).unwrap();
+        let by_name: HashMap<&str, State> =
+            rerun.states.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        assert_eq!(by_name["a"], State::Load, "DPR source reused");
+        assert_eq!(by_name["b"], State::Compute, "PPR recomputes");
+        assert_eq!(by_name["c"], State::Compute);
+    }
+
+    fn volatile_wf() -> Workflow {
+        let mut wf = Workflow::new("volatile");
+        let d = wf.source("d", 1, |_| {
+            spin(3);
+            Ok(Value::examples(ExampleBatch::dense(vec![
+                Example::new(FeatureVector::Dense(vec![1.0, 2.0]), Some(0.0), Split::Train),
+                Example::new(FeatureVector::Dense(vec![2.0, 1.0]), Some(1.0), Split::Train),
+            ])))
+        });
+        let rff = wf.learner("rff", d, Algo::RandomFourier { dim_out: 4, gamma: 0.1 });
+        let mapped = wf.predict("mapped", rff, d);
+        let stat = wf.reduce("stat", mapped, 1, |v, _| {
+            spin(3);
+            let batch = v.as_collection()?.as_examples()?;
+            let total: f64 =
+                batch.examples.iter().map(|e| e.features.l2_norm()).sum();
+            Ok(Value::Scalar(Scalar::F64(total)))
+        });
+        wf.output(stat);
+        wf
+    }
+
+    #[test]
+    fn volatile_results_reused_when_nothing_changed() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        let first = session.run(&volatile_wf()).unwrap();
+        let rerun = session.run(&volatile_wf()).unwrap();
+        assert_eq!(rerun.metrics.computed, 0, "PPR-only style rerun reuses volatile chain");
+        assert_eq!(
+            first.output_scalar("stat").unwrap().as_f64(),
+            rerun.output_scalar("stat").unwrap().as_f64(),
+            "reused result is the very same artifact"
+        );
+    }
+
+    #[test]
+    fn volatile_reexecution_deprecates_descendants() {
+        let mut session = Session::new(
+            SessionConfig::in_memory().with_strategy(MatStrategy::Always),
+        )
+        .unwrap();
+        session.run(&volatile_wf()).unwrap();
+
+        // Bump the source version: the RFF must re-execute with a fresh
+        // projection, and `mapped`/`stat` must not load stale artifacts.
+        let mut wf = Workflow::new("volatile");
+        let d = wf.source("d", 2, |_| {
+            Ok(Value::examples(ExampleBatch::dense(vec![
+                Example::new(FeatureVector::Dense(vec![1.0, 2.0]), Some(0.0), Split::Train),
+                Example::new(FeatureVector::Dense(vec![2.0, 1.0]), Some(1.0), Split::Train),
+            ])))
+        });
+        let rff = wf.learner("rff", d, Algo::RandomFourier { dim_out: 4, gamma: 0.1 });
+        let mapped = wf.predict("mapped", rff, d);
+        let stat = wf.reduce("stat", mapped, 1, |v, _| {
+            let batch = v.as_collection()?.as_examples()?;
+            let total: f64 =
+                batch.examples.iter().map(|e| e.features.l2_norm()).sum();
+            Ok(Value::Scalar(Scalar::F64(total)))
+        });
+        wf.output(stat);
+
+        let report = session.run(&wf).unwrap();
+        assert_eq!(report.metrics.computed, 4, "whole volatile chain recomputes");
+        assert_eq!(report.metrics.loaded, 0);
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        session.run(&scalar_chain(1)).unwrap();
+        session.run(&scalar_chain(1)).unwrap();
+        assert_eq!(session.history().len(), 2);
+        assert_eq!(session.iterations_run(), 2);
+    }
+}

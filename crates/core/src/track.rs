@@ -1,0 +1,167 @@
+//! Change tracking via Merkle-chain signatures (paper §4.2).
+//!
+//! The paper defines node equivalence representationally: a node is
+//! equivalent across iterations iff its operator declaration is unchanged
+//! *and* all of its parents are equivalent (Definition 2). We realize this
+//! with a chain hash:
+//!
+//! ```text
+//! sig(n) = decl_sig(n) ⨝ sig(parent₁) ⨝ … ⨝ sig(parent_k) [⨝ nonce(n)]
+//! ```
+//!
+//! so two nodes are equivalent exactly when their chain signatures match,
+//! and "has an equivalent materialization" (Definition 3) becomes a
+//! catalog lookup by signature. This also subsumes Constraint 1: a changed
+//! declaration changes the signature of the node and every descendant, so
+//! none of them can hit the catalog and all needed ones are recomputed.
+//!
+//! **Volatile operators** (declared non-deterministic, e.g. the MNIST
+//! random Fourier projection) chain in the *nonce of their last actual
+//! execution*: while nothing upstream changes they remain equivalent to
+//! their stored output (PPR-only iterations may reuse them, §6.5.2), but
+//! any re-execution draws a fresh nonce, transitively deprecating every
+//! downstream artifact — the paper's "nondeterministic … hence not
+//! reusable" semantics.
+
+use crate::dsl::Workflow;
+use helix_common::hash::Signature;
+use helix_flow::NodeId;
+use std::collections::HashMap;
+
+/// Chain signatures for every node of a workflow, given the current
+/// volatile-operator nonces (keyed by operator name).
+///
+/// Returns one signature per node, indexed by `NodeId`.
+pub fn chain_signatures(wf: &Workflow, nonces: &HashMap<String, u64>) -> Vec<Signature> {
+    let dag = wf.dag();
+    let order = dag.topo_order().expect("workflow DAG must be acyclic");
+    let mut sigs = vec![Signature::of_str("uninit"); dag.len()];
+    for id in order {
+        let spec = dag.payload(id);
+        let mut sig = spec.decl_sig;
+        for parent in dag.parents(id) {
+            sig = sig.chain(sigs[parent.ix()]);
+        }
+        if spec.volatile {
+            let nonce = nonces.get(&spec.name).copied().unwrap_or(0);
+            sig = sig.chain_u64(nonce);
+        }
+        sigs[id.ix()] = sig;
+    }
+    sigs
+}
+
+/// Which nodes differ from the signatures recorded for the previous
+/// iteration (by node *name*)? Used for purging deprecated
+/// materializations and for reporting.
+pub fn changed_nodes(
+    wf: &Workflow,
+    sigs: &[Signature],
+    previous: &HashMap<String, Signature>,
+) -> Vec<NodeId> {
+    wf.dag()
+        .iter()
+        .filter(|(id, spec)| previous.get(&spec.name) != Some(&sigs[id.ix()]))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Snapshot `name → signature` for the next iteration's comparison.
+pub fn signature_snapshot(wf: &Workflow, sigs: &[Signature]) -> HashMap<String, Signature> {
+    wf.dag()
+        .iter()
+        .map(|(id, spec)| (spec.name.clone(), sigs[id.ix()]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Algo;
+    use helix_data::{Scalar, Value};
+
+    fn simple(version_b: u64) -> Workflow {
+        let mut wf = Workflow::new("w");
+        let a = wf.source("a", 1, |_| Ok(Value::Scalar(Scalar::I64(1))));
+        let b = wf.reduce("b", a, version_b, |_v, _| Ok(Value::Scalar(Scalar::I64(2))));
+        let c = wf.reduce("c", b, 1, |_v, _| Ok(Value::Scalar(Scalar::I64(3))));
+        wf.output(c);
+        wf
+    }
+
+    #[test]
+    fn unchanged_workflow_same_signatures() {
+        let w1 = simple(1);
+        let w2 = simple(1);
+        let none = HashMap::new();
+        assert_eq!(chain_signatures(&w1, &none), chain_signatures(&w2, &none));
+    }
+
+    #[test]
+    fn change_propagates_to_descendants_only() {
+        let w1 = simple(1);
+        let w2 = simple(2); // b's UDF version bumped
+        let none = HashMap::new();
+        let s1 = chain_signatures(&w1, &none);
+        let s2 = chain_signatures(&w2, &none);
+        let id = |wf: &Workflow, n: &str| wf.node_by_name(n).unwrap().ix();
+        assert_eq!(s1[id(&w1, "a")], s2[id(&w2, "a")], "upstream unchanged");
+        assert_ne!(s1[id(&w1, "b")], s2[id(&w2, "b")], "changed node");
+        assert_ne!(s1[id(&w1, "c")], s2[id(&w2, "c")], "descendant deprecated");
+    }
+
+    #[test]
+    fn changed_nodes_against_snapshot() {
+        let w1 = simple(1);
+        let none = HashMap::new();
+        let s1 = chain_signatures(&w1, &none);
+        let snapshot = signature_snapshot(&w1, &s1);
+
+        // Same workflow: nothing changed.
+        assert!(changed_nodes(&w1, &s1, &snapshot).is_empty());
+
+        // Bump b: b and c change, a does not.
+        let w2 = simple(2);
+        let s2 = chain_signatures(&w2, &none);
+        let changed = changed_nodes(&w2, &s2, &snapshot);
+        let names: Vec<&str> =
+            changed.iter().map(|id| w2.dag().payload(*id).name.as_str()).collect();
+        assert_eq!(names, vec!["b", "c"]);
+
+        // Empty snapshot (iteration 0): everything is original.
+        assert_eq!(changed_nodes(&w1, &s1, &HashMap::new()).len(), 3);
+    }
+
+    fn volatile_wf() -> Workflow {
+        let mut wf = Workflow::new("v");
+        let d = wf.source("d", 1, |_| {
+            use helix_data::{FeatureVector, Example, ExampleBatch, Split};
+            Ok(Value::examples(ExampleBatch::dense(vec![Example::new(
+                FeatureVector::Dense(vec![1.0, 2.0]),
+                Some(0.0),
+                Split::Train,
+            )])))
+        });
+        let rff = wf.learner("rff", d, Algo::RandomFourier { dim_out: 4, gamma: 0.1 });
+        let out = wf.predict("mapped", rff, d);
+        wf.output(out);
+        wf
+    }
+
+    #[test]
+    fn volatile_nonce_deprecates_descendants() {
+        let wf = volatile_wf();
+        let mut nonces = HashMap::new();
+        nonces.insert("rff".to_string(), 1u64);
+        let s1 = chain_signatures(&wf, &nonces);
+        nonces.insert("rff".to_string(), 2u64);
+        let s2 = chain_signatures(&wf, &nonces);
+        let id = |n: &str| wf.node_by_name(n).unwrap().ix();
+        assert_eq!(s1[id("d")], s2[id("d")], "upstream untouched by nonce");
+        assert_ne!(s1[id("rff")], s2[id("rff")]);
+        assert_ne!(s1[id("mapped")], s2[id("mapped")], "descendant deprecated by nonce");
+        // Same nonce → stable (PPR-only iterations can reuse).
+        let s3 = chain_signatures(&wf, &nonces);
+        assert_eq!(s2, s3);
+    }
+}

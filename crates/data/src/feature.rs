@@ -1,0 +1,353 @@
+//! Feature vectors and the pre-vectorization feature bundle.
+//!
+//! The paper keeps sparse categorical features "in the raw key-value format
+//! until the final FV assembly" (§3.2.1). [`FeatureBundle`] is that raw
+//! format; [`FeatureVector`] is the physical representation assembled by the
+//! synthesizer, with both sparse and dense layouts.
+
+use crate::value::ByteSized;
+
+/// A numeric feature vector, sparse or dense.
+///
+/// Sparse vectors keep their indices strictly increasing; constructors
+/// enforce this so dot products can merge-scan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FeatureVector {
+    /// Contiguous `f64`s; dimension is the length.
+    Dense(Vec<f64>),
+    /// Sorted `(index, value)` pairs within a fixed dimension.
+    Sparse {
+        /// Total dimensionality of the space.
+        dim: u32,
+        /// Strictly increasing feature indices.
+        indices: Vec<u32>,
+        /// Parallel values.
+        values: Vec<f64>,
+    },
+}
+
+impl FeatureVector {
+    /// All-zeros dense vector.
+    pub fn zeros(dim: usize) -> FeatureVector {
+        FeatureVector::Dense(vec![0.0; dim])
+    }
+
+    /// Build a sparse vector from possibly unsorted pairs; duplicate
+    /// indices are summed.
+    pub fn sparse_from_pairs(dim: u32, mut pairs: Vec<(u32, f64)>) -> FeatureVector {
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            debug_assert!(i < dim, "index {i} out of dim {dim}");
+            if indices.last() == Some(&i) {
+                *values.last_mut().unwrap() += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        FeatureVector::Sparse { dim, indices, values }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            FeatureVector::Dense(v) => v.len(),
+            FeatureVector::Sparse { dim, .. } => *dim as usize,
+        }
+    }
+
+    /// Number of stored (possibly nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            FeatureVector::Dense(v) => v.len(),
+            FeatureVector::Sparse { indices, .. } => indices.len(),
+        }
+    }
+
+    /// Value at `i` (zero for absent sparse entries).
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            FeatureVector::Dense(v) => v.get(i).copied().unwrap_or(0.0),
+            FeatureVector::Sparse { indices, values, .. } => indices
+                .binary_search(&(i as u32))
+                .map(|pos| values[pos])
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Dot product against a dense weight slice (the hot path of linear
+    /// models — sparse examples dotted with dense weights).
+    pub fn dot_dense(&self, weights: &[f64]) -> f64 {
+        match self {
+            FeatureVector::Dense(v) => {
+                let n = v.len().min(weights.len());
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += v[k] * weights[k];
+                }
+                acc
+            }
+            FeatureVector::Sparse { indices, values, .. } => {
+                let mut acc = 0.0;
+                for (i, v) in indices.iter().zip(values) {
+                    if let Some(w) = weights.get(*i as usize) {
+                        acc += v * w;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// `weights += self * scale` (SGD update path).
+    pub fn add_scaled_to(&self, weights: &mut [f64], scale: f64) {
+        match self {
+            FeatureVector::Dense(v) => {
+                for (w, x) in weights.iter_mut().zip(v) {
+                    *w += x * scale;
+                }
+            }
+            FeatureVector::Sparse { indices, values, .. } => {
+                for (i, v) in indices.iter().zip(values) {
+                    if let Some(w) = weights.get_mut(*i as usize) {
+                        *w += v * scale;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Squared Euclidean distance to a dense point (k-means hot path).
+    pub fn sq_dist_dense(&self, point: &[f64]) -> f64 {
+        match self {
+            FeatureVector::Dense(v) => {
+                let mut acc = 0.0;
+                for k in 0..v.len().min(point.len()) {
+                    let d = v[k] - point[k];
+                    acc += d * d;
+                }
+                acc
+            }
+            FeatureVector::Sparse { indices, values, dim } => {
+                // ||x - p||^2 = ||p||^2 - 2 x·p + ||x||^2 over stored terms,
+                // adjusting for overlapping coordinates exactly.
+                let mut acc: f64 = point.iter().take(*dim as usize).map(|p| p * p).sum();
+                for (i, v) in indices.iter().zip(values) {
+                    let p = point.get(*i as usize).copied().unwrap_or(0.0);
+                    acc += -p * p + (v - p) * (v - p);
+                }
+                acc
+            }
+        }
+    }
+
+    /// L2 norm.
+    pub fn l2_norm(&self) -> f64 {
+        let sq: f64 = match self {
+            FeatureVector::Dense(v) => v.iter().map(|x| x * x).sum(),
+            FeatureVector::Sparse { values, .. } => values.iter().map(|x| x * x).sum(),
+        };
+        sq.sqrt()
+    }
+
+    /// Materialize as a dense `Vec<f64>`.
+    pub fn to_dense(&self) -> Vec<f64> {
+        match self {
+            FeatureVector::Dense(v) => v.clone(),
+            FeatureVector::Sparse { dim, indices, values } => {
+                let mut out = vec![0.0; *dim as usize];
+                for (i, v) in indices.iter().zip(values) {
+                    out[*i as usize] = *v;
+                }
+                out
+            }
+        }
+    }
+
+    /// Concatenate vectors into one (paper: feature concatenation ∈ F).
+    /// The result is dense if every part is dense, sparse otherwise —
+    /// mirroring HELIX's "dense when mixing" policy inverted conservatively
+    /// for memory (sparse wins ties).
+    pub fn concat(parts: &[&FeatureVector]) -> FeatureVector {
+        let total: usize = parts.iter().map(|p| p.dim()).sum();
+        let all_dense = parts.iter().all(|p| matches!(p, FeatureVector::Dense(_)));
+        if all_dense {
+            let mut out = Vec::with_capacity(total);
+            for p in parts {
+                if let FeatureVector::Dense(v) = p {
+                    out.extend_from_slice(v);
+                }
+            }
+            FeatureVector::Dense(out)
+        } else {
+            let mut indices = Vec::new();
+            let mut values = Vec::new();
+            let mut offset = 0u32;
+            for p in parts {
+                match p {
+                    FeatureVector::Dense(v) => {
+                        for (i, x) in v.iter().enumerate() {
+                            if *x != 0.0 {
+                                indices.push(offset + i as u32);
+                                values.push(*x);
+                            }
+                        }
+                        offset += v.len() as u32;
+                    }
+                    FeatureVector::Sparse { dim, indices: is, values: vs } => {
+                        for (i, x) in is.iter().zip(vs) {
+                            indices.push(offset + i);
+                            values.push(*x);
+                        }
+                        offset += dim;
+                    }
+                }
+            }
+            FeatureVector::Sparse { dim: total as u32, indices, values }
+        }
+    }
+}
+
+impl ByteSized for FeatureVector {
+    fn byte_size(&self) -> u64 {
+        let base = std::mem::size_of::<FeatureVector>() as u64;
+        match self {
+            FeatureVector::Dense(v) => base + 8 * v.capacity() as u64,
+            FeatureVector::Sparse { indices, values, .. } => {
+                base + 4 * indices.capacity() as u64 + 8 * values.capacity() as u64
+            }
+        }
+    }
+}
+
+/// Pre-vectorization features emitted by Extractors (paper §3.2.1).
+///
+/// Raw features stay in human-readable form until example assembly, which
+/// is what lets HELIX (a) batch-learn all data-dependent transforms in one
+/// pass and (b) track feature→operator provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FeatureBundle {
+    /// Categorical features as `(field, value)` pairs; each distinct pair
+    /// becomes one indicator dimension in the assembled space.
+    Categorical(Vec<(String, String)>),
+    /// Named numeric features; each name becomes one dimension.
+    Numeric(Vec<(String, f64)>),
+    /// An already-vectorized block (dense DPR outputs, embeddings).
+    Vector(FeatureVector),
+    /// Token sequence (tokenizer output consumed by text learners).
+    Tokens(Vec<String>),
+    /// No features (e.g. filtered-out element placeholder).
+    Empty,
+}
+
+impl ByteSized for FeatureBundle {
+    fn byte_size(&self) -> u64 {
+        let base = std::mem::size_of::<FeatureBundle>() as u64;
+        match self {
+            FeatureBundle::Categorical(kv) => {
+                base + kv
+                    .iter()
+                    .map(|(k, v)| k.capacity() as u64 + v.capacity() as u64 + 48)
+                    .sum::<u64>()
+            }
+            FeatureBundle::Numeric(kv) => {
+                base + kv.iter().map(|(k, _)| k.capacity() as u64 + 32).sum::<u64>()
+            }
+            FeatureBundle::Vector(v) => base + v.byte_size(),
+            FeatureBundle::Tokens(ts) => {
+                base + ts.iter().map(|t| t.capacity() as u64 + 24).sum::<u64>()
+            }
+            FeatureBundle::Empty => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_construction_sorts_and_merges() {
+        let v = FeatureVector::sparse_from_pairs(10, vec![(5, 1.0), (2, 2.0), (5, 3.0)]);
+        match &v {
+            FeatureVector::Sparse { indices, values, dim } => {
+                assert_eq!(*dim, 10);
+                assert_eq!(indices, &vec![2, 5]);
+                assert_eq!(values, &vec![2.0, 4.0]);
+            }
+            _ => panic!("expected sparse"),
+        }
+        assert_eq!(v.get(5), 4.0);
+        assert_eq!(v.get(0), 0.0);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_products_agree_between_layouts() {
+        let dense = FeatureVector::Dense(vec![0.0, 2.0, 0.0, 1.5]);
+        let sparse = FeatureVector::sparse_from_pairs(4, vec![(1, 2.0), (3, 1.5)]);
+        let w = [1.0, 0.5, 3.0, 2.0];
+        assert_eq!(dense.dot_dense(&w), sparse.dot_dense(&w));
+        assert!((dense.dot_dense(&w) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_matches_manual() {
+        let sparse = FeatureVector::sparse_from_pairs(3, vec![(0, 1.0), (2, 2.0)]);
+        let mut w = [10.0, 10.0, 10.0];
+        sparse.add_scaled_to(&mut w, 0.5);
+        assert_eq!(w, [10.5, 10.0, 11.0]);
+        let dense = FeatureVector::Dense(vec![1.0, 1.0, 1.0]);
+        dense.add_scaled_to(&mut w, -1.0);
+        assert_eq!(w, [9.5, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn sq_dist_agrees_between_layouts() {
+        let dense = FeatureVector::Dense(vec![1.0, 0.0, 3.0]);
+        let sparse = FeatureVector::sparse_from_pairs(3, vec![(0, 1.0), (2, 3.0)]);
+        let p = [0.5, 1.0, -1.0];
+        assert!((dense.sq_dist_dense(&p) - sparse.sq_dist_dense(&p)).abs() < 1e-12);
+        assert!((dense.sq_dist_dense(&p) - (0.25 + 1.0 + 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_norm_and_to_dense() {
+        let sparse = FeatureVector::sparse_from_pairs(4, vec![(1, 3.0), (3, 4.0)]);
+        assert!((sparse.l2_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(sparse.to_dense(), vec![0.0, 3.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_dense_and_mixed() {
+        let a = FeatureVector::Dense(vec![1.0, 2.0]);
+        let b = FeatureVector::Dense(vec![3.0]);
+        assert_eq!(FeatureVector::concat(&[&a, &b]), FeatureVector::Dense(vec![1.0, 2.0, 3.0]));
+
+        let s = FeatureVector::sparse_from_pairs(2, vec![(1, 9.0)]);
+        let mixed = FeatureVector::concat(&[&a, &s]);
+        assert_eq!(mixed.dim(), 4);
+        assert_eq!(mixed.get(0), 1.0);
+        assert_eq!(mixed.get(3), 9.0);
+        assert!(matches!(mixed, FeatureVector::Sparse { .. }));
+    }
+
+    #[test]
+    fn concat_empty_and_zero_handling() {
+        let z = FeatureVector::zeros(2);
+        let s = FeatureVector::sparse_from_pairs(2, vec![]);
+        let c = FeatureVector::concat(&[&z, &s]);
+        assert_eq!(c.dim(), 4);
+        assert_eq!(c.nnz(), 0); // dense zeros dropped in sparse concat
+    }
+
+    #[test]
+    fn byte_sizes_reasonable() {
+        let dense = FeatureVector::Dense(vec![0.0; 100]);
+        assert!(dense.byte_size() >= 800);
+        let bundle = FeatureBundle::Tokens(vec!["hello".into(); 10]);
+        assert!(bundle.byte_size() > 10 * 5);
+    }
+}

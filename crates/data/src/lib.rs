@@ -1,0 +1,42 @@
+//! # helix-data
+//!
+//! The data model of the HELIX reproduction — the types that flow along
+//! edges of the Workflow DAG (paper §3.2):
+//!
+//! * [`record`] — raw records ([`Record`], [`RecordBatch`]) with a shared
+//!   [`Schema`]; the output of data sources and Scanners.
+//! * [`feature`] — sparse/dense [`FeatureVector`]s and the intermediate
+//!   [`FeatureBundle`] representation produced by Extractors.
+//! * [`unit`](mod@unit) — [`SemanticUnit`]s: the paper's device for compartmentalizing
+//!   the logical and physical representation of features (§3.2.1).
+//! * [`example`] — [`Example`]s and the [`FeatureSpace`] that globally
+//!   orders features and records per-feature *provenance* (which operator
+//!   produced each feature — the bookkeeping behind data-driven pruning,
+//!   paper §5.4).
+//! * [`model`] — plain-data model parameter containers (weights, centroids,
+//!   embeddings, learned DPR transforms). The *algorithms* that fit and
+//!   apply them live in `helix-ml`; keeping the containers here lets the
+//!   storage codec serialize models without depending on the math crate.
+//! * [`value`] — [`Value`], the sum type carried by DAG nodes: a data
+//!   collection, a model, or a scalar.
+//!
+//! Every type reports an approximate resident size via [`ByteSized`], which
+//! feeds both the materialization optimizer (projected load times, paper
+//! §5.3) and the memory tracker (paper Fig. 10).
+
+pub mod example;
+pub mod feature;
+pub mod model;
+pub mod record;
+pub mod unit;
+pub mod value;
+
+pub use example::{Example, ExampleBatch, FeatureSpace};
+pub use feature::{FeatureBundle, FeatureVector};
+pub use model::{
+    BucketizerModel, CentroidModel, EmbeddingModel, IndexerModel, LinearModel, Model,
+    NaiveBayesModel, ScalerModel, TransformModel,
+};
+pub use record::{FieldValue, Record, RecordBatch, Schema, Split};
+pub use unit::{SemanticUnit, UnitBatch};
+pub use value::{ByteSized, DataCollection, Scalar, Value, ValueKind};

@@ -1,0 +1,224 @@
+//! Model parameter containers.
+//!
+//! These are *plain data*: the learning and inference algorithms live in
+//! `helix-ml`. Keeping parameters here lets the storage codec persist any
+//! model without a dependency on the math crate, mirroring how HELIX treats
+//! models "largely as black boxes" (paper §3.3) at the workflow level.
+
+use crate::value::ByteSized;
+use std::collections::HashMap;
+
+/// A linear model (logistic or linear regression, one-vs-rest multiclass).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearModel {
+    /// Per-class weight vectors (`1` entry for binary problems), each of
+    /// dimension `dim`.
+    pub weights: Vec<Vec<f64>>,
+    /// Per-class intercepts.
+    pub bias: Vec<f64>,
+    /// Feature dimensionality the model was trained with.
+    pub dim: u32,
+}
+
+impl LinearModel {
+    /// Number of classes (1 = binary with a single score).
+    pub fn classes(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// K-means centroids.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CentroidModel {
+    /// `k` centroids, each of dimension `dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Dimensionality.
+    pub dim: u32,
+    /// Final within-cluster sum of squares (for PPR reporting).
+    pub inertia: f64,
+}
+
+/// Learned token embeddings (word2vec output).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmbeddingModel {
+    /// Token → embedding row index.
+    pub vocab: HashMap<String, u32>,
+    /// Row-major embedding matrix, `vocab.len() × dim`.
+    pub vectors: Vec<f64>,
+    /// Embedding dimensionality.
+    pub dim: u32,
+}
+
+impl EmbeddingModel {
+    /// Embedding of a token, if in vocabulary.
+    pub fn embedding(&self, token: &str) -> Option<&[f64]> {
+        let row = *self.vocab.get(token)? as usize;
+        let d = self.dim as usize;
+        self.vectors.get(row * d..(row + 1) * d)
+    }
+}
+
+/// Multinomial naive Bayes parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NaiveBayesModel {
+    /// Log prior per class.
+    pub log_priors: Vec<f64>,
+    /// Log likelihood per class × feature (row-major, `classes × dim`).
+    pub log_likelihoods: Vec<f64>,
+    /// Feature dimensionality.
+    pub dim: u32,
+}
+
+/// Mean/variance feature scaler.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalerModel {
+    /// Per-dimension means.
+    pub means: Vec<f64>,
+    /// Per-dimension standard deviations (≥ small epsilon).
+    pub stds: Vec<f64>,
+}
+
+/// Learned discretization boundaries (paper's `Bucketizer`, Census line 11).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BucketizerModel {
+    /// Ascending bucket boundaries; value `v` maps to the first bucket
+    /// whose boundary exceeds it.
+    pub boundaries: Vec<f64>,
+}
+
+impl BucketizerModel {
+    /// Bucket index of a value in `0..=boundaries.len()`.
+    pub fn bucket(&self, v: f64) -> usize {
+        self.boundaries.partition_point(|b| *b <= v)
+    }
+}
+
+/// Learned categorical → index mapping (string indexer).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexerModel {
+    /// Category → dense index.
+    pub vocab: HashMap<String, u32>,
+}
+
+/// A learned DPR transformation (paper: "f can also be a feature
+/// transformation function that needs to be learned from the input
+/// dataset", §3.2.2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TransformModel {
+    /// Standardization.
+    Scaler(ScalerModel),
+    /// Discretization.
+    Bucketizer(BucketizerModel),
+    /// Category indexing.
+    Indexer(IndexerModel),
+    /// Random Fourier feature projection (MNIST workload): row-major
+    /// `dim_out × dim_in` projection matrix plus phase offsets.
+    RandomFourier {
+        /// Projection matrix (row-major, `dim_out` rows of `dim_in`).
+        projection: Vec<f64>,
+        /// Phase offsets, length `dim_out`.
+        offsets: Vec<f64>,
+        /// Input dimensionality.
+        dim_in: u32,
+        /// Output dimensionality.
+        dim_out: u32,
+    },
+}
+
+/// Any learned artifact a Learner node can output (paper: L/I produces a
+/// function `f`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Model {
+    /// Linear / logistic regression.
+    Linear(LinearModel),
+    /// K-means.
+    Centroids(CentroidModel),
+    /// Word embeddings.
+    Embeddings(EmbeddingModel),
+    /// Naive Bayes.
+    NaiveBayes(NaiveBayesModel),
+    /// Learned DPR transform.
+    Transform(TransformModel),
+}
+
+impl Model {
+    /// Short kind string for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Model::Linear(_) => "linear",
+            Model::Centroids(_) => "centroids",
+            Model::Embeddings(_) => "embeddings",
+            Model::NaiveBayes(_) => "naive-bayes",
+            Model::Transform(_) => "transform",
+        }
+    }
+}
+
+impl ByteSized for Model {
+    fn byte_size(&self) -> u64 {
+        let base = std::mem::size_of::<Model>() as u64;
+        base + match self {
+            Model::Linear(m) => {
+                m.weights.iter().map(|w| 8 * w.len() as u64).sum::<u64>() + 8 * m.bias.len() as u64
+            }
+            Model::Centroids(m) => m.centroids.iter().map(|c| 8 * c.len() as u64).sum::<u64>(),
+            Model::Embeddings(m) => {
+                8 * m.vectors.len() as u64
+                    + m.vocab.keys().map(|k| k.capacity() as u64 + 56).sum::<u64>()
+            }
+            Model::NaiveBayes(m) => 8 * (m.log_priors.len() + m.log_likelihoods.len()) as u64,
+            Model::Transform(t) => match t {
+                TransformModel::Scaler(s) => 8 * (s.means.len() + s.stds.len()) as u64,
+                TransformModel::Bucketizer(b) => 8 * b.boundaries.len() as u64,
+                TransformModel::Indexer(i) => {
+                    i.vocab.keys().map(|k| k.capacity() as u64 + 56).sum::<u64>()
+                }
+                TransformModel::RandomFourier { projection, offsets, .. } => {
+                    8 * (projection.len() + offsets.len()) as u64
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketizer_boundaries() {
+        let b = BucketizerModel { boundaries: vec![10.0, 20.0, 30.0] };
+        assert_eq!(b.bucket(5.0), 0);
+        assert_eq!(b.bucket(10.0), 1); // boundary belongs to the right bucket
+        assert_eq!(b.bucket(15.0), 1);
+        assert_eq!(b.bucket(29.9), 2);
+        assert_eq!(b.bucket(99.0), 3);
+    }
+
+    #[test]
+    fn embedding_lookup() {
+        let mut vocab = HashMap::new();
+        vocab.insert("gene".to_string(), 0u32);
+        vocab.insert("cell".to_string(), 1u32);
+        let m = EmbeddingModel { vocab, vectors: vec![1.0, 2.0, 3.0, 4.0], dim: 2 };
+        assert_eq!(m.embedding("gene"), Some(&[1.0, 2.0][..]));
+        assert_eq!(m.embedding("cell"), Some(&[3.0, 4.0][..]));
+        assert_eq!(m.embedding("unknown"), None);
+    }
+
+    #[test]
+    fn model_kinds_and_sizes() {
+        let linear = Model::Linear(LinearModel {
+            weights: vec![vec![0.0; 64]],
+            bias: vec![0.0],
+            dim: 64,
+        });
+        assert_eq!(linear.kind(), "linear");
+        assert!(linear.byte_size() >= 64 * 8);
+
+        let tiny = Model::Transform(TransformModel::Bucketizer(BucketizerModel {
+            boundaries: vec![1.0],
+        }));
+        assert!(tiny.byte_size() < linear.byte_size());
+    }
+}

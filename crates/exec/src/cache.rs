@@ -1,0 +1,204 @@
+//! The in-memory intermediate cache.
+//!
+//! Spark uncaches via LRU; HELIX "improves upon the performance by actively
+//! managing the set of data to evict from cache … Once an operator has
+//! finished running, HELIX analyzes the DAG to uncache newly out-of-scope
+//! nodes" (paper §5.4, Cache Pruning). [`ValueCache`] implements both
+//! policies: `Eager` is HELIX's; `Lru` is the Spark-style baseline kept for
+//! the ablation benchmarks.
+
+use helix_data::{ByteSized, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache eviction policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// HELIX: values are evicted exactly when the engine declares them
+    /// out-of-scope; the byte budget is a safety net only.
+    Eager,
+    /// Spark-like: values stay until the byte budget forces out the least
+    /// recently used.
+    Lru { budget_bytes: u64 },
+}
+
+struct Slot {
+    value: Arc<Value>,
+    bytes: u64,
+    last_touch: u64,
+}
+
+/// A node-id-keyed cache of operator outputs.
+pub struct ValueCache {
+    policy: CachePolicy,
+    slots: HashMap<u32, Slot>,
+    clock: u64,
+    bytes: u64,
+}
+
+impl ValueCache {
+    /// New cache under `policy`.
+    pub fn new(policy: CachePolicy) -> ValueCache {
+        ValueCache { policy, slots: HashMap::new(), clock: 0, bytes: 0 }
+    }
+
+    /// Insert (or replace) the value for a node.
+    pub fn put(&mut self, node: u32, value: Arc<Value>) {
+        self.clock += 1;
+        let bytes = value.byte_size();
+        if let Some(old) = self.slots.insert(node, Slot { value, bytes, last_touch: self.clock })
+        {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        if let CachePolicy::Lru { budget_bytes } = self.policy {
+            self.evict_lru_to(budget_bytes, node);
+        }
+    }
+
+    /// Fetch a value, updating recency.
+    pub fn get(&mut self, node: u32) -> Option<Arc<Value>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.slots.get_mut(&node).map(|slot| {
+            slot.last_touch = clock;
+            Arc::clone(&slot.value)
+        })
+    }
+
+    /// Whether a node is resident.
+    pub fn contains(&self, node: u32) -> bool {
+        self.slots.contains_key(&node)
+    }
+
+    /// HELIX's eager eviction: drop a node the moment it goes out of scope.
+    /// Returns the bytes freed.
+    pub fn evict(&mut self, node: u32) -> u64 {
+        match self.slots.remove(&node) {
+            Some(slot) => {
+                self.bytes -= slot.bytes;
+                slot.bytes
+            }
+            None => 0,
+        }
+    }
+
+    /// Evict everything (end of iteration).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.bytes = 0;
+    }
+
+    /// Resident bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of resident values.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    fn evict_lru_to(&mut self, budget: u64, just_inserted: u32) {
+        while self.bytes > budget && self.slots.len() > 1 {
+            // Never evict the value we just inserted — its consumer is
+            // about to run.
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(id, _)| **id != just_inserted)
+                .min_by_key(|(_, slot)| slot.last_touch)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    self.evict(id);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_data::Scalar;
+
+    fn value_of_size(bytes: usize) -> Arc<Value> {
+        Arc::new(Value::Scalar(Scalar::Text("x".repeat(bytes))))
+    }
+
+    #[test]
+    fn put_get_evict_accounting() {
+        let mut cache = ValueCache::new(CachePolicy::Eager);
+        cache.put(1, value_of_size(100));
+        cache.put(2, value_of_size(200));
+        assert!(cache.contains(1));
+        assert_eq!(cache.len(), 2);
+        let before = cache.resident_bytes();
+        assert!(before >= 300);
+        let freed = cache.evict(1);
+        assert!(freed >= 100);
+        assert_eq!(cache.resident_bytes(), before - freed);
+        assert!(!cache.contains(1));
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some());
+        assert_eq!(cache.evict(1), 0, "double evict is a no-op");
+    }
+
+    #[test]
+    fn replacement_updates_bytes() {
+        let mut cache = ValueCache::new(CachePolicy::Eager);
+        cache.put(1, value_of_size(1000));
+        let big = cache.resident_bytes();
+        cache.put(1, value_of_size(10));
+        assert!(cache.resident_bytes() < big);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Budget fits ~2 of the 3 values.
+        let mut cache = ValueCache::new(CachePolicy::Lru { budget_bytes: 2_200 });
+        cache.put(1, value_of_size(1000));
+        cache.put(2, value_of_size(1000));
+        // Touch 1 so 2 becomes the LRU victim.
+        cache.get(1);
+        cache.put(3, value_of_size(1000));
+        assert!(cache.contains(1), "recently used survives");
+        assert!(!cache.contains(2), "LRU victim evicted");
+        assert!(cache.contains(3), "new value survives");
+    }
+
+    #[test]
+    fn lru_never_evicts_fresh_insert() {
+        let mut cache = ValueCache::new(CachePolicy::Lru { budget_bytes: 10 });
+        cache.put(1, value_of_size(1000));
+        assert!(cache.contains(1), "sole oversized value stays resident");
+        cache.put(2, value_of_size(1000));
+        assert!(cache.contains(2));
+        assert!(!cache.contains(1));
+    }
+
+    #[test]
+    fn eager_policy_ignores_budget() {
+        let mut cache = ValueCache::new(CachePolicy::Eager);
+        for i in 0..10 {
+            cache.put(i, value_of_size(1_000));
+        }
+        assert_eq!(cache.len(), 10, "eager eviction is driven by scope, not size");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # helix-exec
+//!
+//! Execution-engine infrastructure (the paper used Spark for this layer;
+//! we provide the single-process, multi-threaded equivalent):
+//!
+//! * [`pool`] — a scoped worker pool for data-parallel operators.
+//!   "Cluster size" in the paper's Figure 7(b) maps to pool width here.
+//! * [`cache`] — the in-memory intermediate cache with HELIX's *eager*
+//!   eviction of out-of-scope nodes (paper §5.4 "Cache Pruning": "HELIX
+//!   improves upon [Spark's LRU] by actively managing the set of data to
+//!   evict"), plus an LRU policy used by ablation benches.
+//! * [`memory`] — resident-byte sampling behind the paper's Figure 10
+//!   (peak and average memory per iteration).
+//! * [`metrics`] — per-node and per-iteration run-time accounting broken
+//!   down by workflow component (DPR / L/I / PPR / materialization), the
+//!   series plotted in Figures 5, 6 and 9.
+
+pub mod cache;
+pub mod memory;
+pub mod metrics;
+pub mod pool;
+
+pub use cache::{CachePolicy, ValueCache};
+pub use memory::MemoryTracker;
+pub use metrics::{IterationMetrics, NodeRun, Phase, RunState};
+pub use pool::WorkerPool;

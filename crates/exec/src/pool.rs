@@ -1,0 +1,164 @@
+//! Scoped worker pool for data-parallel operators.
+//!
+//! HELIX "defers operator pipelining and scheduling for asynchronous
+//! execution to Spark" (paper §2.1); in this reproduction, operators that
+//! are data-parallel (scanning, extraction, inference) split their input
+//! into `workers` chunks processed on scoped threads. The pool width plays
+//! the role of cluster size in the paper's scalability experiment
+//! (Figure 7b: 2/4/8 workers).
+
+use crossbeam::thread;
+
+/// A fixed-width data-parallel executor.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Pool with `workers` threads (minimum 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        WorkerPool { workers: workers.max(1) }
+    }
+
+    /// Single-threaded pool.
+    pub fn serial() -> WorkerPool {
+        WorkerPool { workers: 1 }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Map `f` over `items` in parallel, preserving input order.
+    ///
+    /// Chunks are contiguous ranges of roughly equal size; with one worker
+    /// the map runs inline (no thread overhead for the serial baseline).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let chunk = items.len().div_ceil(self.workers);
+        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+        out.resize_with(items.len(), || None);
+        thread::scope(|scope| {
+            let mut remaining: &mut [Option<R>] = &mut out;
+            let mut offset = 0;
+            for piece in items.chunks(chunk) {
+                let (slot, rest) = remaining.split_at_mut(piece.len());
+                remaining = rest;
+                let f = &f;
+                let _ = offset;
+                scope.spawn(move |_| {
+                    for (s, item) in slot.iter_mut().zip(piece) {
+                        *s = Some(f(item));
+                    }
+                });
+                offset += piece.len();
+            }
+        })
+        .expect("worker panicked");
+        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+
+    /// Fold each parallel chunk with `fold`, then combine chunk results
+    /// with `combine` (deterministic: combination happens in chunk order).
+    pub fn map_reduce<T, A, F, C>(&self, items: &[T], init: A, fold: F, combine: C) -> A
+    where
+        T: Sync,
+        A: Send + Clone,
+        F: Fn(A, &T) -> A + Sync,
+        C: Fn(A, A) -> A,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            return items.iter().fold(init, &fold);
+        }
+        let chunk = items.len().div_ceil(self.workers);
+        let partials: Vec<A> = thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|piece| {
+                    let fold = &fold;
+                    let init = init.clone();
+                    scope.spawn(move |_| piece.iter().fold(init, fold))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("scope failed");
+        let mut iter = partials.into_iter();
+        let first = iter.next().unwrap_or(init);
+        iter.fold(first, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let out = pool.map(&items, |x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        let pool = WorkerPool::new(4);
+        assert!(pool.map(&Vec::<u32>::new(), |x| *x).is_empty());
+        assert_eq!(pool.map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_reduce_matches_serial() {
+        let items: Vec<u64> = (1..=100).collect();
+        let serial: u64 = items.iter().sum();
+        for workers in [1, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let total = pool.map_reduce(&items, 0u64, |acc, x| acc + x, |a, b| a + b);
+            assert_eq!(total, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.map(&[1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_speedup_on_cpu_bound_work() {
+        // A coarse smoke test: 4 workers should not be slower than 1 on
+        // embarrassingly parallel work (allowing generous scheduling slack).
+        let items: Vec<u64> = (0..64).collect();
+        let busy = |x: &u64| -> u64 {
+            let mut acc = *x;
+            for i in 0..200_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let t1 = std::time::Instant::now();
+        let serial = WorkerPool::serial().map(&items, busy);
+        let serial_time = t1.elapsed();
+        let t2 = std::time::Instant::now();
+        let parallel = WorkerPool::new(4).map(&items, busy);
+        let parallel_time = t2.elapsed();
+        assert_eq!(serial, parallel);
+        assert!(
+            parallel_time < serial_time * 2,
+            "parallel {parallel_time:?} vs serial {serial_time:?}"
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! A deterministic DAG container for Workflow DAGs.
+//!
+//! The Workflow DAG (paper Definition 1) has nodes for operator outputs and
+//! edges for input–output relationships. This container is intentionally
+//! simple: `u32` node ids, `Vec`-based adjacency in insertion order (so all
+//! downstream decisions — topological order, slicing, state assignment —
+//! are bit-for-bit reproducible across runs), and cycle detection at
+//! `topo_order` time.
+
+use helix_common::{HelixError, Result};
+
+/// Index of a node within a [`Dag`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Usize view for indexing.
+    #[inline]
+    pub fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed graph intended to be acyclic, with node payloads of type `T`.
+///
+/// Acyclicity is validated by [`topo_order`](Dag::topo_order); insertion
+/// itself only rejects self-loops, duplicate edges, and dangling endpoints.
+#[derive(Clone, Debug)]
+pub struct Dag<T> {
+    payloads: Vec<T>,
+    children: Vec<Vec<NodeId>>,
+    parents: Vec<Vec<NodeId>>,
+}
+
+impl<T> Default for Dag<T> {
+    fn default() -> Self {
+        Dag { payloads: Vec::new(), children: Vec::new(), parents: Vec::new() }
+    }
+}
+
+impl<T> Dag<T> {
+    /// Empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, payload: T) -> NodeId {
+        let id = NodeId(self.payloads.len() as u32);
+        self.payloads.push(payload);
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        id
+    }
+
+    /// Add an edge `from → to` (from is an input of to).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        if from.ix() >= self.len() || to.ix() >= self.len() {
+            return Err(HelixError::graph(format!("edge endpoint out of range: {from}->{to}")));
+        }
+        if from == to {
+            return Err(HelixError::graph(format!("self-loop on {from}")));
+        }
+        if self.children[from.ix()].contains(&to) {
+            return Ok(()); // idempotent
+        }
+        self.children[from.ix()].push(to);
+        self.parents[to.ix()].push(from);
+        Ok(())
+    }
+
+    /// Payload of a node.
+    pub fn payload(&self, n: NodeId) -> &T {
+        &self.payloads[n.ix()]
+    }
+
+    /// Mutable payload of a node.
+    pub fn payload_mut(&mut self, n: NodeId) -> &mut T {
+        &mut self.payloads[n.ix()]
+    }
+
+    /// Direct predecessors (operator inputs), in insertion order.
+    pub fn parents(&self, n: NodeId) -> &[NodeId] {
+        &self.parents[n.ix()]
+    }
+
+    /// Direct successors (dependent operators), in insertion order.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.children[n.ix()]
+    }
+
+    /// All node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.payloads.len() as u32).map(NodeId)
+    }
+
+    /// Iterate `(id, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.payloads.iter().enumerate().map(|(i, p)| (NodeId(i as u32), p))
+    }
+
+    /// All edges as `(from, to)` pairs in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.children
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cs)| cs.iter().map(move |c| (NodeId(i as u32), *c)))
+    }
+
+    /// Roots (no parents), in insertion order.
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|n| self.parents(*n).is_empty()).collect()
+    }
+
+    /// Sinks (no children), in insertion order.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|n| self.children(*n).is_empty()).collect()
+    }
+
+    /// Kahn topological order; errors on cycles. Ties are broken by node id
+    /// so the order is deterministic.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>> {
+        let n = self.len();
+        let mut indegree: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        // Min-id-first frontier: a sorted insertion queue (the DAGs here are
+        // small; clarity beats a heap).
+        let mut frontier: Vec<NodeId> =
+            (0..n as u32).map(NodeId).filter(|id| indegree[id.ix()] == 0).collect();
+        frontier.sort_unstable();
+        let mut order = Vec::with_capacity(n);
+        let mut cursor = 0;
+        while cursor < frontier.len() {
+            let next = frontier[cursor];
+            cursor += 1;
+            order.push(next);
+            for &c in &self.children[next.ix()] {
+                indegree[c.ix()] -= 1;
+                if indegree[c.ix()] == 0 {
+                    // Keep the unexplored tail sorted.
+                    let tail = &frontier[cursor..];
+                    let pos = cursor + tail.partition_point(|x| *x < c);
+                    frontier.insert(pos, c);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(HelixError::graph("workflow graph contains a cycle"));
+        }
+        Ok(order)
+    }
+
+    /// Every node from which some node in `targets` is reachable,
+    /// *including* the targets — i.e. the backward slice used by workflow
+    /// pruning (paper §5.4: "traverses the DAG backwards from the output
+    /// nodes and prunes away any nodes not visited").
+    pub fn ancestors_of(&self, targets: &[NodeId]) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<NodeId> = targets.to_vec();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.ix()], true) {
+                continue;
+            }
+            stack.extend_from_slice(self.parents(n));
+        }
+        seen
+    }
+
+    /// Every node reachable from `sources`, including the sources — the
+    /// forward slice used to propagate originality to descendants
+    /// (paper Definition 2: equivalence requires equivalent parents).
+    pub fn descendants_of(&self, sources: &[NodeId]) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<NodeId> = sources.to_vec();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.ix()], true) {
+                continue;
+            }
+            stack.extend_from_slice(self.children(n));
+        }
+        seen
+    }
+
+    /// Render Graphviz DOT using `label` for node captions (for docs and
+    /// debugging).
+    pub fn to_dot(&self, mut label: impl FnMut(NodeId, &T) -> String) -> String {
+        let mut out = String::from("digraph workflow {\n  rankdir=TB;\n");
+        for (id, payload) in self.iter() {
+            out.push_str(&format!("  {} [label=\"{}\"];\n", id, label(id, payload)));
+        }
+        for (a, b) in self.edges() {
+            out.push_str(&format!("  {a} -> {b};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the 8-node example DAG of paper Figure 4:
+    /// 1→4, 2→4, 3→5, 4→6, 5→6, 5→8, 6→7, 7→8 (1-indexed in the paper).
+    fn figure4() -> (Dag<&'static str>, Vec<NodeId>) {
+        let mut g = Dag::new();
+        let ns: Vec<NodeId> =
+            (1..=8).map(|i| g.add_node(Box::leak(format!("n{i}").into_boxed_str()) as &str)).collect();
+        let edge = |g: &mut Dag<&str>, a: usize, b: usize| {
+            g.add_edge(ns[a - 1], ns[b - 1]).unwrap();
+        };
+        edge(&mut g, 1, 4);
+        edge(&mut g, 2, 4);
+        edge(&mut g, 3, 5);
+        edge(&mut g, 4, 6);
+        edge(&mut g, 5, 6);
+        edge(&mut g, 5, 8);
+        edge(&mut g, 6, 7);
+        edge(&mut g, 7, 8);
+        (g, ns)
+    }
+
+    #[test]
+    fn construction_and_adjacency() {
+        let (g, ns) = figure4();
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.parents(ns[3]), &[ns[0], ns[1]]);
+        assert_eq!(g.children(ns[4]), &[ns[5], ns[7]]);
+        assert_eq!(g.roots(), vec![ns[0], ns[1], ns[2]]);
+        assert_eq!(g.sinks(), vec![ns[7]]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_idempotent() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loop_and_dangling_rejected() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        assert!(g.add_edge(a, a).is_err());
+        assert!(g.add_edge(a, NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn topo_order_is_valid_and_deterministic() {
+        let (g, _) = figure4();
+        let order = g.topo_order().unwrap();
+        assert_eq!(order.len(), 8);
+        let mut position = [0usize; 8];
+        for (pos, n) in order.iter().enumerate() {
+            position[n.ix()] = pos;
+        }
+        for (a, b) in g.edges() {
+            assert!(position[a.ix()] < position[b.ix()], "{a} must precede {b}");
+        }
+        // Deterministic tie-break by id.
+        assert_eq!(order, g.topo_order().unwrap());
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, a).unwrap();
+        assert!(g.topo_order().is_err());
+    }
+
+    #[test]
+    fn backward_slice_matches_paper_pruning() {
+        // Census Figure 3b: raceExt has no path to the output and is pruned.
+        let mut g = Dag::new();
+        let data = g.add_node("data");
+        let rows = g.add_node("rows");
+        let race_ext = g.add_node("raceExt");
+        let edu_ext = g.add_node("eduExt");
+        let income = g.add_node("income");
+        let checked = g.add_node("checked");
+        g.add_edge(data, rows).unwrap();
+        g.add_edge(rows, race_ext).unwrap();
+        g.add_edge(rows, edu_ext).unwrap();
+        g.add_edge(edu_ext, income).unwrap();
+        g.add_edge(income, checked).unwrap();
+        let live = g.ancestors_of(&[checked]);
+        assert!(live[data.ix()] && live[rows.ix()] && live[edu_ext.ix()]);
+        assert!(!live[race_ext.ix()], "raceExt must be sliced away");
+    }
+
+    #[test]
+    fn forward_slice_propagates_originality() {
+        let (g, ns) = figure4();
+        let dirty = g.descendants_of(&[ns[4]]); // n5 changed
+        for i in [4, 5, 6, 7] {
+            assert!(dirty[i], "n{} downstream of n5", i + 1);
+        }
+        for i in [0, 1, 2, 3] {
+            assert!(!dirty[i], "n{} not downstream of n5", i + 1);
+        }
+    }
+
+    #[test]
+    fn dot_rendering_contains_nodes_and_edges() {
+        let (g, _) = figure4();
+        let dot = g.to_dot(|_, name| name.to_string());
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("n0 -> n3"));
+        assert!(dot.contains("label=\"n8\""));
+    }
+}

@@ -1,0 +1,27 @@
+//! # helix-flow
+//!
+//! Graph machinery behind HELIX's compile-time optimizer:
+//!
+//! * [`dag`] — a small, deterministic directed-acyclic-graph container used
+//!   for Workflow DAGs (paper Definition 1), with topological ordering,
+//!   reachability, and program slicing support (paper §5.4).
+//! * [`maxflow`] — Edmonds–Karp MAX-FLOW / min-cut on integer capacities,
+//!   `O(V · E²)` exactly as cited by the paper (§5.2, citation 23).
+//! * [`psp`] — the Project Selection Problem (profits + prerequisites)
+//!   reduced to min-cut (Kleinberg–Tardos construction, paper Problem 2).
+//! * [`oep`] — OPT-EXEC-PLAN (paper Problem 1): Algorithm 1's linear-time
+//!   reduction from node states {Compute, Load, Prune} to PSP, plus an
+//!   exhaustive solver used to property-test optimality.
+//!
+//! All costs are integer nanoseconds (`helix_common::Nanos`); profits are
+//! `i128` so big-M forcing terms can never overflow.
+
+pub mod dag;
+pub mod maxflow;
+pub mod oep;
+pub mod psp;
+
+pub use dag::{Dag, NodeId};
+pub use maxflow::MaxFlow;
+pub use oep::{NodeCosts, OepProblem, OepSolution, State};
+pub use psp::{Project, ProjectSelection};

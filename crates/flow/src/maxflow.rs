@@ -1,0 +1,249 @@
+//! Edmonds–Karp MAX-FLOW with min-cut extraction.
+//!
+//! The paper (§5.2) solves OPT-EXEC-PLAN through the Project Selection
+//! Problem, "an application of MAX-FLOW", using "the Edmonds-Karp algorithm
+//! …, which runs in time O(|N|·|E|²)". This module is that algorithm:
+//! BFS-based augmenting paths over an adjacency-list residual graph with
+//! paired forward/backward edges (the classic XOR-partner layout).
+//!
+//! Capacities are `i64`. Callers use [`MaxFlow::INF`] for uncuttable edges
+//! (prerequisites in PSP); the implementation guards against overflow by
+//! capping augmentation at `INF`.
+
+/// Maximum-flow solver over a fixed node set.
+#[derive(Clone, Debug)]
+pub struct MaxFlow {
+    /// Flattened edge array; edge `2k` and `2k+1` are partners.
+    to: Vec<u32>,
+    cap: Vec<i64>,
+    /// Head of adjacency list per node (index into `next`), `u32::MAX` = none.
+    head: Vec<u32>,
+    /// Next edge in adjacency list, parallel to `to`.
+    next: Vec<u32>,
+}
+
+impl MaxFlow {
+    /// Effectively-infinite capacity (safe to sum many times in `i64`).
+    pub const INF: i64 = i64::MAX / 1024;
+
+    const NONE: u32 = u32::MAX;
+
+    /// Create a solver over `nodes` vertices (ids `0..nodes`).
+    pub fn new(nodes: usize) -> MaxFlow {
+        MaxFlow {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Self::NONE; nodes],
+            next: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Add a directed edge `u → v` with capacity `c ≥ 0`. The reverse edge
+    /// gets capacity 0 (pure directed flow).
+    pub fn add_edge(&mut self, u: usize, v: usize, c: i64) {
+        debug_assert!(c >= 0, "capacity must be non-negative");
+        debug_assert!(u < self.nodes() && v < self.nodes());
+        let e = self.to.len() as u32;
+        // forward
+        self.to.push(v as u32);
+        self.cap.push(c.min(Self::INF));
+        self.next.push(self.head[u]);
+        self.head[u] = e;
+        // backward (residual)
+        self.to.push(u as u32);
+        self.cap.push(0);
+        self.next.push(self.head[v]);
+        self.head[v] = e + 1;
+    }
+
+    /// Run Edmonds–Karp from `s` to `t`; returns the max-flow value.
+    /// Residual capacities are left in place so [`min_cut_source_side`](Self::min_cut_source_side)
+    /// can be queried afterwards.
+    pub fn run(&mut self, s: usize, t: usize) -> i64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.nodes();
+        let mut total: i64 = 0;
+        let mut parent_edge = vec![Self::NONE; n];
+        let mut queue: Vec<u32> = Vec::with_capacity(n);
+        loop {
+            // BFS for a shortest augmenting path.
+            parent_edge.iter_mut().for_each(|p| *p = Self::NONE);
+            queue.clear();
+            queue.push(s as u32);
+            let mut found = false;
+            let mut qi = 0;
+            'bfs: while qi < queue.len() {
+                let u = queue[qi] as usize;
+                qi += 1;
+                let mut e = self.head[u];
+                while e != Self::NONE {
+                    let v = self.to[e as usize] as usize;
+                    if self.cap[e as usize] > 0 && parent_edge[v] == Self::NONE && v != s {
+                        parent_edge[v] = e;
+                        if v == t {
+                            found = true;
+                            break 'bfs;
+                        }
+                        queue.push(v as u32);
+                    }
+                    e = self.next[e as usize];
+                }
+            }
+            if !found {
+                return total;
+            }
+            // Bottleneck along the path.
+            let mut bottleneck = Self::INF;
+            let mut v = t;
+            while v != s {
+                let e = parent_edge[v] as usize;
+                bottleneck = bottleneck.min(self.cap[e]);
+                v = self.to[e ^ 1] as usize;
+            }
+            // Apply.
+            let mut v = t;
+            while v != s {
+                let e = parent_edge[v] as usize;
+                self.cap[e] -= bottleneck;
+                self.cap[e ^ 1] += bottleneck;
+                v = self.to[e ^ 1] as usize;
+            }
+            total = total.saturating_add(bottleneck);
+        }
+    }
+
+    /// After [`run`](Self::run), the set of vertices on the source side of
+    /// a minimum cut: vertices reachable from `s` in the residual graph.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.nodes()];
+        let mut stack = vec![s];
+        side[s] = true;
+        while let Some(u) = stack.pop() {
+            let mut e = self.head[u];
+            while e != Self::NONE {
+                let v = self.to[e as usize] as usize;
+                if self.cap[e as usize] > 0 && !side[v] {
+                    side[v] = true;
+                    stack.push(v);
+                }
+                e = self.next[e as usize];
+            }
+        }
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut f = MaxFlow::new(2);
+        f.add_edge(0, 1, 7);
+        assert_eq!(f.run(0, 1), 7);
+    }
+
+    #[test]
+    fn classic_clrs_network() {
+        // CLRS Figure 26.1-style network; max flow = 23.
+        let mut f = MaxFlow::new(6);
+        let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
+        f.add_edge(s, v1, 16);
+        f.add_edge(s, v2, 13);
+        f.add_edge(v1, v3, 12);
+        f.add_edge(v2, v1, 4);
+        f.add_edge(v2, v4, 14);
+        f.add_edge(v3, v2, 9);
+        f.add_edge(v3, t, 20);
+        f.add_edge(v4, v3, 7);
+        f.add_edge(v4, t, 4);
+        assert_eq!(f.run(s, t), 23);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let mut f = MaxFlow::new(3);
+        f.add_edge(0, 1, 5);
+        assert_eq!(f.run(0, 2), 0);
+    }
+
+    #[test]
+    fn parallel_edges_sum() {
+        let mut f = MaxFlow::new(2);
+        f.add_edge(0, 1, 3);
+        f.add_edge(0, 1, 4);
+        assert_eq!(f.run(0, 1), 7);
+    }
+
+    #[test]
+    fn min_cut_separates_source_and_sink() {
+        // s -> a (cap 1) -> t (cap 10): cut must sever s->a.
+        let mut f = MaxFlow::new(3);
+        f.add_edge(0, 1, 1);
+        f.add_edge(1, 2, 10);
+        assert_eq!(f.run(0, 2), 1);
+        let side = f.min_cut_source_side(0);
+        assert!(side[0]);
+        assert!(!side[1], "s->a is the bottleneck, so a falls on the sink side");
+        assert!(!side[2]);
+    }
+
+    #[test]
+    fn min_cut_value_equals_flow() {
+        // Verify max-flow = capacity across the extracted cut on a diamond.
+        let mut f = MaxFlow::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        f.add_edge(s, a, 3);
+        f.add_edge(s, b, 2);
+        f.add_edge(a, t, 2);
+        f.add_edge(b, t, 3);
+        f.add_edge(a, b, 1);
+        let flow = f.run(s, t);
+        assert_eq!(flow, 5);
+        let side = f.min_cut_source_side(s);
+        // Recompute cut capacity from the original capacities.
+        let mut fresh = MaxFlow::new(4);
+        fresh.add_edge(s, a, 3);
+        fresh.add_edge(s, b, 2);
+        fresh.add_edge(a, t, 2);
+        fresh.add_edge(b, t, 3);
+        fresh.add_edge(a, b, 1);
+        let mut cut = 0;
+        for e in (0..fresh.to.len()).step_by(2) {
+            let u = fresh.to[e ^ 1] as usize;
+            let v = fresh.to[e] as usize;
+            if side[u] && !side[v] {
+                cut += fresh.cap[e];
+            }
+        }
+        assert_eq!(cut, flow);
+    }
+
+    #[test]
+    fn inf_edges_never_cut() {
+        // s -> a INF, a -> t 4: flow limited by 4.
+        let mut f = MaxFlow::new(3);
+        f.add_edge(0, 1, MaxFlow::INF);
+        f.add_edge(1, 2, 4);
+        assert_eq!(f.run(0, 2), 4);
+        let side = f.min_cut_source_side(0);
+        assert!(side[1], "INF edge keeps a on source side");
+    }
+
+    #[test]
+    fn large_capacities_no_overflow() {
+        let mut f = MaxFlow::new(4);
+        f.add_edge(0, 1, MaxFlow::INF);
+        f.add_edge(0, 2, MaxFlow::INF);
+        f.add_edge(1, 3, MaxFlow::INF);
+        f.add_edge(2, 3, MaxFlow::INF);
+        let flow = f.run(0, 3);
+        assert!(flow >= MaxFlow::INF, "two INF paths saturate");
+    }
+}

@@ -1,0 +1,465 @@
+//! OPT-EXEC-PLAN (paper §5.2, Problem 1, Algorithm 1, Theorem 2).
+//!
+//! Given the Workflow DAG, per-node compute times `c_i`, load times `l_i`
+//! (∞ when no equivalent materialization exists), and the set of *original*
+//! operators that Constraint 1 forces to recompute, assign each node a
+//! state — `Compute`, `Load`, or `Prune` — minimizing total run time
+//! subject to the execution-state constraint (Constraint 2: a computed
+//! node's parents may not be pruned).
+//!
+//! The solver is Algorithm 1 verbatim: two PSP projects per node,
+//!
+//! * `a_i` with profit `−l_i` (selecting only `a_i` ⇔ load `n_i`),
+//! * `b_i` with profit `l_i − c_i` (selecting both ⇔ compute `n_i`),
+//! * prerequisite `b_i → a_i`, and `b_j → a_i` for every DAG edge
+//!   `(n_i, n_j)`,
+//!
+//! solved via min-cut. Constraint 1 is enforced with a big-M variant of the
+//! paper's trick: a forced node gets `l ← M` and `c ← −M`, so selecting
+//! `{a_i, b_i}` (compute) nets `+M`, which strictly dominates any cascade of
+//! real parent costs (all bounded by `M`). The paper proposes `c ← −ε`,
+//! which is insufficient once a forced node has parents with nonzero cost —
+//! the empty selection would win; using `−M` preserves the intended
+//! semantics. We additionally support *required* nodes (workflow outputs
+//! that must be available, i.e. not pruned, even when nothing changed):
+//! their `a` project receives a `+4M` bonus so some non-prune state always
+//! wins.
+//!
+//! All arithmetic is integer (`i128` profits over nanosecond costs); when
+//! cost sums would exceed the flow-capacity budget the instance is uniformly
+//! right-shifted, which preserves the optimum ordering up to quantization of
+//! a few nanoseconds.
+
+use crate::dag::Dag;
+use crate::psp::ProjectSelection;
+use helix_common::timing::Nanos;
+
+/// Execution state of a node (paper §5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum State {
+    /// `S_c`: compute from in-memory inputs, paying `c_i`.
+    Compute,
+    /// `S_l`: load the materialized result from disk, paying `l_i`.
+    Load,
+    /// `S_p`: skip entirely.
+    Prune,
+}
+
+/// Per-node cost inputs to OPT-EXEC-PLAN.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeCosts {
+    /// Compute time from in-memory inputs (`c_i`).
+    pub compute: Nanos,
+    /// Load time from disk, `None` when no equivalent materialization
+    /// exists (`l_i = ∞`).
+    pub load: Option<Nanos>,
+    /// Constraint 1: this operator is *original* and must be recomputed.
+    pub forced_compute: bool,
+    /// This node's value must be available this iteration (workflow
+    /// output): any state but `Prune`.
+    pub required: bool,
+}
+
+impl NodeCosts {
+    /// A plain reusable node.
+    pub fn new(compute: Nanos, load: Option<Nanos>) -> NodeCosts {
+        NodeCosts { compute, load, forced_compute: false, required: false }
+    }
+
+    /// Mark as original (Constraint 1).
+    #[must_use]
+    pub fn forced(mut self) -> NodeCosts {
+        self.forced_compute = true;
+        self
+    }
+
+    /// Mark as a required output.
+    #[must_use]
+    pub fn required(mut self) -> NodeCosts {
+        self.required = true;
+        self
+    }
+}
+
+/// Solution to OPT-EXEC-PLAN.
+#[derive(Clone, Debug)]
+pub struct OepSolution {
+    /// State per node, indexed by `NodeId`.
+    pub states: Vec<State>,
+    /// `T(W, s)` under the *real* costs (forced nodes contribute their true
+    /// compute time, not the −ε used internally).
+    pub total_cost: Nanos,
+}
+
+/// OPT-EXEC-PLAN instance over a borrowed DAG.
+pub struct OepProblem<'a, T> {
+    dag: &'a Dag<T>,
+    costs: &'a [NodeCosts],
+}
+
+/// Per-cost cap: ~18 minutes per operator, keeping big-M sums far inside
+/// `i64` flow capacities for DAGs of thousands of nodes.
+const COST_CAP: Nanos = 1 << 40;
+
+impl<'a, T> OepProblem<'a, T> {
+    /// Bind a DAG and its node costs (`costs.len() == dag.len()`).
+    pub fn new(dag: &'a Dag<T>, costs: &'a [NodeCosts]) -> Self {
+        assert_eq!(dag.len(), costs.len(), "one NodeCosts per DAG node");
+        OepProblem { dag, costs }
+    }
+
+    /// True run time of a state assignment (Equation 1), using real costs.
+    /// Load cost of a `Load`-state node without materialization counts as
+    /// unsatisfiable and is reported as `None`.
+    pub fn cost_of(&self, states: &[State]) -> Option<Nanos> {
+        let mut total: Nanos = 0;
+        for (i, s) in states.iter().enumerate() {
+            match s {
+                State::Compute => total = total.saturating_add(self.costs[i].compute),
+                State::Load => total = total.saturating_add(self.costs[i].load?),
+                State::Prune => {}
+            }
+        }
+        Some(total)
+    }
+
+    /// Check Constraints 1 & 2 plus availability of loads and required
+    /// outputs.
+    pub fn is_feasible(&self, states: &[State]) -> bool {
+        if states.len() != self.dag.len() {
+            return false;
+        }
+        for (i, s) in states.iter().enumerate() {
+            let c = &self.costs[i];
+            match s {
+                State::Compute => {
+                    let id = crate::dag::NodeId(i as u32);
+                    if self.dag.parents(id).iter().any(|p| states[p.ix()] == State::Prune) {
+                        return false; // Constraint 2
+                    }
+                }
+                State::Load => {
+                    if c.load.is_none() || c.forced_compute {
+                        return false;
+                    }
+                }
+                State::Prune => {
+                    if c.forced_compute || c.required {
+                        return false; // Constraint 1 / output availability
+                    }
+                }
+            }
+            if c.forced_compute && *s != State::Compute {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Algorithm 1: reduce to PSP, solve by min-cut, map back to states.
+    pub fn solve(&self) -> OepSolution {
+        let n = self.dag.len();
+        if n == 0 {
+            return OepSolution { states: Vec::new(), total_cost: 0 };
+        }
+
+        // Effective integer costs with the big-M forcing encodings.
+        // M exceeds the sum of every finite cost, so a single +M bonus
+        // dominates any cascade of real costs. If the raw nanosecond sums
+        // would push the largest profit (4M) past the flow-capacity budget,
+        // uniformly right-shift all costs first (pure quantization).
+        let mut shift = 0u32;
+        let (finite_sum, s) = loop {
+            let mut finite_sum: i128 = 0;
+            for c in self.costs {
+                finite_sum += (c.compute.min(COST_CAP) >> shift) as i128;
+                if let Some(l) = c.load {
+                    finite_sum += (l.min(COST_CAP) >> shift) as i128;
+                }
+            }
+            if 8 * (finite_sum + 1_000) < (crate::maxflow::MaxFlow::INF / 4) as i128 {
+                break (finite_sum, shift);
+            }
+            shift += 1;
+        };
+        let scale = |x: Nanos| -> i128 { (x.min(COST_CAP) >> s) as i128 };
+        let big_m: i128 = finite_sum + 1_000;
+        let bonus: i128 = 4 * big_m + 4;
+
+        let mut psp = ProjectSelection::new();
+        // Project ids: a_i = 2i, b_i = 2i + 1.
+        for (i, c) in self.costs.iter().enumerate() {
+            let (load_cost, compute_cost): (i128, i128) = if c.forced_compute {
+                // l ← M (deprecated materialization), c ← −M (forcing bonus).
+                (big_m, -big_m)
+            } else {
+                (c.load.map_or(big_m, &scale), scale(c.compute))
+            };
+            let mut a_profit = -load_cost;
+            if c.required && !c.forced_compute {
+                // Output must exist: make *some* non-prune state win.
+                a_profit += bonus;
+            }
+            let a = psp.add_project(a_profit);
+            let b = psp.add_project(load_cost - compute_cost);
+            debug_assert_eq!(a, 2 * i);
+            debug_assert_eq!(b, 2 * i + 1);
+            psp.add_prerequisite(b, a);
+        }
+        for (from, to) in self.dag.edges() {
+            // b_j requires a_i for every edge (n_i, n_j): computing a child
+            // needs its parents un-pruned (Constraint 2).
+            psp.add_prerequisite(2 * to.ix() + 1, 2 * from.ix());
+        }
+
+        let sol = psp.solve();
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = sol.selected[2 * i];
+            let b = sol.selected[2 * i + 1];
+            let state = match (a, b) {
+                (true, true) => State::Compute,
+                (true, false) => {
+                    if self.costs[i].load.is_some() && !self.costs[i].forced_compute {
+                        State::Load
+                    } else {
+                        // Load impossible: can only arise from clamping
+                        // pathologies; fall back to computing.
+                        State::Compute
+                    }
+                }
+                (false, false) => State::Prune,
+                (false, true) => unreachable!("b_i selected without its prerequisite a_i"),
+            };
+            states.push(state);
+        }
+        debug_assert!(self.is_feasible(&states), "optimizer produced infeasible states");
+        let total_cost = self.cost_of(&states).unwrap_or(Nanos::MAX);
+        OepSolution { states, total_cost }
+    }
+
+    /// Exhaustive optimal solver for cross-validation (`n ≤ 12`).
+    pub fn solve_brute_force(&self) -> OepSolution {
+        let n = self.dag.len();
+        assert!(n <= 12, "brute force only for tiny instances");
+        let mut best: Option<(Vec<State>, Nanos)> = None;
+        let mut states = vec![State::Prune; n];
+        self.enumerate(0, &mut states, &mut best);
+        let (states, total_cost) =
+            best.expect("at least the all-compute assignment is feasible");
+        OepSolution { states, total_cost }
+    }
+
+    fn enumerate(
+        &self,
+        depth: usize,
+        states: &mut Vec<State>,
+        best: &mut Option<(Vec<State>, Nanos)>,
+    ) {
+        if depth == states.len() {
+            if self.is_feasible(states) {
+                if let Some(cost) = self.cost_of(states) {
+                    if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                        *best = Some((states.clone(), cost));
+                    }
+                }
+            }
+            return;
+        }
+        for s in [State::Compute, State::Load, State::Prune] {
+            states[depth] = s;
+            self.enumerate(depth + 1, states, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{Dag, NodeId};
+    use helix_common::SplitMix64;
+
+    fn chain(n: usize) -> Dag<()> {
+        let mut g = Dag::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn empty_problem() {
+        let g: Dag<()> = Dag::new();
+        let sol = OepProblem::new(&g, &[]).solve();
+        assert!(sol.states.is_empty());
+        assert_eq!(sol.total_cost, 0);
+    }
+
+    #[test]
+    fn nothing_needed_prunes_everything() {
+        // No forced nodes, no required outputs: the trivial minimum is to
+        // prune the whole DAG (paper: "setting all nodes to S_p trivially
+        // minimizes Equation 1").
+        let g = chain(4);
+        let costs = vec![NodeCosts::new(100, Some(10)); 4];
+        let sol = OepProblem::new(&g, &costs).solve();
+        assert!(sol.states.iter().all(|s| *s == State::Prune));
+        assert_eq!(sol.total_cost, 0);
+    }
+
+    #[test]
+    fn forced_leaf_loads_cheap_parent() {
+        // chain a→b; b is original. Loading a (10) beats computing it (100).
+        let g = chain(2);
+        let costs =
+            vec![NodeCosts::new(100, Some(10)), NodeCosts::new(50, Some(5)).forced()];
+        let sol = OepProblem::new(&g, &costs).solve();
+        assert_eq!(sol.states, vec![State::Load, State::Compute]);
+        assert_eq!(sol.total_cost, 10 + 50);
+    }
+
+    #[test]
+    fn forced_leaf_computes_cheap_parent_chain() {
+        // No materialization anywhere: everything upstream must compute.
+        let g = chain(3);
+        let costs = vec![
+            NodeCosts::new(7, None),
+            NodeCosts::new(9, None),
+            NodeCosts::new(4, None).forced(),
+        ];
+        let sol = OepProblem::new(&g, &costs).solve();
+        assert_eq!(sol.states, vec![State::Compute; 3]);
+        assert_eq!(sol.total_cost, 20);
+    }
+
+    #[test]
+    fn load_cuts_off_ancestors() {
+        // a→b→c, c original; b is cheap to load → a pruned.
+        let g = chain(3);
+        let costs = vec![
+            NodeCosts::new(1_000, None),
+            NodeCosts::new(500, Some(3)),
+            NodeCosts::new(10, None).forced(),
+        ];
+        let sol = OepProblem::new(&g, &costs).solve();
+        assert_eq!(sol.states, vec![State::Prune, State::Load, State::Compute]);
+        assert_eq!(sol.total_cost, 13);
+    }
+
+    #[test]
+    fn required_output_reloaded_when_unchanged() {
+        // Nothing original; output must exist. Loading the sink (cost 2)
+        // beats recomputing the chain (cost 30).
+        let g = chain(3);
+        let costs = vec![
+            NodeCosts::new(10, Some(8)),
+            NodeCosts::new(10, Some(8)),
+            NodeCosts::new(10, Some(2)).required(),
+        ];
+        let sol = OepProblem::new(&g, &costs).solve();
+        assert_eq!(sol.states, vec![State::Prune, State::Prune, State::Load]);
+        assert_eq!(sol.total_cost, 2);
+    }
+
+    #[test]
+    fn required_output_without_materialization_recomputes() {
+        let g = chain(2);
+        let costs = vec![NodeCosts::new(5, Some(1)), NodeCosts::new(7, None).required()];
+        let sol = OepProblem::new(&g, &costs).solve();
+        assert_eq!(sol.states, vec![State::Load, State::Compute]);
+        assert_eq!(sol.total_cost, 8);
+    }
+
+    /// The worked example of paper Figure 4: n4, n5, n8 loaded; n6, n7
+    /// computed; n1, n2, n3 pruned.
+    #[test]
+    fn paper_figure4_example() {
+        let mut g: Dag<()> = Dag::new();
+        let ns: Vec<NodeId> = (0..8).map(|_| g.add_node(())).collect();
+        for (a, b) in [(1, 4), (2, 4), (3, 5), (4, 6), (5, 6), (5, 8), (6, 7), (7, 8)] {
+            g.add_edge(ns[a - 1], ns[b - 1]).unwrap();
+        }
+        let mut costs = vec![NodeCosts::new(5, Some(5)); 8];
+        costs[3] = NodeCosts::new(100, Some(1)); // n4: cheap to load
+        costs[4] = NodeCosts::new(100, Some(1)); // n5: cheap to load
+        costs[5] = NodeCosts::new(2, Some(100)); // n6: cheap to compute
+        costs[6] = NodeCosts::new(2, Some(100)).required(); // n7: output
+        costs[7] = NodeCosts::new(100, Some(1)).required(); // n8: output, cheap load
+        let sol = OepProblem::new(&g, &costs).solve();
+        assert_eq!(
+            sol.states,
+            vec![
+                State::Prune,   // n1
+                State::Prune,   // n2
+                State::Prune,   // n3
+                State::Load,    // n4
+                State::Load,    // n5
+                State::Compute, // n6
+                State::Compute, // n7
+                State::Load,    // n8
+            ]
+        );
+        assert_eq!(sol.total_cost, 1 + 1 + 2 + 2 + 1);
+    }
+
+    #[test]
+    fn diamond_shared_parent_counted_once() {
+        //    a
+        //   / \
+        //  b   c   (both forced)
+        let mut g: Dag<()> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        let costs = vec![
+            NodeCosts::new(100, Some(30)),
+            NodeCosts::new(5, None).forced(),
+            NodeCosts::new(6, None).forced(),
+        ];
+        let sol = OepProblem::new(&g, &costs).solve();
+        assert_eq!(sol.states[a.ix()], State::Load);
+        assert_eq!(sol.total_cost, 30 + 5 + 6);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_dags() {
+        let mut rng = SplitMix64::new(0x0EB);
+        for trial in 0..150 {
+            let n = 2 + (trial % 7);
+            let mut g: Dag<()> = Dag::new();
+            let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for i in 1..n {
+                for j in 0..i {
+                    if rng.chance(0.35) {
+                        g.add_edge(ids[j], ids[i]).unwrap();
+                    }
+                }
+            }
+            let costs: Vec<NodeCosts> = (0..n)
+                .map(|_| {
+                    let compute = 1 + rng.next_below(50);
+                    let load = if rng.chance(0.7) { Some(1 + rng.next_below(50)) } else { None };
+                    let mut c = NodeCosts::new(compute, load);
+                    if rng.chance(0.3) {
+                        c = c.forced();
+                    } else if rng.chance(0.2) {
+                        c = c.required();
+                    }
+                    c
+                })
+                .collect();
+            let problem = OepProblem::new(&g, &costs);
+            let fast = problem.solve();
+            let slow = problem.solve_brute_force();
+            assert!(problem.is_feasible(&fast.states), "trial {trial}: infeasible");
+            assert_eq!(
+                fast.total_cost, slow.total_cost,
+                "trial {trial}: fast={:?} slow={:?}",
+                fast.states, slow.states
+            );
+        }
+    }
+}

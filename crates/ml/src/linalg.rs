@@ -1,0 +1,130 @@
+//! Shared numeric kernels.
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// log(Σ exp(xᵢ)) without overflow.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// In-place softmax.
+pub fn softmax_in_place(xs: &mut [f64]) {
+    let lse = log_sum_exp(xs);
+    for x in xs.iter_mut() {
+        *x = (*x - lse).exp();
+    }
+}
+
+/// Index of the maximum element (first on ties); `None` when empty.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, x) in xs.iter().enumerate().skip(1) {
+        if *x > xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Cosine similarity between two equal-length vectors; 0 when either is 0.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Dot product of equal-length dense slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `a += b * scale` over equal-length dense slices.
+#[inline]
+pub fn axpy(a: &mut [f64], b: &[f64], scale: f64) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_extremes() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(-1000.0) < 1e-10);
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        let xs = [1000.0, 1000.0];
+        assert!((log_sum_exp(&xs) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut xs = [1.0, 2.0, 3.0];
+        softmax_in_place(&mut xs);
+        assert!((xs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn argmax_ties_and_empty() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[-5.0]), Some(0));
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let mut a = vec![1.0, 2.0];
+        axpy(&mut a, &[10.0, 20.0], 0.5);
+        assert_eq!(a, vec![6.0, 12.0]);
+        assert_eq!(dot(&a, &[1.0, 1.0]), 18.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Logistic regression via SGD with L2 regularization.
+//!
+//! This is the `Learner(modelType="LR", regParam=0.1)` of the paper's
+//! Census example (Figure 3a, line 15) and the classifier of the IE
+//! workload. Binary problems train a single weight vector; multiclass
+//! problems (MNIST) train one-vs-rest.
+//!
+//! Training is deterministic given the seed: examples are shuffled with a
+//! `SplitMix64` stream per epoch.
+
+use crate::linalg::sigmoid;
+use helix_common::{HelixError, Result, SplitMix64};
+use helix_data::{Example, FeatureVector, LinearModel, Split};
+
+/// Logistic-regression trainer configuration.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    /// L2 regularization strength (the paper's `regParam`).
+    pub l2: f64,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Initial learning rate (decays as `lr / (1 + epoch)`).
+    pub learning_rate: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression { l2: 0.1, epochs: 12, learning_rate: 0.5, seed: 42 }
+    }
+}
+
+impl LogisticRegression {
+    /// Builder-style constructor with the paper's `regParam`.
+    pub fn with_reg(l2: f64) -> LogisticRegression {
+        LogisticRegression { l2, ..Default::default() }
+    }
+
+    /// Fit on the `Train` split of `examples`. Labels must be integers in
+    /// `0..k`; `k = 2` yields a single-score binary model.
+    pub fn fit(&self, examples: &[Example], dim: usize) -> Result<LinearModel> {
+        let train: Vec<&Example> =
+            examples.iter().filter(|e| e.split == Split::Train && e.label.is_some()).collect();
+        if train.is_empty() {
+            return Err(HelixError::ml("logistic regression: no labeled training examples"));
+        }
+        let classes = train
+            .iter()
+            .map(|e| e.label.unwrap_or(0.0) as i64)
+            .max()
+            .unwrap_or(0)
+            .max(1) as usize
+            + 1;
+        if classes > 1_000 {
+            return Err(HelixError::ml(format!("implausible class count {classes}")));
+        }
+        let heads = if classes == 2 { 1 } else { classes };
+        let mut weights = vec![vec![0.0f64; dim]; heads];
+        let mut bias = vec![0.0f64; heads];
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut rng = SplitMix64::new(self.seed);
+
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            let lr = self.learning_rate / (1.0 + epoch as f64);
+            // L2 shrink applied once per example via scaled decay keeps the
+            // update sparse-friendly (decay factor folded into the update).
+            let decay = 1.0 - lr * self.l2 / train.len() as f64;
+            for &i in &order {
+                let example = train[i];
+                let label = example.label.unwrap_or(0.0);
+                for (h, (w, b)) in weights.iter_mut().zip(bias.iter_mut()).enumerate() {
+                    let target = if heads == 1 {
+                        label
+                    } else if (label as usize) == h {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    let z = example.features.dot_dense(w) + *b;
+                    let gradient = sigmoid(z) - target;
+                    if decay < 1.0 {
+                        for x in w.iter_mut() {
+                            *x *= decay;
+                        }
+                    }
+                    example.features.add_scaled_to(w, -lr * gradient);
+                    *b -= lr * gradient;
+                }
+            }
+        }
+        Ok(LinearModel { weights, bias, dim: dim as u32 })
+    }
+
+    /// Predicted probability (binary) or class scores (multiclass) for one
+    /// feature vector.
+    pub fn scores(model: &LinearModel, features: &FeatureVector) -> Vec<f64> {
+        model
+            .weights
+            .iter()
+            .zip(&model.bias)
+            .map(|(w, b)| sigmoid(features.dot_dense(w) + b))
+            .collect()
+    }
+
+    /// Hard prediction: probability threshold for binary, argmax for
+    /// multiclass.
+    pub fn predict(model: &LinearModel, features: &FeatureVector) -> f64 {
+        let scores = Self::scores(model, features);
+        if scores.len() == 1 {
+            if scores[0] >= 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            crate::linalg::argmax(&scores).unwrap_or(0) as f64
+        }
+    }
+
+    /// Run inference over a slice of examples, filling `prediction`.
+    pub fn predict_all(model: &LinearModel, examples: &mut [Example]) {
+        for e in examples.iter_mut() {
+            let scores = Self::scores(model, &e.features);
+            e.prediction = Some(if scores.len() == 1 {
+                scores[0]
+            } else {
+                crate::linalg::argmax(&scores).unwrap_or(0) as f64
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_data::Split;
+
+    fn example(x: Vec<f64>, label: f64, split: Split) -> Example {
+        Example::new(FeatureVector::Dense(x), Some(label), split)
+    }
+
+    /// Linearly separable blob pair.
+    fn blobs(n: usize, seed: u64) -> Vec<Example> {
+        let mut rng = SplitMix64::new(seed);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = (i % 2) as f64;
+            let center = if label > 0.5 { 2.0 } else { -2.0 };
+            let x = vec![center + rng.next_gaussian() * 0.5, center + rng.next_gaussian() * 0.5];
+            let split = if i % 5 == 0 { Split::Test } else { Split::Train };
+            out.push(example(x, label, split));
+        }
+        out
+    }
+
+    #[test]
+    fn separable_binary_problem_learned() {
+        let data = blobs(400, 7);
+        let model = LogisticRegression::default().fit(&data, 2).unwrap();
+        assert_eq!(model.classes(), 1);
+        let mut correct = 0;
+        let mut total = 0;
+        for e in data.iter().filter(|e| e.split == Split::Test) {
+            let p = LogisticRegression::predict(&model, &e.features);
+            total += 1;
+            if (p - e.label.unwrap()).abs() < 0.5 {
+                correct += 1;
+            }
+        }
+        assert!(total > 0);
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let mut rng = SplitMix64::new(3);
+        let mut data = Vec::new();
+        let centers = [(0.0, 4.0), (4.0, -4.0), (-4.0, -4.0)];
+        for i in 0..600 {
+            let c = i % 3;
+            let (cx, cy) = centers[c];
+            data.push(example(
+                vec![cx + rng.next_gaussian() * 0.4, cy + rng.next_gaussian() * 0.4],
+                c as f64,
+                if i % 4 == 0 { Split::Test } else { Split::Train },
+            ));
+        }
+        let model = LogisticRegression::default().fit(&data, 2).unwrap();
+        assert_eq!(model.classes(), 3);
+        let mut correct = 0;
+        let mut total = 0;
+        for e in data.iter().filter(|e| e.split == Split::Test) {
+            total += 1;
+            if (LogisticRegression::predict(&model, &e.features) - e.label.unwrap()).abs() < 0.5 {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn sparse_features_train_too() {
+        let mut data = Vec::new();
+        for i in 0..200 {
+            let label = (i % 2) as f64;
+            let idx = if label > 0.5 { 0 } else { 1 };
+            data.push(Example::new(
+                FeatureVector::sparse_from_pairs(4, vec![(idx, 1.0), (3, 0.1)]),
+                Some(label),
+                Split::Train,
+            ));
+        }
+        let model = LogisticRegression::default().fit(&data, 4).unwrap();
+        let pos = LogisticRegression::scores(
+            &model,
+            &FeatureVector::sparse_from_pairs(4, vec![(0, 1.0)]),
+        )[0];
+        let neg = LogisticRegression::scores(
+            &model,
+            &FeatureVector::sparse_from_pairs(4, vec![(1, 1.0)]),
+        )[0];
+        assert!(pos > 0.8, "pos {pos}");
+        assert!(neg < 0.2, "neg {neg}");
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let data = blobs(200, 11);
+        let loose = LogisticRegression { l2: 0.0, ..Default::default() }.fit(&data, 2).unwrap();
+        let tight = LogisticRegression { l2: 50.0, ..Default::default() }.fit(&data, 2).unwrap();
+        let norm = |m: &LinearModel| m.weights[0].iter().map(|w| w * w).sum::<f64>().sqrt();
+        assert!(norm(&tight) < norm(&loose), "l2 must shrink weights");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(100, 5);
+        let a = LogisticRegression::default().fit(&data, 2).unwrap();
+        let b = LogisticRegression::default().fit(&data, 2).unwrap();
+        assert_eq!(a, b);
+        let c = LogisticRegression { seed: 99, ..Default::default() }.fit(&data, 2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_training_data_is_an_error() {
+        let data = vec![example(vec![1.0], 1.0, Split::Test)];
+        assert!(LogisticRegression::default().fit(&data, 1).is_err());
+    }
+
+    #[test]
+    fn predict_all_fills_predictions() {
+        let mut data = blobs(50, 2);
+        let model = LogisticRegression::default().fit(&data, 2).unwrap();
+        LogisticRegression::predict_all(&model, &mut data);
+        assert!(data.iter().all(|e| e.prediction.is_some()));
+    }
+}

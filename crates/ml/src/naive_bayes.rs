@@ -1,0 +1,139 @@
+//! Multinomial naive Bayes with Laplace smoothing.
+//!
+//! Provided as an alternative L/I operator (the paper's DSL treats models
+//! as pluggable black boxes; ablation benches swap LR for NB to exercise
+//! model-change iterations).
+
+use helix_common::{HelixError, Result};
+use helix_data::{Example, FeatureVector, NaiveBayesModel, Split};
+
+/// Naive-Bayes trainer configuration.
+#[derive(Clone, Debug)]
+pub struct NaiveBayes {
+    /// Laplace smoothing constant.
+    pub alpha: f64,
+}
+
+impl Default for NaiveBayes {
+    fn default() -> Self {
+        NaiveBayes { alpha: 1.0 }
+    }
+}
+
+impl NaiveBayes {
+    /// Fit on the `Train` split. Features are treated as non-negative
+    /// counts; labels must be integers in `0..k`.
+    pub fn fit(&self, examples: &[Example], dim: usize) -> Result<NaiveBayesModel> {
+        let train: Vec<&Example> =
+            examples.iter().filter(|e| e.split == Split::Train && e.label.is_some()).collect();
+        if train.is_empty() {
+            return Err(HelixError::ml("naive bayes: no labeled training examples"));
+        }
+        let classes = train
+            .iter()
+            .map(|e| e.label.unwrap_or(0.0) as usize)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut class_counts = vec![0.0f64; classes];
+        let mut feature_counts = vec![0.0f64; classes * dim];
+        for e in &train {
+            let c = e.label.unwrap_or(0.0) as usize;
+            class_counts[c] += 1.0;
+            e.features.add_scaled_to(&mut feature_counts[c * dim..(c + 1) * dim], 1.0);
+        }
+        let total = train.len() as f64;
+        let log_priors: Vec<f64> =
+            class_counts.iter().map(|c| ((c + self.alpha) / (total + self.alpha * classes as f64)).ln()).collect();
+        let mut log_likelihoods = vec![0.0f64; classes * dim];
+        for c in 0..classes {
+            let row = &feature_counts[c * dim..(c + 1) * dim];
+            let row_total: f64 = row.iter().sum::<f64>() + self.alpha * dim as f64;
+            for (j, count) in row.iter().enumerate() {
+                log_likelihoods[c * dim + j] = ((count + self.alpha) / row_total).ln();
+            }
+        }
+        Ok(NaiveBayesModel { log_priors, log_likelihoods, dim: dim as u32 })
+    }
+
+    /// Per-class log-posterior scores (unnormalized).
+    pub fn scores(model: &NaiveBayesModel, features: &FeatureVector) -> Vec<f64> {
+        let dim = model.dim as usize;
+        let classes = model.log_priors.len();
+        (0..classes)
+            .map(|c| {
+                model.log_priors[c]
+                    + features.dot_dense(&model.log_likelihoods[c * dim..(c + 1) * dim])
+            })
+            .collect()
+    }
+
+    /// Hard class prediction.
+    pub fn predict(model: &NaiveBayesModel, features: &FeatureVector) -> f64 {
+        crate::linalg::argmax(&Self::scores(model, features)).unwrap_or(0) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_example(counts: Vec<(u32, f64)>, dim: u32, label: f64) -> Example {
+        Example::new(FeatureVector::sparse_from_pairs(dim, counts), Some(label), Split::Train)
+    }
+
+    #[test]
+    fn separable_count_data_learned() {
+        // Class 0 uses features {0,1}, class 1 uses {2,3}.
+        let mut data = Vec::new();
+        for i in 0..100 {
+            if i % 2 == 0 {
+                data.push(count_example(vec![(0, 3.0), (1, 2.0)], 4, 0.0));
+            } else {
+                data.push(count_example(vec![(2, 3.0), (3, 2.0)], 4, 1.0));
+            }
+        }
+        let model = NaiveBayes::default().fit(&data, 4).unwrap();
+        assert_eq!(
+            NaiveBayes::predict(&model, &FeatureVector::sparse_from_pairs(4, vec![(0, 1.0)])),
+            0.0
+        );
+        assert_eq!(
+            NaiveBayes::predict(&model, &FeatureVector::sparse_from_pairs(4, vec![(3, 1.0)])),
+            1.0
+        );
+    }
+
+    #[test]
+    fn priors_reflect_class_imbalance() {
+        let mut data = Vec::new();
+        for _ in 0..90 {
+            data.push(count_example(vec![(0, 1.0)], 2, 0.0));
+        }
+        for _ in 0..10 {
+            data.push(count_example(vec![(1, 1.0)], 2, 1.0));
+        }
+        let model = NaiveBayes::default().fit(&data, 2).unwrap();
+        assert!(model.log_priors[0] > model.log_priors[1]);
+        // A featureless vector falls back to the prior.
+        let empty = FeatureVector::sparse_from_pairs(2, vec![]);
+        assert_eq!(NaiveBayes::predict(&model, &empty), 0.0);
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_features() {
+        let data = vec![count_example(vec![(0, 5.0)], 3, 0.0), count_example(vec![(1, 5.0)], 3, 1.0)];
+        let model = NaiveBayes::default().fit(&data, 3).unwrap();
+        // Feature 2 was never observed; scores must stay finite.
+        let scores =
+            NaiveBayes::scores(&model, &FeatureVector::sparse_from_pairs(3, vec![(2, 4.0)]));
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn empty_training_is_an_error() {
+        let data =
+            vec![Example::new(FeatureVector::zeros(2), Some(0.0), Split::Test)];
+        assert!(NaiveBayes::default().fit(&data, 2).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! An alternative learned DPR transform (the paper's basis function
+//! "feature transformation … learned from the input dataset", §3.1):
+//! projects examples onto the top-`k` principal directions. Used by
+//! ablation experiments as a deterministic stand-in for the random Fourier
+//! featurization — same DAG shape, but reusable across iterations, which
+//! isolates the cost of volatility in the MNIST workload.
+
+use helix_common::{HelixError, Result, SplitMix64};
+use helix_data::FeatureVector;
+
+/// PCA trainer configuration.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    /// Number of principal components.
+    pub components: usize,
+    /// Power-iteration steps per component.
+    pub iterations: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for Pca {
+    fn default() -> Self {
+        Pca { components: 8, iterations: 50, seed: 42 }
+    }
+}
+
+/// A fitted PCA basis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PcaModel {
+    /// Per-dimension means subtracted before projection.
+    pub means: Vec<f64>,
+    /// Row-major component matrix (`components × dim`), orthonormal rows.
+    pub components: Vec<f64>,
+    /// Input dimensionality.
+    pub dim: usize,
+    /// Eigenvalue estimate per component (variance explained).
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit the top-`k` principal directions of `points`.
+    pub fn fit(&self, points: &[FeatureVector]) -> Result<PcaModel> {
+        if points.is_empty() {
+            return Err(HelixError::ml("pca: empty input"));
+        }
+        let dim = points[0].dim();
+        if points.iter().any(|p| p.dim() != dim) {
+            return Err(HelixError::ml("pca: inconsistent dimensions"));
+        }
+        if self.components == 0 || self.components > dim {
+            return Err(HelixError::ml(format!(
+                "pca: components {} out of range 1..={dim}",
+                self.components
+            )));
+        }
+        let n = points.len() as f64;
+        let mut means = vec![0.0f64; dim];
+        for p in points {
+            p.add_scaled_to(&mut means, 1.0);
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        // Centered data rows (dense; PCA is a dense transform by nature).
+        let centered: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| {
+                let mut row = p.to_dense();
+                for (x, m) in row.iter_mut().zip(&means) {
+                    *x -= m;
+                }
+                row
+            })
+            .collect();
+
+        let mut rng = SplitMix64::new(self.seed);
+        let mut components: Vec<Vec<f64>> = Vec::with_capacity(self.components);
+        let mut explained = Vec::with_capacity(self.components);
+        // Working copy for deflation.
+        let mut data = centered;
+        for _ in 0..self.components {
+            // Power iteration on X^T X without forming it.
+            let mut v: Vec<f64> = (0..dim).map(|_| rng.next_gaussian()).collect();
+            normalize(&mut v);
+            let mut eigenvalue = 0.0;
+            for _ in 0..self.iterations {
+                // w = X^T (X v)
+                let mut w = vec![0.0f64; dim];
+                for row in &data {
+                    let score = crate::linalg::dot(row, &v);
+                    crate::linalg::axpy(&mut w, row, score);
+                }
+                eigenvalue = crate::linalg::dot(&w, &v);
+                let norm = normalize(&mut w);
+                if norm < 1e-12 {
+                    break; // no variance left
+                }
+                v = w;
+            }
+            // Deflate: remove the found direction from every row.
+            for row in data.iter_mut() {
+                let score = crate::linalg::dot(row, &v);
+                crate::linalg::axpy(row, &v, -score);
+            }
+            explained.push((eigenvalue / n).max(0.0));
+            components.push(v);
+        }
+        Ok(PcaModel {
+            means,
+            components: components.into_iter().flatten().collect(),
+            dim,
+            explained_variance: explained,
+        })
+    }
+
+    /// Project one vector onto the fitted basis.
+    pub fn transform(model: &PcaModel, x: &FeatureVector) -> Result<FeatureVector> {
+        if x.dim() != model.dim {
+            return Err(HelixError::ml(format!(
+                "pca: input dim {} != fitted dim {}",
+                x.dim(),
+                model.dim
+            )));
+        }
+        let mut centered = x.to_dense();
+        for (v, m) in centered.iter_mut().zip(&model.means) {
+            *v -= m;
+        }
+        let k = model.components.len() / model.dim;
+        let mut out = Vec::with_capacity(k);
+        for c in 0..k {
+            let row = &model.components[c * model.dim..(c + 1) * model.dim];
+            out.push(crate::linalg::dot(row, &centered));
+        }
+        Ok(FeatureVector::Dense(out))
+    }
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data stretched along a known direction.
+    fn stretched(n: usize, seed: u64) -> Vec<FeatureVector> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let t = rng.next_gaussian() * 10.0; // dominant direction (1,1)/√2
+                let noise = rng.next_gaussian() * 0.3;
+                FeatureVector::Dense(vec![
+                    t / 2f64.sqrt() + noise,
+                    t / 2f64.sqrt() - noise,
+                    rng.next_gaussian() * 0.1,
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_dominant_direction() {
+        let points = stretched(500, 7);
+        let model = Pca { components: 1, ..Default::default() }.fit(&points).unwrap();
+        let c = &model.components[..3];
+        // The first component should align with (1,1,0)/√2, up to sign.
+        let alignment = (c[0] + c[1]).abs() / 2f64.sqrt();
+        assert!(alignment > 0.99, "component {c:?}");
+        assert!(c[2].abs() < 0.1);
+        assert!(model.explained_variance[0] > 50.0, "{:?}", model.explained_variance);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let points = stretched(300, 3);
+        let model = Pca { components: 3, ..Default::default() }.fit(&points).unwrap();
+        let row = |i: usize| &model.components[i * 3..(i + 1) * 3];
+        for i in 0..3 {
+            let norm: f64 = row(i).iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-6, "row {i} norm {norm}");
+            for j in 0..i {
+                let dot: f64 = row(i).iter().zip(row(j)).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 1e-4, "rows {i},{j} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn variance_is_nonincreasing() {
+        let points = stretched(300, 9);
+        let model = Pca { components: 3, ..Default::default() }.fit(&points).unwrap();
+        let v = &model.explained_variance;
+        assert!(v[0] >= v[1] && v[1] >= v[2], "{v:?}");
+    }
+
+    #[test]
+    fn transform_reduces_dimension_and_centers() {
+        let points = stretched(200, 5);
+        let model = Pca { components: 2, ..Default::default() }.fit(&points).unwrap();
+        let projected = Pca::transform(&model, &points[0]).unwrap();
+        assert_eq!(projected.dim(), 2);
+        // Mean of projections ≈ 0 (data is centered before projecting).
+        let mut mean = [0.0f64; 2];
+        for p in &points {
+            let proj = Pca::transform(&model, p).unwrap().to_dense();
+            mean[0] += proj[0];
+            mean[1] += proj[1];
+        }
+        assert!((mean[0] / points.len() as f64).abs() < 0.5);
+        assert!((mean[1] / points.len() as f64).abs() < 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Pca::default().fit(&[]).is_err());
+        let points = stretched(10, 1);
+        assert!(Pca { components: 0, ..Default::default() }.fit(&points).is_err());
+        assert!(Pca { components: 99, ..Default::default() }.fit(&points).is_err());
+        let model = Pca { components: 1, ..Default::default() }.fit(&points).unwrap();
+        assert!(Pca::transform(&model, &FeatureVector::zeros(7)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let points = stretched(100, 2);
+        let cfg = Pca { components: 2, ..Default::default() };
+        let a = cfg.fit(&points).unwrap();
+        let b = cfg.fit(&points).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_on_sparse_inputs() {
+        let points: Vec<FeatureVector> = (0..50)
+            .map(|i| {
+                FeatureVector::sparse_from_pairs(4, vec![(0, i as f64), (1, 2.0 * i as f64)])
+            })
+            .collect();
+        let model = Pca { components: 1, ..Default::default() }.fit(&points).unwrap();
+        let c = &model.components[..4];
+        // Dominant direction ∝ (1, 2, 0, 0).
+        let ratio = c[1] / c[0];
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+}

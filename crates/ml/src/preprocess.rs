@@ -1,0 +1,197 @@
+//! Learned DPR transforms (paper §3.1: "sometimes these functions need to
+//! be learned from the input data").
+//!
+//! * [`StandardScaler`] — per-dimension mean/variance standardization.
+//! * [`QuantileBucketizer`] — the Census example's
+//!   `Bucketizer(ageExt, bins=10)`: bucket boundaries "computed by HELIX"
+//!   from the empirical distribution, i.e. quantiles.
+//! * [`StringIndexer`] — categorical value → dense index, learned from the
+//!   observed vocabulary.
+//!
+//! Each type has a `fit` that produces a plain-data model (stored in
+//! `helix-data` so the catalog can persist it) and a pure `transform`.
+
+use helix_common::{HelixError, Result};
+use helix_data::{BucketizerModel, IndexerModel, ScalerModel};
+use std::collections::HashMap;
+
+/// Mean/standard-deviation scaler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardScaler;
+
+impl StandardScaler {
+    /// Learn per-dimension statistics from dense rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<ScalerModel> {
+        let Some(first) = rows.first() else {
+            return Err(HelixError::ml("scaler: empty input"));
+        };
+        let dim = first.len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0f64; dim];
+        for row in rows {
+            if row.len() != dim {
+                return Err(HelixError::ml("scaler: ragged input"));
+            }
+            for (m, x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; dim];
+        for row in rows {
+            for ((v, x), m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let stds: Vec<f64> = vars.iter().map(|v| (v / n).sqrt().max(1e-9)).collect();
+        Ok(ScalerModel { means, stds })
+    }
+
+    /// Standardize one row in place.
+    pub fn transform(model: &ScalerModel, row: &mut [f64]) {
+        for ((x, m), s) in row.iter_mut().zip(&model.means).zip(&model.stds) {
+            *x = (*x - m) / s;
+        }
+    }
+}
+
+/// Quantile-based discretizer.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantileBucketizer {
+    /// Number of buckets.
+    pub bins: usize,
+}
+
+impl QuantileBucketizer {
+    /// Learn `bins - 1` boundaries at the empirical quantiles of `values`
+    /// (requires a full scan — this is exactly the work HELIX avoids
+    /// recomputing by materializing `ageBucket`, Figure 3).
+    pub fn fit(&self, values: &[f64]) -> Result<BucketizerModel> {
+        if self.bins < 2 {
+            return Err(HelixError::ml("bucketizer: need at least 2 bins"));
+        }
+        if values.is_empty() {
+            return Err(HelixError::ml("bucketizer: empty input"));
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return Err(HelixError::ml("bucketizer: no finite values"));
+        }
+        sorted.sort_by(f64::total_cmp);
+        let mut boundaries = Vec::with_capacity(self.bins - 1);
+        for b in 1..self.bins {
+            let q = b as f64 / self.bins as f64;
+            let pos = (q * (sorted.len() - 1) as f64).round() as usize;
+            boundaries.push(sorted[pos]);
+        }
+        boundaries.dedup();
+        Ok(BucketizerModel { boundaries })
+    }
+
+    /// Bucket index of a value.
+    pub fn transform(model: &BucketizerModel, value: f64) -> usize {
+        model.bucket(value)
+    }
+}
+
+/// Categorical indexer learned from observed values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StringIndexer;
+
+impl StringIndexer {
+    /// Learn a vocabulary: values indexed in first-seen order (stable given
+    /// the deterministic scan order of our collections).
+    pub fn fit<'a>(values: impl Iterator<Item = &'a str>) -> IndexerModel {
+        let mut vocab: HashMap<String, u32> = HashMap::new();
+        let mut next = 0u32;
+        for v in values {
+            vocab.entry(v.to_string()).or_insert_with(|| {
+                let i = next;
+                next += 1;
+                i
+            });
+        }
+        IndexerModel { vocab }
+    }
+
+    /// Index of a value (`None` for unseen categories).
+    pub fn transform(model: &IndexerModel, value: &str) -> Option<u32> {
+        model.vocab.get(value).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_standardizes() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let model = StandardScaler::fit(&rows).unwrap();
+        assert_eq!(model.means, vec![3.0, 20.0]);
+        let mut row = vec![3.0, 20.0];
+        StandardScaler::transform(&model, &mut row);
+        assert!(row.iter().all(|x| x.abs() < 1e-9));
+        let mut hi = vec![5.0, 30.0];
+        StandardScaler::transform(&model, &mut hi);
+        assert!((hi[0] - hi[1]).abs() < 1e-9, "equal z-scores for equal quantiles");
+    }
+
+    #[test]
+    fn scaler_rejects_bad_input() {
+        assert!(StandardScaler::fit(&[]).is_err());
+        assert!(StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn scaler_constant_column_is_safe() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let model = StandardScaler::fit(&rows).unwrap();
+        let mut row = vec![7.0];
+        StandardScaler::transform(&model, &mut row);
+        assert!(row[0].is_finite());
+    }
+
+    #[test]
+    fn bucketizer_quantiles_balance_buckets() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let model = QuantileBucketizer { bins: 10 }.fit(&values).unwrap();
+        assert_eq!(model.boundaries.len(), 9);
+        // Roughly 100 values per bucket.
+        let mut counts = [0usize; 10];
+        for v in &values {
+            counts[QuantileBucketizer::transform(&model, *v)] += 1;
+        }
+        for (b, c) in counts.iter().enumerate() {
+            assert!((80..=120).contains(c), "bucket {b} has {c}");
+        }
+    }
+
+    #[test]
+    fn bucketizer_skewed_distribution() {
+        // Heavy left skew: quantile boundaries adapt, equal-width would not.
+        let mut values: Vec<f64> = vec![0.0; 900];
+        values.extend((0..100).map(|i| 1000.0 + i as f64));
+        let model = QuantileBucketizer { bins: 4 }.fit(&values).unwrap();
+        assert!(model.boundaries.first().copied().unwrap_or(1.0) <= 1.0);
+    }
+
+    #[test]
+    fn bucketizer_rejects_bad_input() {
+        assert!(QuantileBucketizer { bins: 1 }.fit(&[1.0]).is_err());
+        assert!(QuantileBucketizer { bins: 4 }.fit(&[]).is_err());
+        assert!(QuantileBucketizer { bins: 4 }.fit(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn indexer_first_seen_order() {
+        let model = StringIndexer::fit(["b", "a", "b", "c"].into_iter());
+        assert_eq!(StringIndexer::transform(&model, "b"), Some(0));
+        assert_eq!(StringIndexer::transform(&model, "a"), Some(1));
+        assert_eq!(StringIndexer::transform(&model, "c"), Some(2));
+        assert_eq!(StringIndexer::transform(&model, "zzz"), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! word2vec: skip-gram with negative sampling (SGNS).
+//!
+//! The Genomics workflow's dominant compute step: "compute embeddings using
+//! an approach like word2vec" (paper Example 1, citation 46). This is a
+//! compact, deterministic implementation of Mikolov-style SGNS:
+//!
+//! * vocabulary built with a minimum-count threshold;
+//! * a unigram^0.75 table for negative sampling;
+//! * linear learning-rate decay over epochs;
+//! * input and output embedding matrices, input returned.
+
+use helix_common::{HelixError, Result, SplitMix64};
+use helix_data::EmbeddingModel;
+use std::collections::HashMap;
+
+/// SGNS trainer configuration.
+#[derive(Clone, Debug)]
+pub struct Word2Vec {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Minimum token frequency to enter the vocabulary.
+    pub min_count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Word2Vec {
+    fn default() -> Self {
+        Word2Vec {
+            dim: 32,
+            window: 3,
+            negatives: 5,
+            epochs: 3,
+            learning_rate: 0.05,
+            min_count: 2,
+            seed: 42,
+        }
+    }
+}
+
+impl Word2Vec {
+    /// Train embeddings over tokenized sentences.
+    pub fn fit(&self, sentences: &[Vec<String>]) -> Result<EmbeddingModel> {
+        if self.dim == 0 {
+            return Err(HelixError::ml("word2vec: dim must be positive"));
+        }
+        // ---- Vocabulary ----
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for sentence in sentences {
+            for token in sentence {
+                *counts.entry(token.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut kept: Vec<(&str, usize)> =
+            counts.into_iter().filter(|(_, c)| *c >= self.min_count).collect();
+        // Deterministic vocab order: by count desc, then token.
+        kept.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        if kept.is_empty() {
+            return Err(HelixError::ml("word2vec: empty vocabulary after min_count"));
+        }
+        let vocab: HashMap<String, u32> =
+            kept.iter().enumerate().map(|(i, (t, _))| (t.to_string(), i as u32)).collect();
+        let v = kept.len();
+
+        // ---- Negative-sampling table (unigram^0.75) ----
+        let table = build_unigram_table(&kept, 1 << 16);
+
+        // ---- Init ----
+        let mut rng = SplitMix64::new(self.seed);
+        let d = self.dim;
+        let mut input = vec![0.0f64; v * d];
+        let bound = 0.5 / d as f64;
+        for x in input.iter_mut() {
+            *x = rng.range_f64(-bound, bound);
+        }
+        let mut output = vec![0.0f64; v * d];
+
+        // Pre-index corpus.
+        let indexed: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| s.iter().filter_map(|t| vocab.get(t).copied()).collect())
+            .collect();
+        let total_tokens: usize = indexed.iter().map(Vec::len).sum();
+        if total_tokens == 0 {
+            return Err(HelixError::ml("word2vec: no in-vocabulary tokens"));
+        }
+
+        // ---- Training ----
+        let mut gradient = vec![0.0f64; d];
+        for epoch in 0..self.epochs {
+            let lr = self.learning_rate * (1.0 - epoch as f64 / self.epochs.max(1) as f64).max(0.1);
+            for sentence in &indexed {
+                for (pos, &center) in sentence.iter().enumerate() {
+                    let window = 1 + rng.index(self.window.max(1));
+                    let lo = pos.saturating_sub(window);
+                    let hi = (pos + window + 1).min(sentence.len());
+                    for (ctx_pos, &ctx_word) in
+                        sentence.iter().enumerate().take(hi).skip(lo)
+                    {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = ctx_word as usize;
+                        let c_row = center as usize * d;
+                        gradient.iter_mut().for_each(|g| *g = 0.0);
+                        // Positive pair + negatives.
+                        for sample in 0..=self.negatives {
+                            let (target, label) = if sample == 0 {
+                                (context, 1.0)
+                            } else {
+                                (table[rng.index(table.len())] as usize, 0.0)
+                            };
+                            if sample > 0 && target == context {
+                                continue;
+                            }
+                            let t_row = target * d;
+                            let score: f64 = (0..d)
+                                .map(|k| input[c_row + k] * output[t_row + k])
+                                .sum();
+                            let g = (crate::linalg::sigmoid(score) - label) * lr;
+                            for k in 0..d {
+                                gradient[k] += g * output[t_row + k];
+                                output[t_row + k] -= g * input[c_row + k];
+                            }
+                        }
+                        for k in 0..d {
+                            input[c_row + k] -= gradient[k];
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(EmbeddingModel { vocab, vectors: input, dim: d as u32 })
+    }
+
+    /// Cosine similarity between two tokens (`None` if either is OOV).
+    pub fn similarity(model: &EmbeddingModel, a: &str, b: &str) -> Option<f64> {
+        Some(crate::linalg::cosine(model.embedding(a)?, model.embedding(b)?))
+    }
+
+    /// `n` most similar in-vocabulary tokens to `token`.
+    pub fn most_similar(model: &EmbeddingModel, token: &str, n: usize) -> Vec<(String, f64)> {
+        let Some(target) = model.embedding(token) else { return Vec::new() };
+        let mut scored: Vec<(String, f64)> = model
+            .vocab
+            .keys()
+            .filter(|t| t.as_str() != token)
+            .filter_map(|t| {
+                Some((t.clone(), crate::linalg::cosine(target, model.embedding(t)?)))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(n);
+        scored
+    }
+}
+
+/// Build the negative-sampling table with probabilities ∝ count^0.75.
+fn build_unigram_table(vocab: &[(&str, usize)], size: usize) -> Vec<u32> {
+    let powered: Vec<f64> = vocab.iter().map(|(_, c)| (*c as f64).powf(0.75)).collect();
+    let total: f64 = powered.iter().sum();
+    let mut table = Vec::with_capacity(size);
+    let mut cumulative = powered[0] / total;
+    let mut word = 0usize;
+    for i in 0..size {
+        table.push(word as u32);
+        if (i as f64 + 1.0) / size as f64 > cumulative && word + 1 < vocab.len() {
+            word += 1;
+            cumulative += powered[word] / total;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Corpus with two planted topics: {cat, dog, pet} and {sun, moon, sky}
+    /// never co-occur across topics.
+    fn planted_corpus(repeats: usize) -> Vec<Vec<String>> {
+        let animal = ["cat", "dog", "pet", "fur", "tail"];
+        let celestial = ["sun", "moon", "sky", "star", "orbit"];
+        let mut rng = SplitMix64::new(77);
+        let mut corpus = Vec::new();
+        for _ in 0..repeats {
+            for topic in [&animal, &celestial] {
+                let mut sentence: Vec<String> = Vec::with_capacity(8);
+                for _ in 0..8 {
+                    sentence.push(topic[rng.index(topic.len())].to_string());
+                }
+                corpus.push(sentence);
+            }
+        }
+        corpus
+    }
+
+    #[test]
+    fn planted_topics_cluster_in_embedding_space() {
+        let corpus = planted_corpus(120);
+        let model = Word2Vec { dim: 16, epochs: 4, ..Default::default() }.fit(&corpus).unwrap();
+        let within = Word2Vec::similarity(&model, "cat", "dog").unwrap();
+        let across = Word2Vec::similarity(&model, "cat", "moon").unwrap();
+        assert!(
+            within > across + 0.2,
+            "within-topic {within} should exceed cross-topic {across}"
+        );
+    }
+
+    #[test]
+    fn most_similar_prefers_same_topic() {
+        let corpus = planted_corpus(120);
+        let model = Word2Vec { dim: 16, epochs: 4, ..Default::default() }.fit(&corpus).unwrap();
+        let neighbors = Word2Vec::most_similar(&model, "sun", 3);
+        assert_eq!(neighbors.len(), 3);
+        let celestial = ["moon", "sky", "star", "orbit"];
+        let hits = neighbors.iter().filter(|(t, _)| celestial.contains(&t.as_str())).count();
+        assert!(hits >= 2, "neighbors of 'sun' were {neighbors:?}");
+    }
+
+    #[test]
+    fn min_count_filters_rare_tokens() {
+        let corpus = vec![
+            vec!["common".to_string(), "common".to_string(), "rare".to_string()],
+            vec!["common".to_string(), "common".to_string()],
+        ];
+        let model =
+            Word2Vec { min_count: 2, dim: 4, ..Default::default() }.fit(&corpus).unwrap();
+        assert!(model.embedding("common").is_some());
+        assert!(model.embedding("rare").is_none());
+    }
+
+    #[test]
+    fn empty_vocab_is_an_error() {
+        let corpus = vec![vec!["once".to_string()]];
+        assert!(Word2Vec { min_count: 5, ..Default::default() }.fit(&corpus).is_err());
+        assert!(Word2Vec { dim: 0, ..Default::default() }.fit(&corpus).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = planted_corpus(20);
+        let cfg = Word2Vec { dim: 8, epochs: 2, ..Default::default() };
+        let a = cfg.fit(&corpus).unwrap();
+        let b = cfg.fit(&corpus).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unigram_table_biased_to_frequent() {
+        let vocab = vec![("frequent", 1000usize), ("rare", 10usize)];
+        let table = build_unigram_table(&vocab, 1000);
+        let frequent_share =
+            table.iter().filter(|&&w| w == 0).count() as f64 / table.len() as f64;
+        assert!(frequent_share > 0.85, "share {frequent_share}");
+        assert!(frequent_share < 1.0, "rare word still present");
+    }
+
+    #[test]
+    fn oov_similarity_is_none() {
+        let corpus = planted_corpus(5);
+        let model = Word2Vec { dim: 4, epochs: 1, ..Default::default() }.fit(&corpus).unwrap();
+        assert!(Word2Vec::similarity(&model, "cat", "nonexistent").is_none());
+        assert!(Word2Vec::most_similar(&model, "nonexistent", 3).is_empty());
+    }
+}

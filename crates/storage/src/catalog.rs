@@ -1,0 +1,401 @@
+//! The materialization catalog.
+//!
+//! HELIX materializes selected intermediate results at iteration `t` so
+//! that iteration `t+1` can load instead of recompute (paper §5). The
+//! catalog is the on-disk half of that loop:
+//!
+//! * artifacts are stored one-per-file, named by the 128-bit signature of
+//!   the operator output (`helix-core`'s Merkle chain hash), so a hit *is*
+//!   an equivalent materialization in the sense of Definition 3;
+//! * a JSON manifest makes the store durable across sessions and
+//!   human-inspectable;
+//! * every store/load is timed through the [`DiskProfile`], and measured
+//!   load times are remembered — these are the `l_i` statistics OEP uses
+//!   ("if a node has an equivalent materialization … we would have run the
+//!   exact same operator before and recorded accurate cᵢ and lᵢ", §5.2);
+//! * `purge` removes deprecated artifacts (HELIX "purges any previous
+//!   materialization of original operators prior to execution", §6.6).
+
+use crate::codec::{decode_value, encode_value};
+use crate::disk::DiskProfile;
+use helix_common::hash::Signature;
+use helix_common::timing::Nanos;
+use helix_common::{HelixError, Result};
+use helix_data::Value;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Metadata for one materialized artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Hex rendering of the owning signature.
+    pub signature: String,
+    /// File name inside the catalog root.
+    pub file: String,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+    /// Human-readable node name (reports only; identity is the signature).
+    pub node_name: String,
+    /// Iteration number at which the artifact was written.
+    pub created_iteration: u64,
+    /// Time spent writing (throttled), in nanoseconds.
+    pub write_nanos: Nanos,
+    /// Most recent measured load time, if the artifact was ever loaded.
+    pub measured_load_nanos: Option<Nanos>,
+}
+
+#[derive(Default, Serialize, Deserialize)]
+struct Manifest {
+    entries: Vec<CatalogEntry>,
+}
+
+struct Inner {
+    entries: HashMap<Signature, CatalogEntry>,
+    total_bytes: u64,
+}
+
+/// Directory-backed artifact store keyed by operator-output signatures.
+pub struct MaterializationCatalog {
+    root: PathBuf,
+    disk: DiskProfile,
+    inner: Mutex<Inner>,
+}
+
+impl MaterializationCatalog {
+    const MANIFEST: &'static str = "manifest.json";
+
+    /// Open (or create) a catalog rooted at `root`, reading any existing
+    /// manifest so previous sessions' artifacts are reusable.
+    pub fn open(root: impl Into<PathBuf>, disk: DiskProfile) -> Result<MaterializationCatalog> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let mut entries = HashMap::new();
+        let mut total_bytes = 0;
+        let manifest_path = root.join(Self::MANIFEST);
+        if manifest_path.exists() {
+            let text = std::fs::read_to_string(&manifest_path)?;
+            let manifest: Manifest = serde_json::from_str(&text)
+                .map_err(|e| HelixError::codec(format!("manifest parse error: {e}")))?;
+            for entry in manifest.entries {
+                let sig = Signature::from_hex(&entry.signature)
+                    .ok_or_else(|| HelixError::codec("bad signature in manifest"))?;
+                // Only trust entries whose backing file still exists.
+                if root.join(&entry.file).exists() {
+                    total_bytes += entry.bytes;
+                    entries.insert(sig, entry);
+                }
+            }
+        }
+        Ok(MaterializationCatalog {
+            root,
+            disk,
+            inner: Mutex::new(Inner { entries, total_bytes }),
+        })
+    }
+
+    /// Open a throwaway catalog in a fresh temp directory (tests, examples).
+    pub fn open_temp(disk: DiskProfile) -> Result<MaterializationCatalog> {
+        let dir = std::env::temp_dir().join(format!(
+            "helix-catalog-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        Self::open(dir, disk)
+    }
+
+    /// The disk profile in force.
+    pub fn disk(&self) -> DiskProfile {
+        self.disk
+    }
+
+    /// Catalog root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Whether an equivalent materialization exists (Definition 3).
+    pub fn contains(&self, sig: Signature) -> bool {
+        self.inner.lock().entries.contains_key(&sig)
+    }
+
+    /// Metadata for a signature.
+    pub fn entry(&self, sig: Signature) -> Option<CatalogEntry> {
+        self.inner.lock().entries.get(&sig).cloned()
+    }
+
+    /// All entries (deterministically ordered by signature) for reports.
+    pub fn entries(&self) -> Vec<CatalogEntry> {
+        let inner = self.inner.lock();
+        let mut out: Vec<CatalogEntry> = inner.entries.values().cloned().collect();
+        out.sort_by(|a, b| a.signature.cmp(&b.signature));
+        out
+    }
+
+    /// Total bytes currently materialized.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().total_bytes
+    }
+
+    /// Number of artifacts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when no artifacts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Load-time estimate for OEP: the measured load time if one exists,
+    /// else a bandwidth-model estimate from the artifact size.
+    pub fn estimated_load_nanos(&self, sig: Signature) -> Option<Nanos> {
+        let inner = self.inner.lock();
+        let entry = inner.entries.get(&sig)?;
+        Some(entry.measured_load_nanos.unwrap_or_else(|| self.disk.estimate_load_nanos(entry.bytes)))
+    }
+
+    /// Materialize `value` under `sig`. Returns `(encoded bytes, write
+    /// nanoseconds)`. Overwrites any previous artifact for the signature.
+    pub fn store(
+        &self,
+        sig: Signature,
+        node_name: &str,
+        iteration: u64,
+        value: &Value,
+    ) -> Result<(u64, Nanos)> {
+        let encoded = encode_value(value);
+        let bytes = encoded.len() as u64;
+        let file = format!("{}.hxm", sig.to_hex());
+        let path = self.root.join(&file);
+        let (io_result, write_nanos) =
+            self.disk.run_write(bytes, || std::fs::write(&path, &encoded));
+        io_result?;
+        {
+            let mut inner = self.inner.lock();
+            if let Some(old) = inner.entries.remove(&sig) {
+                inner.total_bytes -= old.bytes;
+            }
+            inner.total_bytes += bytes;
+            inner.entries.insert(
+                sig,
+                CatalogEntry {
+                    signature: sig.to_hex(),
+                    file,
+                    bytes,
+                    node_name: node_name.to_string(),
+                    created_iteration: iteration,
+                    write_nanos,
+                    measured_load_nanos: None,
+                },
+            );
+        }
+        self.flush_manifest()?;
+        Ok((bytes, write_nanos))
+    }
+
+    /// Load the artifact for `sig`, recording the measured load time.
+    /// Returns `(value, load nanoseconds)`.
+    pub fn load(&self, sig: Signature) -> Result<(Value, Nanos)> {
+        let (file, bytes) = {
+            let inner = self.inner.lock();
+            let entry = inner
+                .entries
+                .get(&sig)
+                .ok_or_else(|| HelixError::not_found("catalog entry", sig.to_hex()))?;
+            (entry.file.clone(), entry.bytes)
+        };
+        let path = self.root.join(&file);
+        let (io_result, load_nanos) = self.disk.run_read(bytes, || std::fs::read(&path));
+        let encoded = io_result?;
+        let value = decode_value(&encoded)?;
+        if let Some(entry) = self.inner.lock().entries.get_mut(&sig) {
+            entry.measured_load_nanos = Some(load_nanos);
+        }
+        Ok((value, load_nanos))
+    }
+
+    /// Remove a deprecated artifact. Returns whether anything was removed.
+    pub fn purge(&self, sig: Signature) -> Result<bool> {
+        let removed = {
+            let mut inner = self.inner.lock();
+            match inner.entries.remove(&sig) {
+                Some(entry) => {
+                    inner.total_bytes -= entry.bytes;
+                    Some(entry.file)
+                }
+                None => None,
+            }
+        };
+        match removed {
+            Some(file) => {
+                let path = self.root.join(file);
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                self.flush_manifest()?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Remove every artifact.
+    pub fn clear(&self) -> Result<()> {
+        let files: Vec<String> = {
+            let mut inner = self.inner.lock();
+            let files = inner.entries.values().map(|e| e.file.clone()).collect();
+            inner.entries.clear();
+            inner.total_bytes = 0;
+            files
+        };
+        for file in files {
+            let path = self.root.join(file);
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+        }
+        self.flush_manifest()
+    }
+
+    fn flush_manifest(&self) -> Result<()> {
+        let manifest = Manifest { entries: self.entries() };
+        let text = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| HelixError::codec(format!("manifest serialize error: {e}")))?;
+        std::fs::write(self.root.join(Self::MANIFEST), text)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_data::Scalar;
+
+    fn scalar(v: f64) -> Value {
+        Value::Scalar(Scalar::F64(v))
+    }
+
+    fn temp_catalog() -> MaterializationCatalog {
+        MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap()
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let cat = temp_catalog();
+        let sig = Signature::of_str("census/rows@v1");
+        assert!(!cat.contains(sig));
+        let (bytes, _) = cat.store(sig, "rows", 0, &scalar(0.5)).unwrap();
+        assert!(bytes > 0);
+        assert!(cat.contains(sig));
+        let (value, load_nanos) = cat.load(sig).unwrap();
+        assert_eq!(value.as_scalar().unwrap().as_f64(), Some(0.5));
+        assert!(load_nanos > 0);
+        // Load time is remembered for OEP statistics.
+        assert_eq!(cat.entry(sig).unwrap().measured_load_nanos, Some(load_nanos));
+        assert_eq!(cat.estimated_load_nanos(sig), Some(load_nanos));
+    }
+
+    #[test]
+    fn missing_signature_errors() {
+        let cat = temp_catalog();
+        let sig = Signature::of_str("never-stored");
+        assert!(cat.load(sig).is_err());
+        assert_eq!(cat.estimated_load_nanos(sig), None);
+        assert!(!cat.purge(sig).unwrap());
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes_accounting() {
+        let cat = temp_catalog();
+        let sig = Signature::of_str("x");
+        cat.store(sig, "x", 0, &Value::Scalar(Scalar::Text("small".into()))).unwrap();
+        let b1 = cat.total_bytes();
+        cat.store(sig, "x", 1, &Value::Scalar(Scalar::Text("much much larger".repeat(10))))
+            .unwrap();
+        let b2 = cat.total_bytes();
+        assert!(b2 > b1);
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn purge_frees_space_and_files() {
+        let cat = temp_catalog();
+        let a = Signature::of_str("a");
+        let b = Signature::of_str("b");
+        cat.store(a, "a", 0, &scalar(1.0)).unwrap();
+        cat.store(b, "b", 0, &scalar(2.0)).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert!(cat.purge(a).unwrap());
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.contains(a));
+        assert!(cat.contains(b));
+        let bytes_after = cat.total_bytes();
+        assert_eq!(
+            bytes_after,
+            cat.entry(b).unwrap().bytes,
+            "only b's bytes remain accounted"
+        );
+    }
+
+    #[test]
+    fn manifest_survives_reopen() {
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let sig = Signature::of_str("persistent");
+        cat.store(sig, "node", 3, &scalar(9.0)).unwrap();
+        drop(cat);
+
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(reopened.contains(sig));
+        let entry = reopened.entry(sig).unwrap();
+        assert_eq!(entry.node_name, "node");
+        assert_eq!(entry.created_iteration, 3);
+        let (value, _) = reopened.load(sig).unwrap();
+        assert_eq!(value.as_scalar().unwrap().as_f64(), Some(9.0));
+    }
+
+    #[test]
+    fn reopen_drops_entries_with_missing_files() {
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let sig = Signature::of_str("vanishing");
+        cat.store(sig, "node", 0, &scalar(1.0)).unwrap();
+        let file = root.join(&cat.entry(sig).unwrap().file);
+        drop(cat);
+        std::fs::remove_file(file).unwrap();
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(!reopened.contains(sig));
+        assert_eq!(reopened.total_bytes(), 0);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let cat = temp_catalog();
+        for i in 0..5 {
+            cat.store(Signature::of_str(&format!("n{i}")), "n", 0, &scalar(i as f64)).unwrap();
+        }
+        assert_eq!(cat.len(), 5);
+        cat.clear().unwrap();
+        assert_eq!(cat.len(), 0);
+        assert_eq!(cat.total_bytes(), 0);
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn throttled_store_and_load_meet_bandwidth_floor() {
+        let cat = MaterializationCatalog::open_temp(DiskProfile::scaled(10_000_000, 0)).unwrap();
+        let big = Value::Scalar(Scalar::Text("x".repeat(100_000)));
+        let sig = Signature::of_str("big");
+        let (bytes, write_nanos) = cat.store(sig, "big", 0, &big).unwrap();
+        // 100 KB at 10 MB/s = 10 ms.
+        let floor = bytes * 100; // ns per byte at 10 MB/s
+        assert!(write_nanos >= floor, "write {write_nanos} < floor {floor}");
+        let (_, load_nanos) = cat.load(sig).unwrap();
+        assert!(load_nanos >= floor, "load {load_nanos} < floor {floor}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # helix-storage
+//!
+//! The materialization substrate of the HELIX reproduction (the paper ran
+//! on local HDD / HDFS under Spark; we provide the equivalent single-node
+//! store):
+//!
+//! * [`codec`] — a checksummed, versioned binary format for every
+//!   [`helix_data::Value`]. Varint-framed, little-endian, CRC-32 trailer;
+//!   decoding rejects bad magic, unknown versions, truncation, and bit rot.
+//! * [`disk`] — [`DiskProfile`]: bandwidth/seek throttling that emulates
+//!   the paper's storage hardware (§6.3: 170 MB/s HDD) on top of real file
+//!   I/O, so compute-vs-load trade-offs keep the paper's shape on fast
+//!   local disks. Unthrottled profiles are used in unit tests.
+//! * [`catalog`] — the [`MaterializationCatalog`]: a directory of artifacts
+//!   keyed by 128-bit operator-output signatures, with a JSON manifest,
+//!   byte accounting for the storage budget (paper §6.3 uses 10 GB), purge
+//!   support for deprecated results, and measured load/write times that
+//!   feed OPT-EXEC-PLAN.
+
+pub mod catalog;
+pub mod codec;
+pub mod disk;
+
+pub use catalog::{CatalogEntry, MaterializationCatalog};
+pub use codec::{decode_value, encode_value};
+pub use disk::DiskProfile;

@@ -1,0 +1,239 @@
+//! The Census workflow (paper Figure 3a; source: the DeepDive census
+//! example (1)).
+//!
+//! A classification task over structured rows with fine-grained features:
+//! per-column extractors, a learned age discretization, an interaction
+//! feature, logistic regression, and an accuracy reducer. Iterations
+//! follow the paper's running example: DPR changes toggle the
+//! `marital_status` extractor and re-bin the bucketizer, L/I changes sweep
+//! the regularization parameter, PPR changes version-bump the evaluation
+//! UDF.
+
+use crate::gen::{census_csv, CENSUS_COLUMNS};
+use crate::iterate::{ChangeKind, Domain};
+use crate::Workload;
+use helix_core::ops::Algo;
+use helix_core::prelude::*;
+use helix_data::{Scalar, Value};
+
+/// Mutable spec for the census workflow.
+#[derive(Clone, Debug)]
+pub struct CensusWorkload {
+    /// Training rows to generate.
+    pub train_rows: usize,
+    /// Test rows to generate.
+    pub test_rows: usize,
+    /// Generator seed ("expand the corpus" bumps this via data_version).
+    pub seed: u64,
+    /// Data version (DPR change: new data pull).
+    pub data_version: u64,
+    /// Bucketizer bins (DPR change).
+    pub bins: usize,
+    /// Include the marital-status extractor (DPR change; the paper's
+    /// Figure 3a `msExt` toggle).
+    pub use_marital: bool,
+    /// L2 regularization (L/I change; the paper's `regParam`).
+    pub l2: f64,
+    /// SGD epochs (L/I change).
+    pub epochs: usize,
+    /// Evaluation UDF version (PPR change).
+    pub reducer_version: u64,
+    dpr_step: u64,
+    li_step: u64,
+}
+
+impl Default for CensusWorkload {
+    fn default() -> Self {
+        CensusWorkload {
+            train_rows: 9_000,
+            test_rows: 3_000,
+            seed: 0xCE5505,
+            data_version: 1,
+            bins: 10,
+            use_marital: false,
+            l2: 0.1,
+            epochs: 30,
+            reducer_version: 1,
+            dpr_step: 0,
+            li_step: 0,
+        }
+    }
+}
+
+impl CensusWorkload {
+    /// A smaller configuration for unit tests.
+    pub fn small() -> Self {
+        CensusWorkload { train_rows: 300, test_rows: 100, ..Default::default() }
+    }
+
+    /// Scale the dataset (`Census 10x` of paper Figure 7).
+    #[must_use]
+    pub fn scaled(mut self, factor: usize) -> Self {
+        self.train_rows *= factor;
+        self.test_rows *= factor;
+        self
+    }
+}
+
+impl Workload for CensusWorkload {
+    fn name(&self) -> &'static str {
+        "census"
+    }
+
+    fn domain(&self) -> Domain {
+        Domain::SocialSciences
+    }
+
+    fn build(&self) -> Workflow {
+        let mut wf = Workflow::new(self.name());
+        let (train_rows, test_rows, seed) = (self.train_rows, self.test_rows, self.seed);
+        let data = wf.source("data", self.data_version, move |_ctx| {
+            let (train, test) = census_csv(train_rows, test_rows, seed);
+            Ok(Value::records(helix_core::ops::source::lines_batch(&train, &test)?))
+        });
+        let rows = wf.csv_scan("rows", data, &CENSUS_COLUMNS);
+        let edu = wf.field_extractor("eduExt", rows, "education");
+        let occ = wf.field_extractor("occExt", rows, "occupation");
+        let sex = wf.field_extractor("sexExt", rows, "sex");
+        // Hours is discretized like age: raw magnitudes would need feature
+        // scaling for SGD, and the paper's census features are categorical.
+        let hours = wf.bucketizer("hoursBucket", rows, "hours", 5);
+        // Declared but excluded from `examples` below — sliced away, like
+        // the paper's raceExt (Figure 3b, grayed out).
+        let _race = wf.field_extractor("raceExt", rows, "race");
+        let age_bucket = wf.bucketizer("ageBucket", rows, "age", self.bins);
+        let edu_x_occ = wf.interaction("eduXocc", edu, occ);
+        let target = wf.field_extractor("target", rows, "target");
+
+        let mut extractors = vec![edu, occ, sex, hours, age_bucket, edu_x_occ];
+        if self.use_marital {
+            let ms = wf.field_extractor("msExt", rows, "marital_status");
+            extractors.push(ms);
+        }
+        let income = wf.examples("income", rows, &extractors, Some(target));
+        let model = wf.learner(
+            "incPred",
+            income,
+            Algo::LogisticRegression { l2: self.l2, epochs: self.epochs },
+        );
+        let predictions = wf.predict("predictions", model, income);
+        let checked = wf.accuracy("checked", predictions);
+        // The PPR iteration target: a report whose UDF version is bumped.
+        let version = self.reducer_version;
+        let report = wf.reduce("report", predictions, version, move |v, _| {
+            let batch = v.as_collection()?.as_examples()?;
+            let positives = batch
+                .examples
+                .iter()
+                .filter(|e| e.prediction.unwrap_or(0.0) >= 0.5)
+                .count() as f64;
+            Ok(Value::Scalar(Scalar::Metrics(vec![
+                ("predicted_positive".into(), positives),
+                ("report_version".into(), version as f64),
+            ])))
+        });
+        wf.output(checked);
+        wf.output(report);
+        wf
+    }
+
+    fn apply_change(&mut self, kind: ChangeKind) {
+        match kind {
+            ChangeKind::Dpr => {
+                // Alternate the paper's two example DPR edits: toggle the
+                // marital-status extractor, then re-bin the bucketizer.
+                if self.dpr_step.is_multiple_of(2) {
+                    self.use_marital = !self.use_marital;
+                } else {
+                    self.bins = if self.bins == 10 { 8 } else { 10 };
+                }
+                self.dpr_step += 1;
+            }
+            ChangeKind::LI => {
+                const SWEEP: [f64; 4] = [0.1, 0.01, 1.0, 0.5];
+                self.li_step += 1;
+                self.l2 = SWEEP[(self.li_step as usize) % SWEEP.len()];
+            }
+            ChangeKind::Ppr => {
+                self.reducer_version += 1;
+            }
+        }
+    }
+
+    fn scripted_sequence(&self) -> Vec<ChangeKind> {
+        // Frozen draw from the SocialSciences distribution; front-loaded
+        // DPR (the only iterations DeepDive supports) and PPR-dominated
+        // overall, matching the bands of paper Figure 5(a).
+        use ChangeKind::*;
+        vec![Dpr, Dpr, Dpr, Ppr, LI, Ppr, Ppr, Ppr, Ppr]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterate::run_iterations;
+    use helix_flow::oep::State;
+
+    #[test]
+    fn initial_census_runs_and_learns() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        let wl = CensusWorkload::small();
+        let report = session.run(&wl.build()).unwrap();
+        let acc = report.output_scalar("checked").unwrap().metric("accuracy").unwrap();
+        assert!(acc > 0.7, "planted relationship should be learnable, got {acc}");
+        assert!(report.output_scalar("report").is_some());
+        // raceExt contributes to no output: sliced away.
+        let race_state =
+            report.states.iter().find(|(n, _)| n == "raceExt").map(|(_, s)| *s).unwrap();
+        assert_eq!(race_state, State::Prune);
+    }
+
+    #[test]
+    fn ppr_iteration_reuses_dpr_and_li() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        let mut wl = CensusWorkload::small();
+        let reports =
+            run_iterations(&mut session, &mut wl, &[ChangeKind::Ppr]).unwrap();
+        let first = &reports[0];
+        let second = &reports[1];
+        // The PPR iteration must not recompute DPR or L/I operators.
+        let recomputed: Vec<&str> = second
+            .states
+            .iter()
+            .filter(|(_, s)| *s == State::Compute)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(recomputed.contains(&"report"), "changed reducer recomputes");
+        assert!(
+            !recomputed.contains(&"incPred") && !recomputed.contains(&"rows"),
+            "unchanged DPR/LI must not recompute, got {recomputed:?}"
+        );
+        assert!(second.total_nanos() < first.total_nanos());
+    }
+
+    #[test]
+    fn dpr_toggle_adds_and_removes_marital_extractor() {
+        let mut wl = CensusWorkload::small();
+        assert!(wl.build().node_by_name("msExt").is_none());
+        wl.apply_change(ChangeKind::Dpr);
+        assert!(wl.build().node_by_name("msExt").is_some());
+        wl.apply_change(ChangeKind::Dpr); // re-bin
+        wl.apply_change(ChangeKind::Dpr); // toggle off
+        assert!(wl.build().node_by_name("msExt").is_none());
+    }
+
+    #[test]
+    fn li_change_deprecates_model_but_not_dpr() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        let mut wl = CensusWorkload::small();
+        let reports = run_iterations(&mut session, &mut wl, &[ChangeKind::LI]).unwrap();
+        let second = &reports[1];
+        let state = |n: &str| {
+            second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap()
+        };
+        assert_eq!(state("incPred"), State::Compute, "model retrains");
+        assert_eq!(state("predictions"), State::Compute, "inference recomputes");
+        assert_ne!(state("income"), State::Compute, "assembled examples reused");
+    }
+}

@@ -1,0 +1,219 @@
+//! The Genomics workflow (paper Example 1 / §6.2, source (60)).
+//!
+//! Two unsupervised learning steps: word2vec embeddings over a literature
+//! corpus, then k-means over the embeddings of knowledge-base genes, with
+//! qualitative cluster reporting. The word2vec step dominates compute,
+//! which is exactly what makes cross-iteration reuse pay off when only the
+//! clustering granularity (`k`) or the report changes.
+
+use crate::gen::{genomics_corpus, planted_cluster};
+use crate::iterate::{ChangeKind, Domain};
+use crate::Workload;
+use helix_core::ops::Algo;
+use helix_core::prelude::*;
+use helix_data::{FieldValue, Record, RecordBatch, Scalar, Schema, Value};
+use helix_ml::metrics::normalized_mutual_information;
+
+/// Mutable spec for the genomics workflow.
+#[derive(Clone, Debug)]
+pub struct GenomicsWorkload {
+    /// Articles in the corpus (DPR change: corpus expansion).
+    pub articles: usize,
+    /// Sentences per article.
+    pub sentences_per_article: usize,
+    /// Planted functional clusters.
+    pub planted_clusters: usize,
+    /// Genes per planted cluster.
+    pub genes_per_cluster: usize,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Data version (bumped with corpus expansion).
+    pub data_version: u64,
+    /// Embedding dimensionality (L/I change).
+    pub embedding_dim: usize,
+    /// word2vec epochs (L/I change).
+    pub w2v_epochs: usize,
+    /// k-means cluster count (L/I change: "tweak the number of clusters").
+    pub k: usize,
+    /// Report UDF version (PPR change).
+    pub reducer_version: u64,
+    li_step: u64,
+}
+
+impl Default for GenomicsWorkload {
+    fn default() -> Self {
+        GenomicsWorkload {
+            articles: 320,
+            sentences_per_article: 10,
+            planted_clusters: 4,
+            genes_per_cluster: 5,
+            seed: 0x6E0E,
+            data_version: 1,
+            embedding_dim: 32,
+            w2v_epochs: 4,
+            k: 4,
+            reducer_version: 1,
+            li_step: 0,
+        }
+    }
+}
+
+impl GenomicsWorkload {
+    /// A smaller configuration for unit tests.
+    pub fn small() -> Self {
+        GenomicsWorkload { articles: 60, sentences_per_article: 5, ..Default::default() }
+    }
+}
+
+impl Workload for GenomicsWorkload {
+    fn name(&self) -> &'static str {
+        "genomics"
+    }
+
+    fn domain(&self) -> Domain {
+        Domain::NaturalSciences
+    }
+
+    fn build(&self) -> Workflow {
+        let mut wf = Workflow::new(self.name());
+        let (articles, spa, clusters, gpc, seed) = (
+            self.articles,
+            self.sentences_per_article,
+            self.planted_clusters,
+            self.genes_per_cluster,
+            self.seed,
+        );
+        let corpus = wf.source("corpus", self.data_version, move |_ctx| {
+            let (articles, _) = genomics_corpus(articles, spa, clusters, gpc, seed);
+            let schema = Schema::new(["text"]);
+            let rows = articles
+                .into_iter()
+                .map(|a| Record::train(vec![FieldValue::Text(a)]))
+                .collect();
+            Ok(Value::records(RecordBatch::new(schema, rows)?))
+        });
+        let kb = wf.source("geneKb", 1, move |_ctx| {
+            let (_, genes) = genomics_corpus(1, 1, clusters, gpc, seed);
+            let schema = Schema::new(["gene"]);
+            let rows =
+                genes.into_iter().map(|g| Record::train(vec![FieldValue::Text(g)])).collect();
+            Ok(Value::records(RecordBatch::new(schema, rows)?))
+        });
+        let tokens = wf.tokenize("tokens", corpus, "text");
+        let embeddings = wf.learner(
+            "word2vec",
+            tokens,
+            Algo::Word2Vec { dim: self.embedding_dim, epochs: self.w2v_epochs },
+        );
+        let mentions = wf.kb_join("geneMentions", tokens, kb, "gene", 2);
+        let gene_vectors = wf.embed_entities("geneVectors", embeddings, mentions);
+        let kmeans = wf.learner("kmeans", gene_vectors, Algo::KMeans { k: self.k });
+        let clustered = wf.predict("clustered", kmeans, gene_vectors);
+        let summary = wf.cluster_summary("clusterSizes", clustered, self.k);
+        let version = self.reducer_version;
+        let quality = wf.reduce("clusterQuality", clustered, version, move |v, _| {
+            let batch = v.as_collection()?.as_examples()?;
+            let mut truth = Vec::new();
+            let mut predicted = Vec::new();
+            for e in &batch.examples {
+                if let (Some(tag), Some(p)) = (e.tag.as_deref(), e.prediction) {
+                    if let Some(c) = planted_cluster(tag) {
+                        truth.push(c);
+                        predicted.push(p as usize);
+                    }
+                }
+            }
+            let nmi = normalized_mutual_information(&truth, &predicted);
+            Ok(Value::Scalar(Scalar::Metrics(vec![
+                ("nmi".into(), nmi),
+                ("genes_clustered".into(), truth.len() as f64),
+                ("report_version".into(), version as f64),
+            ])))
+        });
+        wf.output(summary);
+        wf.output(quality);
+        wf
+    }
+
+    fn apply_change(&mut self, kind: ChangeKind) {
+        match kind {
+            ChangeKind::Dpr => {
+                // Corpus expansion (paper Example 1(i)): more articles,
+                // new data version.
+                self.articles += self.articles / 4;
+                self.data_version += 1;
+            }
+            ChangeKind::LI => {
+                // Alternate between re-granulating the clustering and
+                // changing the embedding algorithm's dimensionality
+                // (Example 1(iv)-(v)).
+                if self.li_step.is_multiple_of(2) {
+                    self.k = if self.k == 4 { 6 } else { 4 };
+                } else {
+                    self.embedding_dim = if self.embedding_dim == 24 { 32 } else { 24 };
+                }
+                self.li_step += 1;
+            }
+            ChangeKind::Ppr => {
+                self.reducer_version += 1;
+            }
+        }
+    }
+
+    fn scripted_sequence(&self) -> Vec<ChangeKind> {
+        // Frozen draw from the NaturalSciences distribution: L/I-heavy
+        // with PPR inspection rounds (paper Figure 5(b) bands).
+        use ChangeKind::*;
+        vec![LI, Ppr, Ppr, LI, Ppr, LI, Ppr, Ppr, LI]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterate::run_iterations;
+    use helix_flow::oep::State;
+
+    #[test]
+    fn clusters_recover_planted_structure() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        let wl = GenomicsWorkload::small();
+        let report = session.run(&wl.build()).unwrap();
+        let quality = report.output_scalar("clusterQuality").unwrap();
+        let nmi = quality.metric("nmi").unwrap();
+        let n = quality.metric("genes_clustered").unwrap();
+        assert!(n >= 15.0, "most KB genes embedded, got {n}");
+        assert!(nmi > 0.35, "planted clusters should be partially recovered, nmi {nmi}");
+    }
+
+    #[test]
+    fn k_change_reuses_embeddings() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        let mut wl = GenomicsWorkload::small();
+        let reports = run_iterations(&mut session, &mut wl, &[ChangeKind::LI]).unwrap();
+        let second = &reports[1];
+        let state = |n: &str| {
+            second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap()
+        };
+        // The expensive word2vec model is untouched by a k change.
+        assert_ne!(state("word2vec"), State::Compute, "embeddings reused");
+        assert_eq!(state("kmeans"), State::Compute, "clustering retrains");
+        assert!(
+            second.total_nanos() < reports[0].total_nanos(),
+            "reuse must beat recompute: {} vs {}",
+            second.total_nanos(),
+            reports[0].total_nanos()
+        );
+    }
+
+    #[test]
+    fn ppr_iteration_is_cheap() {
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        let mut wl = GenomicsWorkload::small();
+        let reports = run_iterations(&mut session, &mut wl, &[ChangeKind::Ppr]).unwrap();
+        let second = &reports[1];
+        let computed = second.states.iter().filter(|(_, s)| *s == State::Compute).count();
+        assert!(computed <= 2, "only the changed reducer should recompute, got {computed}");
+        assert!(second.total_nanos() < reports[0].total_nanos() / 2);
+    }
+}

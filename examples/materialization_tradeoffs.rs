@@ -1,0 +1,51 @@
+//! Compare the three materialization policies of paper §6.6 — OPT
+//! (Algorithm 2), AM (always materialize), NM (never materialize) — on the
+//! same iteration schedule, reporting run time *and* storage, i.e. a
+//! miniature of paper Figure 9.
+//!
+//! ```bash
+//! cargo run --release --example materialization_tradeoffs
+//! ```
+
+use helix_core::prelude::*;
+use helix_storage::DiskProfile;
+use helix_workloads::{run_iterations, CensusWorkload, Workload};
+
+fn main() -> helix_common::Result<()> {
+    // Throwaway warmup run so the first measured policy does not absorb
+    // process cold-start costs (page cache, allocator).
+    {
+        let mut session = Session::new(SessionConfig::in_memory())?;
+        session.run(&CensusWorkload::small().build())?;
+    }
+
+    println!("policy   cumulative(ms)  storage(KiB)  writes(KiB)");
+    for (label, strategy) in [
+        ("OPT", MatStrategy::Opt),
+        ("AM ", MatStrategy::Always),
+        ("NM ", MatStrategy::Never),
+    ] {
+        let config = SessionConfig::in_memory()
+            .with_strategy(strategy)
+            .with_disk(DiskProfile::paper_hdd());
+        let mut session = Session::new(config)?;
+        let mut workload = CensusWorkload::default();
+        let changes = workload.scripted_sequence();
+        let reports = run_iterations(&mut session, &mut workload, &changes)?;
+
+        let cumulative: u64 =
+            reports.iter().map(|r| r.metrics.total_nanos()).sum::<u64>() / 1_000_000;
+        let written: u64 =
+            reports.iter().map(|r| r.metrics.materialized_bytes).sum::<u64>() / 1024;
+        println!(
+            "{label}      {:<16}{:<14}{written}",
+            cumulative,
+            session.catalog().total_bytes() / 1024,
+        );
+    }
+    println!(
+        "\nOPT should finish fastest; AM pays write overhead for the same reuse;\n\
+         NM stores nothing and recomputes everything (paper Figure 9)."
+    );
+    Ok(())
+}

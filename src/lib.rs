@@ -1,0 +1,46 @@
+//! # helix
+//!
+//! Façade crate for the HELIX reproduction workspace (VLDB 2018,
+//! "HELIX: Holistic Optimization for Accelerating Iterative Machine
+//! Learning"). Re-exports the member crates under one roof and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+//!
+//! Start with [`prelude`]:
+//!
+//! ```
+//! use helix::prelude::*;
+//! use helix::data::{Scalar, Value};
+//!
+//! let mut wf = Workflow::new("hello");
+//! let x = wf.source("x", 1, |_| Ok(Value::Scalar(Scalar::F64(21.0))));
+//! let y = wf.reduce("y", x, 1, |v, _| {
+//!     let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+//!     Ok(Value::Scalar(Scalar::F64(2.0 * x)))
+//! });
+//! wf.output(y);
+//!
+//! let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+//! let report = session.run(&wf).unwrap();
+//! assert_eq!(report.output_scalar("y").unwrap().as_f64(), Some(42.0));
+//! ```
+//!
+//! Crate map: [`common`] (hashing, RNG, errors) · [`data`] (records,
+//! features, examples, models) · [`flow`] (DAG, max-flow, OPT-EXEC-PLAN) ·
+//! [`storage`] (codec, catalog, disk emulation) · [`exec`] (pool, cache,
+//! metrics) · [`core`] (DSL, tracker, optimizers, engine, session) ·
+//! [`workloads`] (the four paper workloads + iteration simulator).
+
+pub use helix_common as common;
+pub use helix_core as core;
+pub use helix_data as data;
+pub use helix_exec as exec;
+pub use helix_flow as flow;
+pub use helix_ml as ml;
+pub use helix_storage as storage;
+pub use helix_workloads as workloads;
+
+/// One-stop imports for workflow authors.
+pub mod prelude {
+    pub use helix_core::prelude::*;
+}

@@ -1,0 +1,222 @@
+//! Integration tests spanning the whole stack: DSL → compiler → tracker →
+//! OEP → engine → OMP → catalog, through real ML workloads.
+
+use helix_core::prelude::*;
+use helix_core::MatStrategy;
+use helix_flow::oep::State;
+use helix_storage::DiskProfile;
+use helix_workloads::{
+    run_iterations, CensusWorkload, ChangeKind, GenomicsWorkload, IeWorkload, MnistWorkload,
+    Workload,
+};
+use std::collections::HashMap;
+
+fn state_map(report: &helix_core::IterationReport) -> HashMap<String, State> {
+    report.states.iter().cloned().collect()
+}
+
+#[test]
+fn census_full_scripted_schedule_is_correct_and_faster() {
+    let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+    let mut wl = CensusWorkload::small();
+    let schedule = wl.scripted_sequence();
+    let reports = run_iterations(&mut session, &mut wl, &schedule).unwrap();
+    assert_eq!(reports.len(), 10);
+
+    // Every iteration produces a valid accuracy from the same planted data.
+    for report in &reports {
+        let acc = report
+            .output_scalar("checked")
+            .and_then(|s| s.metric("accuracy"))
+            .expect("accuracy output present");
+        assert!(acc > 0.6, "accuracy collapsed: {acc}");
+    }
+    // PPR iterations (indices with Ppr in schedule) must be far cheaper
+    // than iteration 0.
+    let init = reports[0].metrics.total_nanos();
+    for (i, kind) in schedule.iter().enumerate() {
+        if *kind == ChangeKind::Ppr {
+            let t = reports[i + 1].metrics.total_nanos();
+            assert!(
+                t < init / 3,
+                "PPR iteration {} took {t} vs init {init}",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn census_reuse_gives_identical_results_to_recompute() {
+    // The same workload under never-reuse and full-reuse sessions must
+    // produce identical model outputs (Theorem 1: correctness of reuse).
+    let mut fresh = Session::new(SessionConfig::keystoneml_like()).unwrap();
+    let mut reusing = Session::new(SessionConfig::in_memory()).unwrap();
+    let mut wl_a = CensusWorkload::small();
+    let mut wl_b = CensusWorkload::small();
+    let changes = [ChangeKind::Ppr, ChangeKind::LI, ChangeKind::Ppr];
+    let fresh_reports = run_iterations(&mut fresh, &mut wl_a, &changes).unwrap();
+    let reuse_reports = run_iterations(&mut reusing, &mut wl_b, &changes).unwrap();
+    for (f, r) in fresh_reports.iter().zip(&reuse_reports) {
+        let fa = f.output_scalar("checked").unwrap().metric("accuracy").unwrap();
+        let ra = r.output_scalar("checked").unwrap().metric("accuracy").unwrap();
+        assert_eq!(fa, ra, "iteration {}: reuse changed the result", f.iteration);
+    }
+}
+
+#[test]
+fn genomics_scripted_schedule_reuses_embeddings_across_li_changes() {
+    let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+    let mut wl = GenomicsWorkload::small();
+    let schedule = wl.scripted_sequence();
+    let reports = run_iterations(&mut session, &mut wl, &schedule).unwrap();
+
+    // The expensive word2vec node retrains only when the embedding dim
+    // changes (every second L/I change), never on PPR iterations.
+    for (i, kind) in schedule.iter().enumerate() {
+        let states = state_map(&reports[i + 1]);
+        if *kind == ChangeKind::Ppr {
+            assert_ne!(
+                states["word2vec"],
+                State::Compute,
+                "iteration {}: PPR must not retrain embeddings",
+                i + 1
+            );
+        }
+    }
+    // Quality stays sane throughout.
+    let nmi = reports
+        .last()
+        .unwrap()
+        .output_scalar("clusterQuality")
+        .unwrap()
+        .metric("nmi")
+        .unwrap();
+    assert!(nmi > 0.3, "final nmi {nmi}");
+}
+
+#[test]
+fn ie_parse_is_never_recomputed_after_iteration_zero() {
+    let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+    let mut wl = IeWorkload::small();
+    let schedule = wl.scripted_sequence();
+    let reports = run_iterations(&mut session, &mut wl, &schedule).unwrap();
+    for report in reports.iter().skip(1) {
+        let states = state_map(report);
+        assert_ne!(states["sentences"], State::Compute);
+        assert_ne!(states["candidates"], State::Compute);
+    }
+    let f1 = reports
+        .last()
+        .unwrap()
+        .output_scalar("extractionF1")
+        .unwrap()
+        .metric("f1")
+        .unwrap();
+    assert!(f1 > 0.5, "f1 {f1}");
+}
+
+#[test]
+fn mnist_volatile_chain_full_schedule() {
+    let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+    let mut wl = MnistWorkload::small();
+    let schedule = wl.scripted_sequence();
+    let reports = run_iterations(&mut session, &mut wl, &schedule).unwrap();
+    // PPR iterations never recompute the volatile featurization.
+    for (i, kind) in schedule.iter().enumerate() {
+        if *kind == ChangeKind::Ppr {
+            let states = state_map(&reports[i + 1]);
+            assert_ne!(states["randomFFT"], State::Compute, "iteration {}", i + 1);
+        }
+    }
+}
+
+#[test]
+fn storage_budget_is_respected_across_iterations() {
+    let budget: u64 = 64 * 1024; // tiny: forces selectivity
+    let config = SessionConfig::in_memory()
+        .with_budget(budget)
+        .with_strategy(MatStrategy::Opt);
+    let mut session = Session::new(config).unwrap();
+    let mut wl = CensusWorkload::small();
+    let schedule = wl.scripted_sequence();
+    run_iterations(&mut session, &mut wl, &schedule).unwrap();
+    // Elective materializations respect the cap; mandatory outputs are
+    // scalars (bytes, not KiB), so total stays within budget + slack.
+    assert!(
+        session.catalog().total_bytes() <= budget + 8 * 1024,
+        "catalog {} exceeds budget {budget}",
+        session.catalog().total_bytes()
+    );
+}
+
+#[test]
+fn catalog_survives_session_restart() {
+    let dir = std::env::temp_dir().join(format!("helix-it-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || SessionConfig {
+        catalog_dir: Some(dir.clone()),
+        ..SessionConfig::in_memory()
+    };
+    let wl = CensusWorkload::small();
+    {
+        let mut session = Session::new(config()).unwrap();
+        session.run(&wl.build()).unwrap();
+    }
+    // New process/session: the unchanged workflow reuses on-disk artifacts.
+    let mut session = Session::new(config()).unwrap();
+    let report = session.run(&wl.build()).unwrap();
+    assert_eq!(
+        report.metrics.computed, 0,
+        "restarted session must reuse the previous session's artifacts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn throttled_disk_changes_plans_not_results() {
+    let fast = SessionConfig::in_memory();
+    let slow = SessionConfig::in_memory().with_disk(DiskProfile::scaled(2_000_000, 3_000_000));
+    let mut fast_session = Session::new(fast).unwrap();
+    let mut slow_session = Session::new(slow).unwrap();
+    let wl = CensusWorkload::small();
+    let fast_report = fast_session.run(&wl.build()).unwrap();
+    let slow_report = slow_session.run(&wl.build()).unwrap();
+    assert_eq!(
+        fast_report.output_scalar("checked").unwrap().metric("accuracy"),
+        slow_report.output_scalar("checked").unwrap().metric("accuracy"),
+        "disk profile must never affect results"
+    );
+}
+
+#[test]
+fn data_driven_pruning_identifies_dead_extractor() {
+    // Train the census model, then use feature provenance to ask which
+    // extractors carry no weight (paper §5.4 data-driven pruning).
+    use helix_core::prune::{owner_weight_mass, zero_weight_owners};
+    let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+    let wl = CensusWorkload::small();
+    let mut wf = wl.build();
+    // Expose the intermediates the analysis needs.
+    wf.mark_output("income").unwrap();
+    wf.mark_output("incPred").unwrap();
+    let report = session.run(&wf).unwrap();
+
+    let income_value = report.output("income").unwrap();
+    let model_value = report.output("incPred").unwrap();
+    let binding = income_value.as_collection().unwrap();
+    let batch = binding.as_examples().unwrap();
+    let helix_data::Model::Linear(linear) = model_value.as_model().unwrap() else {
+        panic!("expected linear model");
+    };
+    let mass = owner_weight_mass(linear, &batch.space);
+    assert!(!mass.is_empty());
+    // The census features are all informative, so no extractor should be
+    // fully dead at a strict threshold...
+    let dead = zero_weight_owners(linear, &batch.space, 1e-12);
+    assert!(dead.is_empty(), "unexpectedly dead extractors: {dead:?}");
+    // ...but at an absurdly permissive threshold every extractor is
+    // "prunable", which sanity-checks the provenance plumbing.
+    let all = zero_weight_owners(linear, &batch.space, f64::INFINITY);
+    assert_eq!(all.len(), mass.len());
+}
