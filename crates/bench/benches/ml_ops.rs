@@ -13,8 +13,7 @@ fn blobs(n: usize, dim: usize, seed: u64) -> Vec<Example> {
         .map(|i| {
             let label = (i % 2) as f64;
             let center = if label > 0.5 { 1.5 } else { -1.5 };
-            let x: Vec<f64> =
-                (0..dim).map(|_| center + rng.next_gaussian() * 0.5).collect();
+            let x: Vec<f64> = (0..dim).map(|_| center + rng.next_gaussian() * 0.5).collect();
             Example::new(FeatureVector::Dense(x), Some(label), Split::Train)
         })
         .collect()
@@ -28,8 +27,7 @@ fn bench_logistic(c: &mut Criterion) {
 }
 
 fn bench_kmeans(c: &mut Criterion) {
-    let points: Vec<FeatureVector> =
-        blobs(2_000, 16, 9).into_iter().map(|e| e.features).collect();
+    let points: Vec<FeatureVector> = blobs(2_000, 16, 9).into_iter().map(|e| e.features).collect();
     c.bench_function("kmeans_fit_2k_x16_k8", |b| {
         b.iter(|| black_box(KMeans::with_k(8).fit(&points).unwrap()))
     });
@@ -43,9 +41,7 @@ fn bench_word2vec(c: &mut Criterion) {
         .collect();
     c.bench_function("word2vec_200sent_dim16", |b| {
         b.iter(|| {
-            black_box(
-                Word2Vec { dim: 16, epochs: 1, ..Default::default() }.fit(&corpus).unwrap(),
-            )
+            black_box(Word2Vec { dim: 16, epochs: 1, ..Default::default() }.fit(&corpus).unwrap())
         })
     });
 }

@@ -1,0 +1,131 @@
+//! The tentpole benchmark: frontier-scheduled parallel execution of OEP
+//! plans at 1/2/4/8 workers (the paper's Figure 7b "cluster size" sweep,
+//! now running against our own engine instead of Spark).
+//!
+//! Three subjects:
+//!
+//! * `branchy/*` — a synthetic workflow with eight independent branches of
+//!   *blocking* work (sleeps modeling throttled I/O / external calls). The
+//!   frontier scheduler overlaps the branches, so wall-clock speedup shows
+//!   even on a single-core machine; this is the acceptance benchmark for
+//!   "speedup over serial on a workload with ≥ 2 independent branches".
+//! * `census/*` and `genomics/*` — full paper workloads through the
+//!   session lifecycle (plan → execute → materialize). These are
+//!   CPU-bound, so expect scaling on multi-core hardware and roughly flat
+//!   numbers (scheduler overhead only) on one core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_core::{MatStrategy, Session, SessionConfig, Workflow};
+use helix_data::{Scalar, Value};
+use helix_workloads::{CensusWorkload, GenomicsWorkload, Workload};
+use std::hint::black_box;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Eight independent blocking branches joined at a sink — the minimal
+/// shape where node-level parallelism, not data-parallel operators, is
+/// the only speedup source.
+fn branchy_workflow(branch_millis: u64) -> Workflow {
+    let mut wf = Workflow::new("branchy");
+    let src = wf.source("src", 1, |_| Ok(Value::Scalar(Scalar::F64(1.0))));
+    let branches: Vec<_> = (0..8)
+        .map(|i| {
+            wf.reduce(&format!("branch{i}"), src, 1, move |v, _| {
+                std::thread::sleep(std::time::Duration::from_millis(branch_millis));
+                let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+                Ok(Value::Scalar(Scalar::F64(x * (i + 1) as f64)))
+            })
+        })
+        .collect();
+    let join = wf.reduce_many(
+        "join",
+        [
+            branches[0],
+            branches[1],
+            branches[2],
+            branches[3],
+            branches[4],
+            branches[5],
+            branches[6],
+            branches[7],
+        ],
+        1,
+        |vs, _| {
+            let total: f64 =
+                vs.iter().filter_map(|v| v.as_scalar().ok().and_then(|s| s.as_f64())).sum();
+            Ok(Value::Scalar(Scalar::F64(total)))
+        },
+    );
+    wf.output(join);
+    wf
+}
+
+fn run_once(wf: &Workflow, workers: usize) -> u64 {
+    let config = SessionConfig::in_memory().with_workers(workers).with_strategy(MatStrategy::Never);
+    let mut session = Session::new(config).expect("session opens");
+    session.run(wf).expect("iteration runs").metrics.total_nanos()
+}
+
+fn bench_branchy(c: &mut Criterion) {
+    let wf = branchy_workflow(10);
+    let mut group = c.benchmark_group("branchy");
+    group.sample_size(10);
+    for workers in WORKER_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(run_once(&wf, w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_census(c: &mut Criterion) {
+    let wl = CensusWorkload::small();
+    let mut group = c.benchmark_group("census");
+    group.sample_size(10);
+    for workers in WORKER_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(run_once(&wl.build(), w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_genomics(c: &mut Criterion) {
+    let wl = GenomicsWorkload::small();
+    let mut group = c.benchmark_group("genomics");
+    group.sample_size(10);
+    for workers in WORKER_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(run_once(&wl.build(), w)))
+        });
+    }
+    group.finish();
+}
+
+/// Not a statistical benchmark but a hard assertion, kept here so `cargo
+/// bench` fails loudly if the scheduler ever loses its overlap: 8 workers
+/// must beat serial on the branchy workflow by at least 2×.
+fn assert_speedup(_c: &mut Criterion) {
+    let wf = branchy_workflow(20);
+    let serial = {
+        let t = std::time::Instant::now();
+        run_once(&wf, 1);
+        t.elapsed()
+    };
+    let parallel = {
+        let t = std::time::Instant::now();
+        run_once(&wf, 8);
+        t.elapsed()
+    };
+    println!(
+        "branchy speedup check: serial {serial:?}, 8 workers {parallel:?} ({:.1}x)",
+        serial.as_secs_f64() / parallel.as_secs_f64()
+    );
+    assert!(
+        parallel * 2 < serial,
+        "8 workers ({parallel:?}) must be at least 2x faster than serial ({serial:?})"
+    );
+}
+
+criterion_group!(benches, bench_branchy, bench_census, bench_genomics, assert_speedup);
+criterion_main!(benches);

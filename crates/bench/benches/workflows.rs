@@ -30,10 +30,8 @@ fn bench_census_iterations(c: &mut Criterion) {
             // catalog; we measure the PPR-change iteration only.
             b.iter_batched(
                 || {
-                    let mut session = Session::new(
-                        SessionConfig::in_memory().with_strategy(strategy),
-                    )
-                    .unwrap();
+                    let mut session =
+                        Session::new(SessionConfig::in_memory().with_strategy(strategy)).unwrap();
                     let mut wl = CensusWorkload::small();
                     session.run(&wl.build()).unwrap();
                     wl.apply_change(ChangeKind::Ppr);

@@ -32,11 +32,8 @@ fn write_json<T: serde::Serialize>(dir: Option<&str>, name: &str, value: &T) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let json_dir: Option<String> =
+        args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
     let mut requested: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

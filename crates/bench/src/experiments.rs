@@ -41,9 +41,7 @@ impl SystemKind {
     fn session_config(self, base: &ExperimentConfig) -> SessionConfig {
         let cfg = match self {
             SystemKind::HelixOpt => SessionConfig::in_memory(),
-            SystemKind::HelixAm => {
-                SessionConfig::in_memory().with_strategy(MatStrategy::Always)
-            }
+            SystemKind::HelixAm => SessionConfig::in_memory().with_strategy(MatStrategy::Always),
             SystemKind::HelixNm => SessionConfig::in_memory().with_strategy(MatStrategy::Never),
             SystemKind::KeystoneMl => SessionConfig::keystoneml_like(),
             SystemKind::DeepDive => SessionConfig::deepdive_like(),
@@ -131,10 +129,7 @@ fn record_run(system: SystemKind, history: &[IterationMetrics]) -> SystemRun {
             .collect(),
         states: history.iter().map(|m| (m.computed, m.loaded, m.pruned)).collect(),
         storage_bytes: history.iter().map(|m| m.storage_bytes).collect(),
-        memory_bytes: history
-            .iter()
-            .map(|m| (m.peak_memory_bytes, m.avg_memory_bytes))
-            .collect(),
+        memory_bytes: history.iter().map(|m| (m.peak_memory_bytes, m.avg_memory_bytes)).collect(),
     }
 }
 
@@ -172,7 +167,11 @@ impl AnyWorkload {
         }
     }
 
-    fn run(&mut self, session: &mut Session, changes: &[ChangeKind]) -> Result<Vec<IterationReport>> {
+    fn run(
+        &mut self,
+        session: &mut Session,
+        changes: &[ChangeKind],
+    ) -> Result<Vec<IterationReport>> {
         match self {
             AnyWorkload::Census(w) => run_iterations(session, w, changes),
             AnyWorkload::Genomics(w) => run_iterations(session, w, changes),
@@ -241,8 +240,7 @@ pub fn fig5_fig6(cfg: &ExperimentConfig) -> Result<Fig5> {
         };
         let probe = make();
         let name = probe.name().to_string();
-        let schedule: Vec<&'static str> =
-            probe.sequence().iter().map(|c| c.label()).collect();
+        let schedule: Vec<&'static str> = probe.sequence().iter().map(|c| c.label()).collect();
         let mut runs = Vec::new();
         for system in [SystemKind::HelixOpt, SystemKind::KeystoneMl, SystemKind::DeepDive] {
             if !supported(system, &name) {
@@ -267,7 +265,8 @@ pub struct Fig7a {
 pub fn fig7a(cfg: &ExperimentConfig) -> Result<Fig7a> {
     let factor = if cfg.quick { 3 } else { 10 };
     let mut out = Vec::new();
-    for (label, scale) in [("census", 1), (if cfg.quick { "census 3x" } else { "census 10x" }, factor)]
+    for (label, scale) in
+        [("census", 1), (if cfg.quick { "census 3x" } else { "census 10x" }, factor)]
     {
         let make = || {
             let base = if cfg.quick { CensusWorkload::small() } else { CensusWorkload::default() };
@@ -421,10 +420,7 @@ mod tests {
     fn quick_cfg() -> ExperimentConfig {
         // Unthrottled disk keeps the smoke tests fast; figure shapes are
         // asserted loosely.
-        ExperimentConfig {
-            disk: DiskProfile::unthrottled(),
-            ..ExperimentConfig::quick()
-        }
+        ExperimentConfig { disk: DiskProfile::unthrottled(), ..ExperimentConfig::quick() }
     }
 
     #[test]
@@ -445,10 +441,7 @@ mod tests {
         assert_eq!(helix.cumulative_nanos.len(), 10);
         let h = *helix.cumulative_nanos.last().unwrap();
         let k = *keystone.cumulative_nanos.last().unwrap();
-        assert!(
-            h < k,
-            "Helix ({h}) must beat no-reuse KeystoneML ({k}) over ten iterations"
-        );
+        assert!(h < k, "Helix ({h}) must beat no-reuse KeystoneML ({k}) over ten iterations");
     }
 
     #[test]

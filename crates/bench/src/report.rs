@@ -39,7 +39,8 @@ fn cumulative_table(title: &str, schedule: &[&'static str], runs: &[SystemRun]) 
 
 /// Render Figure 5 (cumulative run time, all systems).
 pub fn render_fig5(fig: &Fig5) -> String {
-    let mut out = String::from("\n################ Figure 5: cumulative run time ################\n");
+    let mut out =
+        String::from("\n################ Figure 5: cumulative run time ################\n");
     for (name, schedule, runs) in &fig.workloads {
         out.push_str(&cumulative_table(name, schedule, runs));
     }
@@ -52,9 +53,9 @@ pub fn render_fig6(fig: &Fig5) -> String {
         "\n################ Figure 6: Helix per-iteration breakdown ################\n",
     );
     for (name, schedule, runs) in &fig.workloads {
-        let Some(helix) = runs.iter().find(|r| {
-            matches!(r.system, crate::experiments::SystemKind::HelixOpt)
-        }) else {
+        let Some(helix) =
+            runs.iter().find(|r| matches!(r.system, crate::experiments::SystemKind::HelixOpt))
+        else {
             continue;
         };
         out.push_str(&format!("\n== {name} ==\n"));
@@ -141,9 +142,8 @@ pub fn render_fig8(fig: &Fig8) -> String {
 
 /// Render Figure 9: OPT vs AM vs NM, with storage for census/genomics.
 pub fn render_fig9(fig: &Fig9) -> String {
-    let mut out = String::from(
-        "\n################ Figure 9: materialization policies ################\n",
-    );
+    let mut out =
+        String::from("\n################ Figure 9: materialization policies ################\n");
     for (name, runs) in &fig.runs {
         out.push_str(&format!("\n== {name} — cumulative time ==\n"));
         for run in runs {
@@ -158,11 +158,7 @@ pub fn render_fig9(fig: &Fig9) -> String {
             for run in runs {
                 let series: Vec<String> =
                     run.storage_bytes.iter().map(|b| human_bytes(*b)).collect();
-                out.push_str(&format!(
-                    "    {}: [{}]\n",
-                    run.system.label(),
-                    series.join(", ")
-                ));
+                out.push_str(&format!("    {}: [{}]\n", run.system.label(), series.join(", ")));
             }
         }
     }
@@ -171,8 +167,7 @@ pub fn render_fig9(fig: &Fig9) -> String {
 
 /// Render Figure 10: memory per iteration.
 pub fn render_fig10(fig: &Fig10) -> String {
-    let mut out =
-        String::from("\n################ Figure 10: peak/avg memory ################\n");
+    let mut out = String::from("\n################ Figure 10: peak/avg memory ################\n");
     for (name, run) in &fig.runs {
         out.push_str(&format!("\n-- {name} --\n"));
         for (i, (peak, avg)) in run.memory_bytes.iter().enumerate() {
@@ -230,9 +225,7 @@ mod tests {
 
     #[test]
     fn renderers_produce_output() {
-        let fig5 = Fig5 {
-            workloads: vec![("census".into(), vec!["PPR"], vec![dummy_run()])],
-        };
+        let fig5 = Fig5 { workloads: vec![("census".into(), vec!["PPR"], vec![dummy_run()])] };
         let text = render_fig5(&fig5);
         assert!(text.contains("census"));
         assert!(text.contains("Helix Opt"));

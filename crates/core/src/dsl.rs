@@ -115,11 +115,7 @@ impl Workflow {
 
     /// Output node ids (marked via [`output`](Self::output)).
     pub fn outputs(&self) -> Vec<NodeId> {
-        self.dag
-            .iter()
-            .filter(|(_, spec)| spec.is_output)
-            .map(|(id, _)| id)
-            .collect()
+        self.dag.iter().filter(|(_, spec)| spec.is_output).map(|(id, _)| id).collect()
     }
 
     fn add(
@@ -145,9 +141,9 @@ impl Workflow {
             operator,
         });
         for &input in inputs {
-            self.dag
-                .add_edge(input, id)
-                .unwrap_or_else(|e| panic!("workflow `{}`: bad edge into `{name}`: {e}", self.name));
+            self.dag.add_edge(input, id).unwrap_or_else(|e| {
+                panic!("workflow `{}`: bad edge into `{name}`: {e}", self.name)
+            });
         }
         self.by_name.insert(name.to_string(), id);
         id
@@ -328,8 +324,7 @@ impl Workflow {
         kb_column: &str,
         context_window: usize,
     ) -> DcHandle {
-        let sig =
-            decl_signature("KbJoin", &[name, kb_column, &format!("window={context_window}")]);
+        let sig = decl_signature("KbJoin", &[name, kb_column, &format!("window={context_window}")]);
         let id = self.add(
             name,
             Phase::Dpr,
@@ -374,11 +369,7 @@ impl Workflow {
             Phase::Dpr,
             sig,
             false,
-            Arc::new(synth::AssembleExamples {
-                owners,
-                ext_names,
-                labeled: label.is_some(),
-            }),
+            Arc::new(synth::AssembleExamples { owners, ext_names, labeled: label.is_some() }),
             &inputs,
         );
         DcHandle(id)
@@ -484,14 +475,8 @@ impl Workflow {
     /// Test-split precision/recall/F1 reducer.
     pub fn f1(&mut self, name: &str, predictions: DcHandle) -> ScalarHandle {
         let sig = decl_signature("F1Reducer", &[name]);
-        let id = self.add(
-            name,
-            Phase::Ppr,
-            sig,
-            false,
-            Arc::new(reduce::F1Reducer),
-            &[predictions.0],
-        );
+        let id =
+            self.add(name, Phase::Ppr, sig, false, Arc::new(reduce::F1Reducer), &[predictions.0]);
         ScalarHandle(id)
     }
 
@@ -523,6 +508,33 @@ impl Workflow {
             false,
             Arc::new(reduce::UdfReducer::new(udf)),
             &[input.node()],
+        );
+        ScalarHandle(id)
+    }
+
+    /// Versioned scalar-producing UDF over several inputs (the n-ary twin
+    /// of [`reduce`](Self::reduce); the join point of branchy workflows).
+    pub fn reduce_many<H, F, const N: usize>(
+        &mut self,
+        name: &str,
+        inputs: [H; N],
+        version: u64,
+        udf: F,
+    ) -> ScalarHandle
+    where
+        H: AsNode,
+        F: Fn(&[Arc<Value>], &ExecContext) -> Result<Value> + Send + Sync + 'static,
+    {
+        assert!(N > 0, "reduce_many `{name}` needs at least one input");
+        let sig = decl_signature("UdfReducerN", &[name, &format!("v{version}")]);
+        let input_ids: Vec<NodeId> = inputs.iter().map(|h| h.node()).collect();
+        let id = self.add(
+            name,
+            Phase::Ppr,
+            sig,
+            false,
+            Arc::new(reduce::UdfReducerN::new(N, udf)),
+            &input_ids,
         );
         ScalarHandle(id)
     }
@@ -587,21 +599,15 @@ mod tests {
                 "44,Masters,Exec-managerial,White,1\n23,HS-grad,Adm-clerical,White,0\n",
             )?))
         });
-        let rows =
-            wf.csv_scan("rows", data, &["age", "education", "occupation", "race", "target"]);
+        let rows = wf.csv_scan("rows", data, &["age", "education", "occupation", "race", "target"]);
         let edu = wf.field_extractor("eduExt", rows, "education");
         let occ = wf.field_extractor("occExt", rows, "occupation");
         let _race = wf.field_extractor("raceExt", rows, "race"); // pruned: unused
         let age_bucket = wf.bucketizer("ageBucket", rows, "age", 2);
         let edu_x_occ = wf.interaction("eduXocc", edu, occ);
         let target = wf.field_extractor("target", rows, "target");
-        let income =
-            wf.examples("income", rows, &[edu, occ, age_bucket, edu_x_occ], Some(target));
-        let model = wf.learner(
-            "incPred",
-            income,
-            Algo::LogisticRegression { l2: 0.1, epochs: 8 },
-        );
+        let income = wf.examples("income", rows, &[edu, occ, age_bucket, edu_x_occ], Some(target));
+        let model = wf.learner("incPred", income, Algo::LogisticRegression { l2: 0.1, epochs: 8 });
         let predictions = wf.predict("predictions", model, income);
         let checked = wf.accuracy("checked", predictions);
         wf.output(checked);
@@ -663,10 +669,7 @@ mod tests {
         let d2 = wf2.source("d", 1, |_| Ok(Value::Scalar(Scalar::I64(1))));
         let b2 = wf2.bucketizer("b", d2, "age", 12);
 
-        assert_eq!(
-            wf1.dag().payload(d1.node()).decl_sig,
-            wf2.dag().payload(d2.node()).decl_sig
-        );
+        assert_eq!(wf1.dag().payload(d1.node()).decl_sig, wf2.dag().payload(d2.node()).decl_sig);
         assert_ne!(
             wf1.dag().payload(b1.node()).decl_sig,
             wf2.dag().payload(b2.node()).decl_sig,

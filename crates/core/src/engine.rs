@@ -1,19 +1,44 @@
-//! The execution engine (paper §2.1 "Execution Engine", §5.3, §5.4).
+//! The execution engine (paper §2.1 "Execution Engine", §5.3, §5.4) —
+//! frontier-scheduled and multi-threaded.
 //!
-//! Executes an OEP-planned iteration in deterministic topological order:
+//! The paper's engine ran each iteration serially in topological order;
+//! this one executes the same plan with *intra-iteration parallelism*:
+//! all `Compute`/`Load` nodes whose parents have finished form the ready
+//! frontier ([`helix_flow::dag::Frontier`]) and are dispatched together
+//! onto [`WorkerPool`] worker threads, overlapping independent branches
+//! and hiding `Load` I/O behind `Compute` work. With `workers == 1` the
+//! scheduler runs inline on the caller thread — the serial baseline pays
+//! no thread or channel overhead.
 //!
-//! * `Load` nodes read their artifact from the catalog (bandwidth-
-//!   throttled), `Compute` nodes run their operator on cached parent
-//!   values, `Prune` nodes are skipped entirely;
-//! * every node's wall time is measured — these are the `c_i`/`l_i`
-//!   statistics the next iteration's optimizer consumes;
-//! * the moment a node goes *out of scope* (its last compute-state child
-//!   finished), the engine makes the streaming OPT-MAT-PLAN decision
-//!   (Algorithm 2) and then eagerly evicts the value from cache
-//!   (Constraint 3 + §5.4 Cache Pruning);
-//! * workflow outputs are captured for the caller and — under any policy
-//!   but `Never` — materialized as mandatory outputs (Figure 3's "drum"
-//!   nodes).
+//! Parallel execution preserves the paper's semantics *exactly*:
+//!
+//! * **State legality (Constraint 2)** is the planner's product; the
+//!   engine executes states verbatim and still fails loudly when a
+//!   `Compute` node's parent value is missing.
+//! * **Determinism**: per-node RNG seeds remain `session seed ⊕ node
+//!   signature` — independent of scheduling — so outputs are
+//!   byte-identical to a serial run for any worker count.
+//! * **Streaming OPT-MAT-PLAN (Algorithm 2)**: materialization decisions
+//!   depend on catalog byte totals, so commit *order* matters. The engine
+//!   precomputes the exact finalize sequence the serial engine would
+//!   produce (a pure function of DAG + states, not of timing) and commits
+//!   out-of-scope decisions strictly in that order, as nodes become
+//!   eligible. Decisions are therefore identical to serial execution.
+//! * **Eager cache eviction (Constraint 3 + §5.4 Cache Pruning)**: a node
+//!   is evicted the moment its finalize decision commits, which is never
+//!   before its last compute-state child finished.
+//! * **Failure parity**: finalize commits wait for the completed topo
+//!   *prefix*, so an iteration that errors leaves exactly the catalog a
+//!   serial run would, and the error reported is the earliest one in
+//!   topological order — at any worker count.
+//!
+//! The one carve-out is the Spark-style LRU ablation baseline
+//! (`CachePolicy::Lru`): budget-driven eviction depends on access
+//! recency, which is inherently timing-dependent under concurrency, so
+//! LRU iterations always run on the inline serial driver.
+//!
+//! Every node's wall time is still measured — the `c_i`/`l_i` statistics
+//! the next iteration's optimizer consumes.
 
 use crate::dsl::Workflow;
 use crate::materialize::{cumulative_run_time, should_materialize, MatStrategy};
@@ -22,10 +47,11 @@ use helix_common::timing::{timed, Nanos};
 use helix_common::{HelixError, Result};
 use helix_data::{ByteSized, Value};
 use helix_exec::{
-    CachePolicy, IterationMetrics, MemoryTracker, NodeRun, RunState, ValueCache, WorkerPool,
+    CachePolicy, IterationMetrics, NodeRun, RunState, SharedMemoryTracker, SharedValueCache,
+    WorkerPool,
 };
 use helix_flow::oep::State;
-use helix_flow::NodeId;
+use helix_flow::{Dag, NodeId};
 use helix_storage::MaterializationCatalog;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -44,7 +70,8 @@ pub struct EngineParams<'a> {
     pub strategy: MatStrategy,
     /// Storage budget in bytes (total catalog footprint cap).
     pub budget_bytes: u64,
-    /// Worker-pool width for data-parallel operators.
+    /// Worker-pool width: node-level scheduling *and* data-parallel
+    /// operators (the paper's "cluster size", Figure 7b).
     pub workers: usize,
     /// Cache eviction policy.
     pub cache_policy: CachePolicy,
@@ -60,8 +87,22 @@ pub struct ExecOutcome {
     pub metrics: IterationMetrics,
     /// Output values by node name.
     pub outputs: HashMap<String, Arc<Value>>,
-    /// Measured compute times by signature (feeds the next OEP).
+    /// Measured compute times by signature (feeds the next OEP),
+    /// in node-id order regardless of completion order.
     pub compute_times: Vec<(Signature, Nanos)>,
+}
+
+/// What one worker reports back for one executed node.
+struct Completion {
+    node: usize,
+    result: Result<NodeSuccess>,
+}
+
+struct NodeSuccess {
+    value: Arc<Value>,
+    run_nanos: Nanos,
+    output_bytes: u64,
+    state: RunState,
 }
 
 /// Run one planned iteration.
@@ -83,69 +124,277 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
     assert_eq!(states.len(), n);
     assert_eq!(sigs.len(), n);
 
+    let order = dag.topo_order()?;
     let pool = WorkerPool::new(workers);
-    let mut cache = ValueCache::new(cache_policy);
-    let mut memory = MemoryTracker::new();
-    let mut outputs = HashMap::new();
-    let mut compute_times = Vec::new();
-    let mut incurred: Vec<Nanos> = vec![0; n];
-    let mut runs: Vec<Option<NodeRun>> = (0..n).map(|_| None).collect();
+    let cache = SharedValueCache::new(cache_policy);
+    let memory = SharedMemoryTracker::new();
 
-    // A node is out of scope once all of its compute-state children have
-    // finished (loaded/pruned children never read the in-memory value).
-    let mut pending: Vec<usize> = (0..n)
+    // Any set of simultaneously runnable nodes is an antichain, so the
+    // DAG's width caps useful scheduler threads: a pure chain runs
+    // inline, a diamond gets two threads, regardless of the requested
+    // width. Level width is a cheap proxy for the true (Dilworth) width —
+    // exact on layered workflow DAGs, at worst slightly under-provisioned
+    // (jobs then queue; never a deadlock). Data-parallel operators still
+    // see the full `workers` through `ExecContext::pool`.
+    //
+    // The LRU ablation baseline always runs inline: budget-driven LRU
+    // eviction depends on access recency, which concurrent workers would
+    // make timing-dependent — it could even evict a parent value an
+    // unscheduled child still needs. Eager (HELIX) scope-driven eviction
+    // has no such coupling and parallelizes freely.
+    let dispatch_width = if matches!(cache_policy, CachePolicy::Lru { .. }) {
+        1
+    } else {
+        workers.min(level_width(dag)?)
+    };
+
+    let runner =
+        NodeRunner { wf, states, sigs, catalog, cache: &cache, memory: &memory, pool, seed };
+    let mut coord = Coordinator {
+        wf,
+        states,
+        sigs,
+        catalog,
+        strategy,
+        budget_bytes,
+        iteration,
+        cache: &cache,
+        memory: &memory,
+        topo_pos: topo_positions(&order, n),
+        done: vec![false; n],
+        pending: compute_child_counts(dag, states),
+        incurred: vec![0; n],
+        runs: (0..n).map(|_| None).collect(),
+        outputs: HashMap::new(),
+        compute_nanos: vec![None; n],
+        finalize_seq: serial_finalize_sequence(dag, states, &order),
+        seq_cursor: 0,
+        finalized: vec![false; n],
+        order,
+        done_prefix: 0,
+        first_error: None,
+    };
+
+    if dispatch_width <= 1 {
+        run_inline(dag, &runner, &mut coord);
+    } else {
+        run_parallel(dag, &runner, &mut coord, &WorkerPool::new(dispatch_width));
+    }
+
+    if let Some((_, err)) = coord.first_error.take() {
+        return Err(err);
+    }
+    coord.commit_finalizes();
+    debug_assert!(coord.first_error.is_none(), "finalize failed after clean execution");
+    debug_assert_eq!(coord.seq_cursor, coord.finalize_seq.len());
+    debug_assert!(
+        (0..n).all(|i| states[i] == State::Prune || !cache.contains(i as u32)),
+        "every non-pruned node must have been finalized and evicted"
+    );
+
+    let mut metrics = IterationMetrics::new(iteration);
+    for run in coord.runs.into_iter().flatten() {
+        metrics.record(run);
+    }
+    metrics.peak_memory_bytes = memory.peak_bytes();
+    metrics.avg_memory_bytes = memory.avg_bytes();
+    metrics.storage_bytes = catalog.total_bytes();
+    let compute_times =
+        (0..n).filter_map(|i| coord.compute_nanos[i].map(|nanos| (sigs[i], nanos))).collect();
+    Ok(ExecOutcome { metrics, outputs: coord.outputs, compute_times })
+}
+
+/// Serial driver: pop the minimum-id ready node and run it inline — the
+/// exact order of the paper's topological loop (min-id Kahn), with zero
+/// thread or channel overhead.
+fn run_inline(
+    dag: &Dag<crate::operator::NodeSpec>,
+    runner: &NodeRunner<'_>,
+    coord: &mut Coordinator<'_>,
+) {
+    let mut frontier = dag.frontier();
+    while let Some(node) = frontier.pop_min() {
+        if coord.states[node.ix()] == State::Prune {
+            coord.record_prune(node);
+        } else {
+            let completion = runner.run_node(node);
+            coord.on_completion(completion);
+            if coord.first_error.is_some() {
+                return;
+            }
+        }
+        frontier.complete(node);
+        coord.commit_finalizes();
+        if coord.first_error.is_some() {
+            return;
+        }
+    }
+}
+
+/// Parallel driver: keep every ready node in flight on the pool, retire
+/// completions as they arrive, commit finalize decisions in serial order.
+fn run_parallel(
+    dag: &Dag<crate::operator::NodeSpec>,
+    runner: &NodeRunner<'_>,
+    coord: &mut Coordinator<'_>,
+    pool: &WorkerPool,
+) {
+    pool.with_executor(
+        |node: NodeId| runner.run_node(node),
+        |executor| {
+            let mut frontier = dag.frontier();
+            let mut in_flight = 0usize;
+            loop {
+                // Dispatch (or immediately retire) everything ready;
+                // retiring a prune node can ready more, which `pop_min`
+                // picks up in the same sweep.
+                while let Some(node) = frontier.pop_min() {
+                    // After an error at topo position p, keep dispatching
+                    // only nodes *before* p: the serial loop would have
+                    // executed all of them before stopping, so the error
+                    // finally reported is the earliest-topo-position one —
+                    // identical to serial — at any worker count.
+                    let error_pos = coord.first_error.as_ref().map(|(pos, _)| *pos);
+                    if coord.states[node.ix()] == State::Prune {
+                        coord.record_prune(node);
+                        frontier.complete(node);
+                    } else if error_pos.is_none_or(|pos| coord.topo_pos[node.ix()] < pos) {
+                        executor.submit(node);
+                        in_flight += 1;
+                    }
+                    // Nodes at or past the error position are dropped; we
+                    // only drain what serial would still have run.
+                }
+                if in_flight == 0 {
+                    break;
+                }
+                let completion = executor.recv();
+                in_flight -= 1;
+                let node = NodeId(completion.node as u32);
+                coord.on_completion(completion);
+                frontier.complete(node);
+                // Unconditional: after an error, events triggered before
+                // the error position must still commit for failure parity
+                // with serial (commit_finalizes enforces the limit).
+                coord.commit_finalizes();
+            }
+        },
+    );
+}
+
+/// Width of the widest level antichain (see [`Dag::level_sets`]) — the
+/// engine's estimate of how many nodes can be in flight at once.
+fn level_width(dag: &Dag<crate::operator::NodeSpec>) -> Result<usize> {
+    Ok(dag.level_sets()?.iter().map(Vec::len).max().unwrap_or(0))
+}
+
+fn topo_positions(order: &[NodeId], n: usize) -> Vec<usize> {
+    let mut pos = vec![0usize; n];
+    for (p, id) in order.iter().enumerate() {
+        pos[id.ix()] = p;
+    }
+    pos
+}
+
+/// Per-node count of compute-state children: a node is out of scope once
+/// all of them have finished (loaded/pruned children never read the
+/// in-memory value).
+fn compute_child_counts(dag: &Dag<crate::operator::NodeSpec>, states: &[State]) -> Vec<usize> {
+    (0..dag.len())
         .map(|i| {
             dag.children(NodeId(i as u32))
                 .iter()
                 .filter(|c| states[c.ix()] == State::Compute)
                 .count()
         })
-        .collect();
-    let mut done = vec![false; n];
+        .collect()
+}
 
-    let order = dag.topo_order()?;
-    for id in order {
+/// The order in which the serial topological loop would make streaming
+/// OPT-MAT-PLAN decisions — a pure function of the DAG and states, so the
+/// parallel engine can replay it regardless of completion timing.
+///
+/// Mirrors the serial sweep exactly: after executing the node at each
+/// topo position `k`, finalize it if it has no compute children, then any
+/// parent whose last compute child it was. Each event carries `k` (its
+/// *trigger position*): the parallel engine commits an event only once
+/// every node at positions `0..=k` has finished, so a failed iteration
+/// cannot write artifacts a serial run (which stops at the first error)
+/// would never have written. Duplicate entries are harmless (the commit
+/// step skips already-finalized nodes), matching the serial engine's
+/// `cache.contains` guard.
+fn serial_finalize_sequence(
+    dag: &Dag<crate::operator::NodeSpec>,
+    states: &[State],
+    order: &[NodeId],
+) -> Vec<(NodeId, usize)> {
+    let n = dag.len();
+    let mut pending = compute_child_counts(dag, states);
+    let mut done = vec![false; n];
+    let mut seq = Vec::new();
+    for (k, &id) in order.iter().enumerate() {
         let i = id.ix();
-        let spec = dag.payload(id);
-        match states[i] {
-            State::Prune => {
-                runs[i] = Some(NodeRun {
-                    node: id.0,
-                    name: spec.name.clone(),
-                    phase: spec.phase,
-                    state: RunState::Pruned,
-                    run_nanos: 0,
-                    materialize_nanos: 0,
-                    materialized_bytes: 0,
-                    output_bytes: 0,
-                });
+        done[i] = true;
+        if states[i] == State::Compute {
+            for p in dag.parents(id) {
+                pending[p.ix()] -= 1;
             }
+        }
+        if pending[i] == 0 && states[i] != State::Prune {
+            seq.push((id, k));
+        }
+        for &p in dag.parents(id) {
+            if done[p.ix()] && pending[p.ix()] == 0 && states[p.ix()] != State::Prune {
+                seq.push((p, k));
+            }
+        }
+    }
+    seq
+}
+
+/// The worker-side executor: runs one `Load` or `Compute` node against the
+/// shared cache/catalog. Shared immutably across worker threads.
+struct NodeRunner<'a> {
+    wf: &'a Workflow,
+    states: &'a [State],
+    sigs: &'a [Signature],
+    catalog: &'a MaterializationCatalog,
+    cache: &'a SharedValueCache,
+    memory: &'a SharedMemoryTracker,
+    pool: WorkerPool,
+    seed: u64,
+}
+
+impl NodeRunner<'_> {
+    fn run_node(&self, id: NodeId) -> Completion {
+        Completion { node: id.ix(), result: self.try_run(id) }
+    }
+
+    fn try_run(&self, id: NodeId) -> Result<NodeSuccess> {
+        let i = id.ix();
+        let dag = self.wf.dag();
+        let spec = dag.payload(id);
+        match self.states[i] {
+            State::Prune => unreachable!("prune nodes are retired by the coordinator"),
             State::Load => {
-                let (value, load_nanos) = catalog.load(sigs[i])?;
+                let (value, load_nanos) = self.catalog.load(self.sigs[i])?;
                 let value = Arc::new(value);
-                incurred[i] = load_nanos;
-                runs[i] = Some(NodeRun {
-                    node: id.0,
-                    name: spec.name.clone(),
-                    phase: spec.phase,
-                    state: RunState::Loaded,
+                let output_bytes = value.byte_size();
+                self.cache.put(id.0, Arc::clone(&value));
+                self.memory.record(self.cache.resident_bytes());
+                Ok(NodeSuccess {
+                    value,
                     run_nanos: load_nanos,
-                    materialize_nanos: 0,
-                    materialized_bytes: 0,
-                    output_bytes: value.byte_size(),
-                });
-                if spec.is_output {
-                    outputs.insert(spec.name.clone(), Arc::clone(&value));
-                }
-                cache.put(id.0, value);
-                memory.record(cache.resident_bytes());
+                    output_bytes,
+                    state: RunState::Loaded,
+                })
             }
             State::Compute => {
                 let inputs: Vec<Arc<Value>> = dag
                     .parents(id)
                     .iter()
                     .map(|p| {
-                        cache.get(p.0).ok_or_else(|| {
+                        self.cache.get(p.0).ok_or_else(|| {
                             HelixError::exec(
                                 &spec.name,
                                 format!(
@@ -157,126 +406,176 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
                     })
                     .collect::<Result<_>>()?;
                 let ctx = crate::operator::ExecContext {
-                    pool,
-                    seed: seed ^ (sigs[i].0 as u64) ^ ((sigs[i].0 >> 64) as u64),
+                    pool: self.pool,
+                    seed: self.seed ^ (self.sigs[i].0 as u64) ^ ((self.sigs[i].0 >> 64) as u64),
                 };
                 let (result, run_nanos) = timed(|| spec.operator.execute(&inputs, &ctx));
                 let value = Arc::new(result?);
-                incurred[i] = run_nanos;
-                compute_times.push((sigs[i], run_nanos));
-                runs[i] = Some(NodeRun {
-                    node: id.0,
-                    name: spec.name.clone(),
-                    phase: spec.phase,
-                    state: RunState::Computed,
-                    run_nanos,
-                    materialize_nanos: 0,
-                    materialized_bytes: 0,
-                    output_bytes: value.byte_size(),
-                });
-                if spec.is_output {
-                    outputs.insert(spec.name.clone(), Arc::clone(&value));
-                }
-                cache.put(id.0, value);
-                memory.record(cache.resident_bytes());
+                let output_bytes = value.byte_size();
+                self.cache.put(id.0, Arc::clone(&value));
+                self.memory.record(self.cache.resident_bytes());
+                Ok(NodeSuccess { value, run_nanos, output_bytes, state: RunState::Computed })
             }
-        }
-        done[i] = true;
-
-        // Out-of-scope sweep: this node (if it has no compute children) and
-        // any parent whose last compute child was this node.
-        if states[i] == State::Compute {
-            for p in dag.parents(id) {
-                pending[p.ix()] -= 1;
-            }
-        }
-        let mut to_finalize: Vec<NodeId> = Vec::new();
-        if pending[i] == 0 && states[i] != State::Prune {
-            to_finalize.push(id);
-        }
-        for p in dag.parents(id) {
-            if done[p.ix()] && pending[p.ix()] == 0 && states[p.ix()] != State::Prune {
-                to_finalize.push(*p);
-            }
-        }
-        for node in to_finalize {
-            finalize_node(
-                wf,
-                node,
-                states,
-                sigs,
-                catalog,
-                strategy,
-                budget_bytes,
-                iteration,
-                &incurred,
-                &mut cache,
-                &mut runs,
-            )?;
-            memory.record(cache.resident_bytes());
         }
     }
-
-    debug_assert!(
-        (0..n).all(|i| states[i] == State::Prune || !cache.contains(i as u32)),
-        "every non-pruned node must have been finalized and evicted"
-    );
-
-    let mut metrics = IterationMetrics::new(iteration);
-    for run in runs.into_iter().flatten() {
-        metrics.record(run);
-    }
-    metrics.peak_memory_bytes = memory.peak_bytes();
-    metrics.avg_memory_bytes = memory.avg_bytes();
-    metrics.storage_bytes = catalog.total_bytes();
-    Ok(ExecOutcome { metrics, outputs, compute_times })
 }
 
-/// Constraint 3: an out-of-scope node is either materialized immediately
-/// or dropped from cache.
-#[allow(clippy::too_many_arguments)]
-fn finalize_node(
-    wf: &Workflow,
-    node: NodeId,
-    states: &[State],
-    sigs: &[Signature],
-    catalog: &MaterializationCatalog,
+/// Single-threaded bookkeeping: retirement, metrics, output capture, and
+/// the in-order replay of streaming materialization decisions.
+struct Coordinator<'a> {
+    wf: &'a Workflow,
+    states: &'a [State],
+    sigs: &'a [Signature],
+    catalog: &'a MaterializationCatalog,
     strategy: MatStrategy,
     budget_bytes: u64,
     iteration: u64,
-    incurred: &[Nanos],
-    cache: &mut ValueCache,
-    runs: &mut [Option<NodeRun>],
-) -> Result<()> {
-    let i = node.ix();
-    if !cache.contains(node.0) {
-        return Ok(()); // already finalized via another child
+    cache: &'a SharedValueCache,
+    memory: &'a SharedMemoryTracker,
+    topo_pos: Vec<usize>,
+    done: Vec<bool>,
+    pending: Vec<usize>,
+    incurred: Vec<Nanos>,
+    runs: Vec<Option<NodeRun>>,
+    outputs: HashMap<String, Arc<Value>>,
+    compute_nanos: Vec<Option<Nanos>>,
+    finalize_seq: Vec<(NodeId, usize)>,
+    seq_cursor: usize,
+    finalized: Vec<bool>,
+    /// Canonical topo order, for prefix-completion tracking.
+    order: Vec<NodeId>,
+    /// Number of leading topo positions whose nodes have all finished.
+    done_prefix: usize,
+    /// Earliest failing node by topo position — matches what the serial
+    /// loop would have reported first.
+    first_error: Option<(usize, HelixError)>,
+}
+
+impl Coordinator<'_> {
+    fn record_prune(&mut self, id: NodeId) {
+        let i = id.ix();
+        let spec = self.wf.dag().payload(id);
+        self.runs[i] = Some(NodeRun {
+            node: id.0,
+            name: spec.name.clone(),
+            phase: spec.phase,
+            state: RunState::Pruned,
+            run_nanos: 0,
+            materialize_nanos: 0,
+            materialized_bytes: 0,
+            output_bytes: 0,
+        });
+        self.done[i] = true;
     }
-    let spec = wf.dag().payload(node);
-    // Only computed values are candidates: loaded ones are already on disk.
-    if states[i] == State::Compute && !catalog.contains(sigs[i]) {
-        let value = cache.get(node.0).expect("checked above");
-        let size = value.byte_size();
-        let budget_remaining = budget_bytes.saturating_sub(catalog.total_bytes());
-        let mandatory = spec.is_output && strategy != MatStrategy::Never;
-        let elective = should_materialize(
-            strategy,
-            cumulative_run_time(wf.dag(), incurred, node),
-            catalog.disk().estimate_load_nanos(size),
-            size,
-            budget_remaining,
-        );
-        if mandatory || elective {
-            let (bytes, write_nanos) =
-                catalog.store(sigs[i], &spec.name, iteration, &value)?;
-            if let Some(run) = runs[i].as_mut() {
-                run.materialize_nanos = write_nanos;
-                run.materialized_bytes = bytes;
+
+    fn on_completion(&mut self, completion: Completion) {
+        let i = completion.node;
+        let id = NodeId(i as u32);
+        let spec = self.wf.dag().payload(id);
+        match completion.result {
+            Ok(success) => {
+                self.incurred[i] = success.run_nanos;
+                if success.state == RunState::Computed {
+                    self.compute_nanos[i] = Some(success.run_nanos);
+                    for p in self.wf.dag().parents(id) {
+                        self.pending[p.ix()] -= 1;
+                    }
+                }
+                self.runs[i] = Some(NodeRun {
+                    node: id.0,
+                    name: spec.name.clone(),
+                    phase: spec.phase,
+                    state: success.state,
+                    run_nanos: success.run_nanos,
+                    materialize_nanos: 0,
+                    materialized_bytes: 0,
+                    output_bytes: success.output_bytes,
+                });
+                if spec.is_output {
+                    self.outputs.insert(spec.name.clone(), success.value);
+                }
+            }
+            Err(err) => {
+                let pos = self.topo_pos[i];
+                if self.first_error.as_ref().is_none_or(|(p, _)| pos < *p) {
+                    self.first_error = Some((pos, err));
+                }
             }
         }
+        self.done[i] = true;
     }
-    cache.evict(node.0);
-    Ok(())
+
+    /// Commit pending out-of-scope decisions strictly in the precomputed
+    /// serial order. An event triggered at serial topo position `k`
+    /// commits only once every node at positions `0..=k` has finished —
+    /// exactly when the serial loop would have reached it — so catalog
+    /// writes never run ahead of a pending earlier failure. Conversely,
+    /// after an error at position `p`, events triggered *before* `p`
+    /// still commit (the serial loop had already made them before
+    /// stopping), so a failed iteration leaves exactly the catalog a
+    /// serial run would.
+    fn commit_finalizes(&mut self) {
+        while self.done_prefix < self.order.len() && self.done[self.order[self.done_prefix].ix()] {
+            self.done_prefix += 1;
+        }
+        let error_pos = self.first_error.as_ref().map_or(usize::MAX, |(pos, _)| *pos);
+        while let Some(&(node, trigger_pos)) = self.finalize_seq.get(self.seq_cursor) {
+            let i = node.ix();
+            if trigger_pos >= self.done_prefix || trigger_pos >= error_pos {
+                break;
+            }
+            // Implied by the prefix condition: the node and all of its
+            // compute children sit at or before the trigger position.
+            debug_assert!(self.done[i] && self.pending[i] == 0);
+            self.seq_cursor += 1;
+            if std::mem::replace(&mut self.finalized[i], true) {
+                continue; // duplicate event, same as the serial guard
+            }
+            if let Err(err) = self.finalize_node(node) {
+                let pos = self.topo_pos[i];
+                if self.first_error.as_ref().is_none_or(|(p, _)| pos < *p) {
+                    self.first_error = Some((pos, err));
+                }
+                break;
+            }
+            self.memory.record(self.cache.resident_bytes());
+        }
+    }
+
+    /// Constraint 3: an out-of-scope node is either materialized
+    /// immediately or dropped from cache.
+    fn finalize_node(&mut self, node: NodeId) -> Result<()> {
+        let i = node.ix();
+        if !self.cache.contains(node.0) {
+            return Ok(()); // already finalized via another child
+        }
+        let spec = self.wf.dag().payload(node);
+        // Only computed values are candidates: loaded ones are already on
+        // disk.
+        if self.states[i] == State::Compute && !self.catalog.contains(self.sigs[i]) {
+            let value = self.cache.get(node.0).expect("checked above");
+            let size = value.byte_size();
+            let budget_remaining = self.budget_bytes.saturating_sub(self.catalog.total_bytes());
+            let mandatory = spec.is_output && self.strategy != MatStrategy::Never;
+            let elective = should_materialize(
+                self.strategy,
+                cumulative_run_time(self.wf.dag(), &self.incurred, node),
+                self.catalog.disk().estimate_load_nanos(size),
+                size,
+                budget_remaining,
+            );
+            if mandatory || elective {
+                let (bytes, write_nanos) =
+                    self.catalog.store(self.sigs[i], &spec.name, self.iteration, &value)?;
+                if let Some(run) = self.runs[i].as_mut() {
+                    run.materialize_nanos = write_nanos;
+                    run.materialized_bytes = bytes;
+                }
+            }
+        }
+        self.cache.evict(node.0);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -302,10 +601,41 @@ mod tests {
         wf
     }
 
+    /// A diamond with two independent middle branches — the smallest shape
+    /// where frontier scheduling can overlap work.
+    fn diamond_wf() -> Workflow {
+        let mut wf = Workflow::new("diamond");
+        let src = wf.source("src", 1, |_| Ok(Value::Scalar(Scalar::F64(3.0))));
+        let left = wf.reduce("left", src, 1, |v, _| {
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x * 10.0)))
+        });
+        let right = wf.reduce("right", src, 1, |v, _| {
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x + 100.0)))
+        });
+        let join = wf.reduce_many("join", [left, right], 1, |vs, _| {
+            let l = vs[0].as_scalar()?.as_f64().unwrap_or(0.0);
+            let r = vs[1].as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(l + r)))
+        });
+        wf.output(join);
+        wf
+    }
+
     fn run_all_compute(
         wf: &Workflow,
         catalog: &MaterializationCatalog,
         strategy: MatStrategy,
+    ) -> ExecOutcome {
+        run_all_compute_with_workers(wf, catalog, strategy, 1)
+    }
+
+    fn run_all_compute_with_workers(
+        wf: &Workflow,
+        catalog: &MaterializationCatalog,
+        strategy: MatStrategy,
+        workers: usize,
     ) -> ExecOutcome {
         let sigs = chain_signatures(wf, &HashMap::new());
         let states = vec![State::Compute; wf.len()];
@@ -316,7 +646,7 @@ mod tests {
             catalog,
             strategy,
             budget_bytes: u64::MAX,
-            workers: 1,
+            workers,
             cache_policy: CachePolicy::Eager,
             iteration: 0,
             seed: 7,
@@ -384,8 +714,7 @@ mod tests {
         assert_eq!(outcome.metrics.pruned, 2);
         assert_eq!(outcome.metrics.computed, 0);
         assert!(outcome.compute_times.is_empty());
-        let run_states: Vec<RunState> =
-            outcome.metrics.node_runs.iter().map(|r| r.state).collect();
+        let run_states: Vec<RunState> = outcome.metrics.node_runs.iter().map(|r| r.state).collect();
         assert_eq!(run_states, vec![RunState::Pruned, RunState::Pruned, RunState::Loaded]);
     }
 
@@ -421,18 +750,205 @@ mod tests {
         let wf = chain_wf();
         let sigs = chain_signatures(&wf, &HashMap::new());
         let states = vec![State::Prune, State::Compute, State::Compute];
-        let err = execute(EngineParams {
-            wf: &wf,
-            states: &states,
-            sigs: &sigs,
-            catalog: &catalog,
-            strategy: MatStrategy::Opt,
-            budget_bytes: u64::MAX,
-            workers: 1,
-            cache_policy: CachePolicy::Eager,
-            iteration: 0,
-            seed: 7,
+        for workers in [1, 4] {
+            let err = execute(EngineParams {
+                wf: &wf,
+                states: &states,
+                sigs: &sigs,
+                catalog: &catalog,
+                strategy: MatStrategy::Opt,
+                budget_bytes: u64::MAX,
+                workers,
+                cache_policy: CachePolicy::Eager,
+                iteration: 0,
+                seed: 7,
+            });
+            assert!(err.is_err(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_chain_and_diamond() {
+        for wf in [chain_wf(), diamond_wf()] {
+            let output_name = if wf.name() == "e" { "c" } else { "join" };
+            let serial_catalog =
+                MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+            let serial = run_all_compute(&wf, &serial_catalog, MatStrategy::Always);
+            for workers in [2, 4, 8] {
+                let catalog =
+                    MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+                let parallel =
+                    run_all_compute_with_workers(&wf, &catalog, MatStrategy::Always, workers);
+                assert_eq!(
+                    serial.outputs[output_name].as_scalar().unwrap(),
+                    parallel.outputs[output_name].as_scalar().unwrap(),
+                    "workers={workers}"
+                );
+                assert_eq!(serial.metrics.computed, parallel.metrics.computed);
+                assert_eq!(catalog.len(), serial_catalog.len(), "same materialization set");
+                // Same signatures materialized, same decision order.
+                let serial_sigs: Vec<String> =
+                    serial_catalog.entries().iter().map(|e| e.signature.clone()).collect();
+                let parallel_sigs: Vec<String> =
+                    catalog.entries().iter().map(|e| e.signature.clone()).collect();
+                assert_eq!(serial_sigs, parallel_sigs);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_overlaps_independent_branches() {
+        // Two independent 80 ms branches: serial ≥ 160 ms, 2 workers ≈ 80.
+        // Sleeping operators model blocking work (I/O, external calls) so
+        // the assertion holds even on a single-core CI machine.
+        let mut wf = Workflow::new("sleepy");
+        let src = wf.source("src", 1, |_| Ok(Value::Scalar(Scalar::F64(1.0))));
+        let slow = |v: &Value| {
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x + 1.0)))
+        };
+        let a = wf.reduce("a", src, 1, move |v, _| slow(v));
+        let b = wf.reduce("b", src, 1, move |v, _| slow(v));
+        let join = wf.reduce_many("join", [a, b], 1, |vs, _| {
+            let total: f64 =
+                vs.iter().filter_map(|v| v.as_scalar().ok().and_then(|s| s.as_f64())).sum();
+            Ok(Value::Scalar(Scalar::F64(total)))
         });
-        assert!(err.is_err());
+        wf.output(join);
+
+        let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        let t_serial = std::time::Instant::now();
+        let serial = run_all_compute_with_workers(&wf, &catalog, MatStrategy::Never, 1);
+        let serial_time = t_serial.elapsed();
+
+        let t_parallel = std::time::Instant::now();
+        let parallel = run_all_compute_with_workers(&wf, &catalog, MatStrategy::Never, 2);
+        let parallel_time = t_parallel.elapsed();
+
+        assert_eq!(
+            serial.outputs["join"].as_scalar().unwrap(),
+            parallel.outputs["join"].as_scalar().unwrap()
+        );
+        assert!(
+            parallel_time < serial_time * 3 / 4,
+            "2 workers {parallel_time:?} should beat serial {serial_time:?} on 2 branches"
+        );
+    }
+
+    #[test]
+    fn error_reporting_matches_serial_at_any_worker_count() {
+        // Two failing branches: `slow_fail` (earlier topo position, fails
+        // after 60 ms) and `fast_fail` (later position, fails instantly).
+        // Serial hits `slow_fail` first; a naive parallel engine would
+        // report whichever error *arrives* first — fast_fail. The engine
+        // must keep dispatching nodes before the error position and
+        // report the earliest-topo-position error, like serial.
+        let mut wf = Workflow::new("errs");
+        let src = wf.source("src", 1, |_| Ok(Value::Scalar(Scalar::F64(1.0))));
+        let slow = wf.reduce("slow_fail", src, 1, |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            Err(HelixError::exec("slow_fail", "slow branch failed"))
+        });
+        let fast = wf.reduce("fast_fail", src, 1, |_, _| {
+            Err(HelixError::exec("fast_fail", "fast branch failed"))
+        });
+        let join =
+            wf.reduce_many("join", [slow, fast], 1, |_, _| Ok(Value::Scalar(Scalar::F64(0.0))));
+        wf.output(join);
+
+        let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        let sigs = chain_signatures(&wf, &HashMap::new());
+        let states = vec![State::Compute; wf.len()];
+        let mut messages = Vec::new();
+        for workers in [1, 4] {
+            let result = execute(EngineParams {
+                wf: &wf,
+                states: &states,
+                sigs: &sigs,
+                catalog: &catalog,
+                strategy: MatStrategy::Never,
+                budget_bytes: u64::MAX,
+                workers,
+                cache_policy: CachePolicy::Eager,
+                iteration: 0,
+                seed: 7,
+            });
+            let Err(err) = result else {
+                panic!("workers={workers}: expected an error");
+            };
+            messages.push(format!("{err}"));
+        }
+        assert!(
+            messages[0].contains("slow_fail"),
+            "serial must report the earlier-topo error, got: {}",
+            messages[0]
+        );
+        assert_eq!(messages[0], messages[1], "parallel error must match serial");
+    }
+
+    #[test]
+    fn failed_iteration_leaves_serial_identical_catalog() {
+        // `slow_ok` (topo pos 1) succeeds after 60 ms; `fast_fail` (pos 2)
+        // fails instantly. Serial materializes slow_ok (Always) and then
+        // errors; a parallel run sees the error first but must still
+        // commit the earlier-position materialization — and nothing else.
+        let build = || {
+            let mut wf = Workflow::new("failpar");
+            let src = wf.source("src", 1, |_| Ok(Value::Scalar(Scalar::F64(1.0))));
+            // Leaves: slow_ok's finalize event triggers at its own topo
+            // position (1), strictly before the error at fast_fail (2).
+            let _slow = wf.reduce("slow_ok", src, 1, |v, _| {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+                Ok(Value::Scalar(Scalar::F64(x + 1.0)))
+            });
+            let _fast =
+                wf.reduce("fast_fail", src, 1, |_, _| Err(HelixError::exec("fast_fail", "boom")));
+            wf
+        };
+        let mut catalog_sigs = Vec::new();
+        for workers in [1, 4] {
+            let wf = build();
+            let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+            let sigs = chain_signatures(&wf, &HashMap::new());
+            let states = vec![State::Compute; wf.len()];
+            let result = execute(EngineParams {
+                wf: &wf,
+                states: &states,
+                sigs: &sigs,
+                catalog: &catalog,
+                strategy: MatStrategy::Always,
+                budget_bytes: u64::MAX,
+                workers,
+                cache_policy: CachePolicy::Eager,
+                iteration: 0,
+                seed: 7,
+            });
+            assert!(result.is_err(), "workers={workers}");
+            let entries: Vec<String> =
+                catalog.entries().iter().map(|e| e.signature.clone()).collect();
+            catalog_sigs.push(entries);
+        }
+        assert_eq!(
+            catalog_sigs[0], catalog_sigs[1],
+            "failed iteration must leave the same catalog at any worker count"
+        );
+        assert_eq!(catalog_sigs[0].len(), 1, "exactly slow_ok's artifact survives");
+    }
+
+    #[test]
+    fn finalize_sequence_is_timing_independent() {
+        let wf = diamond_wf();
+        let dag = wf.dag();
+        let order = dag.topo_order().unwrap();
+        let states = vec![State::Compute; wf.len()];
+        let seq = serial_finalize_sequence(dag, &states, &order);
+        // src (node 0) goes out of scope after both branches; branches
+        // after the join; join after itself (no compute children).
+        let (first_finalized, trigger_pos) = seq.first().copied().unwrap();
+        assert_eq!(first_finalized, NodeId(0), "src retires once left+right are done");
+        assert_eq!(trigger_pos, 2, "…which happens at the second branch's topo position");
+        assert_eq!(seq, serial_finalize_sequence(dag, &states, &order), "pure function");
     }
 }

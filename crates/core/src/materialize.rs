@@ -309,8 +309,15 @@ mod tests {
         let loads = vec![10, 10, 10];
         let sizes = vec![100, 100, 100];
         let executed = vec![true, true, true];
-        let chosen =
-            streaming_omp_choices(&g, MatStrategy::Opt, &incurred, &loads, &sizes, &executed, 10_000);
+        let chosen = streaming_omp_choices(
+            &g,
+            MatStrategy::Opt,
+            &incurred,
+            &loads,
+            &sizes,
+            &executed,
+            10_000,
+        );
         assert_eq!(chosen, vec![true, true, true], "C grows along the chain: all pass 2l");
     }
 
@@ -322,8 +329,15 @@ mod tests {
         let loads = vec![1_000, 1_000];
         let sizes = vec![1 << 20, 1 << 20];
         let executed = vec![true, true];
-        let chosen =
-            streaming_omp_choices(&g, MatStrategy::Opt, &incurred, &loads, &sizes, &executed, u64::MAX);
+        let chosen = streaming_omp_choices(
+            &g,
+            MatStrategy::Opt,
+            &incurred,
+            &loads,
+            &sizes,
+            &executed,
+            u64::MAX,
+        );
         assert_eq!(chosen, vec![false, false]);
     }
 

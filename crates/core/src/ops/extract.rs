@@ -80,8 +80,7 @@ impl Operator for BucketizerExtractor {
             .ok_or_else(|| HelixError::not_found("column", self.column.clone()))?;
         // Learning pass: collect every value (train AND test share the same
         // discretization — the paper's unified-DPR guarantee).
-        let values: Vec<f64> =
-            batch.rows.iter().filter_map(|r| r.values[idx].as_f64()).collect();
+        let values: Vec<f64> = batch.rows.iter().filter_map(|r| r.values[idx].as_f64()).collect();
         let model = QuantileBucketizer { bins: self.bins }.fit(&values)?;
         let name = format!("{}_bucket", self.column);
         let units: Vec<SemanticUnit> = ctx.pool.map(&batch.rows, |row| {
@@ -129,12 +128,7 @@ impl Operator for InteractionFeature {
                 }
                 _ => FeatureBundle::Empty,
             };
-            units.push(SemanticUnit {
-                origin: ua.origin,
-                split: ua.split,
-                features,
-                key: None,
-            });
+            units.push(SemanticUnit { origin: ua.origin, split: ua.split, features, key: None });
         }
         Ok(Value::units(UnitBatch::new(units)))
     }
@@ -258,16 +252,12 @@ mod tests {
 
     #[test]
     fn field_extractor_types() {
-        let out = FieldExtractor::new("age")
-            .execute(&[census_batch()], &ExecContext::serial(0))
-            .unwrap();
+        let out =
+            FieldExtractor::new("age").execute(&[census_batch()], &ExecContext::serial(0)).unwrap();
         let binding = out.as_collection().unwrap();
         let units = binding.as_units().unwrap();
         assert_eq!(units.len(), 3);
-        assert_eq!(
-            units.units[0].features,
-            FeatureBundle::Numeric(vec![("age".into(), 25.0)])
-        );
+        assert_eq!(units.units[0].features, FeatureBundle::Numeric(vec![("age".into(), 25.0)]));
         assert_eq!(units.units[0].origin, 0);
         assert_eq!(units.units[2].split, Split::Test);
 
@@ -346,9 +336,8 @@ mod tests {
             FeatureBundle::Tokens(ts) => assert_eq!(ts, &vec!["gene", "active"]),
             other => panic!("{other:?}"),
         }
-        let cased = TokenizeColumn::cased("text")
-            .execute(&[batch], &ExecContext::serial(0))
-            .unwrap();
+        let cased =
+            TokenizeColumn::cased("text").execute(&[batch], &ExecContext::serial(0)).unwrap();
         let cased_binding = cased.as_collection().unwrap();
         match &cased_binding.as_units().unwrap().units[0].features {
             FeatureBundle::Tokens(ts) => {

@@ -10,9 +10,7 @@
 use crate::operator::{ExecContext, Operator};
 use helix_common::{HelixError, Result};
 use helix_data::{Example, ExampleBatch, FeatureBundle, Model, TransformModel, Value};
-use helix_ml::{
-    KMeans, LogisticRegression, NaiveBayes, RandomFourierFeatures, Word2Vec,
-};
+use helix_ml::{KMeans, LogisticRegression, NaiveBayes, RandomFourierFeatures, Word2Vec};
 use std::sync::Arc;
 
 /// The learning algorithms available to `Learner` declarations.
@@ -116,12 +114,8 @@ impl Operator for Learner {
                         _ => None,
                     })
                     .collect();
-                let trainer = Word2Vec {
-                    dim: *dim,
-                    epochs: *epochs,
-                    seed: ctx.seed,
-                    ..Default::default()
-                };
+                let trainer =
+                    Word2Vec { dim: *dim, epochs: *epochs, seed: ctx.seed, ..Default::default() };
                 Model::Embeddings(trainer.fit(&sentences)?)
             }
             Algo::NaiveBayes { alpha } => {
@@ -189,9 +183,8 @@ impl Operator for Predict {
                 Ok(Value::examples(ExampleBatch::dense(examples)))
             }
             Model::NaiveBayes(m) => {
-                let examples: Vec<Example> = ctx
-                    .pool
-                    .map(&batch.examples, |e| slim(e, NaiveBayes::predict(m, &e.features)));
+                let examples: Vec<Example> =
+                    ctx.pool.map(&batch.examples, |e| slim(e, NaiveBayes::predict(m, &e.features)));
                 Ok(Value::examples(ExampleBatch::dense(examples)))
             }
             Model::Transform(t @ TransformModel::RandomFourier { .. }) => {
@@ -208,10 +201,9 @@ impl Operator for Predict {
                 // Transformed features live in an anonymous dense space.
                 Ok(Value::examples(ExampleBatch::dense(examples?)))
             }
-            Model::Transform(_) => Err(HelixError::exec(
-                "predict",
-                "transform model not applicable to examples here",
-            )),
+            Model::Transform(_) => {
+                Err(HelixError::exec("predict", "transform model not applicable to examples here"))
+            }
             Model::Embeddings(_) => Err(HelixError::exec(
                 "predict",
                 "embeddings are consumed by embed-entities, not predict",
@@ -263,9 +255,7 @@ mod tests {
         let model = learner.execute(&[Arc::clone(&batch)], &ExecContext::serial(3)).unwrap();
         assert_eq!(model.as_model().unwrap().kind(), "linear");
 
-        let out = Predict
-            .execute(&[Arc::new(model), batch], &ExecContext::serial(3))
-            .unwrap();
+        let out = Predict.execute(&[Arc::new(model), batch], &ExecContext::serial(3)).unwrap();
         let binding = out.as_collection().unwrap();
         let predicted = binding.as_examples().unwrap();
         let pairs: Vec<(f64, f64)> = predicted
@@ -297,9 +287,7 @@ mod tests {
         let model = Learner { algo: Algo::RandomFourier { dim_out: 16, gamma: 0.1 } }
             .execute(&[Arc::clone(&batch)], &ExecContext::serial(5))
             .unwrap();
-        let out = Predict
-            .execute(&[Arc::new(model), batch], &ExecContext::serial(5))
-            .unwrap();
+        let out = Predict.execute(&[Arc::new(model), batch], &ExecContext::serial(5)).unwrap();
         let binding = out.as_collection().unwrap();
         let transformed = binding.as_examples().unwrap();
         assert_eq!(transformed.examples[0].features.dim(), 16);

@@ -103,6 +103,46 @@ where
     }
 }
 
+/// N-ary twin of [`UdfReducer`]: wraps a multi-input scalar UDF,
+/// enforcing the declared arity and the reducer invariant (scalar
+/// output) that the type system cannot check.
+pub struct UdfReducerN<F> {
+    arity: usize,
+    udf: F,
+}
+
+impl<F> UdfReducerN<F>
+where
+    F: Fn(&[Arc<Value>], &ExecContext) -> Result<Value> + Send + Sync,
+{
+    /// Wrap the closure, remembering the declared input count.
+    pub fn new(arity: usize, udf: F) -> Self {
+        UdfReducerN { arity, udf }
+    }
+}
+
+impl<F> Operator for UdfReducerN<F>
+where
+    F: Fn(&[Arc<Value>], &ExecContext) -> Result<Value> + Send + Sync,
+{
+    fn execute(&self, inputs: &[Arc<Value>], ctx: &ExecContext) -> Result<Value> {
+        if inputs.len() != self.arity {
+            return Err(HelixError::exec(
+                "udf-reducer-n",
+                format!("expects {} inputs, got {}", self.arity, inputs.len()),
+            ));
+        }
+        let out = (self.udf)(inputs, ctx)?;
+        match out {
+            Value::Scalar(_) => Ok(out),
+            other => Err(HelixError::exec(
+                "udf-reducer-n",
+                format!("reducers must output scalars, got {:?}", other.kind()),
+            )),
+        }
+    }
+}
+
 /// `(truth, prediction)` pairs over the test split.
 fn test_pairs(inputs: &[Arc<Value>]) -> Result<Vec<(f64, f64)>> {
     let [input] = inputs else {
@@ -138,9 +178,7 @@ mod tests {
 
     #[test]
     fn accuracy_reducer_uses_test_split_only() {
-        let out = AccuracyReducer
-            .execute(&[predicted_batch()], &ExecContext::serial(0))
-            .unwrap();
+        let out = AccuracyReducer.execute(&[predicted_batch()], &ExecContext::serial(0)).unwrap();
         let scalar = out.as_scalar().unwrap();
         assert!((scalar.metric("accuracy").unwrap() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(scalar.metric("test_examples"), Some(3.0));
@@ -161,14 +199,9 @@ mod tests {
             e.prediction = Some(pred);
             e
         };
-        let batch = Arc::new(Value::examples(ExampleBatch::dense(vec![
-            mk(0.0),
-            mk(0.0),
-            mk(1.0),
-        ])));
-        let out = ClusterSummaryReducer { k: 2 }
-            .execute(&[batch], &ExecContext::serial(0))
-            .unwrap();
+        let batch = Arc::new(Value::examples(ExampleBatch::dense(vec![mk(0.0), mk(0.0), mk(1.0)])));
+        let out =
+            ClusterSummaryReducer { k: 2 }.execute(&[batch], &ExecContext::serial(0)).unwrap();
         let scalar = out.as_scalar().unwrap();
         assert_eq!(scalar.metric("cluster_0"), Some(2.0));
         assert_eq!(scalar.metric("cluster_1"), Some(1.0));
@@ -176,9 +209,8 @@ mod tests {
 
     #[test]
     fn udf_reducer_enforces_scalar_output() {
-        let ok = UdfReducer::new(|_v: &Value, _ctx: &ExecContext| {
-            Ok(Value::Scalar(Scalar::F64(1.0)))
-        });
+        let ok =
+            UdfReducer::new(|_v: &Value, _ctx: &ExecContext| Ok(Value::Scalar(Scalar::F64(1.0))));
         assert!(ok.execute(&[predicted_batch()], &ExecContext::serial(0)).is_ok());
         let bad = UdfReducer::new(|v: &Value, _ctx: &ExecContext| Ok(v.clone()));
         assert!(bad.execute(&[predicted_batch()], &ExecContext::serial(0)).is_err());

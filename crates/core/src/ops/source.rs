@@ -143,9 +143,8 @@ mod tests {
     fn csv_scan_parses_lines() {
         let lines = lines_batch("30,BS,1\n41,PhD,0\n", "55,MS,1\n").unwrap();
         let scan = CsvScan::new(&["age", "edu", "target"]);
-        let out = scan
-            .execute(&[Arc::new(Value::records(lines))], &ExecContext::serial(0))
-            .unwrap();
+        let out =
+            scan.execute(&[Arc::new(Value::records(lines))], &ExecContext::serial(0)).unwrap();
         let batch_binding = out.as_collection().unwrap();
         let batch = batch_binding.as_records().unwrap();
         assert_eq!(batch.len(), 3);
@@ -158,9 +157,7 @@ mod tests {
     fn csv_scan_rejects_ragged_lines() {
         let lines = lines_batch("1,2\n", "").unwrap();
         let scan = CsvScan::new(&["a", "b", "c"]);
-        assert!(scan
-            .execute(&[Arc::new(Value::records(lines))], &ExecContext::serial(0))
-            .is_err());
+        assert!(scan.execute(&[Arc::new(Value::records(lines))], &ExecContext::serial(0)).is_err());
     }
 
     #[test]
@@ -183,9 +180,8 @@ mod tests {
                 .map(|s| Record { values: vec![FieldValue::Text(s.to_string())], split: row.split })
                 .collect()
         });
-        let out = scan
-            .execute(&[Arc::new(Value::records(batch))], &ExecContext::serial(0))
-            .unwrap();
+        let out =
+            scan.execute(&[Arc::new(Value::records(batch))], &ExecContext::serial(0)).unwrap();
         let out_binding = out.as_collection().unwrap();
         let records = out_binding.as_records().unwrap();
         assert_eq!(records.len(), 2, "empty article filtered, two sentences kept");
@@ -193,9 +189,8 @@ mod tests {
 
     #[test]
     fn source_rejects_inputs() {
-        let src = ClosureSource::new(|_ctx: &ExecContext| {
-            Ok(Value::Scalar(helix_data::Scalar::I64(1)))
-        });
+        let src =
+            ClosureSource::new(|_ctx: &ExecContext| Ok(Value::Scalar(helix_data::Scalar::I64(1))));
         let dummy = Arc::new(Value::Scalar(helix_data::Scalar::I64(0)));
         assert!(src.execute(&[dummy], &ExecContext::serial(0)).is_err());
         assert!(src.execute(&[], &ExecContext::serial(0)).is_ok());

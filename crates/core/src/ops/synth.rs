@@ -325,11 +325,7 @@ mod tests {
             unit(1, FeatureBundle::Categorical(vec![("y".into(), "<=50K".into())])),
             unit(2, FeatureBundle::Categorical(vec![("y".into(), ">50K".into())])),
         ])));
-        let op = AssembleExamples {
-            owners: vec![1],
-            ext_names: vec!["x".into()],
-            labeled: true,
-        };
+        let op = AssembleExamples { owners: vec![1], ext_names: vec!["x".into()], labeled: true };
         let out = op.execute(&[base, feat, label], &ExecContext::serial(0)).unwrap();
         let binding = out.as_collection().unwrap();
         let batch = binding.as_examples().unwrap();
@@ -356,11 +352,7 @@ mod tests {
             0,
             FeatureBundle::Numeric(vec![("x".into(), 5.0)]),
         )])));
-        let op = AssembleExamples {
-            owners: vec![1],
-            ext_names: vec!["x".into()],
-            labeled: false,
-        };
+        let op = AssembleExamples { owners: vec![1], ext_names: vec!["x".into()], labeled: false };
         let out = op.execute(&[base, feat], &ExecContext::serial(0)).unwrap();
         let binding = out.as_collection().unwrap();
         let batch = binding.as_examples().unwrap();
@@ -374,7 +366,8 @@ mod tests {
         let feat = Arc::new(Value::units(UnitBatch::default()));
         let bad = AssembleExamples { owners: vec![], ext_names: vec![], labeled: false };
         assert!(bad.execute(&[base.clone(), feat.clone()], &ExecContext::serial(0)).is_err());
-        let bad2 = AssembleExamples { owners: vec![1, 2], ext_names: vec!["a".into()], labeled: false };
+        let bad2 =
+            AssembleExamples { owners: vec![1, 2], ext_names: vec!["a".into()], labeled: false };
         assert!(bad2.execute(&[base, feat], &ExecContext::serial(0)).is_err());
     }
 
@@ -383,7 +376,10 @@ mod tests {
         let units = Arc::new(Value::units(UnitBatch::new(vec![unit(
             0,
             FeatureBundle::Tokens(
-                ["the", "brca1", "gene", "causes", "cancer"].iter().map(|s| s.to_string()).collect(),
+                ["the", "brca1", "gene", "causes", "cancer"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
             ),
         )])));
         let kb = Arc::new(Value::records(

@@ -134,9 +134,7 @@ mod tests {
         let sigs = chain_signatures(&wf, &HashMap::new());
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
         let c = wf.node_by_name("c").unwrap();
-        catalog
-            .store(sigs[c.ix()], "c", 0, &Value::Scalar(Scalar::I64(3)))
-            .unwrap();
+        catalog.store(sigs[c.ix()], "c", 0, &Value::Scalar(Scalar::I64(3))).unwrap();
         let mut stats = HashMap::new();
         for s in &sigs {
             stats.insert(*s, 1_000_000u64); // computing costs 1ms each
@@ -165,8 +163,7 @@ mod tests {
         for (id, spec) in wf.dag().iter() {
             catalog.store(sigs[id.ix()], &spec.name, 0, &Value::Scalar(Scalar::I64(0))).unwrap();
         }
-        let stats: HashMap<Signature, Nanos> =
-            sigs.iter().map(|s| (*s, 1_000_000u64)).collect();
+        let stats: HashMap<Signature, Nanos> = sigs.iter().map(|s| (*s, 1_000_000u64)).collect();
         // ReuseScope::None (KeystoneML-like): everything recomputes.
         let p = plan(
             &wf,

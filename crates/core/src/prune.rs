@@ -15,15 +15,9 @@ use helix_data::{FeatureSpace, LinearModel};
 /// Returns the owner node ids recorded in the feature space, in ascending
 /// order. Owners with *no* features in the space are not reported (nothing
 /// to conclude about them).
-pub fn zero_weight_owners(
-    model: &LinearModel,
-    space: &FeatureSpace,
-    threshold: f64,
-) -> Vec<u32> {
+pub fn zero_weight_owners(model: &LinearModel, space: &FeatureSpace, threshold: f64) -> Vec<u32> {
     let dim = model.dim as usize;
-    let mut owners: Vec<u32> = (0..space.dim() as u32)
-        .filter_map(|d| space.owner(d))
-        .collect();
+    let mut owners: Vec<u32> = (0..space.dim() as u32).filter_map(|d| space.owner(d)).collect();
     owners.sort_unstable();
     owners.dedup();
     owners
@@ -47,9 +41,7 @@ pub fn zero_weight_owners(
 /// pruning report).
 pub fn owner_weight_mass(model: &LinearModel, space: &FeatureSpace) -> Vec<(u32, f64)> {
     let dim = model.dim as usize;
-    let mut owners: Vec<u32> = (0..space.dim() as u32)
-        .filter_map(|d| space.owner(d))
-        .collect();
+    let mut owners: Vec<u32> = (0..space.dim() as u32).filter_map(|d| space.owner(d)).collect();
     owners.sort_unstable();
     owners.dedup();
     owners
@@ -59,13 +51,7 @@ pub fn owner_weight_mass(model: &LinearModel, space: &FeatureSpace) -> Vec<(u32,
                 .dims_of_owner(owner)
                 .iter()
                 .filter(|&&d| (d as usize) < dim)
-                .map(|&d| {
-                    model
-                        .weights
-                        .iter()
-                        .map(|head| head[d as usize].abs())
-                        .sum::<f64>()
-                })
+                .map(|&d| model.weights.iter().map(|head| head[d as usize].abs()).sum::<f64>())
                 .sum();
             (owner, mass)
         })

@@ -91,11 +91,7 @@ impl SessionConfig {
     /// results are materialized … it does not optimize execution across
     /// iterations" (paper §6.1).
     pub fn keystoneml_like() -> SessionConfig {
-        SessionConfig {
-            strategy: MatStrategy::Never,
-            reuse: ReuseScope::None,
-            ..Self::in_memory()
-        }
+        SessionConfig { strategy: MatStrategy::Never, reuse: ReuseScope::None, ..Self::in_memory() }
     }
 
     /// The DeepDive-like baseline: "all intermediate results are
@@ -296,8 +292,7 @@ impl Session {
         for (sig, nanos) in &outcome.compute_times {
             self.compute_stats.insert(*sig, *nanos);
         }
-        self.prev_sigs
-            .insert(wf.name().to_string(), signature_snapshot(wf, &storage_sigs));
+        self.prev_sigs.insert(wf.name().to_string(), signature_snapshot(wf, &storage_sigs));
         let states: Vec<(String, State)> = wf
             .dag()
             .iter()
@@ -414,10 +409,8 @@ mod tests {
 
     #[test]
     fn purge_removes_deprecated_artifacts() {
-        let mut session = Session::new(
-            SessionConfig::in_memory().with_strategy(MatStrategy::Always),
-        )
-        .unwrap();
+        let mut session =
+            Session::new(SessionConfig::in_memory().with_strategy(MatStrategy::Always)).unwrap();
         session.run(&scalar_chain(1)).unwrap();
         let after_first = session.catalog().len();
         assert_eq!(after_first, 3);
@@ -462,8 +455,7 @@ mod tests {
         let stat = wf.reduce("stat", mapped, 1, |v, _| {
             spin(3);
             let batch = v.as_collection()?.as_examples()?;
-            let total: f64 =
-                batch.examples.iter().map(|e| e.features.l2_norm()).sum();
+            let total: f64 = batch.examples.iter().map(|e| e.features.l2_norm()).sum();
             Ok(Value::Scalar(Scalar::F64(total)))
         });
         wf.output(stat);
@@ -485,10 +477,8 @@ mod tests {
 
     #[test]
     fn volatile_reexecution_deprecates_descendants() {
-        let mut session = Session::new(
-            SessionConfig::in_memory().with_strategy(MatStrategy::Always),
-        )
-        .unwrap();
+        let mut session =
+            Session::new(SessionConfig::in_memory().with_strategy(MatStrategy::Always)).unwrap();
         session.run(&volatile_wf()).unwrap();
 
         // Bump the source version: the RFF must re-execute with a fresh
@@ -504,8 +494,7 @@ mod tests {
         let mapped = wf.predict("mapped", rff, d);
         let stat = wf.reduce("stat", mapped, 1, |v, _| {
             let batch = v.as_collection()?.as_examples()?;
-            let total: f64 =
-                batch.examples.iter().map(|e| e.features.l2_norm()).sum();
+            let total: f64 = batch.examples.iter().map(|e| e.features.l2_norm()).sum();
             Ok(Value::Scalar(Scalar::F64(total)))
         });
         wf.output(stat);

@@ -68,10 +68,7 @@ pub fn changed_nodes(
 
 /// Snapshot `name → signature` for the next iteration's comparison.
 pub fn signature_snapshot(wf: &Workflow, sigs: &[Signature]) -> HashMap<String, Signature> {
-    wf.dag()
-        .iter()
-        .map(|(id, spec)| (spec.name.clone(), sigs[id.ix()]))
-        .collect()
+    wf.dag().iter().map(|(id, spec)| (spec.name.clone(), sigs[id.ix()])).collect()
 }
 
 #[cfg(test)]
@@ -135,7 +132,7 @@ mod tests {
     fn volatile_wf() -> Workflow {
         let mut wf = Workflow::new("v");
         let d = wf.source("d", 1, |_| {
-            use helix_data::{FeatureVector, Example, ExampleBatch, Split};
+            use helix_data::{Example, ExampleBatch, FeatureVector, Split};
             Ok(Value::examples(ExampleBatch::dense(vec![Example::new(
                 FeatureVector::Dense(vec![1.0, 2.0]),
                 Some(0.0),

@@ -104,12 +104,7 @@ impl FeatureSpace {
     /// All dimensions owned by `owner` (provenance query for data-driven
     /// pruning).
     pub fn dims_of_owner(&self, owner: u32) -> Vec<u32> {
-        self.owners
-            .iter()
-            .enumerate()
-            .filter(|(_, &o)| o == owner)
-            .map(|(i, _)| i as u32)
-            .collect()
+        self.owners.iter().enumerate().filter(|(_, &o)| o == owner).map(|(i, _)| i as u32).collect()
     }
 
     /// Content signature over names+owners (participates in downstream
@@ -243,8 +238,7 @@ mod tests {
         let mut s = FeatureSpace::new();
         s.intern("a", 1);
         s.intern("b", 7);
-        let entries: Vec<(String, u32)> =
-            s.entries().map(|(n, o)| (n.to_string(), o)).collect();
+        let entries: Vec<(String, u32)> = s.entries().map(|(n, o)| (n.to_string(), o)).collect();
         let rebuilt = FeatureSpace::from_entries(entries);
         assert_eq!(rebuilt.signature(), s.signature());
     }
@@ -253,10 +247,8 @@ mod tests {
     fn batch_split_filtering() {
         let space = Arc::new(FeatureSpace::new());
         let ex = |split| Example::new(FeatureVector::zeros(2), Some(1.0), split);
-        let batch = ExampleBatch::new(
-            space,
-            vec![ex(Split::Train), ex(Split::Test), ex(Split::Train)],
-        );
+        let batch =
+            ExampleBatch::new(space, vec![ex(Split::Train), ex(Split::Test), ex(Split::Train)]);
         assert_eq!(batch.split_examples(Split::Train).count(), 2);
         let test_only = batch.filter_split(Split::Test);
         assert_eq!(test_only.len(), 1);

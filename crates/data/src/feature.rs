@@ -70,10 +70,9 @@ impl FeatureVector {
     pub fn get(&self, i: usize) -> f64 {
         match self {
             FeatureVector::Dense(v) => v.get(i).copied().unwrap_or(0.0),
-            FeatureVector::Sparse { indices, values, .. } => indices
-                .binary_search(&(i as u32))
-                .map(|pos| values[pos])
-                .unwrap_or(0.0),
+            FeatureVector::Sparse { indices, values, .. } => {
+                indices.binary_search(&(i as u32)).map(|pos| values[pos]).unwrap_or(0.0)
+            }
         }
     }
 

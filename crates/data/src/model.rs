@@ -208,17 +208,13 @@ mod tests {
 
     #[test]
     fn model_kinds_and_sizes() {
-        let linear = Model::Linear(LinearModel {
-            weights: vec![vec![0.0; 64]],
-            bias: vec![0.0],
-            dim: 64,
-        });
+        let linear =
+            Model::Linear(LinearModel { weights: vec![vec![0.0; 64]], bias: vec![0.0], dim: 64 });
         assert_eq!(linear.kind(), "linear");
         assert!(linear.byte_size() >= 64 * 8);
 
-        let tiny = Model::Transform(TransformModel::Bucketizer(BucketizerModel {
-            boundaries: vec![1.0],
-        }));
+        let tiny =
+            Model::Transform(TransformModel::Bucketizer(BucketizerModel { boundaries: vec![1.0] }));
         assert!(tiny.byte_size() < linear.byte_size());
     }
 }

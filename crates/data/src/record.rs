@@ -264,7 +264,9 @@ impl RecordBatch {
     /// Concatenate two batches over the same schema.
     pub fn concat(mut self, other: RecordBatch) -> helix_common::Result<RecordBatch> {
         if self.schema != other.schema {
-            return Err(helix_common::HelixError::spec("cannot concat batches with different schemas"));
+            return Err(helix_common::HelixError::spec(
+                "cannot concat batches with different schemas",
+            ));
         }
         self.rows.extend(other.rows);
         Ok(self)
@@ -363,8 +365,7 @@ mod tests {
     fn byte_size_grows_with_rows() {
         let s = schema();
         let small = RecordBatch::parse_csv(s.clone(), "30,BS,1\n", Split::Train).unwrap();
-        let large =
-            RecordBatch::parse_csv(s, &"30,BS,1\n".repeat(100), Split::Train).unwrap();
+        let large = RecordBatch::parse_csv(s, &"30,BS,1\n".repeat(100), Split::Train).unwrap();
         // Schema overhead is shared, so compare row-attributable growth.
         assert!(large.byte_size() - small.byte_size() > 90 * small.rows[0].byte_size());
     }

@@ -303,8 +303,7 @@ mod tests {
     fn typed_accessors_enforce_kinds() {
         let schema = Schema::new(["a"]);
         let records = Value::records(
-            RecordBatch::new(schema, vec![Record::train(vec![crate::FieldValue::Int(1)])])
-                .unwrap(),
+            RecordBatch::new(schema, vec![Record::train(vec![crate::FieldValue::Int(1)])]).unwrap(),
         );
         assert!(records.as_collection().is_ok());
         assert!(records.as_model().is_err());

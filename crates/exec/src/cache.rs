@@ -9,7 +9,8 @@
 
 use helix_data::{ByteSized, Value};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Cache eviction policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,8 +47,7 @@ impl ValueCache {
     pub fn put(&mut self, node: u32, value: Arc<Value>) {
         self.clock += 1;
         let bytes = value.byte_size();
-        if let Some(old) = self.slots.insert(node, Slot { value, bytes, last_touch: self.clock })
-        {
+        if let Some(old) = self.slots.insert(node, Slot { value, bytes, last_touch: self.clock }) {
             self.bytes -= old.bytes;
         }
         self.bytes += bytes;
@@ -129,6 +129,143 @@ impl ValueCache {
     }
 }
 
+/// A thread-safe cache for the parallel engine.
+///
+/// Concurrent workers `get` parent values and `put` their own outputs
+/// while the coordinator evicts out-of-scope nodes, so the map is sharded
+/// by node id (16 mutexes) with byte/count totals in atomics — reads of
+/// different nodes never contend. Under `CachePolicy::Lru` the sharded
+/// fast path cannot maintain a global recency order, so the cache falls
+/// back to one [`ValueCache`] behind a single lock (the LRU baseline is
+/// an ablation configuration, not the HELIX hot path).
+pub struct SharedValueCache {
+    policy: CachePolicy,
+    inner: SharedImpl,
+}
+
+/// One shard: node id → (value, cached byte size).
+type Shard = Mutex<HashMap<u32, (Arc<Value>, u64)>>;
+
+enum SharedImpl {
+    Sharded { shards: Vec<Shard>, bytes: AtomicU64, count: AtomicUsize },
+    Locked(Mutex<ValueCache>),
+}
+
+const SHARD_COUNT: usize = 16;
+
+impl SharedValueCache {
+    /// New shared cache under `policy`.
+    pub fn new(policy: CachePolicy) -> SharedValueCache {
+        let inner = match policy {
+            CachePolicy::Eager => SharedImpl::Sharded {
+                shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+                bytes: AtomicU64::new(0),
+                count: AtomicUsize::new(0),
+            },
+            CachePolicy::Lru { .. } => SharedImpl::Locked(Mutex::new(ValueCache::new(policy))),
+        };
+        SharedValueCache { policy, inner }
+    }
+
+    fn shard(shards: &[Shard], node: u32) -> &Shard {
+        &shards[node as usize % SHARD_COUNT]
+    }
+
+    /// Insert (or replace) the value for a node.
+    pub fn put(&self, node: u32, value: Arc<Value>) {
+        match &self.inner {
+            SharedImpl::Sharded { shards, bytes, count } => {
+                let size = value.byte_size();
+                let mut shard = Self::shard(shards, node).lock().unwrap();
+                if let Some((_, old)) = shard.insert(node, (value, size)) {
+                    bytes.fetch_sub(old, Ordering::Relaxed);
+                } else {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+                bytes.fetch_add(size, Ordering::Relaxed);
+            }
+            SharedImpl::Locked(cache) => cache.lock().unwrap().put(node, value),
+        }
+    }
+
+    /// Fetch a value.
+    pub fn get(&self, node: u32) -> Option<Arc<Value>> {
+        match &self.inner {
+            SharedImpl::Sharded { shards, .. } => {
+                Self::shard(shards, node).lock().unwrap().get(&node).map(|(v, _)| Arc::clone(v))
+            }
+            SharedImpl::Locked(cache) => cache.lock().unwrap().get(node),
+        }
+    }
+
+    /// Whether a node is resident.
+    pub fn contains(&self, node: u32) -> bool {
+        match &self.inner {
+            SharedImpl::Sharded { shards, .. } => {
+                Self::shard(shards, node).lock().unwrap().contains_key(&node)
+            }
+            SharedImpl::Locked(cache) => cache.lock().unwrap().contains(node),
+        }
+    }
+
+    /// Eager out-of-scope eviction; returns the bytes freed.
+    pub fn evict(&self, node: u32) -> u64 {
+        match &self.inner {
+            SharedImpl::Sharded { shards, bytes, count } => {
+                match Self::shard(shards, node).lock().unwrap().remove(&node) {
+                    Some((_, size)) => {
+                        bytes.fetch_sub(size, Ordering::Relaxed);
+                        count.fetch_sub(1, Ordering::Relaxed);
+                        size
+                    }
+                    None => 0,
+                }
+            }
+            SharedImpl::Locked(cache) => cache.lock().unwrap().evict(node),
+        }
+    }
+
+    /// Resident bytes across all shards.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.inner {
+            SharedImpl::Sharded { bytes, .. } => bytes.load(Ordering::Relaxed),
+            SharedImpl::Locked(cache) => cache.lock().unwrap().resident_bytes(),
+        }
+    }
+
+    /// Number of resident values.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            SharedImpl::Sharded { count, .. } => count.load(Ordering::Relaxed),
+            SharedImpl::Locked(cache) => cache.lock().unwrap().len(),
+        }
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evict everything (end of iteration).
+    pub fn clear(&self) {
+        match &self.inner {
+            SharedImpl::Sharded { shards, bytes, count } => {
+                for shard in shards {
+                    shard.lock().unwrap().clear();
+                }
+                bytes.store(0, Ordering::Relaxed);
+                count.store(0, Ordering::Relaxed);
+            }
+            SharedImpl::Locked(cache) => cache.lock().unwrap().clear(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +325,68 @@ mod tests {
         cache.put(2, value_of_size(1000));
         assert!(cache.contains(2));
         assert!(!cache.contains(1));
+    }
+
+    #[test]
+    fn shared_cache_matches_value_cache_semantics() {
+        let cache = SharedValueCache::new(CachePolicy::Eager);
+        assert!(cache.is_empty());
+        cache.put(1, value_of_size(100));
+        cache.put(2, value_of_size(200));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(1));
+        let before = cache.resident_bytes();
+        assert!(before >= 300);
+        // Replacement adjusts accounting.
+        cache.put(1, value_of_size(10));
+        assert!(cache.resident_bytes() < before);
+        assert_eq!(cache.len(), 2);
+        let freed = cache.evict(1);
+        assert!(freed >= 10);
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some());
+        assert_eq!(cache.evict(1), 0, "double evict is a no-op");
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_lru_falls_back_to_locked_value_cache() {
+        let cache = SharedValueCache::new(CachePolicy::Lru { budget_bytes: 2_200 });
+        cache.put(1, value_of_size(1000));
+        cache.put(2, value_of_size(1000));
+        cache.get(1);
+        cache.put(3, value_of_size(1000));
+        assert!(cache.contains(1), "recently used survives");
+        assert!(!cache.contains(2), "LRU victim evicted");
+        assert!(cache.contains(3));
+    }
+
+    #[test]
+    fn shared_cache_is_concurrency_safe() {
+        let cache = SharedValueCache::new(CachePolicy::Eager);
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        let node = t * 1_000 + i;
+                        cache.put(node, value_of_size(10));
+                        assert!(cache.get(node).is_some());
+                        if i % 2 == 0 {
+                            cache.evict(node);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 4 * 100);
+        assert_eq!(cache.resident_bytes(), {
+            // Every resident value is the same size; totals must agree.
+            let per = value_of_size(10).byte_size();
+            4 * 100 * per
+        });
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod memory;
 pub mod metrics;
 pub mod pool;
 
-pub use cache::{CachePolicy, ValueCache};
-pub use memory::MemoryTracker;
+pub use cache::{CachePolicy, SharedValueCache, ValueCache};
+pub use memory::{MemoryTracker, SharedMemoryTracker};
 pub use metrics::{IterationMetrics, NodeRun, Phase, RunState};
-pub use pool::WorkerPool;
+pub use pool::{Executor, WorkerPool};

@@ -130,11 +130,7 @@ impl IterationMetrics {
         if total == 0.0 {
             return (0.0, 0.0, 0.0);
         }
-        (
-            self.computed as f64 / total,
-            self.loaded as f64 / total,
-            self.pruned as f64 / total,
-        )
+        (self.computed as f64 / total, self.loaded as f64 / total, self.pruned as f64 / total)
     }
 }
 

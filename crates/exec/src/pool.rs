@@ -1,13 +1,20 @@
-//! Scoped worker pool for data-parallel operators.
+//! Scoped worker pool for data-parallel operators and for the engine's
+//! frontier scheduler.
 //!
 //! HELIX "defers operator pipelining and scheduling for asynchronous
 //! execution to Spark" (paper §2.1); in this reproduction, operators that
 //! are data-parallel (scanning, extraction, inference) split their input
-//! into `workers` chunks processed on scoped threads. The pool width plays
-//! the role of cluster size in the paper's scalability experiment
-//! (Figure 7b: 2/4/8 workers).
+//! into `workers` chunks processed on scoped threads, and the execution
+//! engine dispatches whole ready DAG nodes onto the same pool width via
+//! [`WorkerPool::with_executor`]. The pool width plays the role of
+//! cluster size in the paper's scalability experiment (Figure 7b:
+//! 2/4/8 workers).
+//!
+//! Built on `std::thread::scope` — no external thread crate needed.
 
-use crossbeam::thread;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Condvar, Mutex};
 
 /// A fixed-width data-parallel executor.
 #[derive(Clone, Copy, Debug)]
@@ -47,23 +54,19 @@ impl WorkerPool {
         let chunk = items.len().div_ceil(self.workers);
         let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
         out.resize_with(items.len(), || None);
-        thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut remaining: &mut [Option<R>] = &mut out;
-            let mut offset = 0;
             for piece in items.chunks(chunk) {
                 let (slot, rest) = remaining.split_at_mut(piece.len());
                 remaining = rest;
                 let f = &f;
-                let _ = offset;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (s, item) in slot.iter_mut().zip(piece) {
                         *s = Some(f(item));
                     }
                 });
-                offset += piece.len();
             }
-        })
-        .expect("worker panicked");
+        });
         out.into_iter().map(|r| r.expect("all slots filled")).collect()
     }
 
@@ -80,21 +83,166 @@ impl WorkerPool {
             return items.iter().fold(init, &fold);
         }
         let chunk = items.len().div_ceil(self.workers);
-        let partials: Vec<A> = thread::scope(|scope| {
+        let partials: Vec<A> = std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
                 .map(|piece| {
                     let fold = &fold;
                     let init = init.clone();
-                    scope.spawn(move |_| piece.iter().fold(init, fold))
+                    scope.spawn(move || piece.iter().fold(init, fold))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope failed");
+        });
         let mut iter = partials.into_iter();
         let first = iter.next().unwrap_or(init);
         iter.fold(first, combine)
+    }
+
+    /// Run `coordinator` with a dynamic work-submission handle backed by
+    /// `self.workers` scoped threads.
+    ///
+    /// Jobs submitted through the [`Executor`] are executed by `worker` in
+    /// FIFO submission order (picked up as threads free up) and completions
+    /// are delivered through [`Executor::recv`] in *completion* order. The
+    /// engine's frontier scheduler is the main client: it submits every
+    /// ready DAG node and retires nodes as they finish.
+    ///
+    /// Shutdown is structural: when `coordinator` returns, the queue is
+    /// closed and all workers join before `with_executor` returns.
+    pub fn with_executor<J, O, W, C, R>(&self, worker: W, coordinator: C) -> R
+    where
+        J: Send,
+        O: Send,
+        W: Fn(J) -> O + Sync,
+        C: FnOnce(&Executor<'_, J, O>) -> R,
+    {
+        let queue = JobQueue::new();
+        let (tx, rx) = channel::<O>();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let queue = &queue;
+                let worker = &worker;
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    // If this worker's job panics, close the queue on the
+                    // way out: surviving workers then drain and exit, their
+                    // senders drop, and a blocked `Executor::recv` fails
+                    // loudly instead of deadlocking the coordinator with
+                    // a completion that will never arrive.
+                    let _guard = PanicGuard { queue };
+                    while let Some(job) = queue.pop() {
+                        if tx.send(worker(job)).is_err() {
+                            break; // coordinator gone; stop early
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let executor = Executor { queue: &queue, results: rx };
+            // Close via a drop guard, not a trailing statement: if the
+            // coordinator panics, parked workers must still be released
+            // or the scope's implicit join would hang forever.
+            let _close = CloseOnDrop { queue: &queue };
+            coordinator(&executor)
+        })
+    }
+}
+
+/// Closes the job queue when a worker thread unwinds (see
+/// [`WorkerPool::with_executor`]).
+struct PanicGuard<'a, J> {
+    queue: &'a JobQueue<J>,
+}
+
+impl<J> Drop for PanicGuard<'_, J> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.queue.close();
+        }
+    }
+}
+
+/// Closes the job queue when the coordinator finishes — by return or by
+/// panic.
+struct CloseOnDrop<'a, J> {
+    queue: &'a JobQueue<J>,
+}
+
+impl<J> Drop for CloseOnDrop<'_, J> {
+    fn drop(&mut self) {
+        self.queue.close();
+    }
+}
+
+/// Handle passed to the coordinator closure of
+/// [`WorkerPool::with_executor`].
+pub struct Executor<'a, J, O> {
+    queue: &'a JobQueue<J>,
+    results: Receiver<O>,
+}
+
+impl<J, O> Executor<'_, J, O> {
+    /// Enqueue a job for the worker threads.
+    pub fn submit(&self, job: J) {
+        self.queue.push(job);
+    }
+
+    /// Block until the next completion arrives.
+    ///
+    /// Panics if every worker died without producing one (a worker
+    /// panicked mid-job, which also closes the queue and releases the
+    /// rest); the originating panic is re-raised when the scope joins.
+    pub fn recv(&self) -> O {
+        self.results
+            .recv()
+            .expect("a worker panicked with completions outstanding; aborting executor")
+    }
+}
+
+/// A closable MPMC FIFO of pending jobs.
+struct JobQueue<J> {
+    state: Mutex<QueueState<J>>,
+    ready: Condvar,
+}
+
+struct QueueState<J> {
+    jobs: VecDeque<J>,
+    closed: bool,
+}
+
+impl<J> JobQueue<J> {
+    fn new() -> JobQueue<J> {
+        JobQueue {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: J) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Block for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<J> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
     }
 }
 
@@ -159,6 +307,126 @@ mod tests {
         assert!(
             parallel_time < serial_time * 2,
             "parallel {parallel_time:?} vs serial {serial_time:?}"
+        );
+    }
+
+    #[test]
+    fn executor_runs_all_jobs() {
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let total: u64 = pool.with_executor(
+                |job: u64| job * 2,
+                |executor| {
+                    for job in 0..100u64 {
+                        executor.submit(job);
+                    }
+                    (0..100).map(|_| executor.recv()).sum()
+                },
+            );
+            assert_eq!(total, (0..100u64).map(|j| j * 2).sum(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn executor_supports_incremental_submission() {
+        // Submit → recv → submit again (the frontier-scheduling shape).
+        let pool = WorkerPool::new(3);
+        let outputs = pool.with_executor(
+            |job: u32| job + 1,
+            |executor| {
+                let mut out = Vec::new();
+                executor.submit(0);
+                for _ in 0..10 {
+                    let done = executor.recv();
+                    out.push(done);
+                    if done < 10 {
+                        executor.submit(done);
+                    }
+                }
+                out
+            },
+        );
+        assert_eq!(outputs, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // One of four jobs panics; the coordinator is blocked in recv()
+        // for a completion that will never come. The panic guard must turn
+        // that into a loud panic (propagated here), not an infinite hang.
+        let outcome = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::new(2);
+            pool.with_executor(
+                |job: u32| {
+                    if job == 2 {
+                        panic!("boom in worker");
+                    }
+                    job
+                },
+                |executor| {
+                    for job in 0..4 {
+                        executor.submit(job);
+                    }
+                    let mut total = 0;
+                    for _ in 0..4 {
+                        total += executor.recv();
+                    }
+                    total
+                },
+            )
+        });
+        assert!(outcome.is_err(), "worker panic must propagate to the caller");
+    }
+
+    #[test]
+    fn coordinator_panic_releases_workers_instead_of_hanging() {
+        // The coordinator panics while workers are parked on the queue:
+        // the close-on-drop guard must release them so the scope joins
+        // and the panic propagates, rather than deadlocking.
+        let outcome = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::new(4);
+            pool.with_executor(
+                |job: u32| job,
+                |executor| {
+                    executor.submit(1);
+                    let _ = executor.recv();
+                    panic!("coordinator bug");
+                },
+            )
+        });
+        assert!(outcome.is_err(), "coordinator panic must propagate to the caller");
+    }
+
+    #[test]
+    fn executor_with_zero_jobs_shuts_down_cleanly() {
+        let pool = WorkerPool::new(4);
+        let out = pool.with_executor(|job: u8| job, |_executor| 42u8);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn executor_overlaps_blocking_jobs() {
+        // Jobs that *wait* (sleeping, like throttled disk I/O) must overlap
+        // even on a single-core machine: 4 × 60 ms on 4 workers should take
+        // nowhere near the serial 240 ms.
+        let wait = |ms: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            ms
+        };
+        let pool = WorkerPool::new(4);
+        let start = std::time::Instant::now();
+        pool.with_executor(wait, |executor| {
+            for _ in 0..4 {
+                executor.submit(60);
+            }
+            for _ in 0..4 {
+                std::hint::black_box(executor.recv());
+            }
+        });
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(200),
+            "4 overlapping 60 ms jobs took {elapsed:?}"
         );
     }
 }

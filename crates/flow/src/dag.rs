@@ -201,6 +201,44 @@ impl<T> Dag<T> {
         seen
     }
 
+    /// In-degree (parent count) per node, aligned with node ids.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        self.parents.iter().map(Vec::len).collect()
+    }
+
+    /// Longest-path depth from the roots per node (roots are level 0);
+    /// errors on cycles. Nodes sharing a level form an antichain — none
+    /// depends on another — so each level is a maximal co-schedulable set.
+    pub fn levels(&self) -> Result<Vec<usize>> {
+        let order = self.topo_order()?;
+        let mut level = vec![0usize; self.len()];
+        for id in order {
+            for &c in self.children(id) {
+                level[c.ix()] = level[c.ix()].max(level[id.ix()] + 1);
+            }
+        }
+        Ok(level)
+    }
+
+    /// Nodes grouped by [`levels`](Self::levels): `result[k]` is the
+    /// antichain of nodes at depth `k`, ascending by node id. The maximum
+    /// antichain width bounds the useful engine worker count.
+    pub fn level_sets(&self) -> Result<Vec<Vec<NodeId>>> {
+        let levels = self.levels()?;
+        let depth = levels.iter().copied().max().map_or(0, |d| d + 1);
+        let mut sets = vec![Vec::new(); depth];
+        for id in self.node_ids() {
+            sets[levels[id.ix()]].push(id);
+        }
+        Ok(sets)
+    }
+
+    /// Start a [`Frontier`] over this DAG for incremental ready-set
+    /// scheduling.
+    pub fn frontier(&self) -> Frontier<'_, T> {
+        Frontier::new(self)
+    }
+
     /// Render Graphviz DOT using `label` for node captions (for docs and
     /// debugging).
     pub fn to_dot(&self, mut label: impl FnMut(NodeId, &T) -> String) -> String {
@@ -216,6 +254,82 @@ impl<T> Dag<T> {
     }
 }
 
+/// Incremental ready-frontier tracking over a [`Dag`].
+///
+/// The engine's parallel scheduler (paper §2.1's execution layer, made
+/// concurrent) asks two questions repeatedly: *which nodes are ready now*
+/// (all parents completed) and *what became ready after this completion*.
+/// `Frontier` answers both in O(out-degree) per completion by maintaining
+/// remaining in-degrees. All orderings are ascending by node id, so
+/// dispatch order is deterministic for a given completion order.
+#[derive(Clone, Debug)]
+pub struct Frontier<'a, T> {
+    dag: &'a Dag<T>,
+    indegree: Vec<usize>,
+    completed: Vec<bool>,
+    ready: Vec<NodeId>,
+    outstanding: usize,
+}
+
+impl<'a, T> Frontier<'a, T> {
+    /// Fresh frontier: every root is ready, nothing is completed.
+    pub fn new(dag: &'a Dag<T>) -> Frontier<'a, T> {
+        let indegree = dag.in_degrees();
+        let ready: Vec<NodeId> = dag.node_ids().filter(|n| indegree[n.ix()] == 0).collect();
+        Frontier { dag, indegree, completed: vec![false; dag.len()], ready, outstanding: dag.len() }
+    }
+
+    /// Currently ready, not-yet-dispatched nodes, ascending by id.
+    pub fn ready(&self) -> &[NodeId] {
+        &self.ready
+    }
+
+    /// Remove and return the smallest-id ready node. Draining a DAG with
+    /// `pop_min` + [`complete`](Self::complete) visits nodes in exactly
+    /// the canonical min-id Kahn order of [`Dag::topo_order`].
+    pub fn pop_min(&mut self) -> Option<NodeId> {
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(self.ready.remove(0))
+        }
+    }
+
+    /// Nodes not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// True once every node has completed.
+    pub fn is_complete(&self) -> bool {
+        self.outstanding == 0
+    }
+
+    /// Record `node` as completed, returning the nodes that became ready
+    /// *because of it* (ascending by id). The same nodes are also added to
+    /// [`ready`](Self::ready) for callers that poll instead. Panics on
+    /// double completion or on completing a node with unfinished parents —
+    /// both are scheduler bugs worth failing loudly for.
+    pub fn complete(&mut self, node: NodeId) -> Vec<NodeId> {
+        assert!(!std::mem::replace(&mut self.completed[node.ix()], true), "{node} completed twice");
+        assert_eq!(self.indegree[node.ix()], 0, "{node} completed with unfinished parents");
+        self.outstanding -= 1;
+        let mut newly: Vec<NodeId> = Vec::new();
+        for &c in self.dag.children(node) {
+            self.indegree[c.ix()] -= 1;
+            if self.indegree[c.ix()] == 0 {
+                newly.push(c);
+            }
+        }
+        newly.sort_unstable();
+        for &n in &newly {
+            let pos = self.ready.partition_point(|x| *x < n);
+            self.ready.insert(pos, n);
+        }
+        newly
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,8 +338,9 @@ mod tests {
     /// 1→4, 2→4, 3→5, 4→6, 5→6, 5→8, 6→7, 7→8 (1-indexed in the paper).
     fn figure4() -> (Dag<&'static str>, Vec<NodeId>) {
         let mut g = Dag::new();
-        let ns: Vec<NodeId> =
-            (1..=8).map(|i| g.add_node(Box::leak(format!("n{i}").into_boxed_str()) as &str)).collect();
+        let ns: Vec<NodeId> = (1..=8)
+            .map(|i| g.add_node(Box::leak(format!("n{i}").into_boxed_str()) as &str))
+            .collect();
         let edge = |g: &mut Dag<&str>, a: usize, b: usize| {
             g.add_edge(ns[a - 1], ns[b - 1]).unwrap();
         };
@@ -328,6 +443,124 @@ mod tests {
         for i in [0, 1, 2, 3] {
             assert!(!dirty[i], "n{} not downstream of n5", i + 1);
         }
+    }
+
+    #[test]
+    fn in_degrees_align_with_node_ids() {
+        let (g, _) = figure4();
+        assert_eq!(g.in_degrees(), vec![0, 0, 0, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn levels_are_longest_paths() {
+        let (g, _) = figure4();
+        // 1,2,3 roots; 4,5 depend on roots; 6 on 4&5; 7 on 6; 8 on 5&7.
+        assert_eq!(g.levels().unwrap(), vec![0, 0, 0, 1, 1, 2, 3, 4]);
+        let sets = g.level_sets().unwrap();
+        assert_eq!(sets.len(), 5);
+        assert_eq!(sets[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sets[1], vec![NodeId(3), NodeId(4)]);
+        assert_eq!(sets[4], vec![NodeId(7)]);
+        // Antichain property: no edges inside a level.
+        for set in &sets {
+            for a in set {
+                for b in set {
+                    assert!(!g.children(*a).contains(b), "{a}->{b} within a level");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_error_on_cycle() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, a).unwrap();
+        assert!(g.levels().is_err());
+        assert!(g.level_sets().is_err());
+    }
+
+    #[test]
+    fn frontier_tracks_ready_sets() {
+        let (g, ns) = figure4();
+        let mut frontier = g.frontier();
+        assert_eq!(frontier.ready(), &[ns[0], ns[1], ns[2]]);
+        assert_eq!(frontier.outstanding(), 8);
+
+        assert_eq!(frontier.pop_min(), Some(ns[0]));
+        assert_eq!(frontier.pop_min(), Some(ns[1]));
+        assert_eq!(frontier.pop_min(), Some(ns[2]));
+        assert!(frontier.ready().is_empty());
+
+        // n1 alone does not ready n4 (needs n2 as well).
+        assert!(frontier.complete(ns[0]).is_empty());
+        assert_eq!(frontier.complete(ns[1]), vec![ns[3]]);
+        // n3 readies n5.
+        assert_eq!(frontier.complete(ns[2]), vec![ns[4]]);
+        // Both newly-ready nodes are also visible via ready().
+        assert_eq!(frontier.ready(), &[ns[3], ns[4]]);
+
+        assert!(frontier.complete(ns[3]).is_empty());
+        assert_eq!(frontier.complete(ns[4]), vec![ns[5]]);
+        assert_eq!(frontier.complete(ns[5]), vec![ns[6]]);
+        assert_eq!(frontier.complete(ns[6]), vec![ns[7]]);
+        assert!(!frontier.is_complete());
+        assert!(frontier.complete(ns[7]).is_empty());
+        assert!(frontier.is_complete());
+        assert_eq!(frontier.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn frontier_rejects_double_completion() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let mut frontier = g.frontier();
+        frontier.complete(a);
+        frontier.complete(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished parents")]
+    fn frontier_rejects_premature_completion() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        let mut frontier = g.frontier();
+        frontier.complete(b);
+    }
+
+    #[test]
+    fn frontier_full_drain_visits_every_node_in_topo_order() {
+        let (g, _) = figure4();
+        let mut frontier = g.frontier();
+        let mut seen = Vec::new();
+        while let Some(n) = frontier.pop_min() {
+            seen.push(n);
+            frontier.complete(n);
+        }
+        assert!(frontier.is_complete());
+        assert_eq!(seen.len(), 8);
+        // Min-id-first frontier drain reproduces the canonical topo order.
+        assert_eq!(seen, g.topo_order().unwrap());
+    }
+
+    #[test]
+    fn pop_min_interleaves_with_completions() {
+        let (g, ns) = figure4();
+        let mut frontier = g.frontier();
+        assert_eq!(frontier.pop_min(), Some(ns[0]));
+        assert_eq!(frontier.pop_min(), Some(ns[1]));
+        // Nothing new ready yet (n4 needs both n1 and n2 *completed*).
+        assert_eq!(frontier.pop_min(), Some(ns[2]));
+        assert_eq!(frontier.pop_min(), None);
+        frontier.complete(ns[0]);
+        frontier.complete(ns[1]);
+        // n4 became ready through complete() and is visible to pop_min.
+        assert_eq!(frontier.pop_min(), Some(ns[3]));
     }
 
     #[test]

@@ -30,12 +30,7 @@ impl MaxFlow {
 
     /// Create a solver over `nodes` vertices (ids `0..nodes`).
     pub fn new(nodes: usize) -> MaxFlow {
-        MaxFlow {
-            to: Vec::new(),
-            cap: Vec::new(),
-            head: vec![Self::NONE; nodes],
-            next: Vec::new(),
-        }
+        MaxFlow { to: Vec::new(), cap: Vec::new(), head: vec![Self::NONE; nodes], next: Vec::new() }
     }
 
     /// Number of vertices.

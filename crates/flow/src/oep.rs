@@ -245,8 +245,7 @@ impl<'a, T> OepProblem<'a, T> {
         let mut best: Option<(Vec<State>, Nanos)> = None;
         let mut states = vec![State::Prune; n];
         self.enumerate(0, &mut states, &mut best);
-        let (states, total_cost) =
-            best.expect("at least the all-compute assignment is feasible");
+        let (states, total_cost) = best.expect("at least the all-compute assignment is feasible");
         OepSolution { states, total_cost }
     }
 
@@ -312,8 +311,7 @@ mod tests {
     fn forced_leaf_loads_cheap_parent() {
         // chain a→b; b is original. Loading a (10) beats computing it (100).
         let g = chain(2);
-        let costs =
-            vec![NodeCosts::new(100, Some(10)), NodeCosts::new(50, Some(5)).forced()];
+        let costs = vec![NodeCosts::new(100, Some(10)), NodeCosts::new(50, Some(5)).forced()];
         let sol = OepProblem::new(&g, &costs).solve();
         assert_eq!(sol.states, vec![State::Load, State::Compute]);
         assert_eq!(sol.total_cost, 10 + 50);

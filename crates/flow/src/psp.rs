@@ -135,9 +135,10 @@ impl ProjectSelection {
 
 /// Check that a selection is *closed* under prerequisites.
 pub fn is_closed(psp: &ProjectSelection, selected: &[bool]) -> bool {
-    psp.projects.iter().enumerate().all(|(i, p)| {
-        !selected[i] || p.prerequisites.iter().all(|&q| selected[q])
-    })
+    psp.projects
+        .iter()
+        .enumerate()
+        .all(|(i, p)| !selected[i] || p.prerequisites.iter().all(|&q| selected[q]))
 }
 
 #[cfg(test)]

@@ -77,11 +77,8 @@ impl KMeans {
                 for v in sums[c].iter_mut() {
                     *v /= counts[c] as f64;
                 }
-                movement += sums[c]
-                    .iter()
-                    .zip(&centroids[c])
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f64>();
+                movement +=
+                    sums[c].iter().zip(&centroids[c]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
                 centroids[c] = std::mem::take(&mut sums[c]);
             }
             if movement < self.tolerance {
@@ -89,8 +86,7 @@ impl KMeans {
             }
         }
 
-        let inertia: f64 =
-            points.iter().map(|p| Self::nearest(&centroids, p).1).sum();
+        let inertia: f64 = points.iter().map(|p| Self::nearest(&centroids, p).1).sum();
         Ok(CentroidModel { centroids, dim: dim as u32, inertia })
     }
 
@@ -122,8 +118,7 @@ impl KMeans {
     ) -> Vec<Vec<f64>> {
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(self.k);
         centroids.push(points[rng.index(points.len())].to_dense());
-        let mut dists: Vec<f64> =
-            points.iter().map(|p| p.sq_dist_dense(&centroids[0])).collect();
+        let mut dists: Vec<f64> = points.iter().map(|p| p.sq_dist_dense(&centroids[0])).collect();
         while centroids.len() < self.k {
             let next = match rng.choose_weighted(&dists) {
                 Some(i) => i,

@@ -45,12 +45,8 @@ impl LogisticRegression {
         if train.is_empty() {
             return Err(HelixError::ml("logistic regression: no labeled training examples"));
         }
-        let classes = train
-            .iter()
-            .map(|e| e.label.unwrap_or(0.0) as i64)
-            .max()
-            .unwrap_or(0)
-            .max(1) as usize
+        let classes = train.iter().map(|e| e.label.unwrap_or(0.0) as i64).max().unwrap_or(0).max(1)
+            as usize
             + 1;
         if classes > 1_000 {
             return Err(HelixError::ml(format!("implausible class count {classes}")));

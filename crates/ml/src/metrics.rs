@@ -5,7 +5,7 @@
 //! quality measure (we use normalized mutual information against planted
 //! topics); the IE workload reports precision/recall/F1.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fraction of `(truth, prediction)` pairs that agree after thresholding
 /// predictions at 0.5 (binary) or rounding (multiclass ids).
@@ -115,8 +115,12 @@ pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f64 {
     if n == 0 {
         return 0.0;
     }
+    // BTreeMaps, not HashMaps: the summations below run in iteration
+    // order, and float addition is not associative — hash-random order
+    // would make the result differ in the last ulp between runs, breaking
+    // the engine's byte-identical determinism guarantee.
     let count = |xs: &[usize]| {
-        let mut m: HashMap<usize, f64> = HashMap::new();
+        let mut m: BTreeMap<usize, f64> = BTreeMap::new();
         for &x in xs {
             *m.entry(x).or_insert(0.0) += 1.0;
         }
@@ -124,7 +128,7 @@ pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f64 {
     };
     let ca = count(a);
     let cb = count(b);
-    let mut joint: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut joint: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     for (&x, &y) in a.iter().zip(b) {
         *joint.entry((x, y)).or_insert(0.0) += 1.0;
     }
@@ -136,7 +140,7 @@ pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f64 {
         let py = cb[&y] / nf;
         mi += pxy * (pxy / (px * py)).ln();
     }
-    let entropy = |m: &HashMap<usize, f64>| -> f64 {
+    let entropy = |m: &BTreeMap<usize, f64>| -> f64 {
         m.values()
             .map(|&c| {
                 let p = c / nf;

@@ -29,12 +29,7 @@ impl NaiveBayes {
         if train.is_empty() {
             return Err(HelixError::ml("naive bayes: no labeled training examples"));
         }
-        let classes = train
-            .iter()
-            .map(|e| e.label.unwrap_or(0.0) as usize)
-            .max()
-            .unwrap_or(0)
-            + 1;
+        let classes = train.iter().map(|e| e.label.unwrap_or(0.0) as usize).max().unwrap_or(0) + 1;
         let mut class_counts = vec![0.0f64; classes];
         let mut feature_counts = vec![0.0f64; classes * dim];
         for e in &train {
@@ -43,8 +38,10 @@ impl NaiveBayes {
             e.features.add_scaled_to(&mut feature_counts[c * dim..(c + 1) * dim], 1.0);
         }
         let total = train.len() as f64;
-        let log_priors: Vec<f64> =
-            class_counts.iter().map(|c| ((c + self.alpha) / (total + self.alpha * classes as f64)).ln()).collect();
+        let log_priors: Vec<f64> = class_counts
+            .iter()
+            .map(|c| ((c + self.alpha) / (total + self.alpha * classes as f64)).ln())
+            .collect();
         let mut log_likelihoods = vec![0.0f64; classes * dim];
         for c in 0..classes {
             let row = &feature_counts[c * dim..(c + 1) * dim];
@@ -122,7 +119,8 @@ mod tests {
 
     #[test]
     fn smoothing_handles_unseen_features() {
-        let data = vec![count_example(vec![(0, 5.0)], 3, 0.0), count_example(vec![(1, 5.0)], 3, 1.0)];
+        let data =
+            vec![count_example(vec![(0, 5.0)], 3, 0.0), count_example(vec![(1, 5.0)], 3, 1.0)];
         let model = NaiveBayes::default().fit(&data, 3).unwrap();
         // Feature 2 was never observed; scores must stay finite.
         let scores =
@@ -132,8 +130,7 @@ mod tests {
 
     #[test]
     fn empty_training_is_an_error() {
-        let data =
-            vec![Example::new(FeatureVector::zeros(2), Some(0.0), Split::Test)];
+        let data = vec![Example::new(FeatureVector::zeros(2), Some(0.0), Split::Test)];
         assert!(NaiveBayes::default().fit(&data, 2).is_err());
     }
 }

@@ -243,9 +243,7 @@ mod tests {
     #[test]
     fn works_on_sparse_inputs() {
         let points: Vec<FeatureVector> = (0..50)
-            .map(|i| {
-                FeatureVector::sparse_from_pairs(4, vec![(0, i as f64), (1, 2.0 * i as f64)])
-            })
+            .map(|i| FeatureVector::sparse_from_pairs(4, vec![(0, i as f64), (1, 2.0 * i as f64)]))
             .collect();
         let model = Pca { components: 1, ..Default::default() }.fit(&points).unwrap();
         let c = &model.components[..4];

@@ -61,10 +61,7 @@ impl RandomFourierFeatures {
         };
         let (din, dout) = (*dim_in as usize, *dim_out as usize);
         if x.dim() != din {
-            return Err(HelixError::ml(format!(
-                "rff: input dim {} != fitted dim {din}",
-                x.dim()
-            )));
+            return Err(HelixError::ml(format!("rff: input dim {} != fitted dim {din}", x.dim())));
         }
         let dense = x.to_dense();
         let scale = (2.0 / dout as f64).sqrt();

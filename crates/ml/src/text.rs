@@ -43,8 +43,8 @@ pub fn tokenize_cased(text: &str) -> Vec<String> {
 /// Minimal English stop-word list (enough to shrink feature spaces in the
 /// workloads; not a linguistics claim).
 pub const STOP_WORDS: [&str; 24] = [
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "in", "is", "it",
-    "of", "on", "or", "that", "the", "to", "was", "were", "with", "this",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "in", "is", "it", "of",
+    "on", "or", "that", "the", "to", "was", "were", "with", "this",
 ];
 
 /// True when `token` is a stop word (expects lowercase input).
@@ -67,10 +67,7 @@ pub fn ngrams(tokens: &[String], n: usize) -> Vec<String> {
 
 /// Split text into sentences on `.`, `!`, `?` (quote-naive).
 pub fn split_sentences(text: &str) -> Vec<&str> {
-    text.split(['.', '!', '?'])
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect()
+    text.split(['.', '!', '?']).map(str::trim).filter(|s| !s.is_empty()).collect()
 }
 
 /// Coarse part-of-speech-style tags used by the IE features.

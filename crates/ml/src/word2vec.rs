@@ -102,9 +102,7 @@ impl Word2Vec {
                     let window = 1 + rng.index(self.window.max(1));
                     let lo = pos.saturating_sub(window);
                     let hi = (pos + window + 1).min(sentence.len());
-                    for (ctx_pos, &ctx_word) in
-                        sentence.iter().enumerate().take(hi).skip(lo)
-                    {
+                    for (ctx_pos, &ctx_word) in sentence.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }
@@ -122,9 +120,8 @@ impl Word2Vec {
                                 continue;
                             }
                             let t_row = target * d;
-                            let score: f64 = (0..d)
-                                .map(|k| input[c_row + k] * output[t_row + k])
-                                .sum();
+                            let score: f64 =
+                                (0..d).map(|k| input[c_row + k] * output[t_row + k]).sum();
                             let g = (crate::linalg::sigmoid(score) - label) * lr;
                             for k in 0..d {
                                 gradient[k] += g * output[t_row + k];
@@ -154,9 +151,7 @@ impl Word2Vec {
             .vocab
             .keys()
             .filter(|t| t.as_str() != token)
-            .filter_map(|t| {
-                Some((t.clone(), crate::linalg::cosine(target, model.embedding(t)?)))
-            })
+            .filter_map(|t| Some((t.clone(), crate::linalg::cosine(target, model.embedding(t)?))))
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(n);
@@ -210,10 +205,7 @@ mod tests {
         let model = Word2Vec { dim: 16, epochs: 4, ..Default::default() }.fit(&corpus).unwrap();
         let within = Word2Vec::similarity(&model, "cat", "dog").unwrap();
         let across = Word2Vec::similarity(&model, "cat", "moon").unwrap();
-        assert!(
-            within > across + 0.2,
-            "within-topic {within} should exceed cross-topic {across}"
-        );
+        assert!(within > across + 0.2, "within-topic {within} should exceed cross-topic {across}");
     }
 
     #[test]
@@ -233,8 +225,7 @@ mod tests {
             vec!["common".to_string(), "common".to_string(), "rare".to_string()],
             vec!["common".to_string(), "common".to_string()],
         ];
-        let model =
-            Word2Vec { min_count: 2, dim: 4, ..Default::default() }.fit(&corpus).unwrap();
+        let model = Word2Vec { min_count: 2, dim: 4, ..Default::default() }.fit(&corpus).unwrap();
         assert!(model.embedding("common").is_some());
         assert!(model.embedding("rare").is_none());
     }
@@ -259,8 +250,7 @@ mod tests {
     fn unigram_table_biased_to_frequent() {
         let vocab = vec![("frequent", 1000usize), ("rare", 10usize)];
         let table = build_unigram_table(&vocab, 1000);
-        let frequent_share =
-            table.iter().filter(|&&w| w == 0).count() as f64 / table.len() as f64;
+        let frequent_share = table.iter().filter(|&&w| w == 0).count() as f64 / table.len() as f64;
         assert!(frequent_share > 0.85, "share {frequent_share}");
         assert!(frequent_share < 1.0, "rare word still present");
     }

@@ -88,11 +88,7 @@ impl MaterializationCatalog {
                 }
             }
         }
-        Ok(MaterializationCatalog {
-            root,
-            disk,
-            inner: Mutex::new(Inner { entries, total_bytes }),
-        })
+        Ok(MaterializationCatalog { root, disk, inner: Mutex::new(Inner { entries, total_bytes }) })
     }
 
     /// Open a throwaway catalog in a fresh temp directory (tests, examples).
@@ -156,7 +152,9 @@ impl MaterializationCatalog {
     pub fn estimated_load_nanos(&self, sig: Signature) -> Option<Nanos> {
         let inner = self.inner.lock();
         let entry = inner.entries.get(&sig)?;
-        Some(entry.measured_load_nanos.unwrap_or_else(|| self.disk.estimate_load_nanos(entry.bytes)))
+        Some(
+            entry.measured_load_nanos.unwrap_or_else(|| self.disk.estimate_load_nanos(entry.bytes)),
+        )
     }
 
     /// Materialize `value` under `sig`. Returns `(encoded bytes, write
@@ -335,11 +333,7 @@ mod tests {
         assert!(!cat.contains(a));
         assert!(cat.contains(b));
         let bytes_after = cat.total_bytes();
-        assert_eq!(
-            bytes_after,
-            cat.entry(b).unwrap().bytes,
-            "only b's bytes remain accounted"
-        );
+        assert_eq!(bytes_after, cat.entry(b).unwrap().bytes, "only b's bytes remain accounted");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use helix_common::{HelixError, Result};
 use helix_data::{
     BucketizerModel, CentroidModel, DataCollection, EmbeddingModel, Example, ExampleBatch,
     FeatureBundle, FeatureSpace, FeatureVector, FieldValue, IndexerModel, LinearModel, Model,
-    NaiveBayesModel, Record, RecordBatch, ScalerModel, Scalar, Schema, SemanticUnit, Split,
+    NaiveBayesModel, Record, RecordBatch, Scalar, ScalerModel, Schema, SemanticUnit, Split,
     TransformModel, UnitBatch, Value, ValueKind,
 };
 use std::collections::HashMap;
@@ -124,10 +124,8 @@ impl<'a> Reader<'a> {
     }
 
     fn get_u8(&mut self) -> Result<u8> {
-        let b = *self
-            .buf
-            .get(self.pos)
-            .ok_or_else(|| HelixError::codec("unexpected end of frame"))?;
+        let b =
+            *self.buf.get(self.pos).ok_or_else(|| HelixError::codec("unexpected end of frame"))?;
         self.pos += 1;
         Ok(b)
     }
@@ -715,11 +713,7 @@ mod tests {
                     FieldValue::Text("Bachelors".into()),
                     FieldValue::Int(0),
                 ]),
-                Record::test(vec![
-                    FieldValue::Float(50.5),
-                    FieldValue::Null,
-                    FieldValue::Int(1),
-                ]),
+                Record::test(vec![FieldValue::Float(50.5), FieldValue::Null, FieldValue::Int(1)]),
             ],
         )
         .unwrap();

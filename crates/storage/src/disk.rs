@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn throttle_enforces_floor() {
         let d = DiskProfile::scaled(1_000_000_000, 0); // 1 GB/s
-        // 5 MB at 1 GB/s = 5 ms floor even though the op is instant.
+                                                       // 5 MB at 1 GB/s = 5 ms floor even though the op is instant.
         let ((), nanos) = d.run_read(5_000_000, || ());
         assert!(nanos >= 5_000_000, "nanos={nanos}");
         assert!(nanos < 80_000_000, "sleep should be close to target, got {nanos}");

@@ -122,11 +122,8 @@ impl Workload for CensusWorkload {
         let version = self.reducer_version;
         let report = wf.reduce("report", predictions, version, move |v, _| {
             let batch = v.as_collection()?.as_examples()?;
-            let positives = batch
-                .examples
-                .iter()
-                .filter(|e| e.prediction.unwrap_or(0.0) >= 0.5)
-                .count() as f64;
+            let positives =
+                batch.examples.iter().filter(|e| e.prediction.unwrap_or(0.0) >= 0.5).count() as f64;
             Ok(Value::Scalar(Scalar::Metrics(vec![
                 ("predicted_positive".into(), positives),
                 ("report_version".into(), version as f64),
@@ -193,8 +190,7 @@ mod tests {
     fn ppr_iteration_reuses_dpr_and_li() {
         let mut session = Session::new(SessionConfig::in_memory()).unwrap();
         let mut wl = CensusWorkload::small();
-        let reports =
-            run_iterations(&mut session, &mut wl, &[ChangeKind::Ppr]).unwrap();
+        let reports = run_iterations(&mut session, &mut wl, &[ChangeKind::Ppr]).unwrap();
         let first = &reports[0];
         let second = &reports[1];
         // The PPR iteration must not recompute DPR or L/I operators.
@@ -229,9 +225,8 @@ mod tests {
         let mut wl = CensusWorkload::small();
         let reports = run_iterations(&mut session, &mut wl, &[ChangeKind::LI]).unwrap();
         let second = &reports[1];
-        let state = |n: &str| {
-            second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap()
-        };
+        let state =
+            |n: &str| second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap();
         assert_eq!(state("incPred"), State::Compute, "model retrains");
         assert_eq!(state("predictions"), State::Compute, "inference recomputes");
         assert_ne!(state("income"), State::Compute, "assembled examples reused");

@@ -22,8 +22,7 @@ pub fn census_csv(train_rows: usize, test_rows: usize, seed: u64) -> (String, St
         "Transport",
         "Tech-support",
     ];
-    const MARITAL: [&str; 5] =
-        ["Married", "Never-married", "Divorced", "Widowed", "Separated"];
+    const MARITAL: [&str; 5] = ["Married", "Never-married", "Divorced", "Widowed", "Separated"];
     const RELATIONSHIP: [&str; 4] = ["Husband", "Wife", "Own-child", "Not-in-family"];
     const RACE: [&str; 5] = ["White", "Black", "Asian", "Amer-Indian", "Other"];
     const SEX: [&str; 2] = ["Male", "Female"];
@@ -99,9 +98,24 @@ pub fn genomics_corpus(
     seed: u64,
 ) -> (Vec<String>, Vec<String>) {
     const FILLER: [&str; 18] = [
-        "expression", "pathway", "regulates", "binding", "protein", "mutation", "tumor",
-        "signaling", "receptor", "cell", "growth", "factor", "analysis", "study", "response",
-        "activation", "variant", "tissue",
+        "expression",
+        "pathway",
+        "regulates",
+        "binding",
+        "protein",
+        "mutation",
+        "tumor",
+        "signaling",
+        "receptor",
+        "cell",
+        "growth",
+        "factor",
+        "analysis",
+        "study",
+        "response",
+        "activation",
+        "variant",
+        "tissue",
     ];
     let genes: Vec<String> = (0..clusters)
         .flat_map(|c| (0..genes_per_cluster).map(move |i| format!("g{c}x{i}")))
@@ -142,8 +156,8 @@ pub fn planted_cluster(gene: &str) -> Option<usize> {
 /// names in lexicographic order.
 pub fn ie_corpus(articles: usize, seed: u64) -> (Vec<String>, Vec<String>) {
     const FIRST: [&str; 16] = [
-        "Alice", "Robert", "Carol", "David", "Emma", "Frank", "Grace", "Henry", "Irene",
-        "James", "Karen", "Louis", "Maria", "Nathan", "Olivia", "Peter",
+        "Alice", "Robert", "Carol", "David", "Emma", "Frank", "Grace", "Henry", "Irene", "James",
+        "Karen", "Louis", "Maria", "Nathan", "Olivia", "Peter",
     ];
     const SPOUSE_VERBS: [&str; 3] = ["married", "wed", "exchanged vows with"];
     const OTHER_VERBS: [&str; 4] = ["met", "interviewed", "debated", "praised"];
@@ -289,9 +303,8 @@ mod tests {
         assert!(images.iter().all(|(px, _, _)| px.iter().all(|v| (0.0..=1.0).contains(v))));
         assert_eq!(images.iter().filter(|(_, _, train)| *train).count(), 40);
         // Same class images are more similar than cross-class ones.
-        let d = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let d =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         let same = d(&images[0].0, &images[10].0); // class 0 vs class 0
         let diff = d(&images[0].0, &images[5].0); // class 0 vs class 5
         assert!(same < diff, "same {same} diff {diff}");

@@ -86,10 +86,8 @@ impl Workload for GenomicsWorkload {
         let corpus = wf.source("corpus", self.data_version, move |_ctx| {
             let (articles, _) = genomics_corpus(articles, spa, clusters, gpc, seed);
             let schema = Schema::new(["text"]);
-            let rows = articles
-                .into_iter()
-                .map(|a| Record::train(vec![FieldValue::Text(a)]))
-                .collect();
+            let rows =
+                articles.into_iter().map(|a| Record::train(vec![FieldValue::Text(a)])).collect();
             Ok(Value::records(RecordBatch::new(schema, rows)?))
         });
         let kb = wf.source("geneKb", 1, move |_ctx| {
@@ -192,9 +190,8 @@ mod tests {
         let mut wl = GenomicsWorkload::small();
         let reports = run_iterations(&mut session, &mut wl, &[ChangeKind::LI]).unwrap();
         let second = &reports[1];
-        let state = |n: &str| {
-            second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap()
-        };
+        let state =
+            |n: &str| second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap();
         // The expensive word2vec model is untouched by a k change.
         assert_ne!(state("word2vec"), State::Compute, "embeddings reused");
         assert_eq!(state("kmeans"), State::Compute, "clustering retrains");

@@ -94,7 +94,7 @@ impl Workload for IeWorkload {
                 .enumerate()
                 .map(|(i, a)| {
                     // Hold out a fifth of articles for evaluation.
-                    
+
                     Record {
                         values: vec![FieldValue::Text(a.clone())],
                         split: if i % 5 == 4 {
@@ -123,10 +123,7 @@ impl Workload for IeWorkload {
             let article = row.values[idx].as_text().unwrap_or("");
             text::split_sentences(article)
                 .into_iter()
-                .map(|s| Record {
-                    values: vec![FieldValue::Text(s.to_string())],
-                    split: row.split,
-                })
+                .map(|s| Record { values: vec![FieldValue::Text(s.to_string())], split: row.split })
                 .collect()
         });
         let candidates = wf.scan("candidates", sentences, 1, candidate_columns(), |row, schema| {
@@ -153,10 +150,8 @@ impl Workload for IeWorkload {
                         continue;
                     }
                     let between = tokens[i + 1..j].join(" ");
-                    let verb_evidence = tags[i + 1..j]
-                        .iter()
-                        .filter(|t| **t == text::PosTag::Verb)
-                        .count() as i64;
+                    let verb_evidence =
+                        tags[i + 1..j].iter().filter(|t| **t == text::PosTag::Verb).count() as i64;
                     let pair = if a < b { format!("{a}|{b}") } else { format!("{b}|{a}") };
                     out.push(Record {
                         values: vec![
@@ -191,48 +186,43 @@ impl Workload for IeWorkload {
                 let kb_idx = kb.schema.index_of("pair").unwrap();
                 let known: HashSet<&str> =
                     kb.rows.iter().filter_map(|r| r.values[kb_idx].as_text()).collect();
-                let mut columns: Vec<String> =
-                    cands.schema.columns().to_vec();
+                let mut columns: Vec<String> = cands.schema.columns().to_vec();
                 columns.push("label".to_string());
                 let schema = Schema::new(columns);
                 let rows: Vec<Record> = cands
                     .rows
                     .iter()
                     .map(|r| {
-                        let is_spouse = r.values[pair_idx]
-                            .as_text()
-                            .is_some_and(|p| known.contains(p));
+                        let is_spouse =
+                            r.values[pair_idx].as_text().is_some_and(|p| known.contains(p));
                         let mut values = r.values.clone();
                         values.push(FieldValue::Int(i64::from(is_spouse)));
                         Record { values, split: r.split }
                     })
                     .collect();
-                Ok(Value::Collection(DataCollection::Records(RecordBatch::new(
-                    schema, rows,
-                )?)))
+                Ok(Value::Collection(DataCollection::Records(RecordBatch::new(schema, rows)?)))
             },
         );
 
         // Fine-grained features over labeled candidates.
         let between_tokens = wf.tokenize("betweenTokens", labeled, "between");
         let struct_version = self.struct_version;
-        let struct_ext = wf.udf_extractor("structExt", labeled, struct_version, move |row, schema| {
-            let dist = schema
-                .index_of("dist")
-                .and_then(|i| row.values[i].as_f64())
-                .unwrap_or(0.0);
-            let verbs = schema
-                .index_of("verb_evidence")
-                .and_then(|i| row.values[i].as_f64())
-                .unwrap_or(0.0);
-            FeatureBundle::Numeric(vec![
-                ("dist".into(), dist),
-                ("verb_evidence".into(), verbs),
-                // The struct version scales nothing; it exists so DPR
-                // iterations deprecate exactly this operator.
-                ("bias".into(), 1.0),
-            ])
-        });
+        let struct_ext =
+            wf.udf_extractor("structExt", labeled, struct_version, move |row, schema| {
+                let dist =
+                    schema.index_of("dist").and_then(|i| row.values[i].as_f64()).unwrap_or(0.0);
+                let verbs = schema
+                    .index_of("verb_evidence")
+                    .and_then(|i| row.values[i].as_f64())
+                    .unwrap_or(0.0);
+                FeatureBundle::Numeric(vec![
+                    ("dist".into(), dist),
+                    ("verb_evidence".into(), verbs),
+                    // The struct version scales nothing; it exists so DPR
+                    // iterations deprecate exactly this operator.
+                    ("bias".into(), 1.0),
+                ])
+            });
         let label = wf.field_extractor("pairLabel", labeled, "label");
 
         let mut extractors = vec![between_tokens, struct_ext];
@@ -255,11 +245,8 @@ impl Workload for IeWorkload {
         let version = self.reducer_version;
         let extracted = wf.reduce("extractedPairs", predictions, version, move |v, _| {
             let batch = v.as_collection()?.as_examples()?;
-            let count = batch
-                .examples
-                .iter()
-                .filter(|e| e.prediction.unwrap_or(0.0) >= 0.5)
-                .count() as f64;
+            let count =
+                batch.examples.iter().filter(|e| e.prediction.unwrap_or(0.0) >= 0.5).count() as f64;
             Ok(Value::Scalar(Scalar::Metrics(vec![
                 ("extracted".into(), count),
                 ("report_version".into(), version as f64),
@@ -325,9 +312,8 @@ mod tests {
         let reports =
             run_iterations(&mut session, &mut wl, &[ChangeKind::Dpr, ChangeKind::Dpr]).unwrap();
         for (i, r) in reports.iter().enumerate().skip(1) {
-            let state = |n: &str| {
-                r.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap()
-            };
+            let state =
+                |n: &str| r.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap();
             assert_ne!(
                 state("candidates"),
                 State::Compute,

@@ -183,9 +183,8 @@ mod tests {
         let mut wl = MnistWorkload::small();
         let reports = run_iterations(&mut session, &mut wl, &[ChangeKind::Ppr]).unwrap();
         let second = &reports[1];
-        let state = |n: &str| {
-            second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap()
-        };
+        let state =
+            |n: &str| second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap();
         assert_ne!(state("randomFFT"), State::Compute, "unchanged volatile op reused");
         assert_eq!(state("perClass"), State::Compute);
         assert!(second.total_nanos() < reports[0].total_nanos() / 2);
@@ -204,9 +203,8 @@ mod tests {
         let mut wl = MnistWorkload::small();
         let reports = run_iterations(&mut session, &mut wl, &[ChangeKind::LI]).unwrap();
         let second = &reports[1];
-        let state = |n: &str| {
-            second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap()
-        };
+        let state =
+            |n: &str| second.states.iter().find(|(name, _)| name == n).map(|(_, s)| *s).unwrap();
         // The big featurized batch is not worth materializing (cheap to
         // compute, large), so retraining forces the volatile chain to rerun.
         assert_eq!(state("digitModel"), State::Compute);
@@ -220,8 +218,7 @@ mod tests {
         let mut wl = MnistWorkload::small();
         let reports = run_iterations(&mut session, &mut wl, &[ChangeKind::Dpr]).unwrap();
         let second = &reports[1];
-        let computed =
-            second.states.iter().filter(|(_, s)| *s == State::Compute).count();
+        let computed = second.states.iter().filter(|(_, s)| *s == State::Compute).count();
         assert!(computed >= 5, "full recompute after featurization change, got {computed}");
     }
 }

@@ -23,10 +23,8 @@ fn main() -> helix_common::Result<()> {
     println!("iter  change  time(ms)  computed  loaded  pruned  accuracy");
     for (i, report) in reports.iter().enumerate() {
         let change = if i == 0 { "init" } else { changes[i - 1].label() };
-        let accuracy = report
-            .output_scalar("checked")
-            .and_then(|s| s.metric("accuracy"))
-            .unwrap_or(f64::NAN);
+        let accuracy =
+            report.output_scalar("checked").and_then(|s| s.metric("accuracy")).unwrap_or(f64::NAN);
         println!(
             "{:<6}{:<8}{:<10}{:<10}{:<8}{:<8}{:.3}",
             i,

@@ -28,12 +28,7 @@ fn main() -> helix_common::Result<()> {
     // Example 1(v): "tweak the number of clusters to control granularity".
     workload.k = 6;
     let second = session.run(&workload.build())?;
-    let w2v_state = second
-        .states
-        .iter()
-        .find(|(n, _)| n == "word2vec")
-        .map(|(_, s)| *s)
-        .unwrap();
+    let w2v_state = second.states.iter().find(|(n, _)| n == "word2vec").map(|(_, s)| *s).unwrap();
     println!(
         "k=6 rerun: {} ms (word2vec state: {:?})",
         second.metrics.total_nanos() / 1_000_000,

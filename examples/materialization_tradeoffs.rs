@@ -20,14 +20,11 @@ fn main() -> helix_common::Result<()> {
     }
 
     println!("policy   cumulative(ms)  storage(KiB)  writes(KiB)");
-    for (label, strategy) in [
-        ("OPT", MatStrategy::Opt),
-        ("AM ", MatStrategy::Always),
-        ("NM ", MatStrategy::Never),
-    ] {
-        let config = SessionConfig::in_memory()
-            .with_strategy(strategy)
-            .with_disk(DiskProfile::paper_hdd());
+    for (label, strategy) in
+        [("OPT", MatStrategy::Opt), ("AM ", MatStrategy::Always), ("NM ", MatStrategy::Never)]
+    {
+        let config =
+            SessionConfig::in_memory().with_strategy(strategy).with_disk(DiskProfile::paper_hdd());
         let mut session = Session::new(config)?;
         let mut workload = CensusWorkload::default();
         let changes = workload.scripted_sequence();
@@ -35,8 +32,7 @@ fn main() -> helix_common::Result<()> {
 
         let cumulative: u64 =
             reports.iter().map(|r| r.metrics.total_nanos()).sum::<u64>() / 1_000_000;
-        let written: u64 =
-            reports.iter().map(|r| r.metrics.materialized_bytes).sum::<u64>() / 1024;
+        let written: u64 = reports.iter().map(|r| r.metrics.materialized_bytes).sum::<u64>() / 1024;
         println!(
             "{label}      {:<16}{:<14}{written}",
             cumulative,

@@ -18,10 +18,7 @@ fn build_workflow(reducer_version: u64) -> Workflow {
         let rows: Vec<Record> = (0..1_000)
             .map(|i| {
                 let x = i as f64 / 100.0;
-                Record::train(vec![
-                    FieldValue::Float(x),
-                    FieldValue::Int(i64::from(x > 5.0)),
-                ])
+                Record::train(vec![FieldValue::Float(x), FieldValue::Int(i64::from(x > 5.0))])
             })
             .collect();
         Ok(Value::records(RecordBatch::new(schema, rows)?))
@@ -44,15 +41,9 @@ fn build_workflow(reducer_version: u64) -> Workflow {
     // HELIX's change tracker.
     let summary = wf.reduce("summary", scored, reducer_version, |v, _ctx| {
         let batch = v.as_collection()?.as_examples()?;
-        let positives = batch
-            .examples
-            .iter()
-            .filter(|e| e.prediction.unwrap_or(0.0) >= 0.5)
-            .count();
-        Ok(Value::Scalar(Scalar::Metrics(vec![(
-            "predicted_positive".into(),
-            positives as f64,
-        )])))
+        let positives =
+            batch.examples.iter().filter(|e| e.prediction.unwrap_or(0.0) >= 0.5).count();
+        Ok(Value::Scalar(Scalar::Metrics(vec![("predicted_positive".into(), positives as f64)])))
     });
     wf.output(summary);
     wf

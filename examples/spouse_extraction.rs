@@ -20,12 +20,7 @@ fn main() -> helix_common::Result<()> {
 
     println!("iter  time(ms)  parse-state  precision  recall  f1");
     for (i, report) in reports.iter().enumerate() {
-        let parse = report
-            .states
-            .iter()
-            .find(|(n, _)| n == "candidates")
-            .map(|(_, s)| *s)
-            .unwrap();
+        let parse = report.states.iter().find(|(n, _)| n == "candidates").map(|(_, s)| *s).unwrap();
         let f1 = report.output_scalar("extractionF1").unwrap();
         println!(
             "{:<6}{:<10}{:<13}{:<11.3}{:<8.3}{:.3}",

@@ -37,11 +37,7 @@ fn census_full_scripted_schedule_is_correct_and_faster() {
     for (i, kind) in schedule.iter().enumerate() {
         if *kind == ChangeKind::Ppr {
             let t = reports[i + 1].metrics.total_nanos();
-            assert!(
-                t < init / 3,
-                "PPR iteration {} took {t} vs init {init}",
-                i + 1
-            );
+            assert!(t < init / 3, "PPR iteration {} took {t} vs init {init}", i + 1);
         }
     }
 }
@@ -85,13 +81,8 @@ fn genomics_scripted_schedule_reuses_embeddings_across_li_changes() {
         }
     }
     // Quality stays sane throughout.
-    let nmi = reports
-        .last()
-        .unwrap()
-        .output_scalar("clusterQuality")
-        .unwrap()
-        .metric("nmi")
-        .unwrap();
+    let nmi =
+        reports.last().unwrap().output_scalar("clusterQuality").unwrap().metric("nmi").unwrap();
     assert!(nmi > 0.3, "final nmi {nmi}");
 }
 
@@ -106,13 +97,7 @@ fn ie_parse_is_never_recomputed_after_iteration_zero() {
         assert_ne!(states["sentences"], State::Compute);
         assert_ne!(states["candidates"], State::Compute);
     }
-    let f1 = reports
-        .last()
-        .unwrap()
-        .output_scalar("extractionF1")
-        .unwrap()
-        .metric("f1")
-        .unwrap();
+    let f1 = reports.last().unwrap().output_scalar("extractionF1").unwrap().metric("f1").unwrap();
     assert!(f1 > 0.5, "f1 {f1}");
 }
 
@@ -134,9 +119,7 @@ fn mnist_volatile_chain_full_schedule() {
 #[test]
 fn storage_budget_is_respected_across_iterations() {
     let budget: u64 = 64 * 1024; // tiny: forces selectivity
-    let config = SessionConfig::in_memory()
-        .with_budget(budget)
-        .with_strategy(MatStrategy::Opt);
+    let config = SessionConfig::in_memory().with_budget(budget).with_strategy(MatStrategy::Opt);
     let mut session = Session::new(config).unwrap();
     let mut wl = CensusWorkload::small();
     let schedule = wl.scripted_sequence();
@@ -154,10 +137,7 @@ fn storage_budget_is_respected_across_iterations() {
 fn catalog_survives_session_restart() {
     let dir = std::env::temp_dir().join(format!("helix-it-restart-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let config = || SessionConfig {
-        catalog_dir: Some(dir.clone()),
-        ..SessionConfig::in_memory()
-    };
+    let config = || SessionConfig { catalog_dir: Some(dir.clone()), ..SessionConfig::in_memory() };
     let wl = CensusWorkload::small();
     {
         let mut session = Session::new(config()).unwrap();

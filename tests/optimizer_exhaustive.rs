@@ -1,0 +1,218 @@
+//! Exhaustive cross-checks of the optimizer core (paper §5.2, Problems
+//! 1 & 2): the max-flow solvers must match brute-force enumeration on
+//! random instances of ≤ 12 nodes, across a wide seeded sample.
+//!
+//! These complement `property_invariants.rs` (which covers n < 8 through
+//! the proptest harness) with larger DAGs, denser edge distributions, and
+//! independent validity checks that do not trust the brute-force solvers
+//! either: closure under prerequisites for PSP, feasibility plus
+//! `cost_of` agreement for OEP.
+
+use helix_common::SplitMix64;
+use helix_flow::oep::{NodeCosts, OepProblem, State};
+use helix_flow::psp::is_closed;
+use helix_flow::{Dag, NodeId, ProjectSelection};
+
+/// Random DAG on `n` nodes: each (j < i) edge is present with probability
+/// `density`. Edges always point id-upward, so acyclicity is structural.
+fn random_dag(n: usize, density: f64, rng: &mut SplitMix64) -> Dag<()> {
+    let mut dag: Dag<()> = Dag::new();
+    let ids: Vec<NodeId> = (0..n).map(|_| dag.add_node(())).collect();
+    for i in 1..n {
+        for j in 0..i {
+            if rng.chance(density) {
+                dag.add_edge(ids[j], ids[i]).unwrap();
+            }
+        }
+    }
+    dag
+}
+
+#[test]
+fn psp_min_cut_matches_exhaustive_enumeration() {
+    let mut rng = SplitMix64::new(0x9a7_0001);
+    for case in 0..300 {
+        let n = 1 + rng.index(12);
+        let density = rng.range_f64(0.05, 0.7);
+        let mut psp = ProjectSelection::new();
+        let mut profits = Vec::new();
+        for _ in 0..n {
+            // Profits in [-40, 40]; a sprinkle of zeros exercises ties.
+            let profit = rng.next_below(81) as i128 - 40;
+            profits.push(profit);
+            psp.add_project(profit);
+        }
+        // Prerequisites point id-downward (j < i), mirroring the OEP
+        // reduction's shape, with occasional duplicates.
+        for i in 1..n {
+            for j in 0..i {
+                if rng.chance(density) {
+                    psp.add_prerequisite(i, j);
+                }
+            }
+        }
+
+        let fast = psp.solve();
+        let slow = psp.solve_brute_force();
+        assert_eq!(
+            fast.profit, slow.profit,
+            "case {case}: min-cut profit {} != exhaustive {}",
+            fast.profit, slow.profit
+        );
+        // Independent checks, trusting neither solver: the min-cut
+        // selection must be closed and its claimed profit must re-add.
+        assert!(is_closed(&psp, &fast.selected), "case {case}: selection not closed");
+        let readded: i128 = fast
+            .selected
+            .iter()
+            .enumerate()
+            .filter(|(_, sel)| **sel)
+            .map(|(i, _)| profits[i])
+            .sum();
+        assert_eq!(readded, fast.profit, "case {case}: profit accounting broken");
+    }
+}
+
+#[test]
+fn psp_profit_never_negative_and_empty_is_ok() {
+    // The empty set is always closed with profit 0, so no optimal
+    // selection can do worse.
+    let mut rng = SplitMix64::new(0x9a7_0002);
+    for _ in 0..100 {
+        let n = 1 + rng.index(12);
+        let mut psp = ProjectSelection::new();
+        for _ in 0..n {
+            psp.add_project(-(rng.next_below(50) as i128));
+        }
+        for i in 1..n {
+            if rng.chance(0.4) {
+                psp.add_prerequisite(i, rng.index(i));
+            }
+        }
+        let solution = psp.solve();
+        assert!(solution.profit >= 0);
+    }
+    assert_eq!(ProjectSelection::new().solve().profit, 0);
+}
+
+/// Enumerate all 3^n state vectors, keeping the feasible minimum.
+fn oep_exhaustive<T>(problem: &OepProblem<'_, T>, n: usize) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    let mut states = vec![State::Compute; n];
+    let total = 3usize.pow(n as u32);
+    for mut code in 0..total {
+        for slot in states.iter_mut() {
+            *slot = match code % 3 {
+                0 => State::Compute,
+                1 => State::Load,
+                _ => State::Prune,
+            };
+            code /= 3;
+        }
+        if !problem.is_feasible(&states) {
+            continue;
+        }
+        if let Some(cost) = problem.cost_of(&states) {
+            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+        }
+    }
+    best
+}
+
+#[test]
+fn oep_state_assignment_matches_independent_enumeration() {
+    let mut rng = SplitMix64::new(0x0e9_0001);
+    for case in 0..120 {
+        // 3^n enumeration: keep n ≤ 9 here (the dedicated 12-node case
+        // below uses the library's own brute force, which prunes).
+        let n = 2 + rng.index(8);
+        let density = rng.range_f64(0.1, 0.6);
+        let dag = random_dag(n, density, &mut rng);
+        let costs: Vec<NodeCosts> = (0..n)
+            .map(|i| {
+                let compute = 1 + rng.next_below(60);
+                let load = rng.chance(0.65).then(|| 1 + rng.next_below(60));
+                let mut c = NodeCosts::new(compute, load);
+                if rng.chance(0.2) {
+                    c = c.forced();
+                }
+                if i == n - 1 || rng.chance(0.15) {
+                    c = c.required();
+                }
+                c
+            })
+            .collect();
+
+        let problem = OepProblem::new(&dag, &costs);
+        let fast = problem.solve();
+        assert!(
+            problem.is_feasible(&fast.states),
+            "case {case}: max-flow produced infeasible states {:?}",
+            fast.states
+        );
+        assert_eq!(
+            problem.cost_of(&fast.states),
+            Some(fast.total_cost),
+            "case {case}: reported cost disagrees with Equation 1"
+        );
+        let best = oep_exhaustive(&problem, n)
+            .expect("all-Compute is always feasible, so an optimum exists");
+        assert_eq!(
+            fast.total_cost, best,
+            "case {case}: max-flow {} != exhaustive optimum {}",
+            fast.total_cost, best
+        );
+    }
+}
+
+#[test]
+fn oep_matches_library_brute_force_up_to_twelve_nodes() {
+    let mut rng = SplitMix64::new(0x0e9_0002);
+    for case in 0..40 {
+        let n = 9 + rng.index(4); // 9..=12
+        let dag = random_dag(n, rng.range_f64(0.1, 0.4), &mut rng);
+        let costs: Vec<NodeCosts> = (0..n)
+            .map(|i| {
+                let compute = 1 + rng.next_below(40);
+                let load = rng.chance(0.6).then(|| 1 + rng.next_below(40));
+                let mut c = NodeCosts::new(compute, load);
+                if rng.chance(0.25) {
+                    c = c.forced();
+                } else if i == n - 1 {
+                    c = c.required();
+                }
+                c
+            })
+            .collect();
+        let problem = OepProblem::new(&dag, &costs);
+        let fast = problem.solve();
+        let slow = problem.solve_brute_force();
+        assert!(problem.is_feasible(&fast.states), "case {case}");
+        assert_eq!(fast.total_cost, slow.total_cost, "case {case}");
+    }
+}
+
+#[test]
+fn oep_load_everything_when_loads_are_cheap() {
+    // Sanity anchor with a known answer: a chain where every node has a
+    // cheap load must load the required sink and prune the rest.
+    let mut dag: Dag<()> = Dag::new();
+    let ids: Vec<NodeId> = (0..5).map(|_| dag.add_node(())).collect();
+    for w in ids.windows(2) {
+        dag.add_edge(w[0], w[1]).unwrap();
+    }
+    let costs: Vec<NodeCosts> = (0..5)
+        .map(|i| {
+            let mut c = NodeCosts::new(1_000, Some(1));
+            if i == 4 {
+                c = c.required();
+            }
+            c
+        })
+        .collect();
+    let problem = OepProblem::new(&dag, &costs);
+    let solution = problem.solve();
+    assert_eq!(solution.total_cost, 1);
+    assert_eq!(solution.states[4], State::Load);
+    assert!(solution.states[..4].iter().all(|s| *s == State::Prune));
+}

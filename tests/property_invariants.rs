@@ -7,8 +7,8 @@
 
 use helix_common::hash::Signature;
 use helix_data::{
-    Example, ExampleBatch, FeatureVector, FieldValue, Record, RecordBatch, Scalar, Schema,
-    Split, Value,
+    Example, ExampleBatch, FeatureVector, FieldValue, Record, RecordBatch, Scalar, Schema, Split,
+    Value,
 };
 use helix_flow::oep::{NodeCosts, OepProblem};
 use helix_flow::{Dag, NodeId};
@@ -31,10 +31,7 @@ fn arb_records() -> impl Strategy<Value = Value> {
     (1usize..6).prop_flat_map(|arity| {
         let columns: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
         prop::collection::vec(
-            (
-                prop::collection::vec(arb_field_value(), arity),
-                prop::bool::ANY,
-            ),
+            (prop::collection::vec(arb_field_value(), arity), prop::bool::ANY),
             0..30,
         )
         .prop_map(move |rows| {
@@ -70,11 +67,7 @@ fn arb_examples() -> impl Strategy<Value = Value> {
         let examples = rows
             .into_iter()
             .map(|(features, label, train)| {
-                Example::new(
-                    features,
-                    label,
-                    if train { Split::Train } else { Split::Test },
-                )
+                Example::new(features, label, if train { Split::Train } else { Split::Test })
             })
             .collect();
         Value::examples(ExampleBatch::dense(examples))

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this shim implements
+//! the slice of criterion's API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `BatchSize`, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-sample measurement loop and plain-text reporting.
+//!
+//! It is a measurement tool, not a statistics suite: each benchmark is
+//! timed over `sample_size` samples after calibration and the median,
+//! minimum, and mean per-iteration times are printed. Good enough to
+//! compare 1/2/4/8-worker engine configurations; swap in real criterion
+//! when the environment can fetch it.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark (calibration picks the
+/// iterations-per-sample to roughly fill it).
+const MEASURE_BUDGET: Duration = Duration::from_millis(500);
+
+/// How a sample batch is sized (shim: only used to pick batch behavior).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per routine invocation.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Declared throughput for a benchmark (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration for each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher { sample_size, samples: Vec::new() }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many iterations fit one sample slot?
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let budget_per_sample = MEASURE_BUDGET / self.sample_size as u32;
+        let iters = (budget_per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` with a fresh `setup` product per invocation; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, samples: &mut [f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+    let mut line = format!(
+        "{name:<40} median {:>12}  min {:>12}  mean {:>12}",
+        fmt_nanos(median),
+        fmt_nanos(min),
+        fmt_nanos(mean)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |units: u64| units as f64 / (median / 1e9);
+        match tp {
+            Throughput::Bytes(b) => {
+                line.push_str(&format!("  {:.1} MiB/s", per_sec(b) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(e) => {
+                line.push_str(&format!("  {:.0} elem/s", per_sec(e)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Shim of criterion's top-level driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            prefix: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Criterion's configuration hook (shim: sets default sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    prefix: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id);
+        run_one(&name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id);
+        run_one(&name, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (shim: purely cosmetic).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher::new(sample_size);
+    f(&mut bencher);
+    report(name, &mut bencher.samples, throughput);
+}
+
+/// Re-export so `criterion::black_box` callers work; prefer
+/// `std::hint::black_box` in new code.
+pub use std::hint::black_box;
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `fn main` running the listed groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        // Smoke: should not panic and should print one line.
+        c.bench_function("shim_smoke", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::new("case", 4), &4, |b, &n| b.iter(|| n * 2));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        g.finish();
+        assert_eq!(BenchmarkId::new("a", 1).to_string(), "a/1");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

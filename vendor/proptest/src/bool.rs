@@ -1,0 +1,39 @@
+//! `prop::bool` — boolean strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy over both booleans.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// `prop::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_values_occur() {
+        let mut rng = TestRng::new(5);
+        let mut t = false;
+        let mut f = false;
+        for _ in 0..64 {
+            if ANY.generate(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+}

@@ -1,0 +1,127 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Anything usable as a collection size specification.
+pub trait SizeRange {
+    /// Draw a target length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+    /// Largest admissible length (for duplicate-capped collections).
+    fn max_len(&self) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+
+    fn max_len(&self) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+
+    fn max_len(&self) -> usize {
+        self.end.saturating_sub(1)
+    }
+}
+
+/// Strategy for `Vec<T>` with lengths drawn from `sizes`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    sizes: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.sizes.sample_len(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, sizes)`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, sizes: R) -> VecStrategy<S, R> {
+    VecStrategy { element, sizes }
+}
+
+/// Strategy for `HashSet<T>`.
+pub struct HashSetStrategy<S, R> {
+    element: S,
+    sizes: R,
+}
+
+impl<S, R> Strategy for HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+    R: SizeRange,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.sizes.sample_len(rng);
+        let mut out = HashSet::with_capacity(target);
+        // The element domain may be smaller than the target; cap the
+        // attempts so generation always terminates.
+        let mut attempts = 0;
+        while out.len() < target && attempts < 20 * (target + 1) {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// `prop::collection::hash_set(element, sizes)`.
+pub fn hash_set<S, R>(element: S, sizes: R) -> HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+    R: SizeRange,
+{
+    HashSetStrategy { element, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_len_in_range() {
+        let s = vec(0u8..10, 2..5);
+        let mut rng = TestRng::new(4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 10));
+        }
+    }
+
+    #[test]
+    fn vec_fixed_len() {
+        let s = vec(0u8..10, 3usize);
+        let mut rng = TestRng::new(4);
+        assert_eq!(s.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn hash_set_terminates_with_tiny_domain() {
+        let s = hash_set(0u8..2, 1..10);
+        let mut rng = TestRng::new(4);
+        for _ in 0..50 {
+            let set = s.generate(&mut rng);
+            assert!(!set.is_empty() && set.len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `prop::option::of` — optional values.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy yielding `None` or `Some(inner)`.
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Real proptest defaults to 50% None at this call shape's default
+        // weight; keep the stream deterministic and unbiased.
+        if rng.chance(0.5) {
+            Some(self.0.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `prop::option::of(strategy)`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let s = of(0u8..10);
+        let mut rng = TestRng::new(2);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 50 && none > 50, "some={some} none={none}");
+    }
+}

@@ -1,0 +1,93 @@
+//! The deterministic RNG behind every strategy (SplitMix64).
+
+/// A deterministic PRNG; same seed → same stream on every platform.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded directly.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Seeded from a test name (FNV-1a), so each test gets a stable,
+    /// distinct stream.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(hash)
+    }
+
+    /// Next raw 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform below `bound` (0 when bound is 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform below `bound` over the u128 domain.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        if bound == 0 {
+            return 0;
+        }
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::deterministic("some_test");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::deterministic("some_test");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut rng = TestRng::deterministic("other_test");
+        assert_ne!(a[0], rng.next_u64());
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! String strategies from `[class]{m,n}` patterns.
+//!
+//! Real proptest compiles full regexes into strategies; this workspace
+//! only uses single-character-class patterns with a repetition count, so
+//! that's exactly what the shim parses. Unsupported patterns panic with a
+//! pointer to this file.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Parsed `[class]{m,n}` pattern.
+struct CharClassPattern {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+fn unsupported(pattern: &str) -> ! {
+    panic!(
+        "proptest shim: unsupported string pattern {pattern:?}; only \
+         `[chars]{{m,n}}` shapes are implemented (vendor/proptest/src/string.rs)"
+    )
+}
+
+fn parse_pattern(pattern: &str) -> CharClassPattern {
+    let Some(rest) = pattern.strip_prefix('[') else { unsupported(pattern) };
+    let Some(close) = rest.find(']') else { unsupported(pattern) };
+    let class: Vec<char> = rest[..close].chars().collect();
+    let Some(counts) = rest[close + 1..].strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+        unsupported(pattern)
+    };
+    let parse_len = |s: &str| -> usize {
+        match s.parse() {
+            Ok(n) => n,
+            Err(_) => unsupported(pattern),
+        }
+    };
+    let (min_len, max_len) = match counts.split_once(',') {
+        Some((lo, hi)) => (parse_len(lo), parse_len(hi)),
+        None => {
+            let n = parse_len(counts);
+            (n, n)
+        }
+    };
+
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range (a `-` without both neighbors is a literal).
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            if lo > hi {
+                unsupported(pattern);
+            }
+            alphabet.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() || min_len > max_len {
+        unsupported(pattern);
+    }
+    CharClassPattern { alphabet, min_len, max_len }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = parse_pattern(self);
+        let span = (pattern.max_len - pattern.min_len + 1) as u64;
+        let len = pattern.min_len + rng.below(span) as usize;
+        (0..len)
+            .map(|_| pattern.alphabet[rng.below(pattern.alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_within_class_and_length() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 _-]{0,24}".generate(&mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+        }
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn exact_count_form() {
+        let mut rng = TestRng::new(6);
+        assert_eq!("[x]{4}".generate(&mut rng), "xxxx");
+    }
+}

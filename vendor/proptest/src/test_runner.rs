@@ -1,0 +1,37 @@
+//! Test-runner configuration.
+
+/// Mirrors `proptest::test_runner::ProptestConfig` (the one knob used).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // End-to-end check of the proptest! macro plumbing.
+    crate::proptest! {
+        #![proptest_config(crate::test_runner::ProptestConfig::with_cases(16))]
+
+        /// Squares are non-negative (macro smoke test).
+        #[test]
+        fn squares_nonnegative(x in -100i64..100, flip in crate::prelude::prop::bool::ANY) {
+            crate::prop_assert!(x * x >= 0);
+            let y = if flip { x } else { -x };
+            crate::prop_assert_eq!(y * y, x * x);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The in-memory JSON tree, its renderer, and a small strict parser.
+
+/// A JSON value. Integers are kept exact (i128) so u64 nanosecond counts
+/// survive a manifest round trip bit-for-bit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number without fraction or exponent.
+    Int(i128),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion-ordered pairs (writers sort when they care).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Short type label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::Float(_) => "number",
+            Json::String(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// Look up an object key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Render `value` as pretty-printed JSON (2-space indent).
+pub fn write_json(value: &Json) -> String {
+    let mut out = String::new();
+    write_inner(value, 0, &mut out);
+    out
+}
+
+fn write_inner(value: &Json, indent: usize, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(f) => {
+            if f.is_finite() {
+                // Keep a fraction marker so the value re-parses as Float.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Json::String(s) => write_escaped(s, out),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_inner(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Json::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_escaped(key, out);
+                out.push_str(": ");
+                write_inner(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document; trailing non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut parser = Parser { chars: &bytes, pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.chars.len() {
+        return Err(format!("trailing characters at offset {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(format!("expected '{c}', got '{got}' at offset {}", self.pos - 1)),
+            None => Err(format!("expected '{c}', got end of input")),
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), String> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') => self.expect_word("null").map(|_| Json::Null),
+            Some('t') => self.expect_word("true").map(|_| Json::Bool(true)),
+            Some('f') => self.expect_word("false").map(|_| Json::Bool(false)),
+            Some('"') => self.parse_string().map(Json::String),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_object(),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(format!("unexpected character '{c}' at offset {}", self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or_else(|| format!("bad hex digit '{c}'"))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    Some(c) => return Err(format!("unknown escape '\\{c}'")),
+                    None => return Err("unterminated escape".to_string()),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => self.pos += 1,
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>().map(Json::Float).map_err(|e| format!("bad number '{text}': {e}"))
+        } else {
+            text.parse::<i128>().map(Json::Int).map_err(|e| format!("bad number '{text}': {e}"))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Array(items)),
+                Some(c) => return Err(format!("expected ',' or ']', got '{c}'")),
+                None => return Err("unterminated array".to_string()),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Object(pairs)),
+                Some(c) => return Err(format!("expected ',' or '}}', got '{c}'")),
+                None => return Err("unterminated object".to_string()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_document() {
+        let doc = Json::Object(vec![
+            ("name".into(), Json::String("hé\"llo\n".into())),
+            ("count".into(), Json::Int(u64::MAX as i128)),
+            ("ratio".into(), Json::Float(0.25)),
+            ("flag".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            ("items".into(), Json::Array(vec![Json::Int(1), Json::Int(-2)])),
+            ("empty_arr".into(), Json::Array(vec![])),
+            ("empty_obj".into(), Json::Object(vec![])),
+        ]);
+        let text = write_json(&doc);
+        let parsed = parse_json(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn u64_max_is_exact() {
+        let text = write_json(&Json::Int(u64::MAX as i128));
+        assert_eq!(parse_json(&text).unwrap(), Json::Int(u64::MAX as i128));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("12 34").is_err());
+        assert!(parse_json("\"abc").is_err());
+    }
+
+    #[test]
+    fn float_reparses_as_float() {
+        let text = write_json(&Json::Float(2.0));
+        assert_eq!(parse_json(&text).unwrap(), Json::Float(2.0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored shim
+//! provides the small slice of serde the workspace actually uses: a
+//! [`Serialize`]/[`Deserialize`] pair of traits over an in-memory JSON
+//! [`Json`] value, plus `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for plain named-field structs and fieldless enums (re-exported from the
+//! vendored `serde_derive` proc-macro crate). `serde_json` (also vendored)
+//! renders and parses the textual form.
+//!
+//! This is intentionally NOT a general serde: no serializer abstraction,
+//! no zero-copy, no attributes. Swap in the real crates by deleting
+//! `vendor/` and restoring the versions in each `Cargo.toml` once the
+//! build environment has registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod json;
+
+pub use json::{parse_json, write_json, Json};
+
+/// A value that can render itself as a [`Json`] tree.
+pub trait Serialize {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// A value that can reconstruct itself from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from a JSON value; errors are human-readable strings.
+    fn from_json(value: &Json) -> Result<Self, String>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Json) -> Result<Self, String> {
+                match value {
+                    Json::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| format!("integer {i} out of range for {}", stringify!($t))),
+                    other => Err(format!("expected integer, got {}", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, u128, i128);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Json) -> Result<Self, String> {
+                match value {
+                    Json::Float(f) => Ok(*f as $t),
+                    Json::Int(i) => Ok(*i as $t),
+                    other => Err(format!("expected number, got {}", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {}", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match value {
+            Json::String(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {}", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match value {
+            Json::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(format!("expected array, got {}", other.kind())),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_json(&self) -> Json {
+        // Deterministic rendering: sort keys.
+        let mut pairs: Vec<(String, Json)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Object(pairs)
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(u64::from_json(&42u64.to_json()).unwrap(), 42);
+        assert_eq!(i64::from_json(&(-7i64).to_json()).unwrap(), -7);
+        assert_eq!(String::from_json(&"hi".to_json()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json(&5u32.to_json()).unwrap(), Some(5));
+        assert_eq!(Vec::<u8>::from_json(&vec![1u8, 2].to_json()).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        assert!(u8::from_json(&Json::Int(300)).is_err());
+        assert!(u64::from_json(&Json::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn tuples_render_as_arrays() {
+        let json = (1u64, 2u64, 3u64).to_json();
+        match json {
+            Json::Array(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {}", other.kind()),
+        }
+    }
+}

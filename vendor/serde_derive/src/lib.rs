@@ -1,0 +1,227 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` shim's simplified JSON model. Supports exactly the
+//! shapes this workspace declares: non-generic structs with named fields
+//! and non-generic fieldless enums. Anything else is a compile error with
+//! a clear message — extend this shim before reaching for attributes or
+//! generics.
+//!
+//! Written against raw `proc_macro` tokens (no syn/quote: the build
+//! environment has no registry access), generating code by string
+//! rendering.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derive `serde::Serialize` (shim edition).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         ::serde::Json::Object(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\",")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         ::serde::Json::String(::std::string::String::from(\
+                             match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim generated invalid Rust")
+}
+
+/// Derive `serde::Deserialize` (shim edition).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json(\
+                             __v.get(\"{f}\").unwrap_or(&::serde::Json::Null))\
+                         .map_err(|e| ::std::format!(\"{name}.{f}: {{}}\", e))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(__v: &::serde::Json) \
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         if !::std::matches!(__v, ::serde::Json::Object(_)) {{\n\
+                             return ::std::result::Result::Err(::std::format!(\
+                                 \"{name}: expected object, got {{}}\", __v.kind()));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(__v: &::serde::Json) \
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match __v {{\n\
+                             ::serde::Json::String(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::std::format!(\
+                                     \"{name}: unknown variant {{other:?}}\")),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::std::format!(\
+                                 \"{name}: expected string, got {{}}\", other.kind())),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim generated invalid Rust")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            None => panic!("serde_derive shim: no struct or enum found in derive input"),
+            // Outer attribute: `#` followed by a bracketed group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let (name, body) = parse_name_and_body(&tokens, i + 1, "struct");
+                return Item::Struct { name, fields: parse_fields(body) };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let (name, body) = parse_name_and_body(&tokens, i + 1, "enum");
+                return Item::Enum { name, variants: parse_variants(body) };
+            }
+            Some(_) => {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn parse_name_and_body<'a>(
+    tokens: &'a [TokenTree],
+    mut i: usize,
+    kw: &str,
+) -> (String, &'a proc_macro::Group) {
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected {kw} name, got {other:?}"),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic {kw} `{name}` is not supported")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => (name, g),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde_derive shim: tuple struct `{name}` is not supported")
+        }
+        other => panic!("serde_derive shim: expected body of `{name}`, got {other:?}"),
+    }
+}
+
+/// Split a brace-group body at top-level commas.
+fn split_top_level(body: &proc_macro::Group) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for token in body.stream() {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().unwrap().push(token),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_fields(body: &proc_macro::Group) -> Vec<String> {
+    split_top_level(body)
+        .iter()
+        .map(|chunk| {
+            leading_ident(chunk).unwrap_or_else(|| {
+                panic!("serde_derive shim: could not find a field name in {chunk:?}")
+            })
+        })
+        .collect()
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Vec<String> {
+    split_top_level(body)
+        .iter()
+        .map(|chunk| {
+            if chunk.iter().any(|t| {
+                matches!(t, TokenTree::Group(g)
+                if g.delimiter() != Delimiter::Bracket)
+            }) {
+                panic!("serde_derive shim: only fieldless enum variants are supported");
+            }
+            leading_ident(chunk).unwrap_or_else(|| {
+                panic!("serde_derive shim: could not find a variant name in {chunk:?}")
+            })
+        })
+        .collect()
+}
+
+/// First identifier after attributes and visibility.
+fn leading_ident(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    loop {
+        match chunk.get(i)? {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            _ => return None,
+        }
+    }
+}

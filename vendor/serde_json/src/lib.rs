@@ -1,0 +1,77 @@
+//! Offline stand-in for the `serde_json` crate, built on the vendored
+//! `serde` shim's [`serde::Json`] tree. Provides the two entry points the
+//! workspace uses: [`to_string_pretty`] and [`from_str`].
+
+/// Error type mirroring `serde_json::Error`'s role (display-only here).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render any serializable value as pretty-printed JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::write_json(&value.to_json()))
+}
+
+/// Parse a JSON document into a deserializable value.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let json = serde::parse_json(text).map_err(Error)?;
+    T::from_json(&json).map_err(Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Entry {
+        name: String,
+        bytes: u64,
+        load: Option<u64>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Manifest {
+        entries: Vec<Entry>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[test]
+    fn derived_struct_roundtrip() {
+        let m = Manifest {
+            entries: vec![
+                Entry { name: "a".into(), bytes: u64::MAX, load: None },
+                Entry { name: "b\"x".into(), bytes: 0, load: Some(17) },
+            ],
+        };
+        let text = super::to_string_pretty(&m).unwrap();
+        let back: Manifest = super::from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn derived_enum_roundtrip() {
+        let text = super::to_string_pretty(&Kind::Beta).unwrap();
+        assert_eq!(text, "\"Beta\"");
+        let back: Kind = super::from_str(&text).unwrap();
+        assert_eq!(back, Kind::Beta);
+        assert!(super::from_str::<Kind>("\"Gamma\"").is_err());
+    }
+
+    #[test]
+    fn missing_field_errors() {
+        let err = super::from_str::<Entry>("{\"name\": \"x\"}").unwrap_err();
+        assert!(err.to_string().contains("Entry.bytes"), "{err}");
+    }
+}
