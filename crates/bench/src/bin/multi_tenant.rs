@@ -1,0 +1,79 @@
+//! Multi-tenant service bench: replay N simultaneous clients against one
+//! `HelixService` and compare with the serial back-to-back baseline.
+//!
+//! ```text
+//! multi_tenant [--tenants N] [--cores C] [--iterations K] [--workers W]
+//!              [--throttled] [--seed S] [--check]
+//! ```
+//!
+//! `--throttled` uses a scaled disk profile so the compute/load trade-off
+//! (and I/O overlap across tenants) is visible even on fast hardware.
+//! `--check` exits non-zero unless the run observed cross-tenant hits and
+//! respected the core budget — the CI smoke contract.
+
+use helix_bench::multi_tenant::{run_multi_tenant, MultiTenantConfig};
+use helix_storage::DiskProfile;
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1)).and_then(|v| {
+        v.parse()
+            .map_err(|_| {
+                eprintln!("invalid value for {name}: {v}");
+                std::process::exit(2);
+            })
+            .ok()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = MultiTenantConfig::smoke();
+    if let Some(n) = parse_flag(&args, "--tenants") {
+        config.tenants = n as usize;
+    }
+    if let Some(c) = parse_flag(&args, "--cores") {
+        config.cores = c as usize;
+    }
+    if let Some(k) = parse_flag(&args, "--iterations") {
+        config.iterations = k as usize;
+    }
+    if let Some(w) = parse_flag(&args, "--workers") {
+        config.workers_per_session = w as usize;
+    }
+    if let Some(s) = parse_flag(&args, "--seed") {
+        config.seed = s;
+    }
+    if args.iter().any(|a| a == "--throttled") {
+        // Scaled to our small synthetic datasets, as the experiments use.
+        config.disk = DiskProfile::scaled(5_000_000, 200_000);
+    }
+
+    let report = match run_multi_tenant(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("multi-tenant bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+
+    if args.iter().any(|a| a == "--check") {
+        let mut failures = Vec::new();
+        if report.cross_hit_rate <= 0.0 {
+            failures.push("no cross-tenant cache hits observed".to_string());
+        }
+        if report.peak_cores_leased > report.cores {
+            failures.push(format!(
+                "core budget violated: peak {} > {}",
+                report.peak_cores_leased, report.cores
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("checks passed: cross-tenant reuse observed, core budget respected");
+    }
+}

@@ -20,7 +20,13 @@
 //! * [`experiments::table1`] / [`experiments::table2`] — the static
 //!   coverage/characteristics tables.
 
+//! * [`multi_tenant`] — the `helix-serve` driver: N simultaneous clients
+//!   on one service vs the serial back-to-back baseline (throughput,
+//!   per-tenant latency, cross-tenant cache-hit rate).
+
 pub mod experiments;
+pub mod multi_tenant;
 pub mod report;
 
 pub use experiments::{ExperimentConfig, SystemKind};
+pub use multi_tenant::{run_multi_tenant, MultiTenantConfig, MultiTenantReport};

@@ -1,0 +1,316 @@
+//! The multi-tenant service driver.
+//!
+//! Replays `N` simultaneous clients against one [`HelixService`] — mixed
+//! census/genomics/IE/MNIST workloads assigned so consecutive tenant
+//! pairs share a workload (and therefore a full signature prefix) — and
+//! reports what the service design is supposed to buy:
+//!
+//! * **aggregate throughput** (iterations/second wall-clock) versus a
+//!   *serial back-to-back baseline*: the same tenants run one after the
+//!   other in solo sessions with private catalogs — i.e., the
+//!   pre-`helix-serve` deployment model;
+//! * **per-tenant latency** split into queue wait and run time;
+//! * **cross-tenant cache-hit rate**: the fraction of catalog loads
+//!   served by artifacts some *other* tenant computed.
+//!
+//! Used by the `multi_tenant` binary (CI smoke-tests it at small N) and
+//! by the service determinism suite as a workload generator.
+
+use helix_common::timing::Nanos;
+use helix_common::Result;
+use helix_core::SessionConfig;
+use helix_serve::{HelixService, ServiceConfig, TenantSpec};
+use helix_storage::DiskProfile;
+use helix_workloads::{CensusWorkload, GenomicsWorkload, IeWorkload, MnistWorkload, Workload};
+use std::time::Instant;
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct MultiTenantConfig {
+    /// Number of simultaneous clients.
+    pub tenants: usize,
+    /// Core tokens in the shared budget.
+    pub cores: usize,
+    /// Iterations per tenant (1 initial + `iterations - 1` scripted
+    /// changes).
+    pub iterations: usize,
+    /// Worker ceiling per session (the paper's per-workflow cluster size).
+    pub workers_per_session: usize,
+    /// Disk profile of the shared catalog (throttled by default so the
+    /// compute/load trade-off the paper studies stays visible).
+    pub disk: DiskProfile,
+    /// Service seed (shared by every tenant; see `helix-serve` docs).
+    pub seed: u64,
+}
+
+impl MultiTenantConfig {
+    /// A small configuration suitable for CI smoke runs.
+    pub fn smoke() -> MultiTenantConfig {
+        MultiTenantConfig {
+            tenants: 2,
+            cores: 2,
+            iterations: 2,
+            workers_per_session: 2,
+            disk: DiskProfile::unthrottled(),
+            seed: 42,
+        }
+    }
+}
+
+/// Build tenant `ix`'s workload. Pairs share: tenants 0,1 → census,
+/// 2,3 → genomics, 4,5 → IE, 6,7 → MNIST, then wrap.
+pub fn workload_for(ix: usize) -> Box<dyn Workload> {
+    match (ix / 2) % 4 {
+        0 => Box::new(CensusWorkload::small()),
+        1 => Box::new(GenomicsWorkload::small()),
+        2 => Box::new(IeWorkload::small()),
+        _ => Box::new(MnistWorkload::small()),
+    }
+}
+
+/// Label for tenant `ix`'s workload.
+pub fn workload_name_for(ix: usize) -> &'static str {
+    match (ix / 2) % 4 {
+        0 => "census",
+        1 => "genomics",
+        2 => "ie",
+        _ => "mnist",
+    }
+}
+
+/// One tenant's measured outcome.
+#[derive(Clone, Debug)]
+pub struct TenantOutcome {
+    /// Tenant name (`tenant-<ix>`).
+    pub tenant: String,
+    /// Workload label.
+    pub workload: &'static str,
+    /// Iterations completed.
+    pub iterations: usize,
+    /// Submission-to-report latency per iteration.
+    pub latencies_nanos: Vec<Nanos>,
+    /// Total time spent queued (admission + core-token wait).
+    pub queue_wait_nanos: Nanos,
+    /// Total time inside `Session::run`.
+    pub run_nanos: Nanos,
+    /// Catalog loads served by this tenant's own artifacts.
+    pub self_hits: u64,
+    /// Catalog loads served by other tenants' artifacts.
+    pub cross_hits: u64,
+}
+
+impl TenantOutcome {
+    /// Mean submission-to-report latency.
+    pub fn mean_latency_nanos(&self) -> Nanos {
+        if self.latencies_nanos.is_empty() {
+            return 0;
+        }
+        self.latencies_nanos.iter().sum::<Nanos>() / self.latencies_nanos.len() as Nanos
+    }
+}
+
+/// What one driver run measured.
+#[derive(Clone, Debug)]
+pub struct MultiTenantReport {
+    /// Per-tenant outcomes, tenant-index order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Wall-clock time of the concurrent service run.
+    pub service_wall_nanos: Nanos,
+    /// Wall-clock time of the serial back-to-back baseline (solo
+    /// sessions, private catalogs).
+    pub serial_wall_nanos: Nanos,
+    /// Total iterations across tenants.
+    pub total_iterations: usize,
+    /// Cross-tenant hit rate across all tenants' loads.
+    pub cross_hit_rate: f64,
+    /// Core-token high-water mark during the service run.
+    pub peak_cores_leased: usize,
+    /// The core budget.
+    pub cores: usize,
+}
+
+impl MultiTenantReport {
+    /// Iterations per second of the concurrent service run.
+    pub fn service_throughput(&self) -> f64 {
+        self.total_iterations as f64 / (self.service_wall_nanos.max(1) as f64 / 1e9)
+    }
+
+    /// Iterations per second of the serial baseline.
+    pub fn serial_throughput(&self) -> f64 {
+        self.total_iterations as f64 / (self.serial_wall_nanos.max(1) as f64 / 1e9)
+    }
+
+    /// service_throughput / serial_throughput.
+    pub fn speedup(&self) -> f64 {
+        self.service_throughput() / self.serial_throughput().max(f64::MIN_POSITIVE)
+    }
+
+    /// Render a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "multi-tenant service: {} tenants, {} cores, {} iterations total\n",
+            self.tenants.len(),
+            self.cores,
+            self.total_iterations
+        ));
+        out.push_str(&format!(
+            "  service wall {:>8.2} ms  ({:.2} iter/s)\n",
+            self.service_wall_nanos as f64 / 1e6,
+            self.service_throughput()
+        ));
+        out.push_str(&format!(
+            "  serial  wall {:>8.2} ms  ({:.2} iter/s)  speedup {:.2}x\n",
+            self.serial_wall_nanos as f64 / 1e6,
+            self.serial_throughput(),
+            self.speedup()
+        ));
+        out.push_str(&format!(
+            "  cross-tenant hit rate {:.1}%   peak cores {}/{}\n",
+            self.cross_hit_rate * 100.0,
+            self.peak_cores_leased,
+            self.cores
+        ));
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "  {:>10} [{:>8}]  iters {:>2}  mean latency {:>8.2} ms  queued {:>8.2} ms  \
+                 self-hits {:>3}  cross-hits {:>3}\n",
+                t.tenant,
+                t.workload,
+                t.iterations,
+                t.mean_latency_nanos() as f64 / 1e6,
+                t.queue_wait_nanos as f64 / 1e6,
+                t.self_hits,
+                t.cross_hits,
+            ));
+        }
+        out
+    }
+}
+
+/// Run the concurrent service workload and the serial baseline, and
+/// assemble the comparison report.
+pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantReport> {
+    let tenants = config.tenants.max(1);
+    let iterations = config.iterations.max(1);
+
+    // --- concurrent service run -----------------------------------------
+    let service = HelixService::new(
+        ServiceConfig::new(config.cores)
+            .with_disk(config.disk)
+            .with_seed(config.seed)
+            .with_max_concurrent_iterations(tenants.max(config.cores)),
+    )?;
+    for ix in 0..tenants {
+        service.register_tenant(&format!("tenant-{ix}"), TenantSpec::default())?;
+    }
+    let session_config = SessionConfig::in_memory().with_workers(config.workers_per_session);
+
+    let started = Instant::now();
+    let mut latency_lists: Vec<Vec<Nanos>> = Vec::new();
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for ix in 0..tenants {
+            let service = &service;
+            let session_config = session_config.clone();
+            handles.push(scope.spawn(move || -> Result<Vec<Nanos>> {
+                let session = service.open_session(&format!("tenant-{ix}"), session_config)?;
+                let mut workload = workload_for(ix);
+                let changes = workload.scripted_sequence();
+                let mut latencies = Vec::with_capacity(iterations);
+                for iter in 0..iterations {
+                    if iter > 0 {
+                        workload.apply_change(changes[(iter - 1) % changes.len()]);
+                    }
+                    let submitted = Instant::now();
+                    session.run_iteration(workload.build())?;
+                    latencies.push(submitted.elapsed().as_nanos() as Nanos);
+                }
+                Ok(latencies)
+            }));
+        }
+        for handle in handles {
+            latency_lists.push(handle.join().expect("tenant thread panicked")?);
+        }
+        Ok(())
+    })?;
+    let service_wall_nanos = started.elapsed().as_nanos() as Nanos;
+    let stats = service.stats();
+
+    let mut outcomes = Vec::with_capacity(tenants);
+    for (ix, latencies) in latency_lists.into_iter().enumerate() {
+        let name = format!("tenant-{ix}");
+        let t = &stats.tenants[&name];
+        outcomes.push(TenantOutcome {
+            tenant: name,
+            workload: workload_name_for(ix),
+            iterations,
+            latencies_nanos: latencies,
+            queue_wait_nanos: t.queue_wait_nanos,
+            run_nanos: t.run_nanos,
+            self_hits: t.self_hits,
+            cross_hits: t.cross_hits,
+        });
+    }
+
+    // --- serial back-to-back baseline ------------------------------------
+    // The pre-service deployment model: each tenant is a solo session with
+    // a private catalog; tenants run strictly one after another.
+    let serial_started = Instant::now();
+    for ix in 0..tenants {
+        let mut session = helix_core::Session::new(SessionConfig {
+            disk: config.disk,
+            seed: config.seed,
+            ..SessionConfig::in_memory().with_workers(config.workers_per_session)
+        })?;
+        let mut workload = workload_for(ix);
+        let changes = workload.scripted_sequence();
+        for iter in 0..iterations {
+            if iter > 0 {
+                workload.apply_change(changes[(iter - 1) % changes.len()]);
+            }
+            session.run(&workload.build())?;
+        }
+    }
+    let serial_wall_nanos = serial_started.elapsed().as_nanos() as Nanos;
+
+    Ok(MultiTenantReport {
+        tenants: outcomes,
+        service_wall_nanos,
+        serial_wall_nanos,
+        total_iterations: tenants * iterations,
+        cross_hit_rate: stats.cross_hit_rate(),
+        peak_cores_leased: stats.peak_cores_leased,
+        cores: stats.cores_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_reports_cross_tenant_hits() {
+        // Tenants 0 and 1 share the census workload end-to-end. With one
+        // core, iterations serialize on the core budget, so whichever
+        // tenant runs second *deterministically* loads artifacts the
+        // first computed (both apply the same scripted change schedule).
+        // With more cores the hits are still reported, but two tenants
+        // computing the same node simultaneously can legitimately both
+        // own it — so the deterministic assertion pins cores to 1.
+        let config = MultiTenantConfig { cores: 1, ..MultiTenantConfig::smoke() };
+        let report = run_multi_tenant(&config).unwrap();
+        assert_eq!(report.total_iterations, 4);
+        assert_eq!(report.tenants.len(), 2);
+        assert!(
+            report.cross_hit_rate > 0.0,
+            "workload pair sharing a prefix must produce cross-tenant hits"
+        );
+        assert!(report.peak_cores_leased <= report.cores);
+        assert!(
+            report.tenants.iter().any(|t| t.cross_hits > 0),
+            "the follower rides the leader's artifacts"
+        );
+        assert!(report.render().contains("cross-tenant hit rate"));
+    }
+}

@@ -41,19 +41,19 @@
 //! the next iteration's optimizer consumes.
 
 use crate::dsl::Workflow;
-use crate::materialize::{cumulative_run_time, should_materialize, MatStrategy};
+use crate::materialize::{cumulative_run_time, should_materialize_stable, MatStrategy};
 use helix_common::hash::Signature;
 use helix_common::timing::{timed, Nanos};
 use helix_common::{HelixError, Result};
 use helix_data::{ByteSized, Value};
 use helix_exec::{
-    CachePolicy, IterationMetrics, NodeRun, RunState, SharedMemoryTracker, SharedValueCache,
-    WorkerPool,
+    CachePolicy, CoreBudget, IterationMetrics, NodeRun, RunState, SharedMemoryTracker,
+    SharedValueCache, WorkerPool,
 };
 use helix_flow::oep::State;
 use helix_flow::{Dag, NodeId};
 use helix_storage::MaterializationCatalog;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Everything the engine needs for one iteration.
@@ -64,14 +64,17 @@ pub struct EngineParams<'a> {
     pub states: &'a [State],
     /// Storage signatures per node (post volatile-nonce refresh).
     pub sigs: &'a [Signature],
-    /// The materialization catalog.
+    /// The materialization catalog (possibly shared with other tenants).
     pub catalog: &'a MaterializationCatalog,
     /// Materialization policy.
     pub strategy: MatStrategy,
-    /// Storage budget in bytes (total catalog footprint cap).
+    /// Storage budget in bytes. For a solo session this caps the whole
+    /// catalog footprint; for a tenant session it is the tenant's quota,
+    /// checked against [`MaterializationCatalog::used_bytes_for`].
     pub budget_bytes: u64,
     /// Worker-pool width: node-level scheduling *and* data-parallel
-    /// operators (the paper's "cluster size", Figure 7b).
+    /// operators (the paper's "cluster size", Figure 7b). Under a core
+    /// budget this is a ceiling, not an entitlement.
     pub workers: usize,
     /// Cache eviction policy.
     pub cache_policy: CachePolicy,
@@ -79,6 +82,16 @@ pub struct EngineParams<'a> {
     pub iteration: u64,
     /// Session seed (mixed with node signatures for per-node RNG streams).
     pub seed: u64,
+    /// Owner label for catalog accounting and hit attribution
+    /// ([`helix_storage::catalog::SOLO_OWNER`] for solo sessions).
+    pub tenant: &'a str,
+    /// Shared core-token budget; `None` = unconstrained (solo semantics).
+    pub core_budget: Option<&'a Arc<CoreBudget>>,
+    /// Previous iterations' elective Algorithm-2 decisions per signature
+    /// (the hysteresis memory; empty map = no history).
+    pub prev_elective: &'a HashMap<Signature, bool>,
+    /// Dead-band fraction for elective decisions (0 = paper-strict).
+    pub hysteresis: f64,
 }
 
 /// What an iteration produced.
@@ -90,6 +103,9 @@ pub struct ExecOutcome {
     /// Measured compute times by signature (feeds the next OEP),
     /// in node-id order regardless of completion order.
     pub compute_times: Vec<(Signature, Nanos)>,
+    /// Elective Algorithm-2 decisions made this iteration, for the
+    /// session's hysteresis memory (empty under AM/NM).
+    pub elective_decisions: Vec<(Signature, bool)>,
 }
 
 /// What one worker reports back for one executed node.
@@ -103,6 +119,8 @@ struct NodeSuccess {
     run_nanos: Nanos,
     output_bytes: u64,
     state: RunState,
+    /// Load was served by another tenant's artifact.
+    cross: bool,
 }
 
 /// Run one planned iteration.
@@ -118,6 +136,10 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         cache_policy,
         iteration,
         seed,
+        tenant,
+        core_budget,
+        prev_elective,
+        hysteresis,
     } = params;
     let dag = wf.dag();
     let n = dag.len();
@@ -125,7 +147,14 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
     assert_eq!(sigs.len(), n);
 
     let order = dag.topo_order()?;
-    let pool = WorkerPool::new(workers);
+    // Data-parallel operators get the full nominal width, but under a
+    // core budget their extra threads must be leased from the same tokens
+    // the dispatch layer uses — node- and data-level parallelism split
+    // the machine instead of multiplying into `workers²` threads.
+    let pool = match core_budget {
+        Some(budget) => WorkerPool::budgeted(workers, Arc::clone(budget)),
+        None => WorkerPool::new(workers),
+    };
     let cache = SharedValueCache::new(cache_policy);
     let memory = SharedMemoryTracker::new();
 
@@ -148,8 +177,17 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         workers.min(level_width(dag)?)
     };
 
-    let runner =
-        NodeRunner { wf, states, sigs, catalog, cache: &cache, memory: &memory, pool, seed };
+    let runner = NodeRunner {
+        wf,
+        states,
+        sigs,
+        catalog,
+        cache: &cache,
+        memory: &memory,
+        pool,
+        seed,
+        tenant,
+    };
     let mut coord = Coordinator {
         wf,
         states,
@@ -158,6 +196,12 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         strategy,
         budget_bytes,
         iteration,
+        tenant,
+        prev_elective,
+        hysteresis,
+        protected: sigs.iter().copied().collect(),
+        elective_decisions: Vec::new(),
+        cross_loads: 0,
         cache: &cache,
         memory: &memory,
         topo_pos: topo_positions(&order, n),
@@ -178,7 +222,11 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
     if dispatch_width <= 1 {
         run_inline(dag, &runner, &mut coord);
     } else {
-        run_parallel(dag, &runner, &mut coord, &WorkerPool::new(dispatch_width));
+        let dispatch_pool = match core_budget {
+            Some(budget) => WorkerPool::budgeted(dispatch_width, Arc::clone(budget)),
+            None => WorkerPool::new(dispatch_width),
+        };
+        run_parallel(dag, &runner, &mut coord, &dispatch_pool);
     }
 
     if let Some((_, err)) = coord.first_error.take() {
@@ -196,12 +244,18 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
     for run in coord.runs.into_iter().flatten() {
         metrics.record(run);
     }
+    metrics.cross_loaded = coord.cross_loads;
     metrics.peak_memory_bytes = memory.peak_bytes();
     metrics.avg_memory_bytes = memory.avg_bytes();
     metrics.storage_bytes = catalog.total_bytes();
     let compute_times =
         (0..n).filter_map(|i| coord.compute_nanos[i].map(|nanos| (sigs[i], nanos))).collect();
-    Ok(ExecOutcome { metrics, outputs: coord.outputs, compute_times })
+    Ok(ExecOutcome {
+        metrics,
+        outputs: coord.outputs,
+        compute_times,
+        elective_decisions: coord.elective_decisions,
+    })
 }
 
 /// Serial driver: pop the minimum-id ready node and run it inline — the
@@ -363,6 +417,7 @@ struct NodeRunner<'a> {
     memory: &'a SharedMemoryTracker,
     pool: WorkerPool,
     seed: u64,
+    tenant: &'a str,
 }
 
 impl NodeRunner<'_> {
@@ -377,7 +432,8 @@ impl NodeRunner<'_> {
         match self.states[i] {
             State::Prune => unreachable!("prune nodes are retired by the coordinator"),
             State::Load => {
-                let (value, load_nanos) = self.catalog.load(self.sigs[i])?;
+                let (value, load_nanos, cross) =
+                    self.catalog.load_for(self.sigs[i], self.tenant)?;
                 let value = Arc::new(value);
                 let output_bytes = value.byte_size();
                 self.cache.put(id.0, Arc::clone(&value));
@@ -387,6 +443,7 @@ impl NodeRunner<'_> {
                     run_nanos: load_nanos,
                     output_bytes,
                     state: RunState::Loaded,
+                    cross,
                 })
             }
             State::Compute => {
@@ -406,7 +463,7 @@ impl NodeRunner<'_> {
                     })
                     .collect::<Result<_>>()?;
                 let ctx = crate::operator::ExecContext {
-                    pool: self.pool,
+                    pool: self.pool.clone(),
                     seed: self.seed ^ (self.sigs[i].0 as u64) ^ ((self.sigs[i].0 >> 64) as u64),
                 };
                 let (result, run_nanos) = timed(|| spec.operator.execute(&inputs, &ctx));
@@ -414,7 +471,13 @@ impl NodeRunner<'_> {
                 let output_bytes = value.byte_size();
                 self.cache.put(id.0, Arc::clone(&value));
                 self.memory.record(self.cache.resident_bytes());
-                Ok(NodeSuccess { value, run_nanos, output_bytes, state: RunState::Computed })
+                Ok(NodeSuccess {
+                    value,
+                    run_nanos,
+                    output_bytes,
+                    state: RunState::Computed,
+                    cross: false,
+                })
             }
         }
     }
@@ -430,6 +493,14 @@ struct Coordinator<'a> {
     strategy: MatStrategy,
     budget_bytes: u64,
     iteration: u64,
+    tenant: &'a str,
+    prev_elective: &'a HashMap<Signature, bool>,
+    hysteresis: f64,
+    /// The current plan's signatures: quota eviction must never remove an
+    /// artifact this very iteration still intends to load.
+    protected: HashSet<Signature>,
+    elective_decisions: Vec<(Signature, bool)>,
+    cross_loads: usize,
     cache: &'a SharedValueCache,
     memory: &'a SharedMemoryTracker,
     topo_pos: Vec<usize>,
@@ -475,6 +546,9 @@ impl Coordinator<'_> {
         match completion.result {
             Ok(success) => {
                 self.incurred[i] = success.run_nanos;
+                if success.cross {
+                    self.cross_loads += 1;
+                }
                 if success.state == RunState::Computed {
                     self.compute_nanos[i] = Some(success.run_nanos);
                     for p in self.wf.dag().parents(id) {
@@ -555,18 +629,42 @@ impl Coordinator<'_> {
         if self.states[i] == State::Compute && !self.catalog.contains(self.sigs[i]) {
             let value = self.cache.get(node.0).expect("checked above");
             let size = value.byte_size();
-            let budget_remaining = self.budget_bytes.saturating_sub(self.catalog.total_bytes());
+            // Budget is per-tenant: a named tenant is charged only for the
+            // artifacts *it* stored; the solo owner is charged the whole
+            // catalog (identical to the original single-session check).
+            let used = self.catalog.used_bytes_for(self.tenant);
+            let budget_remaining = self.budget_bytes.saturating_sub(used);
             let mandatory = spec.is_output && self.strategy != MatStrategy::Never;
-            let elective = should_materialize(
+            let elective = should_materialize_stable(
                 self.strategy,
                 cumulative_run_time(self.wf.dag(), &self.incurred, node),
                 self.catalog.disk().estimate_load_nanos(size),
                 size,
                 budget_remaining,
+                self.prev_elective.get(&self.sigs[i]).copied(),
+                self.hysteresis,
             );
+            if self.strategy == MatStrategy::Opt {
+                self.elective_decisions.push((self.sigs[i], elective));
+            }
             if mandatory || elective {
-                let (bytes, write_nanos) =
-                    self.catalog.store(self.sigs[i], &spec.name, self.iteration, &value)?;
+                // A mandatory store may overflow the quota: make room by
+                // evicting this tenant's own oldest sole-owned artifacts
+                // (deterministic order; the current plan is protected).
+                if mandatory && size > budget_remaining {
+                    self.catalog.evict_owned(
+                        self.tenant,
+                        size - budget_remaining,
+                        &self.protected,
+                    )?;
+                }
+                let (bytes, write_nanos) = self.catalog.store_owned(
+                    self.sigs[i],
+                    self.tenant,
+                    &spec.name,
+                    self.iteration,
+                    &value,
+                )?;
                 if let Some(run) = self.runs[i].as_mut() {
                     run.materialize_nanos = write_nanos;
                     run.materialized_bytes = bytes;
@@ -650,6 +748,10 @@ mod tests {
             cache_policy: CachePolicy::Eager,
             iteration: 0,
             seed: 7,
+            tenant: "",
+            core_budget: None,
+            prev_elective: &HashMap::new(),
+            hysteresis: 0.0,
         })
         .unwrap()
     }
@@ -707,6 +809,10 @@ mod tests {
             cache_policy: CachePolicy::Eager,
             iteration: 1,
             seed: 7,
+            tenant: "",
+            core_budget: None,
+            prev_elective: &HashMap::new(),
+            hysteresis: 0.0,
         })
         .unwrap();
         assert_eq!(outcome.outputs["c"].as_scalar().unwrap().as_f64(), Some(11.0));
@@ -735,6 +841,10 @@ mod tests {
             cache_policy: CachePolicy::Eager,
             iteration: 0,
             seed: 7,
+            tenant: "",
+            core_budget: None,
+            prev_elective: &HashMap::new(),
+            hysteresis: 0.0,
         })
         .unwrap();
         // Only the mandatory output may be present.
@@ -762,6 +872,10 @@ mod tests {
                 cache_policy: CachePolicy::Eager,
                 iteration: 0,
                 seed: 7,
+                tenant: "",
+                core_budget: None,
+                prev_elective: &HashMap::new(),
+                hysteresis: 0.0,
             });
             assert!(err.is_err(), "workers={workers}");
         }
@@ -873,6 +987,10 @@ mod tests {
                 cache_policy: CachePolicy::Eager,
                 iteration: 0,
                 seed: 7,
+                tenant: "",
+                core_budget: None,
+                prev_elective: &HashMap::new(),
+                hysteresis: 0.0,
             });
             let Err(err) = result else {
                 panic!("workers={workers}: expected an error");
@@ -924,6 +1042,10 @@ mod tests {
                 cache_policy: CachePolicy::Eager,
                 iteration: 0,
                 seed: 7,
+                tenant: "",
+                core_budget: None,
+                prev_elective: &HashMap::new(),
+                hysteresis: 0.0,
             });
             assert!(result.is_err(), "workers={workers}");
             let entries: Vec<String> =

@@ -70,10 +70,10 @@ pub mod track;
 pub mod prelude {
     pub use crate::dsl::{DcHandle, ModelHandle, ScalarHandle, Workflow};
     pub use crate::materialize::MatStrategy;
-    pub use crate::session::{IterationReport, ReuseScope, Session, SessionConfig};
+    pub use crate::session::{IterationReport, ReuseScope, Session, SessionConfig, SessionHandles};
     pub use helix_exec::Phase;
 }
 
 pub use dsl::Workflow;
 pub use materialize::MatStrategy;
-pub use session::{IterationReport, ReuseScope, Session, SessionConfig};
+pub use session::{IterationReport, ReuseScope, Session, SessionConfig, SessionHandles};

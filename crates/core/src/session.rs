@@ -29,8 +29,9 @@ use helix_common::hash::Signature;
 use helix_common::timing::Nanos;
 use helix_common::Result;
 use helix_data::{Scalar, Value};
-use helix_exec::{CachePolicy, IterationMetrics};
+use helix_exec::{CachePolicy, CoreBudget, IterationMetrics};
 use helix_flow::oep::State;
+use helix_storage::catalog::SOLO_OWNER;
 use helix_storage::{DiskProfile, MaterializationCatalog};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -69,6 +70,9 @@ pub struct SessionConfig {
     pub cache_policy: CachePolicy,
     /// Compute-time estimate for operators never measured before.
     pub default_compute_nanos: Nanos,
+    /// Hysteresis dead band for Algorithm 2's elective decisions
+    /// (fraction of the `2·l(n)` threshold; 0 = the paper's strict rule).
+    pub mat_hysteresis: f64,
 }
 
 impl SessionConfig {
@@ -84,6 +88,7 @@ impl SessionConfig {
             seed: 42,
             cache_policy: CachePolicy::Eager,
             default_compute_nanos: 1_000_000,
+            mat_hysteresis: 0.0,
         }
     }
 
@@ -139,6 +144,31 @@ impl SessionConfig {
         self.strategy = strategy;
         self
     }
+
+    /// Builder: set the elective-materialization hysteresis dead band.
+    #[must_use]
+    pub fn with_hysteresis(mut self, band: f64) -> SessionConfig {
+        self.mat_hysteresis = band;
+        self
+    }
+}
+
+/// Shared infrastructure a service injects into a tenant session.
+///
+/// A solo [`Session::new`] builds private handles (its own catalog, no
+/// core budget); `helix-serve` builds one catalog and one [`CoreBudget`]
+/// per service and hands every session the same `Arc`s, which is what
+/// makes cross-tenant artifact reuse and machine-wide core accounting
+/// work.
+#[derive(Clone)]
+pub struct SessionHandles {
+    /// The (possibly shared) materialization catalog.
+    pub catalog: Arc<MaterializationCatalog>,
+    /// The shared core-token budget (`None` = unconstrained).
+    pub core_budget: Option<Arc<CoreBudget>>,
+    /// Owner label for catalog accounting
+    /// ([`SOLO_OWNER`](helix_storage::catalog::SOLO_OWNER) for solo use).
+    pub tenant: String,
 }
 
 /// What one iteration returned to the user.
@@ -173,32 +203,52 @@ impl IterationReport {
 /// The cross-iteration driver.
 pub struct Session {
     config: SessionConfig,
-    catalog: MaterializationCatalog,
+    catalog: Arc<MaterializationCatalog>,
+    core_budget: Option<Arc<CoreBudget>>,
+    tenant: String,
     iteration: u64,
     nonce_counter: u64,
     volatile_nonces: HashMap<String, u64>,
     compute_stats: HashMap<Signature, Nanos>,
     prev_sigs: HashMap<String, HashMap<String, Signature>>,
+    elective_memory: HashMap<Signature, bool>,
     history: Vec<IterationMetrics>,
 }
 
 impl Session {
-    /// Open a session (creating or reopening the catalog).
+    /// Open a solo session (creating or reopening a private catalog).
     pub fn new(config: SessionConfig) -> Result<Session> {
         let catalog = match &config.catalog_dir {
             Some(dir) => MaterializationCatalog::open(dir, config.disk)?,
             None => MaterializationCatalog::open_temp(config.disk)?,
         };
-        Ok(Session {
+        let handles = SessionHandles {
+            catalog: Arc::new(catalog),
+            core_budget: None,
+            tenant: SOLO_OWNER.to_string(),
+        };
+        Ok(Self::with_handles(config, handles))
+    }
+
+    /// Open a session over shared infrastructure (the `helix-serve` path).
+    ///
+    /// `config.catalog_dir` and `config.disk` are ignored — the injected
+    /// catalog already fixes both. `config.storage_budget_bytes` is the
+    /// tenant's quota within the shared store.
+    pub fn with_handles(config: SessionConfig, handles: SessionHandles) -> Session {
+        Session {
             config,
-            catalog,
+            catalog: handles.catalog,
+            core_budget: handles.core_budget,
+            tenant: handles.tenant,
             iteration: 0,
             nonce_counter: 1,
             volatile_nonces: HashMap::new(),
             compute_stats: HashMap::new(),
             prev_sigs: HashMap::new(),
+            elective_memory: HashMap::new(),
             history: Vec::new(),
-        })
+        }
     }
 
     /// The active configuration.
@@ -209,6 +259,11 @@ impl Session {
     /// The materialization catalog.
     pub fn catalog(&self) -> &MaterializationCatalog {
         &self.catalog
+    }
+
+    /// The owner label this session stores and releases artifacts under.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
     }
 
     /// Per-iteration metrics so far.
@@ -228,11 +283,14 @@ impl Session {
 
         // 2. Purge deprecated materializations of original operators
         //    (paper §6.6) so budget is not wasted on unreachable artifacts.
+        //    `release` drops only *this* session's claim: on a shared
+        //    catalog the file survives while other tenants still own it.
         if let Some(previous) = self.prev_sigs.get(wf.name()) {
             for (id, spec) in wf.dag().iter() {
                 if let Some(old_sig) = previous.get(&spec.name) {
                     if *old_sig != planning_sigs[id.ix()] {
-                        self.catalog.purge(*old_sig)?;
+                        self.catalog.release(*old_sig, &self.tenant)?;
+                        self.elective_memory.remove(old_sig);
                     }
                 }
             }
@@ -274,6 +332,38 @@ impl Session {
             planning_sigs
         };
 
+        // 4½. Claim planned loads. On a shared catalog, the window
+        //    between planning (`contains` said yes) and execution is a
+        //    race against other tenants' deprecation or quota eviction.
+        //    Pinning every `Load` signature as a co-owner *now* closes
+        //    it: once claimed, another tenant's `release` drops only its
+        //    own claim and quota eviction skips co-owned artifacts. A
+        //    failed claim means the artifact vanished mid-plan — replan
+        //    (the node falls back to `Compute`) and try again. The retry
+        //    loop is bounded: claims only fail for freshly deleted
+        //    artifacts, and a replan without them cannot resurrect them.
+        for _attempt in 0..=wf.len() {
+            let mut vanished = false;
+            for (id, _) in wf.dag().iter() {
+                if planned.states[id.ix()] == State::Load
+                    && !self.catalog.claim_if_present(storage_sigs[id.ix()], &self.tenant)
+                {
+                    vanished = true;
+                }
+            }
+            if !vanished {
+                break;
+            }
+            let inputs = PlanInputs {
+                sigs: &storage_sigs,
+                catalog: &self.catalog,
+                reuse: self.config.reuse,
+                compute_stats: &self.compute_stats,
+                default_compute_nanos: self.config.default_compute_nanos,
+            };
+            planned = plan(wf, &inputs);
+        }
+
         // 5. Execute + materialize.
         let outcome = execute(EngineParams {
             wf,
@@ -286,11 +376,18 @@ impl Session {
             cache_policy: self.config.cache_policy,
             iteration: self.iteration,
             seed: self.config.seed,
+            tenant: &self.tenant,
+            core_budget: self.core_budget.as_ref(),
+            prev_elective: &self.elective_memory,
+            hysteresis: self.config.mat_hysteresis,
         })?;
 
         // 6. Update statistics and snapshots.
         for (sig, nanos) in &outcome.compute_times {
             self.compute_stats.insert(*sig, *nanos);
+        }
+        for (sig, decision) in &outcome.elective_decisions {
+            self.elective_memory.insert(*sig, *decision);
         }
         self.prev_sigs.insert(wf.name().to_string(), signature_snapshot(wf, &storage_sigs));
         let states: Vec<(String, State)> = wf

@@ -1,0 +1,196 @@
+//! The process-wide core-token budget.
+//!
+//! The ROADMAP's `workers²` problem: under node-level parallelism every
+//! data-parallel operator used to receive a full-width pool, so `w`
+//! concurrently scheduled nodes could spawn `w × w` compute threads — and
+//! two concurrent sessions doubled it again. [`CoreBudget`] fixes the
+//! oversubscription at its root: one budget of `total` core tokens is
+//! shared by *everything* that wants a thread — the service's concurrently
+//! running iterations (one token each), the engine's frontier-dispatch
+//! workers, and the chunk threads of data-parallel operators. A thread
+//! does work only while a token backs it, so the number of working
+//! threads in the process never exceeds the budget, no matter how many
+//! tenants, sessions, or operators are in flight.
+//!
+//! Two acquisition modes keep this deadlock-free:
+//!
+//! * [`CoreBudget::acquire_one`] — *blocking*, used exactly once per
+//!   running iteration (by the service's job runner). Leases are RAII and
+//!   always released, so a blocked acquirer always eventually gets its
+//!   token.
+//! * [`CoreBudget::try_acquire`] — *non-blocking*, used for all extra
+//!   parallelism (dispatch width, data-parallel chunks). A holder of the
+//!   base token never blocks waiting for more; it degrades gracefully to
+//!   inline execution when the budget is tight.
+//!
+//! Determinism contract: token grants influence only *how many threads*
+//! execute a fixed, deterministically chunked job list — never the
+//! chunking, combination order, or RNG seeding — so results are
+//! byte-identical whether a caller is granted all, some, or none of the
+//! tokens it asked for.
+
+use std::sync::{Condvar, Mutex};
+
+/// A shared budget of core tokens (semaphore with peak tracking).
+#[derive(Debug)]
+pub struct CoreBudget {
+    total: usize,
+    state: Mutex<Counters>,
+    released: Condvar,
+}
+
+#[derive(Debug)]
+struct Counters {
+    leased: usize,
+    peak: usize,
+}
+
+impl CoreBudget {
+    /// A budget of `total` tokens (minimum 1).
+    pub fn new(total: usize) -> CoreBudget {
+        CoreBudget {
+            total: total.max(1),
+            state: Mutex::new(Counters { leased: 0, peak: 0 }),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Total tokens in the budget.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Tokens currently leased.
+    pub fn leased(&self) -> usize {
+        self.state.lock().expect("budget poisoned").leased
+    }
+
+    /// High-water mark of simultaneously leased tokens.
+    pub fn peak_leased(&self) -> usize {
+        self.state.lock().expect("budget poisoned").peak
+    }
+
+    /// Block until one token is free, then lease it.
+    ///
+    /// This is the *base* lease of a running iteration. To stay
+    /// deadlock-free, callers must never hold one base lease while
+    /// blocking for another — all further parallelism goes through the
+    /// non-blocking [`try_acquire`](Self::try_acquire).
+    pub fn acquire_one(&self) -> CoreLease<'_> {
+        let mut state = self.state.lock().expect("budget poisoned");
+        while state.leased >= self.total {
+            state = self.released.wait(state).expect("budget poisoned");
+        }
+        state.leased += 1;
+        state.peak = state.peak.max(state.leased);
+        CoreLease { budget: self, tokens: 1 }
+    }
+
+    /// Lease up to `max` tokens without blocking; the lease may hold zero.
+    pub fn try_acquire(&self, max: usize) -> CoreLease<'_> {
+        let mut state = self.state.lock().expect("budget poisoned");
+        let grant = max.min(self.total - state.leased);
+        state.leased += grant;
+        state.peak = state.peak.max(state.leased);
+        CoreLease { budget: self, tokens: grant }
+    }
+
+    fn release(&self, tokens: usize) {
+        if tokens == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("budget poisoned");
+        state.leased -= tokens;
+        drop(state);
+        self.released.notify_all();
+    }
+}
+
+/// An RAII lease of `tokens` cores; released on drop.
+#[derive(Debug)]
+pub struct CoreLease<'a> {
+    budget: &'a CoreBudget,
+    tokens: usize,
+}
+
+impl CoreLease<'_> {
+    /// Number of tokens this lease holds (possibly zero).
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+}
+
+impl Drop for CoreLease<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.tokens);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_acquire_grants_up_to_available() {
+        let budget = CoreBudget::new(4);
+        let a = budget.try_acquire(3);
+        assert_eq!(a.tokens(), 3);
+        let b = budget.try_acquire(3);
+        assert_eq!(b.tokens(), 1, "only one token left");
+        let c = budget.try_acquire(5);
+        assert_eq!(c.tokens(), 0, "empty lease instead of blocking");
+        assert_eq!(budget.leased(), 4);
+        drop(a);
+        assert_eq!(budget.leased(), 1);
+        assert_eq!(budget.try_acquire(10).tokens(), 3);
+        assert_eq!(budget.peak_leased(), 4);
+    }
+
+    #[test]
+    fn zero_total_clamped_to_one() {
+        let budget = CoreBudget::new(0);
+        assert_eq!(budget.total(), 1);
+        assert_eq!(budget.try_acquire(2).tokens(), 1);
+    }
+
+    #[test]
+    fn acquire_one_blocks_until_released() {
+        let budget = Arc::new(CoreBudget::new(1));
+        let lease = budget.acquire_one();
+        let waiter = {
+            let budget = Arc::clone(&budget);
+            std::thread::spawn(move || {
+                let _lease = budget.acquire_one();
+                std::time::Instant::now()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let released_at = std::time::Instant::now();
+        drop(lease);
+        let acquired_at = waiter.join().expect("waiter panicked");
+        assert!(acquired_at >= released_at, "second acquire must wait for the release");
+        assert_eq!(budget.peak_leased(), 1, "never more than one token out");
+    }
+
+    #[test]
+    fn leases_never_exceed_total_under_contention() {
+        let budget = Arc::new(CoreBudget::new(3));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let budget = &budget;
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let base = budget.acquire_one();
+                        let extra = budget.try_acquire(2);
+                        assert!(budget.leased() <= budget.total());
+                        drop(extra);
+                        drop(base);
+                    }
+                });
+            }
+        });
+        assert_eq!(budget.leased(), 0);
+        assert!(budget.peak_leased() <= 3);
+    }
+}

@@ -81,6 +81,9 @@ pub struct IterationMetrics {
     pub computed: usize,
     /// Loaded node count.
     pub loaded: usize,
+    /// Of the loaded nodes, how many were served by an artifact another
+    /// tenant stored (cross-tenant hits; always 0 for solo sessions).
+    pub cross_loaded: usize,
     /// Pruned node count.
     pub pruned: usize,
     /// Peak resident cache bytes.

@@ -11,37 +11,79 @@
 //! 2/4/8 workers).
 //!
 //! Built on `std::thread::scope` — no external thread crate needed.
+//!
+//! ## Core-token budgeting
+//!
+//! A pool may carry a shared [`CoreBudget`] handle
+//! ([`WorkerPool::budgeted`]). Such a pool treats its width as a *ceiling*,
+//! not an entitlement: before spawning extra threads it leases tokens from
+//! the budget (non-blocking) and runs with however many it was granted —
+//! down to fully inline on the caller's thread when the budget is
+//! exhausted. Crucially, work is always *chunked* by the nominal width and
+//! combined in chunk order, so the grant size affects wall-clock time
+//! only, never results. This is how node-level and data-level parallelism
+//! split the same cores instead of multiplying into `workers²` threads.
 
+use crate::budget::{CoreBudget, CoreLease};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
-/// A fixed-width data-parallel executor.
-#[derive(Clone, Copy, Debug)]
+/// A fixed-width data-parallel executor, optionally governed by a shared
+/// core-token budget.
+#[derive(Clone, Debug)]
 pub struct WorkerPool {
     workers: usize,
+    budget: Option<Arc<CoreBudget>>,
 }
 
 impl WorkerPool {
-    /// Pool with `workers` threads (minimum 1).
+    /// Pool with `workers` threads (minimum 1), unbudgeted.
     pub fn new(workers: usize) -> WorkerPool {
-        WorkerPool { workers: workers.max(1) }
+        WorkerPool { workers: workers.max(1), budget: None }
+    }
+
+    /// Pool with `workers` as a ceiling, drawing extra threads from a
+    /// shared core budget.
+    pub fn budgeted(workers: usize, budget: Arc<CoreBudget>) -> WorkerPool {
+        WorkerPool { workers: workers.max(1), budget: Some(budget) }
     }
 
     /// Single-threaded pool.
     pub fn serial() -> WorkerPool {
-        WorkerPool { workers: 1 }
+        WorkerPool { workers: 1, budget: None }
     }
 
-    /// Number of workers.
+    /// Number of workers (the nominal width; a budgeted pool may run
+    /// narrower).
     pub fn workers(&self) -> usize {
         self.workers
     }
 
+    /// The shared core budget, if this pool is governed by one.
+    pub fn budget(&self) -> Option<&Arc<CoreBudget>> {
+        self.budget.as_ref()
+    }
+
+    /// Lease up to `wanted` extra threads beyond the caller's own. An
+    /// unbudgeted pool always grants in full.
+    fn lease_extra(&self, wanted: usize) -> (usize, Option<CoreLease<'_>>) {
+        match &self.budget {
+            None => (wanted, None),
+            Some(budget) => {
+                let lease = budget.try_acquire(wanted);
+                (lease.tokens(), Some(lease))
+            }
+        }
+    }
+
     /// Map `f` over `items` in parallel, preserving input order.
     ///
-    /// Chunks are contiguous ranges of roughly equal size; with one worker
-    /// the map runs inline (no thread overhead for the serial baseline).
+    /// Chunks are contiguous ranges of roughly equal size derived from the
+    /// *nominal* width — a budgeted pool granted fewer tokens executes the
+    /// same chunk list on fewer threads, so results are identical either
+    /// way. With one worker the map runs inline (no thread overhead for
+    /// the serial baseline).
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -54,24 +96,43 @@ impl WorkerPool {
         let chunk = items.len().div_ceil(self.workers);
         let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
         out.resize_with(items.len(), || None);
-        std::thread::scope(|scope| {
+        let mut jobs: Vec<(&[T], &mut [Option<R>])> = Vec::new();
+        {
             let mut remaining: &mut [Option<R>] = &mut out;
             for piece in items.chunks(chunk) {
                 let (slot, rest) = remaining.split_at_mut(piece.len());
                 remaining = rest;
-                let f = &f;
-                scope.spawn(move || {
-                    for (s, item) in slot.iter_mut().zip(piece) {
-                        *s = Some(f(item));
-                    }
-                });
+                jobs.push((piece, slot));
             }
-        });
+        }
+        let (extra, lease) = self.lease_extra(jobs.len() - 1);
+        let queue = Mutex::new(jobs.into_iter());
+        let work = || loop {
+            let job = queue.lock().expect("map queue poisoned").next();
+            let Some((piece, slot)) = job else { break };
+            for (s, item) in slot.iter_mut().zip(piece) {
+                *s = Some(f(item));
+            }
+        };
+        if extra == 0 {
+            work();
+        } else {
+            std::thread::scope(|scope| {
+                let worker = &work;
+                for _ in 0..extra {
+                    scope.spawn(worker);
+                }
+                work();
+            });
+        }
+        drop(lease);
         out.into_iter().map(|r| r.expect("all slots filled")).collect()
     }
 
     /// Fold each parallel chunk with `fold`, then combine chunk results
-    /// with `combine` (deterministic: combination happens in chunk order).
+    /// with `combine` (deterministic: chunking follows the nominal width
+    /// and combination happens in chunk order, independent of how many
+    /// threads the budget granted).
     pub fn map_reduce<T, A, F, C>(&self, items: &[T], init: A, fold: F, combine: C) -> A
     where
         T: Sync,
@@ -83,18 +144,41 @@ impl WorkerPool {
             return items.iter().fold(init, &fold);
         }
         let chunk = items.len().div_ceil(self.workers);
-        let partials: Vec<A> = std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk)
-                .map(|piece| {
-                    let fold = &fold;
-                    let init = init.clone();
-                    scope.spawn(move || piece.iter().fold(init, fold))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-        let mut iter = partials.into_iter();
+        let pieces: Vec<&[T]> = items.chunks(chunk).collect();
+        let mut partials: Vec<Option<A>> = Vec::with_capacity(pieces.len());
+        partials.resize_with(pieces.len(), || None);
+        // Init clones are made up front on the caller thread so worker
+        // closures never touch `init` itself (keeps the bounds at
+        // `A: Send + Clone`, no `Sync` required).
+        let mut jobs: Vec<(&[T], &mut Option<A>, A)> = Vec::new();
+        {
+            let mut remaining: &mut [Option<A>] = &mut partials;
+            for piece in pieces {
+                let (slot, rest) = remaining.split_at_mut(1);
+                remaining = rest;
+                jobs.push((piece, &mut slot[0], init.clone()));
+            }
+        }
+        let (extra, lease) = self.lease_extra(jobs.len() - 1);
+        let queue = Mutex::new(jobs.into_iter());
+        let work = || loop {
+            let job = queue.lock().expect("map_reduce queue poisoned").next();
+            let Some((piece, slot, seed)) = job else { break };
+            *slot = Some(piece.iter().fold(seed, &fold));
+        };
+        if extra == 0 {
+            work();
+        } else {
+            std::thread::scope(|scope| {
+                let worker = &work;
+                for _ in 0..extra {
+                    scope.spawn(worker);
+                }
+                work();
+            });
+        }
+        drop(lease);
+        let mut iter = partials.into_iter().map(|p| p.expect("all partials filled"));
         let first = iter.next().unwrap_or(init);
         iter.fold(first, combine)
     }
@@ -110,6 +194,12 @@ impl WorkerPool {
     ///
     /// Shutdown is structural: when `coordinator` returns, the queue is
     /// closed and all workers join before `with_executor` returns.
+    ///
+    /// On a budgeted pool the worker count is `1 + granted`: one worker is
+    /// backed by the caller's own token (the coordinator mostly blocks in
+    /// [`Executor::recv`] while workers run), and each extra worker needs
+    /// a token leased from the shared budget. A tight budget degrades to a
+    /// single worker thread, never to zero.
     pub fn with_executor<J, O, W, C, R>(&self, worker: W, coordinator: C) -> R
     where
         J: Send,
@@ -117,10 +207,15 @@ impl WorkerPool {
         W: Fn(J) -> O + Sync,
         C: FnOnce(&Executor<'_, J, O>) -> R,
     {
+        let (extra, lease) = self.lease_extra(self.workers - 1);
+        let spawn_count = match &self.budget {
+            None => self.workers,
+            Some(_) => 1 + extra,
+        };
         let queue = JobQueue::new();
         let (tx, rx) = channel::<O>();
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers {
+        let result = std::thread::scope(|scope| {
+            for _ in 0..spawn_count {
                 let queue = &queue;
                 let worker = &worker;
                 let tx = tx.clone();
@@ -145,7 +240,9 @@ impl WorkerPool {
             // or the scope's implicit join would hang forever.
             let _close = CloseOnDrop { queue: &queue };
             coordinator(&executor)
-        })
+        });
+        drop(lease);
+        result
     }
 }
 
@@ -395,6 +492,83 @@ mod tests {
             )
         });
         assert!(outcome.is_err(), "coordinator panic must propagate to the caller");
+    }
+
+    #[test]
+    fn budgeted_map_matches_unbudgeted_at_any_grant() {
+        // Same items, same nominal width, three budget situations: full
+        // grant, partial grant, zero grant (budget pre-drained). Results
+        // must be byte-identical in every case.
+        let items: Vec<u64> = (0..257).collect();
+        let expected = WorkerPool::new(4).map(&items, |x| x * 3 + 1);
+        for (total, hold) in [(8usize, 0usize), (8, 6), (1, 1)] {
+            let budget = Arc::new(CoreBudget::new(total));
+            let hold_lease = budget.try_acquire(hold);
+            assert_eq!(hold_lease.tokens(), hold);
+            let pool = WorkerPool::budgeted(4, Arc::clone(&budget));
+            assert_eq!(pool.map(&items, |x| x * 3 + 1), expected, "total={total} hold={hold}");
+            assert_eq!(budget.leased(), hold, "map lease released");
+        }
+    }
+
+    #[test]
+    fn budgeted_map_reduce_is_grant_invariant() {
+        let items: Vec<u64> = (1..=1000).collect();
+        let expected = WorkerPool::new(8).map_reduce(&items, 0u64, |acc, x| acc + x, |a, b| a + b);
+        let budget = Arc::new(CoreBudget::new(1));
+        // Whole budget consumed elsewhere: map_reduce must run inline and
+        // still produce the identical (chunk-ordered) result.
+        let _hold = budget.acquire_one();
+        let pool = WorkerPool::budgeted(8, Arc::clone(&budget));
+        let total = pool.map_reduce(&items, 0u64, |acc, x| acc + x, |a, b| a + b);
+        assert_eq!(total, expected);
+        assert_eq!(budget.peak_leased(), 1, "no extra thread was ever backed");
+    }
+
+    #[test]
+    fn budgeted_pools_never_exceed_the_shared_budget() {
+        // Two "sessions" hammer budgeted pools concurrently; the token
+        // high-water mark must respect the shared budget even though each
+        // pool's nominal width alone would exceed it.
+        let budget = Arc::new(CoreBudget::new(3));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let budget = Arc::clone(&budget);
+                scope.spawn(move || {
+                    let base = budget.acquire_one();
+                    let pool = WorkerPool::budgeted(8, Arc::clone(&budget));
+                    let items: Vec<u64> = (0..64).collect();
+                    for _ in 0..20 {
+                        let out = pool.map(&items, |x| x.wrapping_mul(31).wrapping_add(7));
+                        assert_eq!(out.len(), 64);
+                    }
+                    drop(base);
+                });
+            }
+        });
+        assert!(
+            budget.peak_leased() <= 3,
+            "peak {} tokens exceeds the budget of 3",
+            budget.peak_leased()
+        );
+        assert_eq!(budget.leased(), 0);
+    }
+
+    #[test]
+    fn budgeted_executor_runs_with_a_drained_budget() {
+        let budget = Arc::new(CoreBudget::new(1));
+        let _hold = budget.acquire_one();
+        let pool = WorkerPool::budgeted(4, Arc::clone(&budget));
+        let total: u32 = pool.with_executor(
+            |job: u32| job * 2,
+            |executor| {
+                for job in 0..10 {
+                    executor.submit(job);
+                }
+                (0..10).map(|_| executor.recv()).sum()
+            },
+        );
+        assert_eq!(total, (0..10u32).map(|j| j * 2).sum(), "single leased-free worker suffices");
     }
 
     #[test]

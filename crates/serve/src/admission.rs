@@ -1,0 +1,256 @@
+//! Admission control and scheduling policy.
+//!
+//! The service accepts work through a **bounded submission queue** (back
+//! pressure instead of unbounded memory growth) and drains it
+//! **FIFO-with-priority**: among queued jobs that are *eligible* right
+//! now, the highest tenant priority wins, ties broken by submission
+//! order. A job is eligible when
+//!
+//! 1. the global concurrency cap has head-room
+//!    ([`AdmissionCaps::max_concurrent_iterations`]),
+//! 2. its tenant is under its own concurrency cap
+//!    ([`TenantSpec::max_concurrent`](crate::TenantSpec)), and
+//! 3. its session has no iteration in flight — iterations of one session
+//!    are stateful (`Session::run` takes `&mut self`) and must retire in
+//!    submission order.
+//!
+//! Scheduling affects *when* a tenant's iteration runs, never *what* it
+//! produces: the determinism contract is enforced one layer down (shared
+//! seed + signature-keyed artifacts), so the policy here is free to
+//! reorder across tenants for latency or fairness.
+
+use crate::ticket::TicketState;
+use helix_core::{Session, Workflow};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Global admission limits.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionCaps {
+    /// Maximum queued (not yet dispatched) jobs; submitters block beyond.
+    pub queue_capacity: usize,
+    /// Maximum iterations running at once across all tenants.
+    pub max_concurrent_iterations: usize,
+}
+
+/// One queued iteration.
+pub(crate) struct Job {
+    pub seq: u64,
+    pub priority: u8,
+    pub tenant: String,
+    /// Tenant concurrency cap, copied at submission time.
+    pub tenant_max_concurrent: usize,
+    pub session_id: u64,
+    pub session: Arc<Mutex<Session>>,
+    pub wf: Workflow,
+    pub ticket: Arc<TicketState>,
+    pub enqueued: Instant,
+}
+
+/// Queue + running-set bookkeeping (lives behind the service mutex).
+pub(crate) struct AdmissionQueue {
+    caps: AdmissionCaps,
+    queue: VecDeque<Job>,
+    running_total: usize,
+    running_per_tenant: HashMap<String, usize>,
+    busy_sessions: HashSet<u64>,
+    next_seq: u64,
+    /// Queued + running: zero means fully drained.
+    jobs_in_system: usize,
+    pub shutdown: bool,
+}
+
+impl AdmissionQueue {
+    pub fn new(caps: AdmissionCaps) -> AdmissionQueue {
+        AdmissionQueue {
+            caps,
+            queue: VecDeque::new(),
+            running_total: 0,
+            running_per_tenant: HashMap::new(),
+            busy_sessions: HashSet::new(),
+            next_seq: 0,
+            jobs_in_system: 0,
+            shutdown: false,
+        }
+    }
+
+    /// Whether a new submission fits the bounded queue right now.
+    pub fn has_space(&self) -> bool {
+        self.queue.len() < self.caps.queue_capacity
+    }
+
+    /// Enqueue a job, assigning its FIFO sequence number.
+    pub fn enqueue(&mut self, mut job: Job) {
+        job.seq = self.next_seq;
+        self.next_seq += 1;
+        self.jobs_in_system += 1;
+        self.queue.push_back(job);
+    }
+
+    /// Remove and return the next dispatchable job per the policy, marking
+    /// it running; `None` when nothing is eligible.
+    pub fn pick(&mut self) -> Option<Job> {
+        if self.running_total >= self.caps.max_concurrent_iterations {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        for (ix, job) in self.queue.iter().enumerate() {
+            if self.busy_sessions.contains(&job.session_id) {
+                continue;
+            }
+            let tenant_running = self.running_per_tenant.get(&job.tenant).copied().unwrap_or(0);
+            if tenant_running >= job.tenant_max_concurrent {
+                continue;
+            }
+            // The queue is in seq order, so the first hit at a given
+            // priority is the FIFO winner; only a strictly higher
+            // priority displaces it.
+            match best {
+                None => best = Some(ix),
+                Some(b) if job.priority > self.queue[b].priority => best = Some(ix),
+                Some(_) => {}
+            }
+        }
+        let ix = best?;
+        let job = self.queue.remove(ix).expect("index valid");
+        self.running_total += 1;
+        *self.running_per_tenant.entry(job.tenant.clone()).or_insert(0) += 1;
+        self.busy_sessions.insert(job.session_id);
+        Some(job)
+    }
+
+    /// Retire a dispatched job.
+    pub fn finish(&mut self, tenant: &str, session_id: u64) {
+        self.running_total -= 1;
+        if let Some(r) = self.running_per_tenant.get_mut(tenant) {
+            *r = r.saturating_sub(1);
+        }
+        self.busy_sessions.remove(&session_id);
+        self.jobs_in_system -= 1;
+    }
+
+    /// Whether nothing is queued or running.
+    pub fn is_drained(&self) -> bool {
+        self.jobs_in_system == 0
+    }
+
+    /// Point-in-time introspection.
+    pub fn snapshot(&self) -> QueueSnapshot {
+        QueueSnapshot {
+            queued: self.queue.len(),
+            running: self.running_total,
+            queue_capacity: self.caps.queue_capacity,
+            max_concurrent_iterations: self.caps.max_concurrent_iterations,
+        }
+    }
+}
+
+/// Observable admission state (for dashboards and tests).
+#[derive(Clone, Copy, Debug)]
+pub struct QueueSnapshot {
+    /// Jobs waiting for dispatch.
+    pub queued: usize,
+    /// Iterations currently running.
+    pub running: usize,
+    /// The bounded queue's capacity.
+    pub queue_capacity: usize,
+    /// The global concurrency cap.
+    pub max_concurrent_iterations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_core::{SessionConfig, Workflow};
+
+    fn job(tenant: &str, priority: u8, session_id: u64, cap: usize) -> Job {
+        let session =
+            Arc::new(Mutex::new(Session::new(SessionConfig::in_memory()).expect("session opens")));
+        Job {
+            seq: 0,
+            priority,
+            tenant: tenant.to_string(),
+            tenant_max_concurrent: cap,
+            session_id,
+            session,
+            wf: Workflow::new("w"),
+            ticket: TicketState::new(),
+            enqueued: Instant::now(),
+        }
+    }
+
+    fn caps(queue: usize, running: usize) -> AdmissionCaps {
+        AdmissionCaps { queue_capacity: queue, max_concurrent_iterations: running }
+    }
+
+    #[test]
+    fn fifo_within_equal_priority() {
+        let mut q = AdmissionQueue::new(caps(10, 10));
+        q.enqueue(job("a", 0, 1, 4));
+        q.enqueue(job("b", 0, 2, 4));
+        assert_eq!(q.pick().unwrap().tenant, "a");
+        assert_eq!(q.pick().unwrap().tenant, "b");
+        assert!(q.pick().is_none());
+    }
+
+    #[test]
+    fn higher_priority_jumps_the_queue() {
+        let mut q = AdmissionQueue::new(caps(10, 10));
+        q.enqueue(job("steerage", 0, 1, 4));
+        q.enqueue(job("first-class", 3, 2, 4));
+        assert_eq!(q.pick().unwrap().tenant, "first-class");
+        assert_eq!(q.pick().unwrap().tenant, "steerage");
+    }
+
+    #[test]
+    fn per_tenant_cap_defers_but_global_fifo_continues() {
+        let mut q = AdmissionQueue::new(caps(10, 10));
+        q.enqueue(job("a", 0, 1, 1));
+        q.enqueue(job("a", 0, 2, 1)); // same tenant, different session
+        q.enqueue(job("b", 0, 3, 1));
+        let first = q.pick().unwrap();
+        assert_eq!((first.tenant.as_str(), first.session_id), ("a", 1));
+        // Tenant a is at its cap of 1: b goes next despite later seq.
+        assert_eq!(q.pick().unwrap().tenant, "b");
+        assert!(q.pick().is_none(), "a's second job must wait for the first");
+        q.finish("a", 1);
+        assert_eq!(q.pick().unwrap().session_id, 2);
+    }
+
+    #[test]
+    fn sessions_never_run_two_iterations_at_once() {
+        let mut q = AdmissionQueue::new(caps(10, 10));
+        q.enqueue(job("a", 0, 7, 4));
+        q.enqueue(job("a", 0, 7, 4));
+        assert_eq!(q.pick().unwrap().session_id, 7);
+        assert!(q.pick().is_none(), "same session blocked while in flight");
+        q.finish("a", 7);
+        assert_eq!(q.pick().unwrap().session_id, 7);
+    }
+
+    #[test]
+    fn global_cap_limits_running_total() {
+        let mut q = AdmissionQueue::new(caps(10, 2));
+        for s in 0..4 {
+            q.enqueue(job("t", 0, s, 8));
+        }
+        assert!(q.pick().is_some());
+        assert!(q.pick().is_some());
+        assert!(q.pick().is_none(), "global cap of 2 reached");
+        q.finish("t", 0);
+        assert!(q.pick().is_some());
+    }
+
+    #[test]
+    fn bounded_queue_reports_space() {
+        let mut q = AdmissionQueue::new(caps(2, 1));
+        assert!(q.has_space());
+        q.enqueue(job("a", 0, 1, 1));
+        q.enqueue(job("a", 0, 2, 1));
+        assert!(!q.has_space());
+        let snap = q.snapshot();
+        assert_eq!((snap.queued, snap.running, snap.queue_capacity), (2, 0, 2));
+        assert!(!q.is_drained());
+    }
+}

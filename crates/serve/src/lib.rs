@@ -1,0 +1,63 @@
+//! # helix-serve
+//!
+//! A long-lived, multi-tenant session service over the HELIX engine — the
+//! step from "one developer iterating" (the paper's setting, VLDB 2018)
+//! toward the production service of the ROADMAP's north star, in the
+//! direction the authors themselves named next (arXiv:1804.05892:
+//! multi-tenant resource sharing and cross-user artifact reuse).
+//!
+//! One [`HelixService`](service::HelixService) owns, process-wide:
+//!
+//! * **a core budget** ([`helix_exec::CoreBudget`]) — every concurrently
+//!   running iteration holds one base token, and all *extra* parallelism
+//!   (the engine's frontier dispatch, data-parallel operator chunks)
+//!   leases tokens from the same pool. Total working threads never exceed
+//!   the budget: no more `workers²` blowups, no oversubscription between
+//!   tenants.
+//! * **a shared materialization catalog** with per-tenant byte quotas
+//!   carved out of one global storage budget. Artifacts are keyed by
+//!   content signatures, so when two tenants' workflows share a prefix
+//!   the second tenant *loads* what the first computed — cross-tenant
+//!   reuse falls out of Definition 3's equivalence, with per-tenant
+//!   attribution of self vs cross hits.
+//! * **an admission layer** ([`admission`]) — a bounded submission queue
+//!   drained FIFO-with-priority under per-tenant and global concurrency
+//!   caps.
+//!
+//! ## Determinism contract
+//!
+//! A tenant's iteration outputs are byte-identical to a solo serial run
+//! of that tenant (same seed), regardless of co-tenants, queue order, or
+//! how many cores the budget grants:
+//!
+//! * the engine is worker-count-invariant (PR 1), and token grants only
+//!   narrow effective width;
+//! * all sessions of one service share the service seed, so a signature
+//!   identifies one exact byte string — loading another tenant's artifact
+//!   yields precisely the bytes the loader would have computed;
+//! * per-tenant *quota* eviction and deprecation (`release`) are
+//!   deterministic and scoped, so one tenant can never delete bytes
+//!   another still plans around.
+//!
+//! ```no_run
+//! use helix_serve::{HelixService, ServiceConfig, TenantSpec};
+//! use helix_core::{SessionConfig, Workflow};
+//! # fn workflow() -> Workflow { Workflow::new("w") }
+//!
+//! let service = HelixService::new(ServiceConfig::new(8)).unwrap();
+//! service.register_tenant("alice", TenantSpec::default()).unwrap();
+//! service.register_tenant("bob", TenantSpec::default()).unwrap();
+//! let alice = service.open_session("alice", SessionConfig::in_memory()).unwrap();
+//! let report = alice.run_iteration(workflow()).unwrap();
+//! ```
+
+pub mod admission;
+pub mod service;
+pub mod ticket;
+
+pub use admission::{AdmissionCaps, QueueSnapshot};
+pub use service::{HelixService, ServiceConfig, ServiceStats, TenantSpec, TenantStats};
+pub use ticket::{JobOutcome, JobTicket};
+
+/// A handle to one tenant's iterative session inside a service.
+pub use service::ServiceSession;

@@ -1,0 +1,797 @@
+//! The multi-tenant session service.
+//!
+//! [`HelixService`] is the long-lived process owner of the shared
+//! [`CoreBudget`], the shared [`MaterializationCatalog`], and the
+//! admission/scheduling layer. Tenants register with a [`TenantSpec`]
+//! (storage quota carved from the global budget, priority, concurrency
+//! cap), open any number of [`ServiceSession`]s, and submit iterations
+//! which run on background threads:
+//!
+//! ```text
+//! submit ──▶ bounded queue ──▶ scheduler (FIFO-with-priority,
+//!                      per-tenant + global caps, one in flight per
+//!                      session) ──▶ runner thread: acquire 1 core token
+//!                      (blocking) ──▶ Session::run ──▶ fulfill ticket
+//! ```
+//!
+//! Core accounting: the runner's base token covers the engine's
+//! coordinator; the engine and its data-parallel operators lease any
+//! *extra* threads from the same budget non-blockingly, so
+//! `CoreBudget::peak_leased() ≤ cores` holds at all times — that is the
+//! "no `workers²`" invariant the determinism suite asserts.
+//!
+//! Storage accounting: `Σ tenant quotas ≤ storage_budget_bytes` is
+//! enforced at registration; each tenant's engine checks its own quota
+//! (`used_bytes_for`) and mandatory stores evict that tenant's oldest
+//! sole-owned artifacts only. Seeds are service-wide so signature-equal
+//! artifacts are byte-equal across tenants (see the crate docs for the
+//! full determinism argument).
+
+use crate::admission::{AdmissionCaps, AdmissionQueue, Job, QueueSnapshot};
+use crate::ticket::{JobOutcome, JobTicket, TicketState};
+use helix_common::timing::Nanos;
+use helix_common::{HelixError, Result};
+use helix_core::{IterationReport, Session, SessionConfig, SessionHandles, Workflow};
+use helix_exec::CoreBudget;
+use helix_storage::{DiskProfile, MaterializationCatalog};
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Per-tenant registration: the resources a tenant is entitled to.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Storage quota in bytes, carved out of the service's global budget
+    /// at registration time.
+    pub quota_bytes: u64,
+    /// Scheduling priority (higher wins; FIFO within a priority).
+    pub priority: u8,
+    /// Maximum iterations this tenant may have running at once.
+    pub max_concurrent: usize,
+}
+
+impl Default for TenantSpec {
+    fn default() -> TenantSpec {
+        TenantSpec { quota_bytes: 32 << 20, priority: 0, max_concurrent: 1 }
+    }
+}
+
+impl TenantSpec {
+    /// Builder: set the storage quota.
+    #[must_use]
+    pub fn with_quota(mut self, bytes: u64) -> TenantSpec {
+        self.quota_bytes = bytes;
+        self
+    }
+
+    /// Builder: set the scheduling priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> TenantSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder: set the tenant concurrency cap.
+    #[must_use]
+    pub fn with_max_concurrent(mut self, cap: usize) -> TenantSpec {
+        self.max_concurrent = cap.max(1);
+        self
+    }
+}
+
+/// Service-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Core tokens in the shared budget (the machine's share given to
+    /// this service; the paper's "cluster size" across all tenants).
+    pub cores: usize,
+    /// Global storage budget; tenant quotas are carved from it.
+    pub storage_budget_bytes: u64,
+    /// Emulated disk characteristics of the shared catalog.
+    pub disk: DiskProfile,
+    /// Catalog directory; `None` = fresh temp directory.
+    pub catalog_dir: Option<PathBuf>,
+    /// Bounded submission-queue capacity (submitters block beyond).
+    pub queue_capacity: usize,
+    /// Iterations allowed to run concurrently across all tenants.
+    /// Values above `cores` let iterations queue on the core budget
+    /// itself (useful when iterations are I/O-heavy).
+    pub max_concurrent_iterations: usize,
+    /// Service-wide master seed. Every session runs under this seed so
+    /// that signature-equal artifacts are byte-equal across tenants —
+    /// per-session seeds would silently break cross-tenant reuse.
+    pub seed: u64,
+    /// Hysteresis dead band for Algorithm 2 (applied to all sessions).
+    pub mat_hysteresis: f64,
+}
+
+impl ServiceConfig {
+    /// A service over `cores` core tokens with test-friendly defaults.
+    pub fn new(cores: usize) -> ServiceConfig {
+        let cores = cores.max(1);
+        ServiceConfig {
+            cores,
+            storage_budget_bytes: 256 << 20,
+            disk: DiskProfile::unthrottled(),
+            catalog_dir: None,
+            queue_capacity: 64,
+            max_concurrent_iterations: cores * 2,
+            seed: 42,
+            mat_hysteresis: 0.0,
+        }
+    }
+
+    /// Builder: set the global storage budget.
+    #[must_use]
+    pub fn with_storage_budget(mut self, bytes: u64) -> ServiceConfig {
+        self.storage_budget_bytes = bytes;
+        self
+    }
+
+    /// Builder: set the disk profile.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskProfile) -> ServiceConfig {
+        self.disk = disk;
+        self
+    }
+
+    /// Builder: set the catalog directory.
+    #[must_use]
+    pub fn with_catalog_dir(mut self, dir: impl Into<PathBuf>) -> ServiceConfig {
+        self.catalog_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: set the service seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> ServiceConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: set the submission-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder: set the global running-iterations cap.
+    #[must_use]
+    pub fn with_max_concurrent_iterations(mut self, cap: usize) -> ServiceConfig {
+        self.max_concurrent_iterations = cap.max(1);
+        self
+    }
+
+    /// Builder: set the elective-materialization hysteresis band.
+    #[must_use]
+    pub fn with_hysteresis(mut self, band: f64) -> ServiceConfig {
+        self.mat_hysteresis = band;
+        self
+    }
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    iterations: u64,
+    queue_wait_nanos: Nanos,
+    run_nanos: Nanos,
+}
+
+struct SchedState {
+    queue: AdmissionQueue,
+    tenants: HashMap<String, TenantState>,
+    reserved_quota: u64,
+    next_session_id: u64,
+}
+
+struct ServiceInner {
+    config: ServiceConfig,
+    catalog: Arc<MaterializationCatalog>,
+    budget: Arc<CoreBudget>,
+    sched: Mutex<SchedState>,
+    /// Scheduler wake-ups (new work, retired work, shutdown).
+    work: Condvar,
+    /// Submitters blocked on the bounded queue.
+    space: Condvar,
+    /// Drain/shutdown waiters.
+    idle: Condvar,
+}
+
+impl ServiceInner {
+    fn sched(&self) -> MutexGuard<'_, SchedState> {
+        self.sched.lock().expect("scheduler state poisoned")
+    }
+}
+
+/// The long-lived multi-tenant service. Dropping it drains in-flight and
+/// queued work, then joins the scheduler.
+pub struct HelixService {
+    inner: Arc<ServiceInner>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HelixService {
+    /// Start a service: open (or create) the shared catalog, size the
+    /// core budget, and launch the scheduler.
+    pub fn new(config: ServiceConfig) -> Result<HelixService> {
+        let catalog = match &config.catalog_dir {
+            Some(dir) => MaterializationCatalog::open(dir, config.disk)?,
+            None => MaterializationCatalog::open_temp(config.disk)?,
+        };
+        let caps = AdmissionCaps {
+            queue_capacity: config.queue_capacity,
+            max_concurrent_iterations: config.max_concurrent_iterations,
+        };
+        let inner = Arc::new(ServiceInner {
+            budget: Arc::new(CoreBudget::new(config.cores)),
+            catalog: Arc::new(catalog),
+            sched: Mutex::new(SchedState {
+                queue: AdmissionQueue::new(caps),
+                tenants: HashMap::new(),
+                reserved_quota: 0,
+                next_session_id: 0,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            idle: Condvar::new(),
+            config,
+        });
+        let scheduler = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("helix-serve-scheduler".into())
+                .spawn(move || scheduler_loop(inner))
+                .map_err(|e| HelixError::config(format!("scheduler spawn failed: {e}")))?
+        };
+        Ok(HelixService { inner, scheduler: Some(scheduler) })
+    }
+
+    /// The shared core budget (for monitoring and tests).
+    pub fn core_budget(&self) -> &Arc<CoreBudget> {
+        &self.inner.budget
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<MaterializationCatalog> {
+        &self.inner.catalog
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Register a tenant, carving its storage quota out of the global
+    /// budget. Fails on duplicate names, empty names (reserved for solo
+    /// sessions), or quota overflow.
+    pub fn register_tenant(&self, name: &str, spec: TenantSpec) -> Result<()> {
+        if name.is_empty() {
+            return Err(HelixError::config("tenant name must be non-empty"));
+        }
+        let mut sched = self.inner.sched();
+        if sched.tenants.contains_key(name) {
+            return Err(HelixError::config(format!("tenant `{name}` already registered")));
+        }
+        let requested = spec.quota_bytes;
+        let available = self.inner.config.storage_budget_bytes.saturating_sub(sched.reserved_quota);
+        if requested > available {
+            return Err(HelixError::config(format!(
+                "tenant `{name}` quota {requested} B exceeds unreserved storage {available} B"
+            )));
+        }
+        sched.reserved_quota += requested;
+        sched.tenants.insert(
+            name.to_string(),
+            TenantState { spec, iterations: 0, queue_wait_nanos: 0, run_nanos: 0 },
+        );
+        Ok(())
+    }
+
+    /// Open an iterative session for a registered tenant.
+    ///
+    /// The caller's `config` chooses workers/strategy/reuse/cache policy;
+    /// the service overrides what sharing requires: catalog and disk (the
+    /// shared store), seed (service-wide), storage budget (the tenant's
+    /// quota), and hysteresis.
+    pub fn open_session(&self, tenant: &str, config: SessionConfig) -> Result<ServiceSession> {
+        let (quota, session_id) = {
+            let mut sched = self.inner.sched();
+            let state =
+                sched.tenants.get(tenant).ok_or_else(|| HelixError::not_found("tenant", tenant))?;
+            let quota = state.spec.quota_bytes;
+            let id = sched.next_session_id;
+            sched.next_session_id += 1;
+            (quota, id)
+        };
+        let config = SessionConfig {
+            storage_budget_bytes: quota,
+            disk: self.inner.config.disk,
+            catalog_dir: None,
+            seed: self.inner.config.seed,
+            mat_hysteresis: self.inner.config.mat_hysteresis,
+            ..config
+        };
+        let handles = SessionHandles {
+            catalog: Arc::clone(&self.inner.catalog),
+            core_budget: Some(Arc::clone(&self.inner.budget)),
+            tenant: tenant.to_string(),
+        };
+        let session = Arc::new(Mutex::new(Session::with_handles(config, handles)));
+        Ok(ServiceSession {
+            inner: Arc::clone(&self.inner),
+            session,
+            session_id,
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Block until no work is queued or running.
+    pub fn drain(&self) {
+        let mut sched = self.inner.sched();
+        while !sched.queue.is_drained() {
+            sched = self.inner.idle.wait(sched).expect("scheduler state poisoned");
+        }
+    }
+
+    /// Point-in-time admission state.
+    pub fn queue_snapshot(&self) -> QueueSnapshot {
+        self.inner.sched().queue.snapshot()
+    }
+
+    /// Aggregate service statistics (scheduling + catalog + cores).
+    pub fn stats(&self) -> ServiceStats {
+        let sched = self.inner.sched();
+        let mut tenants = BTreeMap::new();
+        for (name, state) in &sched.tenants {
+            let owner = self.inner.catalog.owner_stats(name);
+            tenants.insert(
+                name.clone(),
+                TenantStats {
+                    iterations: state.iterations,
+                    queue_wait_nanos: state.queue_wait_nanos,
+                    run_nanos: state.run_nanos,
+                    self_hits: owner.self_hits,
+                    cross_hits: owner.cross_hits,
+                    stored_bytes: owner.stored_bytes,
+                    quota_evictions: owner.quota_evictions,
+                    owned_bytes: self.inner.catalog.used_bytes_for(name),
+                    quota_bytes: state.spec.quota_bytes,
+                },
+            );
+        }
+        ServiceStats {
+            tenants,
+            cores_total: self.inner.budget.total(),
+            cores_leased: self.inner.budget.leased(),
+            peak_cores_leased: self.inner.budget.peak_leased(),
+            catalog_bytes: self.inner.catalog.total_bytes(),
+            catalog_artifacts: self.inner.catalog.len(),
+            queue: sched.queue.snapshot(),
+        }
+    }
+}
+
+impl Drop for HelixService {
+    fn drop(&mut self) {
+        {
+            let mut sched = self.inner.sched();
+            sched.queue.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        self.inner.space.notify_all();
+        // Graceful drain: queued work still runs; new submissions fail.
+        self.drain();
+        self.inner.work.notify_all();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One tenant's session handle: submit iterations, await tickets.
+///
+/// Iterations of one session always run one-at-a-time in submission
+/// order (the session is stateful across iterations); sessions of the
+/// same or different tenants run concurrently up to the admission caps.
+pub struct ServiceSession {
+    inner: Arc<ServiceInner>,
+    session: Arc<Mutex<Session>>,
+    session_id: u64,
+    tenant: String,
+}
+
+impl ServiceSession {
+    /// The owning tenant.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Submit one iteration; blocks only while the bounded queue is full.
+    pub fn submit(&self, wf: Workflow) -> Result<JobTicket> {
+        let ticket = TicketState::new();
+        {
+            let mut sched = self.inner.sched();
+            loop {
+                if sched.queue.shutdown {
+                    return Err(HelixError::config("service is shutting down"));
+                }
+                if sched.queue.has_space() {
+                    break;
+                }
+                sched = self.inner.space.wait(sched).expect("scheduler state poisoned");
+            }
+            let (priority, cap) = {
+                let state = sched
+                    .tenants
+                    .get(&self.tenant)
+                    .ok_or_else(|| HelixError::not_found("tenant", &*self.tenant))?;
+                (state.spec.priority, state.spec.max_concurrent)
+            };
+            sched.queue.enqueue(Job {
+                seq: 0,
+                priority,
+                tenant: self.tenant.clone(),
+                tenant_max_concurrent: cap,
+                session_id: self.session_id,
+                session: Arc::clone(&self.session),
+                wf,
+                ticket: Arc::clone(&ticket),
+                enqueued: Instant::now(),
+            });
+        }
+        self.inner.work.notify_all();
+        Ok(JobTicket { state: ticket })
+    }
+
+    /// Submit one iteration and block for its report.
+    pub fn run_iteration(&self, wf: Workflow) -> Result<IterationReport> {
+        self.submit(wf)?.wait()
+    }
+
+    /// Iterations this session has completed.
+    pub fn iterations_run(&self) -> u64 {
+        lock_session(&self.session).iterations_run()
+    }
+}
+
+/// Sessions survive a panicked iteration (the runner converts panics to
+/// errors); ignore mutex poisoning accordingly.
+fn lock_session(session: &Mutex<Session>) -> MutexGuard<'_, Session> {
+    match session.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn scheduler_loop(inner: Arc<ServiceInner>) {
+    loop {
+        let job = {
+            let mut sched = inner.sched();
+            loop {
+                if let Some(job) = sched.queue.pick() {
+                    break Some(job);
+                }
+                if sched.queue.shutdown && sched.queue.is_drained() {
+                    break None;
+                }
+                sched = inner.work.wait(sched).expect("scheduler state poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        // The pick freed a queue slot: wake submitters blocked on the
+        // bounded queue now, not when the iteration eventually finishes.
+        inner.space.notify_all();
+        let name = format!("helix-serve-{}", job.tenant);
+        // The job rides in a take-cell so a failed spawn can recover it:
+        // out of threads, the scheduler runs it inline — slower, never
+        // lost (the ticket is always fulfilled).
+        let cell = Arc::new(Mutex::new(Some(job)));
+        let spawned = {
+            let inner = Arc::clone(&inner);
+            let cell = Arc::clone(&cell);
+            std::thread::Builder::new().name(name).spawn(move || {
+                if let Some(job) = cell.lock().expect("job cell poisoned").take() {
+                    run_job(inner, job);
+                }
+            })
+        };
+        if spawned.is_err() {
+            if let Some(job) = cell.lock().expect("job cell poisoned").take() {
+                run_job(Arc::clone(&inner), job);
+            }
+        }
+    }
+}
+
+fn run_job(inner: Arc<ServiceInner>, job: Job) {
+    // The base core token for this iteration: blocking acquire, released
+    // when the iteration finishes. All extra parallelism inside the engine
+    // is non-blocking, which keeps the budget deadlock-free. The token
+    // wait counts as queue time (measured *after* the acquire), so
+    // queue_wait + run covers the whole submission-to-report span.
+    let lease = inner.budget.acquire_one();
+    let queue_wait = job.enqueued.elapsed().as_nanos() as Nanos;
+    let started = Instant::now();
+    let result = {
+        let mut session = lock_session(&job.session);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.run(&job.wf)))
+            .unwrap_or_else(|panic| {
+                let detail = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "operator panicked".to_string());
+                Err(HelixError::exec("service-runner", detail))
+            })
+    };
+    let run_nanos = started.elapsed().as_nanos() as Nanos;
+    drop(lease);
+    {
+        let mut sched = inner.sched();
+        sched.queue.finish(&job.tenant, job.session_id);
+        if let Some(tenant) = sched.tenants.get_mut(&job.tenant) {
+            tenant.iterations += 1;
+            tenant.queue_wait_nanos += queue_wait;
+            tenant.run_nanos += run_nanos;
+        }
+    }
+    inner.work.notify_all();
+    inner.space.notify_all();
+    inner.idle.notify_all();
+    job.ticket.fulfill(JobOutcome { result, queue_wait_nanos: queue_wait, run_nanos });
+}
+
+/// Point-in-time statistics for one tenant.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// Iterations completed.
+    pub iterations: u64,
+    /// Total time jobs spent queued before dispatch.
+    pub queue_wait_nanos: Nanos,
+    /// Total time inside `Session::run`.
+    pub run_nanos: Nanos,
+    /// Catalog loads served by this tenant's own artifacts.
+    pub self_hits: u64,
+    /// Catalog loads served by *other* tenants' artifacts.
+    pub cross_hits: u64,
+    /// Bytes this tenant has written to the catalog (lifetime).
+    pub stored_bytes: u64,
+    /// Artifacts evicted to keep this tenant inside its quota.
+    pub quota_evictions: u64,
+    /// Bytes currently charged against the tenant's quota.
+    pub owned_bytes: u64,
+    /// The tenant's quota.
+    pub quota_bytes: u64,
+}
+
+impl TenantStats {
+    /// Fraction of this tenant's loads served by other tenants' artifacts.
+    pub fn cross_hit_rate(&self) -> f64 {
+        let loads = self.self_hits + self.cross_hits;
+        if loads == 0 {
+            return 0.0;
+        }
+        self.cross_hits as f64 / loads as f64
+    }
+}
+
+/// Aggregate service statistics.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Per-tenant breakdown, name-ordered.
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// Tokens in the core budget.
+    pub cores_total: usize,
+    /// Tokens leased right now.
+    pub cores_leased: usize,
+    /// High-water mark of leased tokens — must never exceed
+    /// `cores_total` (the no-`workers²` invariant).
+    pub peak_cores_leased: usize,
+    /// Physical catalog footprint.
+    pub catalog_bytes: u64,
+    /// Artifact count.
+    pub catalog_artifacts: usize,
+    /// Admission state.
+    pub queue: QueueSnapshot,
+}
+
+impl ServiceStats {
+    /// Service-wide cross-tenant hit rate across all tenants' loads.
+    pub fn cross_hit_rate(&self) -> f64 {
+        let (cross, total) = self
+            .tenants
+            .values()
+            .fold((0u64, 0u64), |(c, t), s| (c + s.cross_hits, t + s.self_hits + s.cross_hits));
+        if total == 0 {
+            return 0.0;
+        }
+        cross as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_data::{Scalar, Value};
+
+    /// Busy-wait so compute dominates load costs and reuse is decisive.
+    fn spin(millis: u64) {
+        let until = Instant::now() + std::time::Duration::from_millis(millis);
+        while Instant::now() < until {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// A three-node chain, parameterized so tests can share or diverge.
+    fn chain(version: u64) -> Workflow {
+        let mut wf = Workflow::new("chain");
+        let a = wf.source("a", 1, |_| {
+            spin(3);
+            Ok(Value::Scalar(Scalar::I64(10)))
+        });
+        let b = wf.reduce("b", a, version, move |v, _| {
+            spin(3);
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x * version as f64)))
+        });
+        let c = wf.reduce("c", b, 1, |v, _| {
+            spin(3);
+            let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+            Ok(Value::Scalar(Scalar::F64(x + 1.0)))
+        });
+        wf.output(c);
+        wf
+    }
+
+    fn service(cores: usize) -> HelixService {
+        HelixService::new(ServiceConfig::new(cores)).expect("service starts")
+    }
+
+    #[test]
+    fn single_tenant_round_trip() {
+        let svc = service(2);
+        svc.register_tenant("alice", TenantSpec::default()).unwrap();
+        let session = svc.open_session("alice", SessionConfig::in_memory()).unwrap();
+        let report = session.run_iteration(chain(1)).unwrap();
+        assert_eq!(report.output_scalar("c").unwrap().as_f64(), Some(11.0));
+        assert_eq!(session.iterations_run(), 1);
+        let stats = svc.stats();
+        assert_eq!(stats.tenants["alice"].iterations, 1);
+        assert!(stats.peak_cores_leased <= stats.cores_total);
+    }
+
+    #[test]
+    fn unknown_or_duplicate_tenants_are_rejected() {
+        let svc = service(1);
+        assert!(svc.open_session("ghost", SessionConfig::in_memory()).is_err());
+        assert!(svc.register_tenant("", TenantSpec::default()).is_err(), "empty name reserved");
+        svc.register_tenant("a", TenantSpec::default()).unwrap();
+        assert!(svc.register_tenant("a", TenantSpec::default()).is_err(), "duplicate");
+    }
+
+    #[test]
+    fn quota_carving_respects_the_global_budget() {
+        let svc = HelixService::new(ServiceConfig::new(1).with_storage_budget(100))
+            .expect("service starts");
+        svc.register_tenant("a", TenantSpec::default().with_quota(60)).unwrap();
+        assert!(
+            svc.register_tenant("b", TenantSpec::default().with_quota(60)).is_err(),
+            "60 + 60 > 100: second carve must fail"
+        );
+        svc.register_tenant("b", TenantSpec::default().with_quota(40)).unwrap();
+    }
+
+    #[test]
+    fn cross_tenant_reuse_on_identical_workflows() {
+        let svc = service(2);
+        svc.register_tenant("alice", TenantSpec::default()).unwrap();
+        svc.register_tenant("bob", TenantSpec::default()).unwrap();
+        let alice = svc.open_session("alice", SessionConfig::in_memory()).unwrap();
+        let bob = svc.open_session("bob", SessionConfig::in_memory()).unwrap();
+
+        let a_report = alice.run_iteration(chain(1)).unwrap();
+        let b_report = bob.run_iteration(chain(1)).unwrap();
+        assert_eq!(
+            a_report.output_scalar("c").unwrap().as_f64(),
+            b_report.output_scalar("c").unwrap().as_f64()
+        );
+        assert!(
+            b_report.metrics.cross_loaded > 0,
+            "bob must load alice's artifacts, not recompute"
+        );
+        assert_eq!(b_report.metrics.computed, 0, "nothing to compute on a shared prefix");
+        let stats = svc.stats();
+        assert!(stats.tenants["bob"].cross_hits > 0);
+        assert!(stats.cross_hit_rate() > 0.0);
+        assert_eq!(stats.tenants["alice"].cross_hits, 0, "producer pays, consumer reuses");
+    }
+
+    #[test]
+    fn one_tenant_deprecating_does_not_break_the_other() {
+        let svc = service(2);
+        svc.register_tenant("alice", TenantSpec::default()).unwrap();
+        svc.register_tenant("bob", TenantSpec::default()).unwrap();
+        let alice = svc.open_session("alice", SessionConfig::in_memory()).unwrap();
+        let bob = svc.open_session("bob", SessionConfig::in_memory()).unwrap();
+
+        alice.run_iteration(chain(1)).unwrap();
+        bob.run_iteration(chain(1)).unwrap();
+        // Alice changes operator b: her old downstream artifacts are
+        // deprecated *for her*; bob's rerun must still load, not compute.
+        alice.run_iteration(chain(2)).unwrap();
+        let bob_rerun = bob.run_iteration(chain(1)).unwrap();
+        assert_eq!(bob_rerun.metrics.computed, 0, "bob's artifacts must survive alice's purge");
+        assert_eq!(bob_rerun.output_scalar("c").unwrap().as_f64(), Some(11.0));
+    }
+
+    #[test]
+    fn concurrent_submissions_from_many_tenants_all_complete() {
+        let svc = service(2);
+        for t in 0..4 {
+            svc.register_tenant(&format!("t{t}"), TenantSpec::default().with_max_concurrent(1))
+                .unwrap();
+        }
+        let sessions: Vec<ServiceSession> = (0..4)
+            .map(|t| svc.open_session(&format!("t{t}"), SessionConfig::in_memory()).unwrap())
+            .collect();
+        // Two iterations per tenant, all submitted before any waits.
+        let tickets: Vec<(usize, JobTicket)> = (0..2)
+            .flat_map(|_| {
+                sessions
+                    .iter()
+                    .enumerate()
+                    .map(|(ix, s)| (ix, s.submit(chain(1)).unwrap()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (ix, ticket) in tickets {
+            let outcome = ticket.wait_outcome();
+            let report = outcome.result.expect("iteration succeeds");
+            assert_eq!(report.output_scalar("c").unwrap().as_f64(), Some(11.0), "tenant {ix}");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.tenants.values().map(|t| t.iterations).sum::<u64>(), 8);
+        assert!(
+            stats.peak_cores_leased <= stats.cores_total,
+            "peak {} > budget {}",
+            stats.peak_cores_leased,
+            stats.cores_total
+        );
+        assert_eq!(stats.queue.running, 0);
+        svc.drain();
+    }
+
+    #[test]
+    fn failed_iterations_report_errors_and_free_the_session() {
+        let svc = service(1);
+        svc.register_tenant("t", TenantSpec::default()).unwrap();
+        let session = svc.open_session("t", SessionConfig::in_memory()).unwrap();
+
+        let mut bad = Workflow::new("bad");
+        let x =
+            bad.source("x", 1, |_| Err(helix_common::HelixError::exec("x", "synthetic failure")));
+        bad.output(x);
+        let err = match session.run_iteration(bad) {
+            Err(err) => err,
+            Ok(_) => panic!("failing workflow must error"),
+        };
+        assert!(format!("{err}").contains("synthetic failure"));
+        // The session is not wedged: a good iteration still runs.
+        let ok = session.run_iteration(chain(1)).unwrap();
+        assert_eq!(ok.output_scalar("c").unwrap().as_f64(), Some(11.0));
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions_but_drains_queued_work() {
+        let svc = service(1);
+        svc.register_tenant("t", TenantSpec::default()).unwrap();
+        let session = svc.open_session("t", SessionConfig::in_memory()).unwrap();
+        let ticket = session.submit(chain(1)).unwrap();
+        drop(svc);
+        let report = ticket.wait_outcome().result.expect("queued job still ran");
+        assert_eq!(report.output_scalar("c").unwrap().as_f64(), Some(11.0));
+        assert!(session.submit(chain(1)).is_err(), "service is gone");
+    }
+}

@@ -1,0 +1,67 @@
+//! Completion tickets for submitted iterations.
+//!
+//! [`HelixService`](crate::HelixService) runs iterations asynchronously;
+//! `submit` hands back a [`JobTicket`] the caller can block on (or poll).
+//! The ticket carries the [`IterationReport`] plus the service-side timing
+//! split (queue wait vs run time) that the multi-tenant bench reports.
+
+use helix_common::timing::Nanos;
+use helix_common::Result;
+use helix_core::IterationReport;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What the service measured and produced for one submitted iteration.
+pub struct JobOutcome {
+    /// The iteration's result (error if the workflow failed).
+    pub result: Result<IterationReport>,
+    /// Time from submission to dispatch (admission + core-token wait).
+    pub queue_wait_nanos: Nanos,
+    /// Time inside `Session::run`.
+    pub run_nanos: Nanos,
+}
+
+pub(crate) struct TicketState {
+    slot: Mutex<Option<JobOutcome>>,
+    done: Condvar,
+}
+
+impl TicketState {
+    pub(crate) fn new() -> Arc<TicketState> {
+        Arc::new(TicketState { slot: Mutex::new(None), done: Condvar::new() })
+    }
+
+    pub(crate) fn fulfill(&self, outcome: JobOutcome) {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        *slot = Some(outcome);
+        drop(slot);
+        self.done.notify_all();
+    }
+}
+
+/// A claim on one submitted iteration's outcome.
+pub struct JobTicket {
+    pub(crate) state: Arc<TicketState>,
+}
+
+impl JobTicket {
+    /// Whether the outcome has arrived (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.state.slot.lock().expect("ticket poisoned").is_some()
+    }
+
+    /// Block until the iteration finishes; returns the full outcome.
+    pub fn wait_outcome(self) -> JobOutcome {
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.state.done.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// Block until the iteration finishes; returns just the report.
+    pub fn wait(self) -> Result<IterationReport> {
+        self.wait_outcome().result
+    }
+}

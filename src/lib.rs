@@ -27,9 +27,12 @@
 //!
 //! Crate map: [`common`] (hashing, RNG, errors) · [`data`] (records,
 //! features, examples, models) · [`flow`] (DAG, max-flow, OPT-EXEC-PLAN) ·
-//! [`storage`] (codec, catalog, disk emulation) · [`exec`] (pool, cache,
-//! metrics) · [`core`] (DSL, tracker, optimizers, engine, session) ·
-//! [`workloads`] (the four paper workloads + iteration simulator).
+//! [`storage`] (codec, catalog, disk emulation) · [`exec`] (pool, core
+//! budget, cache, metrics) · [`core`] (DSL, tracker, optimizers, engine,
+//! session) · [`workloads`] (the four paper workloads + iteration
+//! simulator) · [`serve`] (the multi-tenant session service: shared core
+//! budget, shared catalog with per-tenant quotas, admission control —
+//! see `examples/shared_service.rs`).
 
 pub use helix_common as common;
 pub use helix_core as core;
@@ -37,6 +40,7 @@ pub use helix_data as data;
 pub use helix_exec as exec;
 pub use helix_flow as flow;
 pub use helix_ml as ml;
+pub use helix_serve as serve;
 pub use helix_storage as storage;
 pub use helix_workloads as workloads;
 
