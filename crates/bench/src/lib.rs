@@ -23,10 +23,15 @@
 //! * [`multi_tenant`] — the `helix-serve` driver: N simultaneous clients
 //!   on one service vs the serial back-to-back baseline (throughput,
 //!   per-tenant latency, cross-tenant cache-hit rate).
+//! * [`pipeline`] — the pipelined iteration runtime vs the serial
+//!   engine (speedup, overlap ratio, speculation hit rate); emits
+//!   `BENCH_pipeline.json`.
 
 pub mod experiments;
 pub mod multi_tenant;
+pub mod pipeline;
 pub mod report;
 
 pub use experiments::{ExperimentConfig, SystemKind};
 pub use multi_tenant::{run_multi_tenant, MultiTenantConfig, MultiTenantReport};
+pub use pipeline::{run_pipeline_bench, PipelineBenchConfig, PipelineBenchReport};

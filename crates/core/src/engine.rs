@@ -42,19 +42,21 @@
 
 use crate::dsl::Workflow;
 use crate::materialize::{cumulative_run_time, should_materialize_stable, MatStrategy};
+use crate::pipeline::{BackgroundWriter, PrefetchTake, Prefetcher};
 use helix_common::hash::Signature;
-use helix_common::timing::{timed, Nanos};
+use helix_common::timing::{duration_to_nanos, timed, Nanos};
 use helix_common::{HelixError, Result};
 use helix_data::{ByteSized, Value};
 use helix_exec::{
-    CachePolicy, CoreBudget, IterationMetrics, NodeRun, RunState, SharedMemoryTracker,
-    SharedValueCache, WorkerPool,
+    interval_union_nanos, CachePolicy, CoreBudget, IterationMetrics, NodeRun, RunState,
+    SharedMemoryTracker, SharedValueCache, WorkerPool,
 };
 use helix_flow::oep::State;
 use helix_flow::{Dag, NodeId};
 use helix_storage::MaterializationCatalog;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Everything the engine needs for one iteration.
 pub struct EngineParams<'a> {
@@ -92,6 +94,16 @@ pub struct EngineParams<'a> {
     pub prev_elective: &'a HashMap<Signature, bool>,
     /// Dead-band fraction for elective decisions (0 = paper-strict).
     pub hysteresis: f64,
+    /// Enable the pipelined lanes (prefetched loads; staged background
+    /// writes when `writer` is present). Forced off for the LRU ablation
+    /// baseline, whose eviction is timing-coupled. Outputs, catalog
+    /// contents, and plan-relevant metrics stay byte-identical either
+    /// way — pipelining moves I/O off the critical path, never changes
+    /// decisions.
+    pub pipeline: bool,
+    /// The session's background materialization writer (the write lane).
+    /// `None` or `pipeline == false` keeps the serial inline writes.
+    pub writer: Option<&'a BackgroundWriter>,
 }
 
 /// What an iteration produced.
@@ -121,6 +133,9 @@ struct NodeSuccess {
     state: RunState,
     /// Load was served by another tenant's artifact.
     cross: bool,
+    /// Epoch-relative wall span of a lazily executed load (prefetched
+    /// loads record their spans in the prefetcher instead).
+    load_span: Option<(Nanos, Nanos)>,
 }
 
 /// Run one planned iteration.
@@ -140,6 +155,8 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         core_budget,
         prev_elective,
         hysteresis,
+        pipeline,
+        writer,
     } = params;
     let dag = wf.dag();
     let n = dag.len();
@@ -147,6 +164,20 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
     assert_eq!(sigs.len(), n);
 
     let order = dag.topo_order()?;
+    // The pipelined lanes are off for the LRU ablation (its eviction is
+    // timing-coupled; see `dispatch_width` below for the same reason).
+    let pipelined = pipeline && !matches!(cache_policy, CachePolicy::Lru { .. });
+    let epoch = Instant::now();
+    // Load lane: fetch every plan-time-claimed Load concurrently from
+    // iteration start, instead of lazily when the frontier reaches it —
+    // a Load needs no parent values, only the DAG made it wait.
+    let load_jobs: Vec<(NodeId, Signature)> = order
+        .iter()
+        .filter(|id| states[id.ix()] == State::Load)
+        .map(|id| (*id, sigs[id.ix()]))
+        .collect();
+    let prefetcher = (pipelined && !load_jobs.is_empty())
+        .then(|| Prefetcher::new(catalog, tenant, epoch, load_jobs));
     // Data-parallel operators get the full nominal width, but under a
     // core budget their extra threads must be leased from the same tokens
     // the dispatch layer uses — node- and data-level parallelism split
@@ -187,6 +218,8 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         pool,
         seed,
         tenant,
+        prefetch: prefetcher.as_ref(),
+        epoch,
     };
     let mut coord = Coordinator {
         wf,
@@ -199,6 +232,9 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         tenant,
         prev_elective,
         hysteresis,
+        writer: if pipelined { writer } else { None },
+        prefetch: prefetcher.as_ref(),
+        load_spans: Vec::new(),
         protected: sigs.iter().copied().collect(),
         elective_decisions: Vec::new(),
         cross_loads: 0,
@@ -219,14 +255,44 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         first_error: None,
     };
 
-    if dispatch_width <= 1 {
-        run_inline(dag, &runner, &mut coord);
-    } else {
-        let dispatch_pool = match core_budget {
-            Some(budget) => WorkerPool::budgeted(dispatch_width, Arc::clone(budget)),
-            None => WorkerPool::new(dispatch_width),
-        };
-        run_parallel(dag, &runner, &mut coord, &dispatch_pool);
+    let run_driver = |coord: &mut Coordinator<'_>| {
+        if dispatch_width <= 1 {
+            run_inline(dag, &runner, coord);
+        } else {
+            let dispatch_pool = match core_budget {
+                Some(budget) => WorkerPool::budgeted(dispatch_width, Arc::clone(budget)),
+                None => WorkerPool::new(dispatch_width),
+            };
+            run_parallel(dag, &runner, coord, &dispatch_pool);
+        }
+    };
+    match prefetcher.as_ref() {
+        Some(p) => std::thread::scope(|scope| {
+            // Lane count respects the core budget: the first lane rides
+            // the iteration's own token (loads are not pure sleep — the
+            // decode is real CPU), extras need leased tokens held for
+            // the lanes' lifetime. Unbudgeted sessions get the full
+            // complement.
+            let extra_lease = core_budget.map(|budget| budget.try_acquire(p.lanes() - 1));
+            let lane_count = match &extra_lease {
+                Some(lease) => 1 + lease.tokens(),
+                None => p.lanes(),
+            };
+            for _ in 0..lane_count {
+                scope.spawn(|| p.run_lane());
+            }
+            run_driver(&mut coord);
+            // Normal completion: every load was fetched and taken, halt
+            // is a no-op. Error path: stop the lanes from *starting*
+            // loads the serial engine would never have reached —
+            // in-flight fetches still finish (their takers may be
+            // waiting), so a failed iteration can touch a few more load
+            // statistics than serial; timing/stat metadata is outside
+            // the byte-identity contract.
+            p.halt();
+            drop(extra_lease);
+        }),
+        None => run_driver(&mut coord),
     }
 
     if let Some((_, err)) = coord.first_error.take() {
@@ -241,6 +307,12 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
     );
 
     let mut metrics = IterationMetrics::new(iteration);
+    let mut load_spans = std::mem::take(&mut coord.load_spans);
+    if let Some(p) = prefetcher.as_ref() {
+        load_spans.extend(p.spans());
+    }
+    metrics.load_cpu_nanos = load_spans.iter().map(|(s, e)| e.saturating_sub(*s)).sum();
+    metrics.load_nanos = interval_union_nanos(&load_spans);
     for run in coord.runs.into_iter().flatten() {
         metrics.record(run);
     }
@@ -418,11 +490,25 @@ struct NodeRunner<'a> {
     pool: WorkerPool,
     seed: u64,
     tenant: &'a str,
+    /// The load lane, when this iteration prefetches.
+    prefetch: Option<&'a Prefetcher<'a>>,
+    /// Iteration start, for epoch-relative load spans.
+    epoch: Instant,
 }
 
 impl NodeRunner<'_> {
     fn run_node(&self, id: NodeId) -> Completion {
         Completion { node: id.ix(), result: self.try_run(id) }
+    }
+
+    /// Read a load directly from the catalog (the lazy path), capturing
+    /// its wall span.
+    #[allow(clippy::type_complexity)]
+    fn load_direct(&self, i: usize) -> Result<(Value, Nanos, bool, Option<(Nanos, Nanos)>)> {
+        let start = duration_to_nanos(self.epoch.elapsed());
+        let (value, load_nanos, cross) = self.catalog.load_for(self.sigs[i], self.tenant)?;
+        let end = duration_to_nanos(self.epoch.elapsed());
+        Ok((value, load_nanos, cross, Some((start, end))))
     }
 
     fn try_run(&self, id: NodeId) -> Result<NodeSuccess> {
@@ -432,8 +518,20 @@ impl NodeRunner<'_> {
         match self.states[i] {
             State::Prune => unreachable!("prune nodes are retired by the coordinator"),
             State::Load => {
-                let (value, load_nanos, cross) =
-                    self.catalog.load_for(self.sigs[i], self.tenant)?;
+                // Prefetched when the load lane is on; the reported cost
+                // is the deterministic disk-model time either way, so
+                // statistics (and therefore future plans) are identical
+                // to a lazy serial load.
+                let (value, load_nanos, cross, load_span) = match self.prefetch {
+                    Some(p) => match p.take(id) {
+                        PrefetchTake::Ready(result) => {
+                            let loaded = result?;
+                            (loaded.value, loaded.load_nanos, loaded.cross, None)
+                        }
+                        PrefetchTake::Cancelled => self.load_direct(i)?,
+                    },
+                    None => self.load_direct(i)?,
+                };
                 let value = Arc::new(value);
                 let output_bytes = value.byte_size();
                 self.cache.put(id.0, Arc::clone(&value));
@@ -444,6 +542,7 @@ impl NodeRunner<'_> {
                     output_bytes,
                     state: RunState::Loaded,
                     cross,
+                    load_span,
                 })
             }
             State::Compute => {
@@ -477,6 +576,7 @@ impl NodeRunner<'_> {
                     output_bytes,
                     state: RunState::Computed,
                     cross: false,
+                    load_span: None,
                 })
             }
         }
@@ -496,6 +596,15 @@ struct Coordinator<'a> {
     tenant: &'a str,
     prev_elective: &'a HashMap<Signature, bool>,
     hysteresis: f64,
+    /// The write lane: when present, materializations are staged (index
+    /// now, file later) instead of written inline.
+    writer: Option<&'a BackgroundWriter>,
+    /// The load lane, halted on first error so lanes stop fetching loads
+    /// serial execution would never have reached.
+    prefetch: Option<&'a Prefetcher<'a>>,
+    /// Wall spans of lazily executed loads (prefetched spans live in the
+    /// prefetcher).
+    load_spans: Vec<(Nanos, Nanos)>,
     /// The current plan's signatures: quota eviction must never remove an
     /// artifact this very iteration still intends to load.
     protected: HashSet<Signature>,
@@ -549,6 +658,9 @@ impl Coordinator<'_> {
                 if success.cross {
                     self.cross_loads += 1;
                 }
+                if let Some(span) = success.load_span {
+                    self.load_spans.push(span);
+                }
                 if success.state == RunState::Computed {
                     self.compute_nanos[i] = Some(success.run_nanos);
                     for p in self.wf.dag().parents(id) {
@@ -573,6 +685,9 @@ impl Coordinator<'_> {
                 let pos = self.topo_pos[i];
                 if self.first_error.as_ref().is_none_or(|(p, _)| pos < *p) {
                     self.first_error = Some((pos, err));
+                }
+                if let Some(p) = self.prefetch {
+                    p.halt();
                 }
             }
         }
@@ -658,13 +773,31 @@ impl Coordinator<'_> {
                         &self.protected,
                     )?;
                 }
-                let (bytes, write_nanos) = self.catalog.store_owned(
-                    self.sigs[i],
-                    self.tenant,
-                    &spec.name,
-                    self.iteration,
-                    &value,
-                )?;
+                // With the write lane on, stage now (index, owners, quota
+                // — everything later decisions read) and let the writer
+                // land the file off the critical path; the reported write
+                // time is the disk model's deterministic target. Without
+                // it, the serial inline write.
+                let (bytes, write_nanos) = match self.writer {
+                    Some(writer) => {
+                        let (bytes, modeled, frame) = self.catalog.stage_owned(
+                            self.sigs[i],
+                            self.tenant,
+                            &spec.name,
+                            self.iteration,
+                            &value,
+                        )?;
+                        writer.enqueue(self.sigs[i], frame);
+                        (bytes, modeled)
+                    }
+                    None => self.catalog.store_owned(
+                        self.sigs[i],
+                        self.tenant,
+                        &spec.name,
+                        self.iteration,
+                        &value,
+                    )?,
+                };
                 if let Some(run) = self.runs[i].as_mut() {
                     run.materialize_nanos = write_nanos;
                     run.materialized_bytes = bytes;
@@ -752,6 +885,8 @@ mod tests {
             core_budget: None,
             prev_elective: &HashMap::new(),
             hysteresis: 0.0,
+            pipeline: false,
+            writer: None,
         })
         .unwrap()
     }
@@ -813,6 +948,8 @@ mod tests {
             core_budget: None,
             prev_elective: &HashMap::new(),
             hysteresis: 0.0,
+            pipeline: false,
+            writer: None,
         })
         .unwrap();
         assert_eq!(outcome.outputs["c"].as_scalar().unwrap().as_f64(), Some(11.0));
@@ -845,6 +982,8 @@ mod tests {
             core_budget: None,
             prev_elective: &HashMap::new(),
             hysteresis: 0.0,
+            pipeline: false,
+            writer: None,
         })
         .unwrap();
         // Only the mandatory output may be present.
@@ -876,6 +1015,8 @@ mod tests {
                 core_budget: None,
                 prev_elective: &HashMap::new(),
                 hysteresis: 0.0,
+                pipeline: false,
+                writer: None,
             });
             assert!(err.is_err(), "workers={workers}");
         }
@@ -991,6 +1132,8 @@ mod tests {
                 core_budget: None,
                 prev_elective: &HashMap::new(),
                 hysteresis: 0.0,
+                pipeline: false,
+                writer: None,
             });
             let Err(err) = result else {
                 panic!("workers={workers}: expected an error");
@@ -1046,6 +1189,8 @@ mod tests {
                 core_budget: None,
                 prev_elective: &HashMap::new(),
                 hysteresis: 0.0,
+                pipeline: false,
+                writer: None,
             });
             assert!(result.is_err(), "workers={workers}");
             let entries: Vec<String> =

@@ -61,6 +61,7 @@ pub mod engine;
 pub mod materialize;
 pub mod operator;
 pub mod ops;
+pub mod pipeline;
 pub mod plan;
 pub mod prune;
 pub mod session;
@@ -76,4 +77,5 @@ pub mod prelude {
 
 pub use dsl::Workflow;
 pub use materialize::MatStrategy;
+pub use pipeline::{speculate, BackgroundWriter, Prefetcher, SpeculationInputs, SpeculativePlan};
 pub use session::{IterationReport, ReuseScope, Session, SessionConfig, SessionHandles};

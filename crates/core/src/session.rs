@@ -23,7 +23,8 @@
 use crate::dsl::Workflow;
 use crate::engine::{execute, EngineParams};
 use crate::materialize::MatStrategy;
-use crate::plan::{plan, PlanInputs};
+use crate::pipeline::{speculate, BackgroundWriter, SpeculationInputs, SpeculativePlan};
+use crate::plan::{plan, plan_read_set, PlanInputs};
 use crate::track::{chain_signatures, signature_snapshot};
 use helix_common::hash::Signature;
 use helix_common::timing::Nanos;
@@ -73,6 +74,13 @@ pub struct SessionConfig {
     /// Hysteresis dead band for Algorithm 2's elective decisions
     /// (fraction of the `2·l(n)` threshold; 0 = the paper's strict rule).
     pub mat_hysteresis: f64,
+    /// Pipelined iteration runtime (on by default): prefetched loads,
+    /// background materialization writes, and — through
+    /// [`Session::run_pipelined`] or `helix-serve` — speculative
+    /// planning of the next iteration while the current one executes.
+    /// Off = the strictly serial reference the determinism suites
+    /// compare against. Results are byte-identical either way.
+    pub pipeline: bool,
 }
 
 impl SessionConfig {
@@ -89,6 +97,7 @@ impl SessionConfig {
             cache_policy: CachePolicy::Eager,
             default_compute_nanos: 1_000_000,
             mat_hysteresis: 0.0,
+            pipeline: true,
         }
     }
 
@@ -149,6 +158,13 @@ impl SessionConfig {
     #[must_use]
     pub fn with_hysteresis(mut self, band: f64) -> SessionConfig {
         self.mat_hysteresis = band;
+        self
+    }
+
+    /// Builder: toggle the pipelined iteration runtime.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: bool) -> SessionConfig {
+        self.pipeline = pipeline;
         self
     }
 }
@@ -213,6 +229,23 @@ pub struct Session {
     prev_sigs: HashMap<String, HashMap<String, Signature>>,
     elective_memory: HashMap<Signature, bool>,
     history: Vec<IterationMetrics>,
+    /// The background materialization write lane (created lazily on the
+    /// first pipelined iteration that can store; drains on drop).
+    writer: Option<BackgroundWriter>,
+    /// Speculative plans adopted verbatim / discarded by validation.
+    spec_hits: u64,
+    spec_misses: u64,
+}
+
+/// A planned-but-not-yet-executed iteration: the product of
+/// [`Session::prepare_iteration`] (lifecycle steps 1–4½ — signatures,
+/// purge, OPT-EXEC-PLAN, volatile refresh, load claims), consumed by
+/// [`Session::execute_prepared`]. The split is what lets `helix-serve`
+/// treat "in flight" as *execute-phase only* and overlap one iteration's
+/// planning with its predecessor's execution.
+pub struct PreparedIteration {
+    states: Vec<State>,
+    sigs: Vec<Signature>,
 }
 
 impl Session {
@@ -248,6 +281,9 @@ impl Session {
             prev_sigs: HashMap::new(),
             elective_memory: HashMap::new(),
             history: Vec::new(),
+            writer: None,
+            spec_hits: 0,
+            spec_misses: 0,
         }
     }
 
@@ -278,8 +314,89 @@ impl Session {
 
     /// Run one iteration of `wf` through the full lifecycle.
     pub fn run(&mut self, wf: &Workflow) -> Result<IterationReport> {
-        // 1. Compile: chain signatures under current nonces.
+        let prepared = self.prepare_iteration(wf, None)?;
+        self.execute_prepared(wf, prepared)
+    }
+
+    /// Run a whole scripted sequence of iterations with cross-iteration
+    /// pipelining: while iteration `t` executes, iteration `t+1`'s
+    /// signature chain and OPT-EXEC-PLAN are speculatively computed on a
+    /// budget-leased thread, then revalidated (and adopted only on a
+    /// perfect read-set match) when its turn comes. Byte-identical to
+    /// calling [`run`](Self::run) once per workflow — speculation can
+    /// only move planning off the critical path, never change its result.
+    pub fn run_pipelined(&mut self, wfs: &[Workflow]) -> Result<Vec<IterationReport>> {
+        let mut reports = Vec::with_capacity(wfs.len());
+        let mut hint: Option<SpeculativePlan> = None;
+        for (t, wf) in wfs.iter().enumerate() {
+            let prepared = self.prepare_iteration(wf, hint.take())?;
+            let report = match wfs.get(t + 1) {
+                Some(next_wf) if self.config.pipeline => {
+                    let inputs = self.speculation_snapshot();
+                    let budget = self.core_budget.clone();
+                    let (report, spec) = std::thread::scope(|scope| {
+                        let handle = scope.spawn(move || {
+                            // Plan-lane budget discipline: speculate only
+                            // when a core token is free (or the session is
+                            // unconstrained); planning is real CPU work,
+                            // unlike the sleep-dominated I/O lanes.
+                            let _lease = match budget.as_ref() {
+                                Some(b) => match b.try_acquire_one() {
+                                    Some(lease) => Some(lease),
+                                    None => return None,
+                                },
+                                None => None,
+                            };
+                            Some(speculate(&inputs, next_wf))
+                        });
+                        let report = self.execute_prepared(wf, prepared);
+                        let spec = match handle.join() {
+                            Ok(spec) => spec,
+                            // A speculation panic is a planner bug, not a
+                            // tolerable miss — resurface it loudly.
+                            Err(panic) => std::panic::resume_unwind(panic),
+                        };
+                        (report, spec)
+                    });
+                    hint = spec;
+                    report?
+                }
+                _ => self.execute_prepared(wf, prepared)?,
+            };
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Lifecycle steps 1–4½: signatures, purge, OPT-EXEC-PLAN, volatile
+    /// refresh, plan-time load claims. `hint` is a speculative plan from
+    /// [`speculate`]; it is adopted only when its workflow identity,
+    /// nonce state, and the planner's entire post-purge read set still
+    /// match — otherwise this plans from scratch, exactly like a serial
+    /// session. Either way the resulting plan is the serial plan.
+    pub fn prepare_iteration(
+        &mut self,
+        wf: &Workflow,
+        hint: Option<SpeculativePlan>,
+    ) -> Result<PreparedIteration> {
+        // A failed background write from an earlier iteration fails this
+        // one loudly, before any new catalog state is built on top of it.
+        if let Some(err) = self.writer.as_ref().and_then(BackgroundWriter::take_error) {
+            return Err(err);
+        }
+
+        // 1. Compile: chain signatures under current nonces — always
+        //    recomputed, never trusted from the hint. Chain equality is
+        //    the hint's identity check: equal chains mean equivalent
+        //    workflows under equal nonce state (Definition 3), so no
+        //    address/name heuristic (which allocation reuse could defeat)
+        //    is ever relied on.
+        let hint_given = hint.is_some();
         let planning_sigs = chain_signatures(wf, &self.volatile_nonces);
+        let hint_solution = match hint {
+            Some(h) if h.sigs == planning_sigs => Some((h.plan, h.read_set)),
+            _ => None,
+        };
 
         // 2. Purge deprecated materializations of original operators
         //    (paper §6.6) so budget is not wasted on unreachable artifacts.
@@ -296,7 +413,14 @@ impl Session {
             }
         }
 
-        // 3. Optimize: OPT-EXEC-PLAN.
+        // 3. Optimize: OPT-EXEC-PLAN. A speculative solve is adopted only
+        //    if every lookup the planner performs — per-node load
+        //    estimate under the reuse gate, per-node measured compute
+        //    time — still returns exactly what the speculation saw (the
+        //    purge above, co-tenants, and the previous iteration's own
+        //    stores/statistics all race speculation; any drift fails the
+        //    comparison and we solve afresh, which is what a serial
+        //    session always does).
         let inputs = PlanInputs {
             sigs: &planning_sigs,
             catalog: &self.catalog,
@@ -304,7 +428,18 @@ impl Session {
             compute_stats: &self.compute_stats,
             default_compute_nanos: self.config.default_compute_nanos,
         };
-        let mut planned = plan(wf, &inputs);
+        let mut planned = match hint_solution {
+            Some((plan_hint, read_set)) if plan_read_set(wf, &inputs) == read_set => {
+                self.spec_hits += 1;
+                plan_hint
+            }
+            _ => {
+                if hint_given {
+                    self.spec_misses += 1;
+                }
+                plan(wf, &inputs)
+            }
+        };
 
         // 4. Volatile refresh: any non-deterministic operator about to
         //    re-execute gets a fresh nonce; descendants' signatures change,
@@ -364,10 +499,38 @@ impl Session {
             planned = plan(wf, &inputs);
         }
 
+        Ok(PreparedIteration { states: planned.states, sigs: storage_sigs })
+    }
+
+    /// Lifecycle steps 5–6: execute the prepared plan (with the
+    /// pipelined lanes when configured) and fold the measurements back
+    /// into the session. `wf` must be the workflow the plan was prepared
+    /// for.
+    pub fn execute_prepared(
+        &mut self,
+        wf: &Workflow,
+        prepared: PreparedIteration,
+    ) -> Result<IterationReport> {
+        let PreparedIteration { states: planned_states, sigs: storage_sigs } = prepared;
+        assert_eq!(planned_states.len(), wf.len(), "prepared plan does not match the workflow");
+
+        // The write lane exists once per session (its drain spans
+        // iteration boundaries); created on the first iteration that can
+        // actually store. The gate mirrors the engine's: under the LRU
+        // ablation the lanes are off, so a writer would idle unused.
+        if self.config.pipeline
+            && self.config.strategy != MatStrategy::Never
+            && !matches!(self.config.cache_policy, CachePolicy::Lru { .. })
+            && self.writer.is_none()
+        {
+            self.writer =
+                Some(BackgroundWriter::new(Arc::clone(&self.catalog), self.core_budget.clone()));
+        }
+
         // 5. Execute + materialize.
         let outcome = execute(EngineParams {
             wf,
-            states: &planned.states,
+            states: &planned_states,
             sigs: &storage_sigs,
             catalog: &self.catalog,
             strategy: self.config.strategy,
@@ -380,6 +543,8 @@ impl Session {
             core_budget: self.core_budget.as_ref(),
             prev_elective: &self.elective_memory,
             hysteresis: self.config.mat_hysteresis,
+            pipeline: self.config.pipeline,
+            writer: self.writer.as_ref(),
         })?;
 
         // 6. Update statistics and snapshots.
@@ -393,7 +558,7 @@ impl Session {
         let states: Vec<(String, State)> = wf
             .dag()
             .iter()
-            .map(|(id, spec)| (spec.name.clone(), planned.states[id.ix()]))
+            .map(|(id, spec)| (spec.name.clone(), planned_states[id.ix()]))
             .collect();
         self.history.push(outcome.metrics.clone());
         let report = IterationReport {
@@ -404,6 +569,37 @@ impl Session {
         };
         self.iteration += 1;
         Ok(report)
+    }
+
+    /// Snapshot everything speculative planning reads, for
+    /// [`speculate`]. Taken when an iteration enters its execute phase:
+    /// the per-session maps are stable until the next `prepare_iteration`
+    /// mutates them, and the (live) catalog handle races only writes that
+    /// read-set validation will catch.
+    pub fn speculation_snapshot(&self) -> SpeculationInputs {
+        SpeculationInputs {
+            catalog: Arc::clone(&self.catalog),
+            volatile_nonces: self.volatile_nonces.clone(),
+            compute_stats: self.compute_stats.clone(),
+            reuse: self.config.reuse,
+            default_compute_nanos: self.config.default_compute_nanos,
+        }
+    }
+
+    /// Block until every background materialization write has landed and
+    /// the manifest is sealed. Call before comparing or reopening the
+    /// catalog directory; iteration *results* never require it.
+    pub fn sync(&self) -> Result<()> {
+        match &self.writer {
+            Some(writer) => writer.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// `(adopted, discarded)` speculative-plan counts — how often the
+    /// plan lane's work survived validation.
+    pub fn speculation_stats(&self) -> (u64, u64) {
+        (self.spec_hits, self.spec_misses)
     }
 }
 
@@ -599,6 +795,90 @@ mod tests {
         let report = session.run(&wf).unwrap();
         assert_eq!(report.metrics.computed, 4, "whole volatile chain recomputes");
         assert_eq!(report.metrics.loaded, 0);
+    }
+
+    #[test]
+    fn run_pipelined_is_byte_identical_to_serial_runs() {
+        // Initial build, identical rerun, a change, its rerun — compute,
+        // reuse, and invalidation paths all exercised.
+        let sequence = || vec![scalar_chain(1), scalar_chain(1), scalar_chain(2), scalar_chain(2)];
+
+        let config = SessionConfig::in_memory().with_strategy(MatStrategy::Always);
+        let mut serial = Session::new(config.clone().with_pipeline(false)).unwrap();
+        let serial_reports: Vec<IterationReport> =
+            sequence().iter().map(|wf| serial.run(wf).unwrap()).collect();
+
+        let mut pipelined = Session::new(config).unwrap();
+        let pipelined_reports = pipelined.run_pipelined(&sequence()).unwrap();
+        pipelined.sync().unwrap();
+
+        for (t, (s, p)) in serial_reports.iter().zip(&pipelined_reports).enumerate() {
+            assert_eq!(
+                s.output_scalar("c").unwrap().as_f64(),
+                p.output_scalar("c").unwrap().as_f64(),
+                "iteration {t} output"
+            );
+            let states = |r: &IterationReport| {
+                r.states.iter().map(|(n, s)| (n.clone(), *s)).collect::<Vec<_>>()
+            };
+            assert_eq!(states(s), states(p), "iteration {t} plan");
+            assert_eq!(
+                (s.metrics.computed, s.metrics.loaded, s.metrics.pruned),
+                (p.metrics.computed, p.metrics.loaded, p.metrics.pruned),
+                "iteration {t} node resolution"
+            );
+        }
+        let sigs = |s: &Session| {
+            s.catalog().entries().iter().map(|e| e.signature.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(sigs(&serial), sigs(&pipelined), "final catalogs diverged");
+    }
+
+    #[test]
+    fn background_writes_are_durable_after_sync() {
+        let dir = std::env::temp_dir().join(format!(
+            "helix-session-sync-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        let config = SessionConfig {
+            catalog_dir: Some(dir.clone()),
+            ..SessionConfig::in_memory().with_strategy(MatStrategy::Always)
+        };
+        let mut session = Session::new(config).unwrap();
+        session.run(&scalar_chain(1)).unwrap();
+        session.sync().unwrap();
+        let entries = session.catalog().entries();
+        assert_eq!(entries.len(), 3);
+        for entry in &entries {
+            assert!(dir.join(&entry.file).exists(), "synced write not durable: {}", entry.file);
+        }
+        drop(session);
+        let reopened =
+            helix_storage::MaterializationCatalog::open(&dir, DiskProfile::unthrottled()).unwrap();
+        assert_eq!(reopened.len(), 3, "manifest sealed by sync");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn speculation_adopts_plans_on_stable_reruns() {
+        // Four identical iterations: the speculation overlapping iteration
+        // 2 (a pure-reuse rerun) sees exactly the state iteration 3 plans
+        // against, so at least one speculative plan must survive
+        // validation — and misses must never change results.
+        let wfs: Vec<Workflow> = (0..4).map(|_| scalar_chain(1)).collect();
+        let mut session = Session::new(SessionConfig::in_memory()).unwrap();
+        let reports = session.run_pipelined(&wfs).unwrap();
+        assert_eq!(reports.len(), 4);
+        for report in &reports {
+            assert_eq!(report.output_scalar("c").unwrap().as_f64(), Some(11.0));
+        }
+        let (hits, misses) = session.speculation_stats();
+        assert!(hits >= 1, "stable rerun speculation must validate (hits={hits} misses={misses})");
+        assert_eq!(hits + misses, 3, "one speculation per overlapped iteration");
     }
 
     #[test]

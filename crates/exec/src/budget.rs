@@ -86,6 +86,14 @@ impl CoreBudget {
         CoreLease { budget: self, tokens: 1 }
     }
 
+    /// Lease exactly one token without blocking; `None` when the budget
+    /// is exhausted. The convenience spelling I/O lanes (prefetchers,
+    /// background writers) use to account for themselves opportunistically.
+    pub fn try_acquire_one(&self) -> Option<CoreLease<'_>> {
+        let lease = self.try_acquire(1);
+        (lease.tokens() == 1).then_some(lease)
+    }
+
     /// Lease up to `max` tokens without blocking; the lease may hold zero.
     pub fn try_acquire(&self, max: usize) -> CoreLease<'_> {
         let mut state = self.state.lock().expect("budget poisoned");

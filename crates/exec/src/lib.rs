@@ -30,5 +30,5 @@ pub mod pool;
 pub use budget::{CoreBudget, CoreLease};
 pub use cache::{CachePolicy, SharedValueCache, ValueCache};
 pub use memory::{MemoryTracker, SharedMemoryTracker};
-pub use metrics::{IterationMetrics, NodeRun, Phase, RunState};
-pub use pool::{Executor, WorkerPool};
+pub use metrics::{interval_union_nanos, IterationMetrics, NodeRun, Phase, RunState};
+pub use pool::{Executor, TaskQueue, WorkerPool};

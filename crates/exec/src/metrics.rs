@@ -86,6 +86,16 @@ pub struct IterationMetrics {
     pub cross_loaded: usize,
     /// Pruned node count.
     pub pruned: usize,
+    /// Wall-clock time during which at least one catalog load was in
+    /// flight (union of load intervals). Under prefetching and frontier
+    /// parallelism loads overlap each other and compute, so this is the
+    /// honest I/O exposure of the iteration.
+    pub load_nanos: Nanos,
+    /// Summed per-load time — what `load_nanos` would be if every load
+    /// ran back-to-back (the serial engine's number). Benches must use
+    /// `load_nanos` for wall-clock math and this only for volume,
+    /// otherwise hidden (overlapped) I/O gets double-counted.
+    pub load_cpu_nanos: Nanos,
     /// Peak resident cache bytes.
     pub peak_memory_bytes: u64,
     /// Average resident cache bytes.
@@ -135,6 +145,31 @@ impl IterationMetrics {
         }
         (self.computed as f64 / total, self.loaded as f64 / total, self.pruned as f64 / total)
     }
+}
+
+/// Length of the union of half-open time intervals `(start, end)` — the
+/// wall-clock during which at least one of the activities was in flight.
+/// Used for [`IterationMetrics::load_nanos`] so overlapped I/O counts
+/// once.
+pub fn interval_union_nanos(spans: &[(Nanos, Nanos)]) -> Nanos {
+    let mut sorted: Vec<(Nanos, Nanos)> = spans.iter().copied().filter(|(s, e)| e > s).collect();
+    sorted.sort_unstable();
+    let mut total = 0;
+    let mut cur: Option<(Nanos, Nanos)> = None;
+    for (s, e) in sorted {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
 }
 
 /// Cumulative run time over a sequence of iterations (the y-axis of
@@ -204,6 +239,19 @@ mod tests {
         assert!((c + l + p - 1.0).abs() < 1e-12);
         assert!((c - 0.5).abs() < 1e-12);
         assert_eq!(IterationMetrics::new(0).state_fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn interval_union_counts_overlap_once() {
+        assert_eq!(interval_union_nanos(&[]), 0);
+        assert_eq!(interval_union_nanos(&[(0, 10)]), 10);
+        // Overlapping, nested, disjoint, empty, and out-of-order spans.
+        assert_eq!(interval_union_nanos(&[(5, 15), (0, 10)]), 15);
+        assert_eq!(interval_union_nanos(&[(0, 20), (5, 10)]), 20);
+        assert_eq!(interval_union_nanos(&[(0, 5), (10, 15)]), 10);
+        assert_eq!(interval_union_nanos(&[(3, 3), (0, 4)]), 4);
+        // Three loads of 10 each, fully concurrent: wall is 10, cpu is 30.
+        assert_eq!(interval_union_nanos(&[(0, 10), (0, 10), (0, 10)]), 10);
     }
 
     #[test]

@@ -298,7 +298,12 @@ impl<J, O> Executor<'_, J, O> {
 }
 
 /// A closable MPMC FIFO of pending jobs.
-struct JobQueue<J> {
+///
+/// Public because it is the I/O-lane building block outside the pool too:
+/// the pipelined engine's background materialization writer drains one of
+/// these from a long-lived thread, exactly as `with_executor`'s workers
+/// drain theirs.
+pub struct TaskQueue<J> {
     state: Mutex<QueueState<J>>,
     ready: Condvar,
 }
@@ -308,23 +313,33 @@ struct QueueState<J> {
     closed: bool,
 }
 
-impl<J> JobQueue<J> {
-    fn new() -> JobQueue<J> {
-        JobQueue {
+impl<J> Default for TaskQueue<J> {
+    fn default() -> TaskQueue<J> {
+        TaskQueue::new()
+    }
+}
+
+impl<J> TaskQueue<J> {
+    /// New open, empty queue.
+    pub fn new() -> TaskQueue<J> {
+        TaskQueue {
             state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
             ready: Condvar::new(),
         }
     }
 
-    fn push(&self, job: J) {
+    /// Enqueue a job (no-op if the queue is closed).
+    pub fn push(&self, job: J) {
         let mut state = self.state.lock().expect("queue poisoned");
-        state.jobs.push_back(job);
+        if !state.closed {
+            state.jobs.push_back(job);
+        }
         drop(state);
         self.ready.notify_one();
     }
 
     /// Block for the next job; `None` once closed and drained.
-    fn pop(&self) -> Option<J> {
+    pub fn pop(&self) -> Option<J> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(job) = state.jobs.pop_front() {
@@ -337,11 +352,25 @@ impl<J> JobQueue<J> {
         }
     }
 
-    fn close(&self) {
+    /// Close the queue: consumers drain what is left, then see `None`.
+    pub fn close(&self) {
         self.state.lock().expect("queue poisoned").closed = true;
         self.ready.notify_all();
     }
+
+    /// Jobs currently waiting (not including any being executed).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
+
+/// Backwards-compatible internal alias.
+type JobQueue<J> = TaskQueue<J>;
 
 #[cfg(test)]
 mod tests {

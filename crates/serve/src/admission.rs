@@ -7,21 +7,32 @@
 //! order. A job is eligible when
 //!
 //! 1. the global concurrency cap has head-room
-//!    ([`AdmissionCaps::max_concurrent_iterations`]),
+//!    ([`AdmissionCaps::max_concurrent_iterations`], counted over all
+//!    dispatched jobs — it bounds runner threads),
 //! 2. its tenant is under its own concurrency cap
-//!    ([`TenantSpec::max_concurrent`](crate::TenantSpec)), and
-//! 3. its session has no iteration in flight — iterations of one session
-//!    are stateful (`Session::run` takes `&mut self`) and must retire in
-//!    submission order.
+//!    ([`TenantSpec::max_concurrent`](crate::TenantSpec), counted over
+//!    *sessions with dispatched work* — a session executes at most one
+//!    iteration at a time, so this bounds the tenant's executing
+//!    iterations race-free, while a pipelining successor of an
+//!    already-counted session rides free), and
+//! 3. its session is pipelinable: a session iteration is "in flight" for
+//!    ordering purposes only during its **execute phase**. While an
+//!    incumbent executes, exactly one successor job of the same session
+//!    may dispatch — it speculatively *plans* (`Session::speculate`
+//!    against the snapshot the incumbent published) while the incumbent
+//!    still runs, then waits its turn on the session lock. Iterations of
+//!    one session still *retire* strictly in submission order (the
+//!    session is stateful); only their planning overlaps.
 //!
 //! Scheduling affects *when* a tenant's iteration runs, never *what* it
 //! produces: the determinism contract is enforced one layer down (shared
-//! seed + signature-keyed artifacts), so the policy here is free to
-//! reorder across tenants for latency or fairness.
+//! seed + signature-keyed artifacts + read-set-validated speculative
+//! plans), so the policy here is free to reorder across tenants for
+//! latency or fairness.
 
 use crate::ticket::TicketState;
-use helix_core::{Session, Workflow};
-use std::collections::{HashMap, HashSet, VecDeque};
+use helix_core::{Session, SpeculationInputs, Workflow};
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -43,20 +54,44 @@ pub(crate) struct Job {
     pub tenant_max_concurrent: usize,
     pub session_id: u64,
     pub session: Arc<Mutex<Session>>,
+    /// Per-session mailbox for speculation snapshots: an iteration
+    /// entering its execute phase publishes one; its successor takes it
+    /// and plans ahead while the incumbent still runs.
+    pub spec_slot: Arc<Mutex<Option<SpeculationInputs>>>,
     pub wf: Workflow,
     pub ticket: Arc<TicketState>,
     pub enqueued: Instant,
+}
+
+/// What one session's dispatched jobs are up to.
+#[derive(Default)]
+struct SessionActivity {
+    /// Dispatched, unfinished jobs (at most 2: one executing + one
+    /// planning successor).
+    members: usize,
+    /// Of those, jobs still in their plan phase.
+    planning: usize,
 }
 
 /// Queue + running-set bookkeeping (lives behind the service mutex).
 pub(crate) struct AdmissionQueue {
     caps: AdmissionCaps,
     queue: VecDeque<Job>,
-    running_total: usize,
-    running_per_tenant: HashMap<String, usize>,
-    busy_sessions: HashSet<u64>,
+    /// All dispatched, unfinished jobs (plan + execute phases) — what the
+    /// global cap bounds, since each is a runner thread.
+    dispatched_total: usize,
+    /// Execute-phase jobs (observability: `QueueSnapshot::running`).
+    executing_total: usize,
+    /// Sessions with at least one dispatched job, per tenant — what the
+    /// tenant concurrency cap bounds. Each session executes at most one
+    /// iteration at a time (the session lock), so capping *active
+    /// sessions* caps executing iterations without the pick-to-
+    /// mark-executing race a phase-count check would have, while a
+    /// pipelining successor (same session, already counted) stays free.
+    active_sessions_per_tenant: HashMap<String, usize>,
+    sessions: HashMap<u64, SessionActivity>,
     next_seq: u64,
-    /// Queued + running: zero means fully drained.
+    /// Queued + dispatched: zero means fully drained.
     jobs_in_system: usize,
     pub shutdown: bool,
 }
@@ -66,9 +101,10 @@ impl AdmissionQueue {
         AdmissionQueue {
             caps,
             queue: VecDeque::new(),
-            running_total: 0,
-            running_per_tenant: HashMap::new(),
-            busy_sessions: HashSet::new(),
+            dispatched_total: 0,
+            executing_total: 0,
+            active_sessions_per_tenant: HashMap::new(),
+            sessions: HashMap::new(),
             next_seq: 0,
             jobs_in_system: 0,
             shutdown: false,
@@ -89,48 +125,134 @@ impl AdmissionQueue {
     }
 
     /// Remove and return the next dispatchable job per the policy, marking
-    /// it running; `None` when nothing is eligible.
+    /// it dispatched (in its plan phase); `None` when nothing is eligible.
     pub fn pick(&mut self) -> Option<Job> {
-        if self.running_total >= self.caps.max_concurrent_iterations {
+        if self.dispatched_total >= self.caps.max_concurrent_iterations {
             return None;
         }
-        let mut best: Option<usize> = None;
+        let mut best: Option<(usize, bool)> = None;
         for (ix, job) in self.queue.iter().enumerate() {
-            if self.busy_sessions.contains(&job.session_id) {
+            // Session rule: idle sessions always qualify; a session whose
+            // sole dispatched job has entered its execute phase may admit
+            // exactly one planning successor.
+            let session_active = self.sessions.get(&job.session_id);
+            let eligible_session = match session_active {
+                None => true,
+                Some(activity) => activity.members == 1 && activity.planning == 0,
+            };
+            if !eligible_session {
                 continue;
             }
-            let tenant_running = self.running_per_tenant.get(&job.tenant).copied().unwrap_or(0);
-            if tenant_running >= job.tenant_max_concurrent {
-                continue;
+            let successor = session_active.is_some();
+            // Tenant cap: a successor joins an already-counted session;
+            // a fresh session needs head-room.
+            if !successor {
+                let active = self.active_sessions_per_tenant.get(&job.tenant).copied().unwrap_or(0);
+                if active >= job.tenant_max_concurrent {
+                    continue;
+                }
             }
             // The queue is in seq order, so the first hit at a given
-            // priority is the FIFO winner; only a strictly higher
-            // priority displaces it.
+            // (priority, fresh-vs-successor) rank is the FIFO winner.
+            // Strictly higher priority displaces; at equal priority a
+            // *fresh* session's job displaces a pipelining successor —
+            // the successor would only park on its session's lock, and
+            // under a tight global cap that slot should go to work that
+            // can execute now (the successor is picked on the very next
+            // round once capacity allows).
             match best {
-                None => best = Some(ix),
-                Some(b) if job.priority > self.queue[b].priority => best = Some(ix),
-                Some(_) => {}
+                None => best = Some((ix, successor)),
+                Some((b, best_successor)) => {
+                    let better_priority = job.priority > self.queue[b].priority;
+                    let same_priority_fresh_beats_successor =
+                        job.priority == self.queue[b].priority && best_successor && !successor;
+                    if better_priority || same_priority_fresh_beats_successor {
+                        best = Some((ix, successor));
+                    }
+                }
             }
         }
+        let best = best.map(|(ix, _)| ix);
         let ix = best?;
         let job = self.queue.remove(ix).expect("index valid");
-        self.running_total += 1;
-        *self.running_per_tenant.entry(job.tenant.clone()).or_insert(0) += 1;
-        self.busy_sessions.insert(job.session_id);
+        self.dispatched_total += 1;
+        let activity = self.sessions.entry(job.session_id).or_default();
+        if activity.members == 0 {
+            *self.active_sessions_per_tenant.entry(job.tenant.clone()).or_insert(0) += 1;
+        }
+        activity.members += 1;
+        activity.planning += 1;
         Some(job)
     }
 
-    /// Retire a dispatched job.
-    pub fn finish(&mut self, tenant: &str, session_id: u64) {
-        self.running_total -= 1;
-        if let Some(r) = self.running_per_tenant.get_mut(tenant) {
-            *r = r.saturating_sub(1);
-        }
-        self.busy_sessions.remove(&session_id);
-        self.jobs_in_system -= 1;
+    /// Whether a job for `session_id` is still waiting in the queue (a
+    /// successor that could consume a speculation snapshot).
+    pub fn has_queued_job(&self, session_id: u64) -> bool {
+        self.queue.iter().any(|job| job.session_id == session_id)
     }
 
-    /// Whether nothing is queued or running.
+    /// Whether `session_id`'s only dispatched job is the caller's —
+    /// i.e. no incumbent could be holding the session lock. Decides if a
+    /// spawn-failure fallback may safely run the job inline on the
+    /// scheduler thread.
+    pub fn is_sole_dispatched(&self, session_id: u64) -> bool {
+        self.sessions.get(&session_id).is_some_and(|activity| activity.members == 1)
+    }
+
+    /// Undo a pick: put the job back in seq order and reverse all
+    /// dispatch bookkeeping. Used when the runner thread could not be
+    /// spawned — the job retries on a later scheduling round instead of
+    /// running inline on the scheduler (which could now block on a busy
+    /// session for a whole iteration under execute-phase-only
+    /// semantics).
+    pub fn requeue(&mut self, job: Job) {
+        self.dispatched_total -= 1;
+        if let Some(activity) = self.sessions.get_mut(&job.session_id) {
+            activity.members -= 1;
+            activity.planning = activity.planning.saturating_sub(1);
+            if activity.members == 0 {
+                self.sessions.remove(&job.session_id);
+                if let Some(active) = self.active_sessions_per_tenant.get_mut(&job.tenant) {
+                    *active = active.saturating_sub(1);
+                }
+            }
+        }
+        let at = self.queue.iter().position(|q| q.seq > job.seq).unwrap_or(self.queue.len());
+        self.queue.insert(at, job);
+    }
+
+    /// A dispatched job finished planning and entered its execute phase:
+    /// from here its session may admit a planning successor.
+    pub fn mark_executing(&mut self, session_id: u64) {
+        if let Some(activity) = self.sessions.get_mut(&session_id) {
+            activity.planning = activity.planning.saturating_sub(1);
+        }
+        self.executing_total += 1;
+    }
+
+    /// Retire a dispatched job. `entered_execute` tells the queue which
+    /// phase the job died in (a failed `prepare` never marked executing).
+    pub fn finish(&mut self, tenant: &str, session_id: u64, entered_execute: bool) {
+        self.dispatched_total -= 1;
+        self.jobs_in_system -= 1;
+        if entered_execute {
+            self.executing_total = self.executing_total.saturating_sub(1);
+        }
+        if let Some(activity) = self.sessions.get_mut(&session_id) {
+            activity.members -= 1;
+            if !entered_execute {
+                activity.planning = activity.planning.saturating_sub(1);
+            }
+            if activity.members == 0 {
+                self.sessions.remove(&session_id);
+                if let Some(active) = self.active_sessions_per_tenant.get_mut(tenant) {
+                    *active = active.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Whether nothing is queued or dispatched.
     pub fn is_drained(&self) -> bool {
         self.jobs_in_system == 0
     }
@@ -139,7 +261,8 @@ impl AdmissionQueue {
     pub fn snapshot(&self) -> QueueSnapshot {
         QueueSnapshot {
             queued: self.queue.len(),
-            running: self.running_total,
+            running: self.executing_total,
+            planning: self.dispatched_total - self.executing_total,
             queue_capacity: self.caps.queue_capacity,
             max_concurrent_iterations: self.caps.max_concurrent_iterations,
         }
@@ -151,11 +274,14 @@ impl AdmissionQueue {
 pub struct QueueSnapshot {
     /// Jobs waiting for dispatch.
     pub queued: usize,
-    /// Iterations currently running.
+    /// Iterations currently in their execute phase.
     pub running: usize,
+    /// Dispatched successors still in their plan phase (overlapping a
+    /// predecessor's execution).
+    pub planning: usize,
     /// The bounded queue's capacity.
     pub queue_capacity: usize,
-    /// The global concurrency cap.
+    /// The global concurrency cap (over all dispatched jobs).
     pub max_concurrent_iterations: usize,
 }
 
@@ -174,6 +300,7 @@ mod tests {
             tenant_max_concurrent: cap,
             session_id,
             session,
+            spec_slot: Arc::new(Mutex::new(None)),
             wf: Workflow::new("w"),
             ticket: TicketState::new(),
             enqueued: Instant::now(),
@@ -204,41 +331,99 @@ mod tests {
     }
 
     #[test]
-    fn per_tenant_cap_defers_but_global_fifo_continues() {
+    fn per_tenant_cap_counts_active_sessions() {
         let mut q = AdmissionQueue::new(caps(10, 10));
         q.enqueue(job("a", 0, 1, 1));
         q.enqueue(job("a", 0, 2, 1)); // same tenant, different session
         q.enqueue(job("b", 0, 3, 1));
         let first = q.pick().unwrap();
         assert_eq!((first.tenant.as_str(), first.session_id), ("a", 1));
-        // Tenant a is at its cap of 1: b goes next despite later seq.
+        // Tenant a has one active session — at its cap of 1 *immediately*
+        // (no mark_executing window to race): b goes next despite later
+        // seq.
         assert_eq!(q.pick().unwrap().tenant, "b");
-        assert!(q.pick().is_none(), "a's second job must wait for the first");
-        q.finish("a", 1);
+        assert!(q.pick().is_none(), "a's second session must wait for the cap");
+        q.finish("a", 1, false);
         assert_eq!(q.pick().unwrap().session_id, 2);
     }
 
     #[test]
-    fn sessions_never_run_two_iterations_at_once() {
-        let mut q = AdmissionQueue::new(caps(10, 10));
-        q.enqueue(job("a", 0, 7, 4));
-        q.enqueue(job("a", 0, 7, 4));
-        assert_eq!(q.pick().unwrap().session_id, 7);
-        assert!(q.pick().is_none(), "same session blocked while in flight");
-        q.finish("a", 7);
-        assert_eq!(q.pick().unwrap().session_id, 7);
+    fn fresh_session_work_beats_a_parked_successor_at_equal_priority() {
+        // Under a tight global cap, a dispatch slot should go to work
+        // that can execute now, not to a successor that would park on
+        // its session's lock — even when the successor was queued first.
+        let mut q = AdmissionQueue::new(caps(10, 2));
+        q.enqueue(job("a", 0, 1, 4));
+        q.enqueue(job("a", 0, 1, 4)); // successor of session 1 (earlier seq)
+        q.enqueue(job("b", 0, 2, 4)); // fresh session (later seq)
+        assert_eq!(q.pick().unwrap().session_id, 1);
+        q.mark_executing(1);
+        assert_eq!(q.pick().unwrap().session_id, 2, "fresh session displaces the successor");
+        assert!(q.pick().is_none(), "global cap of 2 dispatched reached");
+        q.finish("b", 2, false);
+        assert_eq!(q.pick().unwrap().session_id, 1, "successor picked once capacity allows");
     }
 
     #[test]
-    fn global_cap_limits_running_total() {
+    fn requeue_reverses_pick_bookkeeping() {
+        let mut q = AdmissionQueue::new(caps(10, 10));
+        q.enqueue(job("a", 0, 1, 1));
+        q.enqueue(job("a", 0, 2, 1));
+        let picked = q.pick().unwrap();
+        assert!(q.pick().is_none(), "tenant cap holds while session 1 is active");
+        q.requeue(picked);
+        // Fully reversed: the same job comes back first (seq order) and
+        // the tenant cap slot was returned.
+        assert_eq!(q.pick().unwrap().session_id, 1);
+        assert!(!q.is_drained());
+    }
+
+    #[test]
+    fn tenant_cap_still_admits_a_pipelining_successor() {
+        // Cap 1, one session: the successor shares the session's slot.
+        let mut q = AdmissionQueue::new(caps(10, 10));
+        q.enqueue(job("a", 0, 5, 1));
+        q.enqueue(job("a", 0, 5, 1));
+        assert_eq!(q.pick().unwrap().session_id, 5);
+        q.mark_executing(5);
+        assert_eq!(q.pick().unwrap().session_id, 5, "successor rides the session's cap slot");
+    }
+
+    #[test]
+    fn sessions_admit_one_planning_successor_once_executing() {
+        let mut q = AdmissionQueue::new(caps(10, 10));
+        q.enqueue(job("a", 0, 7, 4));
+        q.enqueue(job("a", 0, 7, 4));
+        q.enqueue(job("a", 0, 7, 4));
+        assert_eq!(q.pick().unwrap().session_id, 7);
+        assert!(q.pick().is_none(), "no successor while the incumbent is still planning");
+        q.mark_executing(7);
+        assert_eq!(
+            q.pick().unwrap().session_id,
+            7,
+            "execute phase admits exactly one planning successor"
+        );
+        assert!(q.pick().is_none(), "but never a third dispatched job");
+        // Incumbent retires; the successor is still planning, so the
+        // third job keeps waiting until it, too, enters execution.
+        q.finish("a", 7, true);
+        assert!(q.pick().is_none());
+        q.mark_executing(7);
+        assert_eq!(q.pick().unwrap().session_id, 7);
+        let snap = q.snapshot();
+        assert_eq!((snap.running, snap.planning), (1, 1));
+    }
+
+    #[test]
+    fn global_cap_limits_dispatched_total() {
         let mut q = AdmissionQueue::new(caps(10, 2));
         for s in 0..4 {
             q.enqueue(job("t", 0, s, 8));
         }
         assert!(q.pick().is_some());
         assert!(q.pick().is_some());
-        assert!(q.pick().is_none(), "global cap of 2 reached");
-        q.finish("t", 0);
+        assert!(q.pick().is_none(), "global cap of 2 dispatched jobs reached");
+        q.finish("t", 0, false);
         assert!(q.pick().is_some());
     }
 

@@ -31,7 +31,9 @@ use crate::admission::{AdmissionCaps, AdmissionQueue, Job, QueueSnapshot};
 use crate::ticket::{JobOutcome, JobTicket, TicketState};
 use helix_common::timing::Nanos;
 use helix_common::{HelixError, Result};
-use helix_core::{IterationReport, Session, SessionConfig, SessionHandles, Workflow};
+use helix_core::{
+    speculate, IterationReport, Session, SessionConfig, SessionHandles, SpeculationInputs, Workflow,
+};
 use helix_exec::CoreBudget;
 use helix_storage::{DiskProfile, MaterializationCatalog};
 use std::collections::{BTreeMap, HashMap};
@@ -322,6 +324,7 @@ impl HelixService {
         Ok(ServiceSession {
             inner: Arc::clone(&self.inner),
             session,
+            spec_slot: Arc::new(Mutex::new(None)),
             session_id,
             tenant: tenant.to_string(),
         })
@@ -398,6 +401,10 @@ impl Drop for HelixService {
 pub struct ServiceSession {
     inner: Arc<ServiceInner>,
     session: Arc<Mutex<Session>>,
+    /// Speculation-snapshot mailbox shared with this session's jobs: an
+    /// iteration entering execution publishes here; its successor takes
+    /// it and plans ahead while the incumbent still runs.
+    spec_slot: Arc<Mutex<Option<SpeculationInputs>>>,
     session_id: u64,
     tenant: String,
 }
@@ -436,6 +443,7 @@ impl ServiceSession {
                 tenant_max_concurrent: cap,
                 session_id: self.session_id,
                 session: Arc::clone(&self.session),
+                spec_slot: Arc::clone(&self.spec_slot),
                 wf,
                 ticket: Arc::clone(&ticket),
                 enqueued: Instant::now(),
@@ -484,9 +492,15 @@ fn scheduler_loop(inner: Arc<ServiceInner>) {
         // bounded queue now, not when the iteration eventually finishes.
         inner.space.notify_all();
         let name = format!("helix-serve-{}", job.tenant);
-        // The job rides in a take-cell so a failed spawn can recover it:
-        // out of threads, the scheduler runs it inline — slower, never
-        // lost (the ticket is always fulfilled).
+        // The job rides in a take-cell so a failed spawn can recover it —
+        // out of threads, it is never lost. With an idle session (we are
+        // its sole dispatched job, so nobody holds its lock) the
+        // scheduler safely runs it inline, preserving the progress
+        // guarantee even when *nothing* else is running to free threads.
+        // A pipelining successor must not run inline (it would park the
+        // scheduler on the incumbent's session lock for a whole
+        // iteration): it is requeued and retried once the incumbent —
+        // which does exist and will finish — frees a thread.
         let cell = Arc::new(Mutex::new(Some(job)));
         let spawned = {
             let inner = Arc::clone(&inner);
@@ -499,38 +513,105 @@ fn scheduler_loop(inner: Arc<ServiceInner>) {
         };
         if spawned.is_err() {
             if let Some(job) = cell.lock().expect("job cell poisoned").take() {
-                run_job(Arc::clone(&inner), job);
+                let inline_safe = inner.sched().queue.is_sole_dispatched(job.session_id);
+                if inline_safe {
+                    run_job(Arc::clone(&inner), job);
+                } else {
+                    inner.sched().queue.requeue(job);
+                    // Back off so thread exhaustion does not become a
+                    // pick/requeue spin; the incumbent finishing wakes
+                    // the scheduler through `work` anyway.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
             }
         }
     }
 }
 
+/// Convert an operator panic into a reportable error.
+fn panic_error(panic: Box<dyn std::any::Any + Send>) -> HelixError {
+    let detail = panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "operator panicked".to_string());
+    HelixError::exec("service-runner", detail)
+}
+
 fn run_job(inner: Arc<ServiceInner>, job: Job) {
-    // The base core token for this iteration: blocking acquire, released
-    // when the iteration finishes. All extra parallelism inside the engine
-    // is non-blocking, which keeps the budget deadlock-free. The token
-    // wait counts as queue time (measured *after* the acquire), so
+    // Plan lane: if the predecessor published a speculation snapshot when
+    // it entered its execute phase, plan this iteration against it *now*,
+    // before blocking on the session lock — that is iteration `t+1`'s
+    // planning overlapping `t`'s tail execution. Planning is real CPU
+    // work, so it runs only when a core token is free (when the machine
+    // is saturated we skip straight to waiting, the pre-pipelining
+    // behavior). Stale snapshots are harmless: `prepare_iteration`
+    // revalidates the hint's entire read set and discards it on any
+    // drift.
+    let hint = {
+        let snapshot = job.spec_slot.lock().expect("spec slot poisoned").take();
+        snapshot.and_then(|inputs| {
+            let lease = inner.budget.try_acquire_one()?;
+            // A panicking speculation must not kill the runner thread
+            // (that would leak the dispatch slot and hang the ticket):
+            // degrade to no-hint — if the panic is a real planner bug,
+            // the serial plan below hits it inside its own guard and the
+            // ticket reports the error.
+            let spec = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                speculate(&inputs, &job.wf)
+            }))
+            .ok();
+            drop(lease);
+            spec
+        })
+    };
+    // Wait for the session (the incumbent holds it until its iteration
+    // retires — iterations of one session still retire in order), *then*
+    // take the base core token: blocking for the session while parking a
+    // token would starve the very incumbent we wait on. All extra
+    // parallelism inside the engine is non-blocking, which keeps the
+    // budget deadlock-free. Queue time is measured after both waits, so
     // queue_wait + run covers the whole submission-to-report span.
+    let mut session = lock_session(&job.session);
     let lease = inner.budget.acquire_one();
     let queue_wait = job.enqueued.elapsed().as_nanos() as Nanos;
     let started = Instant::now();
-    let result = {
-        let mut session = lock_session(&job.session);
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.run(&job.wf)))
-            .unwrap_or_else(|panic| {
-                let detail = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "operator panicked".to_string());
-                Err(HelixError::exec("service-runner", detail))
-            })
+    let prepared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        session.prepare_iteration(&job.wf, hint)
+    }))
+    .unwrap_or_else(|panic| Err(panic_error(panic)));
+    let mut entered_execute = false;
+    let result = match prepared {
+        Ok(prepared) => {
+            // Entering the execute phase: publish the snapshot a
+            // successor will speculate from — but only when a successor
+            // is actually queued (the snapshot clones the session's
+            // statistics maps; an interactive submit-wait-submit client
+            // should not pay for, or retain, one nobody will read) —
+            // then release the session's ordering hold so the scheduler
+            // may dispatch that successor. Publish-before-mark: a
+            // successor can only be picked after mark_executing, so it
+            // never finds the slot empty.
+            if inner.sched().queue.has_queued_job(job.session_id) {
+                *job.spec_slot.lock().expect("spec slot poisoned") =
+                    Some(session.speculation_snapshot());
+            }
+            inner.sched().queue.mark_executing(job.session_id);
+            inner.work.notify_all();
+            entered_execute = true;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.execute_prepared(&job.wf, prepared)
+            }))
+            .unwrap_or_else(|panic| Err(panic_error(panic)))
+        }
+        Err(err) => Err(err),
     };
     let run_nanos = started.elapsed().as_nanos() as Nanos;
+    drop(session);
     drop(lease);
     {
         let mut sched = inner.sched();
-        sched.queue.finish(&job.tenant, job.session_id);
+        sched.queue.finish(&job.tenant, job.session_id, entered_execute);
         if let Some(tenant) = sched.tenants.get_mut(&job.tenant) {
             tenant.iterations += 1;
             tenant.queue_wait_nanos += queue_wait;

@@ -50,7 +50,29 @@
 //! new manifest, never a torn one. `open` prefers `manifest.json`, falls
 //! back to a fully written but unrenamed temp snapshot, and as a last
 //! resort rebuilds the entry set by scanning artifact files; stale temp
-//! files are swept away.
+//! files (and, when the manifest itself is healthy, orphaned artifact
+//! files no manifest entry references) are swept away.
+//!
+//! ## Staged (deferred) commits
+//!
+//! The pipelined engine moves elective materialization writes off the
+//! critical path: [`stage_owned`](MaterializationCatalog::stage_owned)
+//! performs *all bookkeeping immediately* — the entry appears in the
+//! index, owner sets and quota accounting update, `contains`/loads work
+//! (loads of a staged entry are served from the retained in-memory
+//! bytes) — but defers the throttled file write, which a background
+//! writer later lands with
+//! [`complete_stage`](MaterializationCatalog::complete_stage) and seals
+//! with one [`commit_staged`](MaterializationCatalog::commit_staged)
+//! manifest flush once the queue drains. Because every *decision*
+//! consumes only the in-memory index (which updates synchronously at
+//! stage time, in the engine's deterministic finalize order), the final
+//! catalog contents are independent of write completion order. The
+//! manifest never references a file that is not yet durable: entries
+//! still pending are filtered from every snapshot, so a crash
+//! mid-background-write recovers to a consistent catalog that simply
+//! lacks the un-landed artifacts — exactly what a serial engine crash at
+//! the same point would leave.
 
 use crate::codec::{decode_value, encode_value};
 use crate::disk::DiskProfile;
@@ -63,6 +85,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Owner label used by solo (non-service) sessions.
 pub const SOLO_OWNER: &str = "";
@@ -179,6 +202,11 @@ struct Inner {
     total_bytes: u64,
     owned_bytes: HashMap<String, u64>,
     stats: HashMap<String, OwnerStats>,
+    /// Staged entries whose file write has not landed yet: encoded bytes
+    /// retained so loads can be served from memory meanwhile. Keyed by
+    /// signature; the `Arc` identity doubles as a staleness token for
+    /// [`MaterializationCatalog::complete_stage`].
+    pending: HashMap<Signature, Arc<Vec<u8>>>,
 }
 
 impl Inner {
@@ -197,8 +225,12 @@ impl Inner {
     }
 
     /// Remove an entry and fix all byte accounting; returns its file name.
+    /// A staged-but-unwritten entry is cancelled too (the in-flight
+    /// background write detects the dropped pending token and unlinks
+    /// whatever it landed).
     fn remove_entry(&mut self, sig: Signature) -> Option<String> {
         let entry = self.entries.remove(&sig)?;
+        self.pending.remove(&sig);
         self.total_bytes -= entry.bytes;
         let owners = entry.owners().to_vec();
         self.debit(&owners, entry.bytes);
@@ -230,7 +262,9 @@ impl MaterializationCatalog {
     /// Crash tolerance: a stale `manifest.json.tmp` (from a crash between
     /// temp-write and rename) is consulted only when `manifest.json`
     /// itself is missing or unreadable, then removed; if both are corrupt
-    /// the entry set is rebuilt by scanning `*.hxm` artifact files.
+    /// — or no manifest exists at all but artifact files do (a crash
+    /// before the first commit) — the entry set is rebuilt by scanning
+    /// `*.hxm` artifact files.
     pub fn open(root: impl Into<PathBuf>, disk: DiskProfile) -> Result<MaterializationCatalog> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
@@ -238,8 +272,12 @@ impl MaterializationCatalog {
         let tmp_path = root.join(Self::MANIFEST_TMP);
 
         let mut recovered = false;
+        let mut healthy_manifest = false;
         let manifest = match Self::read_manifest(&manifest_path) {
-            Some(manifest) => manifest,
+            Some(manifest) => {
+                healthy_manifest = true;
+                manifest
+            }
             None => {
                 recovered = manifest_path.exists();
                 match Self::read_manifest(&tmp_path) {
@@ -248,7 +286,14 @@ impl MaterializationCatalog {
                         manifest
                     }
                     None if recovered => Self::scan_artifacts(&root)?,
-                    None => Manifest::default(),
+                    None => {
+                        // No manifest anywhere. Any artifact files on disk
+                        // predate the first commit — salvage them rather
+                        // than leaving them orphaned and invisible.
+                        let scanned = Self::scan_artifacts(&root)?;
+                        recovered = !scanned.entries.is_empty();
+                        scanned
+                    }
                 }
             }
         };
@@ -272,6 +317,7 @@ impl MaterializationCatalog {
             total_bytes: 0,
             owned_bytes: HashMap::new(),
             stats: HashMap::new(),
+            pending: HashMap::new(),
         };
         for entry in manifest.entries {
             let sig = Signature::from_hex(&entry.signature)
@@ -282,6 +328,21 @@ impl MaterializationCatalog {
                 let owners = entry.owners().to_vec();
                 inner.credit(&owners, entry.bytes);
                 inner.entries.insert(sig, entry);
+            }
+        }
+        // With a *healthy* primary manifest (not any recovery path, where
+        // artifact files are a source of truth), an artifact file the
+        // manifest does not reference is a crash leftover: a staged write
+        // landed its file but died before the manifest commit. The bytes
+        // are invisible to accounting either way; sweep them.
+        if healthy_manifest {
+            let referenced: HashSet<String> =
+                inner.entries.values().map(|e| e.file.clone()).collect();
+            for dirent in std::fs::read_dir(&root)?.flatten() {
+                let name = dirent.file_name().to_string_lossy().into_owned();
+                if name.ends_with(".hxm") && !referenced.contains(&name) {
+                    let _ = std::fs::remove_file(dirent.path());
+                }
             }
         }
         let catalog = MaterializationCatalog {
@@ -405,14 +466,17 @@ impl MaterializationCatalog {
         self.len() == 0
     }
 
-    /// Load-time estimate for OEP: the measured load time if one exists,
-    /// else a bandwidth-model estimate from the artifact size.
+    /// Load-time estimate for OEP: always the bandwidth-model estimate
+    /// from the artifact size — a pure function of (size, disk profile),
+    /// so the `l_i` a plan sees never depends on whether, when, or how
+    /// often the artifact was loaded. (`measured_load_nanos` is retained
+    /// as observability metadata only; consulting it here would let
+    /// values persisted by older builds — real measurements — flip plans
+    /// mid-session after the first load overwrote them.)
     pub fn estimated_load_nanos(&self, sig: Signature) -> Option<Nanos> {
         let inner = self.inner.lock();
         let entry = inner.entries.get(&sig)?;
-        Some(
-            entry.measured_load_nanos.unwrap_or_else(|| self.disk.estimate_load_nanos(entry.bytes)),
-        )
+        Some(self.disk.estimate_load_nanos(entry.bytes))
     }
 
     /// Materialize `value` under `sig` for the solo owner.
@@ -451,39 +515,149 @@ impl MaterializationCatalog {
             std::fs::rename(&tmp, &path)
         });
         io_result?;
-        {
-            let mut inner = self.inner.lock();
-            // Owners and writers accumulate across re-stores of the same
-            // signature.
-            let (prior_owners, prior_writers) = inner
-                .entries
-                .get(&sig)
-                .map(|e| (e.owners().to_vec(), e.writers().to_vec()))
-                .unwrap_or_default();
-            inner.remove_entry(sig);
-            let mut entry = CatalogEntry {
-                signature: sig.to_hex(),
-                file,
-                bytes,
-                node_name: node_name.to_string(),
-                created_iteration: iteration,
-                write_nanos,
-                measured_load_nanos: None,
-                owners: (!prior_owners.is_empty()).then_some(prior_owners),
-                writers: (!prior_writers.is_empty()).then_some(prior_writers),
-            };
-            entry.add_owner(owner);
-            entry.add_writer(owner);
-            let owners = entry.owners().to_vec();
-            inner.total_bytes += bytes;
-            inner.credit(&owners, bytes);
-            inner.entries.insert(sig, entry);
-            let stats = inner.stats.entry(owner.to_string()).or_default();
-            stats.stores += 1;
-            stats.stored_bytes += bytes;
-        }
+        self.register_entry(sig, owner, node_name, iteration, file, bytes, write_nanos, None);
         self.flush_manifest()?;
         Ok((bytes, write_nanos))
+    }
+
+    /// Stage a materialization: all index bookkeeping happens *now* —
+    /// entry visible, owners/writers recorded, quota charged, loads
+    /// servable from the retained bytes — but the throttled file write is
+    /// deferred to [`complete_stage`](Self::complete_stage) and the
+    /// manifest flush to [`commit_staged`](Self::commit_staged). The
+    /// reported write time is the disk model's *target* for the size (the
+    /// deterministic cost a serial engine would have paid); the measured
+    /// time is recorded on the entry when the write lands.
+    ///
+    /// Returns `(encoded bytes, modeled write nanos, encoded frame)`; the
+    /// frame must be handed to `complete_stage` unchanged.
+    pub fn stage_owned(
+        &self,
+        sig: Signature,
+        owner: &str,
+        node_name: &str,
+        iteration: u64,
+        value: &Value,
+    ) -> Result<(u64, Nanos, Arc<Vec<u8>>)> {
+        let encoded = Arc::new(encode_value(value));
+        let bytes = encoded.len() as u64;
+        let write_nanos = self.disk.write_target(bytes);
+        let file = format!("{}.hxm", sig.to_hex());
+        self.register_entry(
+            sig,
+            owner,
+            node_name,
+            iteration,
+            file,
+            bytes,
+            write_nanos,
+            Some(Arc::clone(&encoded)),
+        );
+        Ok((bytes, write_nanos, encoded))
+    }
+
+    /// Land a staged write: the throttled temp-write + atomic rename a
+    /// background writer performs off the critical path. Returns the
+    /// measured write time (zero when the stage was already stale).
+    ///
+    /// Staleness is detected by `Arc` identity against the pending map:
+    /// if the entry was released, quota-evicted, or re-stored between
+    /// `stage_owned` and now, this write no longer speaks for the
+    /// catalog. A stale stage detected *before* the write skips it
+    /// entirely; one that turns stale mid-write leaves its file in place
+    /// — a newer writer for the signature overwrites the same path, and
+    /// a file nobody ends up referencing is swept at the next open.
+    /// Crucially, this path never unlinks: deciding "orphan" here and
+    /// deleting outside the lock could destroy a concurrent
+    /// `store_owned`'s freshly renamed artifact for the same signature.
+    pub fn complete_stage(&self, sig: Signature, encoded: &Arc<Vec<u8>>) -> Result<Nanos> {
+        let fresh = |inner: &Inner| match inner.pending.get(&sig) {
+            Some(current) => Arc::ptr_eq(current, encoded),
+            None => false,
+        };
+        if !fresh(&self.inner.lock()) {
+            return Ok(0);
+        }
+        let bytes = encoded.len() as u64;
+        let file = format!("{}.hxm", sig.to_hex());
+        let path = self.root.join(&file);
+        let tmp =
+            self.root.join(format!("{}.tmp-{}", file, UNIQUE.fetch_add(1, Ordering::Relaxed)));
+        let (io_result, write_nanos) = self.disk.run_write(bytes, || {
+            std::fs::write(&tmp, encoded.as_slice())?;
+            std::fs::rename(&tmp, &path)
+        });
+        io_result?;
+        {
+            let mut inner = self.inner.lock();
+            if fresh(&inner) {
+                inner.pending.remove(&sig);
+                if let Some(entry) = inner.entries.get_mut(&sig) {
+                    entry.write_nanos = write_nanos;
+                }
+            }
+            // Turned stale mid-write: leave the file (see doc comment).
+        }
+        Ok(write_nanos)
+    }
+
+    /// Flush the manifest after a background writer drained its queue.
+    /// (Entries still pending are excluded from every manifest snapshot,
+    /// so calling this early is safe, just not final.)
+    pub fn commit_staged(&self) -> Result<()> {
+        self.flush_manifest()
+    }
+
+    /// Number of staged entries whose file write has not landed yet.
+    pub fn pending_stages(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+
+    /// Shared index bookkeeping for `store_owned` and `stage_owned`.
+    #[allow(clippy::too_many_arguments)]
+    fn register_entry(
+        &self,
+        sig: Signature,
+        owner: &str,
+        node_name: &str,
+        iteration: u64,
+        file: String,
+        bytes: u64,
+        write_nanos: Nanos,
+        pending: Option<Arc<Vec<u8>>>,
+    ) {
+        let mut inner = self.inner.lock();
+        // Owners and writers accumulate across re-stores of the same
+        // signature.
+        let (prior_owners, prior_writers) = inner
+            .entries
+            .get(&sig)
+            .map(|e| (e.owners().to_vec(), e.writers().to_vec()))
+            .unwrap_or_default();
+        inner.remove_entry(sig);
+        let mut entry = CatalogEntry {
+            signature: sig.to_hex(),
+            file,
+            bytes,
+            node_name: node_name.to_string(),
+            created_iteration: iteration,
+            write_nanos,
+            measured_load_nanos: None,
+            owners: (!prior_owners.is_empty()).then_some(prior_owners),
+            writers: (!prior_writers.is_empty()).then_some(prior_writers),
+        };
+        entry.add_owner(owner);
+        entry.add_writer(owner);
+        let owners = entry.owners().to_vec();
+        inner.total_bytes += bytes;
+        inner.credit(&owners, bytes);
+        inner.entries.insert(sig, entry);
+        if let Some(encoded) = pending {
+            inner.pending.insert(sig, encoded);
+        }
+        let stats = inner.stats.entry(owner.to_string()).or_default();
+        stats.stores += 1;
+        stats.stored_bytes += bytes;
     }
 
     /// Load the artifact for `sig` (solo owner), recording the measured
@@ -494,7 +668,12 @@ impl MaterializationCatalog {
     }
 
     /// Load the artifact for `sig` on behalf of `owner`, recording the
-    /// measured load time and attributing the hit. The third tuple field
+    /// load time and attributing the hit. The reported (and remembered)
+    /// load time is the disk model's *estimate* for the entry size — a
+    /// deterministic value that also equals the pre-load estimate, so
+    /// the `l_i` statistics that feed OEP are identical across reruns,
+    /// worker counts, pipelining modes, and load counts (wall-clock
+    /// still pays the real, throttled cost). The third tuple field
     /// is `true` when this was a *cross-tenant* hit — `owner` never
     /// *wrote* these bytes; some other tenant computed them. (The writer
     /// set, not the claim set, drives attribution: a tenant that pinned
@@ -510,19 +689,38 @@ impl MaterializationCatalog {
     /// applied in memory immediately and persisted at the next manifest
     /// flush (loads stay write-free on the hot path).
     pub fn load_for(&self, sig: Signature, owner: &str) -> Result<(Value, Nanos, bool)> {
-        let (file, bytes, cross) = {
+        let (file, bytes, cross, staged) = {
             let inner = self.inner.lock();
             let entry = inner
                 .entries
                 .get(&sig)
                 .ok_or_else(|| HelixError::not_found("catalog entry", sig.to_hex()))?;
             let cross = !entry.writers().is_empty() && !entry.is_written_by(owner);
-            (entry.file.clone(), entry.bytes, cross)
+            (entry.file.clone(), entry.bytes, cross, inner.pending.get(&sig).cloned())
         };
-        let path = self.root.join(&file);
-        let (io_result, load_nanos) = self.disk.run_read(bytes, || std::fs::read(&path));
-        let encoded = io_result?;
-        let value = decode_value(&encoded)?;
+        // A staged entry's file may not have landed yet: serve the
+        // retained frame from memory (decoded straight from the shared
+        // buffer — no copy), still paying the disk throttle so the wall
+        // cost matches what a durable read would be.
+        let value = match staged {
+            Some(frame) => {
+                self.disk.run_read(bytes, || ());
+                decode_value(&frame)?
+            }
+            None => {
+                let path = self.root.join(&file);
+                let (io_result, _) = self.disk.run_read(bytes, || std::fs::read(&path));
+                decode_value(&io_result?)?
+            }
+        };
+        // The remembered value *exactly* equals `estimate_load_nanos` for
+        // the same size (no rounding), so an entry's planning cost is
+        // identical before and after its first load — deterministic `l_i`
+        // across reruns, worker counts, and pipelining modes, and no
+        // spurious speculation read-set mismatch at the first-load
+        // boundary (wall-clock still pays the real, throttled cost
+        // above). The planner applies its own `max(1)` floor.
+        let load_nanos = self.disk.estimate_load_nanos(bytes);
         {
             let mut inner = self.inner.lock();
             let mut claim: Option<u64> = None;
@@ -710,6 +908,7 @@ impl MaterializationCatalog {
             let mut inner = self.inner.lock();
             let files = inner.entries.values().map(|e| e.file.clone()).collect();
             inner.entries.clear();
+            inner.pending.clear();
             inner.total_bytes = 0;
             inner.owned_bytes.clear();
             files
@@ -731,10 +930,21 @@ impl MaterializationCatalog {
     /// Persist the manifest atomically: snapshot and temp-write under the
     /// I/O lock (so an older snapshot can never land after a newer one),
     /// then rename into place. A crash at any point leaves a parseable
-    /// manifest on disk.
+    /// manifest on disk. Staged entries whose file write has not landed
+    /// are excluded: the manifest never references a non-durable file.
     fn flush_manifest(&self) -> Result<()> {
         let _io = self.io_lock.lock();
-        let manifest = Manifest { entries: self.entries() };
+        let manifest = {
+            let inner = self.inner.lock();
+            let mut entries: Vec<CatalogEntry> = inner
+                .entries
+                .iter()
+                .filter(|(sig, _)| !inner.pending.contains_key(sig))
+                .map(|(_, e)| e.clone())
+                .collect();
+            entries.sort_by(|a, b| a.signature.cmp(&b.signature));
+            Manifest { entries }
+        };
         let text = serde_json::to_string_pretty(&manifest)
             .map_err(|e| HelixError::codec(format!("manifest serialize error: {e}")))?;
         let tmp = self.root.join(Self::MANIFEST_TMP);
@@ -994,6 +1204,126 @@ mod tests {
         let charged = cat.used_bytes_for("bob");
         assert!(cat.claim_if_present(sig, "bob"));
         assert_eq!(cat.used_bytes_for("bob"), charged);
+    }
+
+    // ----- staged (deferred) commits -----
+
+    #[test]
+    fn staged_entry_is_visible_loadable_and_charged_before_the_file_lands() {
+        let cat = temp_catalog();
+        let sig = Signature::of_str("staged");
+        let (bytes, modeled, frame) = cat.stage_owned(sig, "alice", "n", 0, &scalar(4.5)).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(modeled, cat.disk().write_target(bytes));
+        assert!(cat.contains(sig), "index updated at stage time");
+        assert_eq!(cat.pending_stages(), 1);
+        assert_eq!(cat.used_bytes_for("alice"), bytes, "quota charged at stage time");
+        assert!(!cat.root().join(&cat.entry(sig).unwrap().file).exists(), "file deferred");
+
+        // Loads are served from the retained frame meanwhile — cross-hit
+        // attribution included.
+        let (value, _, cross) = cat.load_for(sig, "bob").unwrap();
+        assert_eq!(value.as_scalar().unwrap().as_f64(), Some(4.5));
+        assert!(cross);
+
+        let measured = cat.complete_stage(sig, &frame).unwrap();
+        assert_eq!(cat.pending_stages(), 0);
+        assert!(cat.root().join(&cat.entry(sig).unwrap().file).exists());
+        assert_eq!(cat.entry(sig).unwrap().write_nanos, measured);
+        cat.commit_staged().unwrap();
+
+        // Durable across reopen once committed.
+        let root = cat.root().to_path_buf();
+        drop(cat);
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        let (value, _) = reopened.load(sig).unwrap();
+        assert_eq!(value.as_scalar().unwrap().as_f64(), Some(4.5));
+    }
+
+    #[test]
+    fn manifest_never_references_unlanded_files() {
+        let cat = temp_catalog();
+        let durable = Signature::of_str("durable");
+        let staged = Signature::of_str("staged");
+        cat.store(durable, "d", 0, &scalar(1.0)).unwrap();
+        let (_, _, frame) = cat.stage_owned(staged, "", "s", 0, &scalar(2.0)).unwrap();
+        // A flush while the stage is pending (any serial store triggers
+        // one) must exclude the staged entry.
+        cat.store(Signature::of_str("d2"), "d2", 0, &scalar(3.0)).unwrap();
+        let text = std::fs::read_to_string(cat.root().join("manifest.json")).unwrap();
+        assert!(!text.contains(&staged.to_hex()), "pending entry leaked into the manifest");
+        assert!(text.contains(&durable.to_hex()));
+        // After completion + commit it appears.
+        cat.complete_stage(staged, &frame).unwrap();
+        cat.commit_staged().unwrap();
+        let text = std::fs::read_to_string(cat.root().join("manifest.json")).unwrap();
+        assert!(text.contains(&staged.to_hex()));
+    }
+
+    #[test]
+    fn release_of_a_pending_stage_cancels_the_background_write() {
+        let cat = temp_catalog();
+        let sig = Signature::of_str("cancelled");
+        let (_, _, frame) = cat.stage_owned(sig, "alice", "n", 0, &scalar(9.0)).unwrap();
+        assert!(cat.release(sig, "alice").unwrap(), "sole owner release removes the entry");
+        assert_eq!(cat.pending_stages(), 0, "pending claim dropped with the entry");
+        // The write lands late, detects staleness, and leaves no orphan.
+        cat.complete_stage(sig, &frame).unwrap();
+        assert!(!cat.root().join(format!("{}.hxm", sig.to_hex())).exists());
+        assert!(!cat.contains(sig));
+    }
+
+    #[test]
+    fn restage_supersedes_an_inflight_write() {
+        let cat = temp_catalog();
+        let sig = Signature::of_str("superseded");
+        let (_, _, old_frame) = cat.stage_owned(sig, "a", "n", 0, &scalar(1.0)).unwrap();
+        let (_, _, new_frame) = cat.stage_owned(sig, "a", "n", 1, &scalar(1.0)).unwrap();
+        // The old write completes late: it must not clear the newer stage.
+        cat.complete_stage(sig, &old_frame).unwrap();
+        assert_eq!(cat.pending_stages(), 1, "newer stage still pending");
+        cat.complete_stage(sig, &new_frame).unwrap();
+        assert_eq!(cat.pending_stages(), 0);
+        let (value, _) = cat.load(sig).unwrap();
+        assert_eq!(value.as_scalar().unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn staged_then_crashed_reopen_is_consistent() {
+        // Crash windows, in order of the staged protocol:
+        //  (1) staged, file never landed, manifest never flushed;
+        //  (2) file landed, manifest commit never happened.
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let kept = Signature::of_str("kept");
+        cat.store(kept, "k", 0, &scalar(1.0)).unwrap();
+
+        // Window 1: stage only. Dropping the catalog simulates the kill —
+        // nothing of the stage is on disk.
+        let never_landed = Signature::of_str("never-landed");
+        let (_, _, _frame) = cat.stage_owned(never_landed, "", "n", 0, &scalar(2.0)).unwrap();
+
+        // Window 2: stage + complete, no commit.
+        let landed = Signature::of_str("landed-uncommitted");
+        let (_, _, frame) = cat.stage_owned(landed, "", "n", 0, &scalar(3.0)).unwrap();
+        cat.complete_stage(landed, &frame).unwrap();
+        drop(cat);
+
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(reopened.contains(kept), "durable entries survive");
+        assert!(!reopened.contains(never_landed), "window-1 stage is simply absent");
+        assert!(
+            !reopened.contains(landed),
+            "window-2 stage is absent (manifest is the source of truth)"
+        );
+        assert!(
+            !root.join(format!("{}.hxm", landed.to_hex())).exists(),
+            "window-2 orphan file swept on open"
+        );
+        // And every referenced file exists.
+        for entry in reopened.entries() {
+            assert!(root.join(&entry.file).exists());
+        }
     }
 
     // ----- crash consistency -----

@@ -45,6 +45,14 @@ impl Writer {
         Writer::default()
     }
 
+    /// New writer with `capacity` bytes pre-allocated. The codec sits on
+    /// the prefetch/background-write hot path, so `encode_value` passes a
+    /// cheap size hint here instead of letting the buffer double its way
+    /// up through reallocations.
+    pub fn with_capacity(capacity: usize) -> Writer {
+        Writer { buf: Vec::with_capacity(capacity) }
+    }
+
     /// Finished bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -105,8 +113,12 @@ impl Writer {
 
     fn put_f64_slice(&mut self, vs: &[f64]) {
         self.put_varint(vs.len() as u64);
+        // One reservation for the whole slice: dense vectors and model
+        // weight matrices dominate artifact payloads, and growing the
+        // buffer 8 bytes at a time would reallocate log₂(n) times.
+        self.buf.reserve(vs.len() * 8);
         for v in vs {
-            self.put_f64(*v);
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
         }
     }
 }
@@ -648,7 +660,12 @@ fn get_scalar(r: &mut Reader) -> Result<Scalar> {
 
 /// Encode a value into a self-contained, checksummed frame.
 pub fn encode_value(value: &Value) -> Vec<u8> {
-    let mut w = Writer::new();
+    // `byte_size` is a cheap in-memory estimate (no encoding work) that
+    // tracks the encoded size closely for the float-dominated payloads
+    // that matter; a slightly-off hint costs at most one reallocation.
+    use helix_data::ByteSized;
+    let hint = (value.byte_size() as usize).saturating_add(64);
+    let mut w = Writer::with_capacity(hint);
     w.buf.extend_from_slice(MAGIC);
     w.put_u8(VERSION);
     w.put_u8(value.kind().to_byte());

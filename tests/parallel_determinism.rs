@@ -1,13 +1,18 @@
-//! The tentpole obligation of the parallel engine: for every workload and
-//! any worker count, execution must be indistinguishable from the serial
-//! engine — byte-identical outputs, identical OEP `State` assignments,
-//! and identical materialization decisions.
+//! The tentpole obligation of the parallel engine: for every workload,
+//! any worker count, **and pipelining on or off**, execution must be
+//! indistinguishable from the serial engine — byte-identical outputs,
+//! identical OEP `State` assignments, and identical materialization
+//! decisions.
 //!
-//! Each comparison runs a fresh session per worker count with the same
+//! Each comparison runs a fresh session per configuration with the same
 //! seed over three iterations: the initial build, one scripted change,
-//! and one identical rerun (which exercises the parallel `Load` path).
-//! Outputs are compared through the storage codec, so "identical" means
-//! identical to the byte.
+//! and one identical rerun (which exercises the parallel `Load` path —
+//! and, pipelined, the prefetch lane). The baseline is the strictly
+//! serial engine (one worker, `pipeline(false)`); every other
+//! configuration runs with the pipelined lanes on, so prefetched loads
+//! and staged background writes are held to the same bar as frontier
+//! scheduling. Outputs are compared through the storage codec, so
+//! "identical" means identical to the byte.
 //!
 //! One caveat is inherent to the paper, not to the scheduler: under
 //! `MatStrategy::Opt`, Algorithm 2's *elective* decision compares the
@@ -128,36 +133,41 @@ fn run_trace<W: Workload>(
     mut workload: W,
     workers: usize,
     flavor: &Flavor,
+    pipelined: bool,
 ) -> (Vec<IterationFingerprint>, Vec<String>) {
     let config = SessionConfig::in_memory()
         .with_workers(workers)
         .with_strategy(flavor.strategy)
-        .with_disk(flavor.disk);
+        .with_disk(flavor.disk)
+        .with_pipeline(pipelined);
     let mut session = Session::new(config).expect("session opens");
     let change = workload.scripted_sequence()[0];
     let mut reports =
         run_iterations(&mut session, &mut workload, &[change]).expect("iterations run");
     reports.push(session.run(&workload.build()).expect("identical rerun"));
+    session.sync().expect("background writes drain");
     let fingerprints = reports.iter().map(|r| fingerprint(r, flavor.compare_elective)).collect();
     let catalog_sigs = session.catalog().entries().iter().map(|e| e.signature.clone()).collect();
     (fingerprints, catalog_sigs)
 }
 
 fn assert_workers_equivalent<W: Workload, F: Fn() -> W>(make: F, flavor: Flavor) {
-    let (baseline, baseline_sigs) = run_trace(make(), 1, &flavor);
-    for workers in [2, 4, 8] {
-        let (parallel, parallel_sigs) = run_trace(make(), workers, &flavor);
+    let (baseline, baseline_sigs) = run_trace(make(), 1, &flavor, false);
+    // Workers = 1 exercises the pipelined lanes on the inline driver;
+    // 2/4/8 exercise them against frontier scheduling.
+    for workers in [1, 2, 4, 8] {
+        let (parallel, parallel_sigs) = run_trace(make(), workers, &flavor, true);
         assert_eq!(baseline.len(), parallel.len());
         for (iteration, (serial_fp, parallel_fp)) in baseline.iter().zip(&parallel).enumerate() {
             assert_eq!(
                 serial_fp, parallel_fp,
-                "{workers} workers diverged from serial at iteration {iteration}"
+                "{workers} pipelined workers diverged from serial at iteration {iteration}"
             );
         }
         if flavor.compare_elective {
             assert_eq!(
                 baseline_sigs, parallel_sigs,
-                "{workers} workers left a different catalog than serial"
+                "{workers} pipelined workers left a different catalog than serial"
             );
         }
     }

@@ -50,11 +50,13 @@ fn outputs_of(report: &helix::core::IterationReport) -> Outputs {
     report.outputs.iter().map(|(name, value)| (name.clone(), encode_value(value))).collect()
 }
 
-/// The ground truth: a solo serial session (one worker, private catalog).
+/// The ground truth: a solo, strictly serial session (one worker,
+/// private catalog, pipelined lanes off).
 fn solo_serial_trace(ix: usize) -> Vec<Outputs> {
-    let mut session =
-        Session::new(SessionConfig::in_memory().with_workers(1).with_seed(SERVICE_SEED))
-            .expect("solo session opens");
+    let mut session = Session::new(
+        SessionConfig::in_memory().with_workers(1).with_seed(SERVICE_SEED).with_pipeline(false),
+    )
+    .expect("solo session opens");
     iteration_workflows(workload_for(ix))
         .iter()
         .map(|wf| outputs_of(&session.run(wf).expect("solo iteration runs")))
@@ -90,11 +92,19 @@ fn concurrent_tenants_match_solo_serial_at_every_core_count() {
                                 SessionConfig::in_memory().with_workers(cores),
                             )
                             .expect("session opens");
-                        iteration_workflows(workload_for(ix))
+                        // Submit the whole schedule up front: successive
+                        // iterations of one session queue behind each
+                        // other, which is exactly the shape where the
+                        // scheduler overlaps iteration t+1's planning
+                        // with t's execution (execute-phase-only
+                        // in-flight semantics). Results must not notice.
+                        let tickets: Vec<_> = iteration_workflows(workload_for(ix))
                             .into_iter()
-                            .map(|wf| {
-                                outputs_of(&session.run_iteration(wf).expect("iteration runs"))
-                            })
+                            .map(|wf| session.submit(wf).expect("submission accepted"))
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .map(|t| outputs_of(&t.wait().expect("iteration runs")))
                             .collect::<Vec<Outputs>>()
                     })
                 })
