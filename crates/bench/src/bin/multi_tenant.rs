@@ -3,13 +3,20 @@
 //!
 //! ```text
 //! multi_tenant [--tenants N] [--cores C] [--iterations K] [--workers W]
-//!              [--throttled] [--seed S] [--check]
+//!              [--throttled] [--seed S] [--distinct-seeds] [--check]
 //! ```
 //!
 //! `--throttled` uses a scaled disk profile so the compute/load trade-off
 //! (and I/O overlap across tenants) is visible even on fast hardware.
+//! `--distinct-seeds` gives tenant `ix` seed `S + ix` instead of the
+//! shared seed, then *also* replays the shared-seed configuration and
+//! prints both cross-tenant hit rates side by side: per-tenant seeds
+//! share only the seed-independent workflow prefix, the shared seed is
+//! the reuse ceiling.
 //! `--check` exits non-zero unless the run observed cross-tenant hits and
-//! respected the core budget — the CI smoke contract.
+//! respected the core budget — the CI smoke contract (with
+//! `--distinct-seeds` this asserts prefix sharing survives per-tenant
+//! seeds).
 
 use helix_bench::multi_tenant::{run_multi_tenant, MultiTenantConfig};
 use helix_storage::DiskProfile;
@@ -47,15 +54,27 @@ fn main() {
         // Scaled to our small synthetic datasets, as the experiments use.
         config.disk = DiskProfile::scaled(5_000_000, 200_000);
     }
+    config.distinct_seeds = args.iter().any(|a| a == "--distinct-seeds");
 
-    let report = match run_multi_tenant(&config) {
+    let run = |config: &MultiTenantConfig| match run_multi_tenant(config) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("multi-tenant bench failed: {e}");
             std::process::exit(1);
         }
     };
+    let report = run(&config);
     print!("{}", report.render());
+    if config.distinct_seeds {
+        // The old shared-seed configuration is the reuse ceiling: every
+        // node signature collides, not just the seed-independent prefix.
+        let ceiling = run(&MultiTenantConfig { distinct_seeds: false, ..config.clone() });
+        println!(
+            "cross-tenant hit rate: {:.1}% with per-tenant seeds vs {:.1}% shared-seed ceiling",
+            report.cross_hit_rate * 100.0,
+            ceiling.cross_hit_rate * 100.0,
+        );
+    }
 
     if args.iter().any(|a| a == "--check") {
         let mut failures = Vec::new();

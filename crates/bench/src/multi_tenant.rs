@@ -39,8 +39,15 @@ pub struct MultiTenantConfig {
     /// Disk profile of the shared catalog (throttled by default so the
     /// compute/load trade-off the paper studies stays visible).
     pub disk: DiskProfile,
-    /// Service seed (shared by every tenant; see `helix-serve` docs).
+    /// Base seed. With `distinct_seeds` off, every tenant runs under this
+    /// seed (the old shared-seed ceiling); with it on, tenant `ix` runs
+    /// under `seed + ix`.
     pub seed: u64,
+    /// Give every tenant its own seed (`seed + ix`). Provenance-keyed
+    /// signatures keep cross-tenant reuse sound: only the
+    /// seed-independent workflow prefix is shared, which is exactly what
+    /// this mode measures against the shared-seed ceiling.
+    pub distinct_seeds: bool,
 }
 
 impl MultiTenantConfig {
@@ -53,6 +60,16 @@ impl MultiTenantConfig {
             workers_per_session: 2,
             disk: DiskProfile::unthrottled(),
             seed: 42,
+            distinct_seeds: false,
+        }
+    }
+
+    /// The seed tenant `ix`'s session runs under in this configuration.
+    pub fn seed_for(&self, ix: usize) -> u64 {
+        if self.distinct_seeds {
+            self.seed.wrapping_add(ix as u64)
+        } else {
+            self.seed
         }
     }
 }
@@ -127,6 +144,9 @@ pub struct MultiTenantReport {
     pub peak_cores_leased: usize,
     /// The core budget.
     pub cores: usize,
+    /// Whether tenants ran under per-tenant seeds (`seed + ix`) instead
+    /// of one shared seed.
+    pub distinct_seeds: bool,
 }
 
 impl MultiTenantReport {
@@ -149,10 +169,11 @@ impl MultiTenantReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "multi-tenant service: {} tenants, {} cores, {} iterations total\n",
+            "multi-tenant service: {} tenants, {} cores, {} iterations total, {}\n",
             self.tenants.len(),
             self.cores,
-            self.total_iterations
+            self.total_iterations,
+            if self.distinct_seeds { "per-tenant seeds" } else { "shared seed" },
         ));
         out.push_str(&format!(
             "  service wall {:>8.2} ms  ({:.2} iter/s)\n",
@@ -204,7 +225,6 @@ pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantReport>
     for ix in 0..tenants {
         service.register_tenant(&format!("tenant-{ix}"), TenantSpec::default())?;
     }
-    let session_config = SessionConfig::in_memory().with_workers(config.workers_per_session);
 
     let started = Instant::now();
     let mut latency_lists: Vec<Vec<Nanos>> = Vec::new();
@@ -212,7 +232,9 @@ pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantReport>
         let mut handles = Vec::new();
         for ix in 0..tenants {
             let service = &service;
-            let session_config = session_config.clone();
+            let session_config = SessionConfig::in_memory()
+                .with_workers(config.workers_per_session)
+                .with_seed(config.seed_for(ix));
             handles.push(scope.spawn(move || -> Result<Vec<Nanos>> {
                 let session = service.open_session(&format!("tenant-{ix}"), session_config)?;
                 let mut workload = workload_for(ix);
@@ -260,7 +282,7 @@ pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantReport>
     for ix in 0..tenants {
         let mut session = helix_core::Session::new(SessionConfig {
             disk: config.disk,
-            seed: config.seed,
+            seed: Some(config.seed_for(ix)),
             ..SessionConfig::in_memory().with_workers(config.workers_per_session)
         })?;
         let mut workload = workload_for(ix);
@@ -282,6 +304,7 @@ pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantReport>
         cross_hit_rate: stats.cross_hit_rate(),
         peak_cores_leased: stats.peak_cores_leased,
         cores: stats.cores_total,
+        distinct_seeds: config.distinct_seeds,
     })
 }
 
@@ -312,5 +335,21 @@ mod tests {
             "the follower rides the leader's artifacts"
         );
         assert!(report.render().contains("cross-tenant hit rate"));
+    }
+
+    #[test]
+    fn distinct_seeds_still_share_the_seed_independent_prefix() {
+        // Same shape as the shared-seed smoke, but every tenant runs its
+        // own seed. Provenance-keyed signatures keep the census prefix
+        // (parsing, extraction, example assembly) shareable — only the
+        // stochastic model and its descendants key apart — so
+        // cross-tenant hits must still appear.
+        let config =
+            MultiTenantConfig { cores: 1, distinct_seeds: true, ..MultiTenantConfig::smoke() };
+        let report = run_multi_tenant(&config).unwrap();
+        assert!(report.distinct_seeds);
+        assert!(report.cross_hit_rate > 0.0, "per-tenant seeds must not kill prefix sharing");
+        assert!(report.peak_cores_leased <= report.cores);
+        assert!(report.render().contains("per-tenant seeds"));
     }
 }

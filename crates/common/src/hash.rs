@@ -161,6 +161,20 @@ impl Signature {
         Signature(((hi as u128) << 64) | lo as u128)
     }
 
+    /// Chain a 64-bit word under a *domain tag*, so words from different
+    /// provenance sources can never collide with each other (or with a
+    /// plain [`chain_u64`](Self::chain_u64) word): a seed of 7 and a
+    /// volatile nonce of 7 folded into the same signature yield different
+    /// results as long as their tags differ.
+    ///
+    /// This is the mixing primitive for execution-environment provenance
+    /// (seeds, data versions, byte-affecting config knobs) folded into
+    /// the chain-signature scheme: `sig.chain_tagged("helix/seed", seed)`.
+    #[must_use]
+    pub fn chain_tagged(self, tag: &str, word: u64) -> Signature {
+        self.chain(Signature::of_str(tag).chain_u64(word))
+    }
+
     /// Compact hex rendering used for catalog file names (32 hex chars).
     pub fn to_hex(self) -> String {
         format!("{:032x}", self.0)
@@ -231,6 +245,15 @@ mod tests {
         let a = Signature::of_str("op");
         assert_ne!(a.chain_u64(1), a.chain_u64(2));
         assert_ne!(a.chain_u64(0), a);
+    }
+
+    #[test]
+    fn chain_tagged_separates_domains() {
+        let a = Signature::of_str("op");
+        assert_ne!(a.chain_tagged("seed", 7), a.chain_tagged("nonce", 7), "tags separate");
+        assert_ne!(a.chain_tagged("seed", 7), a.chain_u64(7), "tagged != untagged");
+        assert_ne!(a.chain_tagged("seed", 1), a.chain_tagged("seed", 2), "word still mixes");
+        assert_eq!(a.chain_tagged("seed", 7), Signature::of_str("op").chain_tagged("seed", 7));
     }
 
     #[test]

@@ -155,6 +155,8 @@ impl Workflow {
 
     /// Declare a data source backed by a generator closure. `version` is
     /// the declaration version: bump it to signal "the data changed".
+    /// The generator must not consume the context seed/RNG — use
+    /// [`source_seeded`](Self::source_seeded) for synthetic random data.
     pub fn source<F>(&mut self, name: &str, version: u64, generate: F) -> DcHandle
     where
         F: Fn(&ExecContext) -> Result<Value> + Send + Sync + 'static,
@@ -166,6 +168,27 @@ impl Workflow {
             sig,
             false,
             Arc::new(source::ClosureSource::new(generate)),
+            &[],
+        );
+        DcHandle(id)
+    }
+
+    /// Declare a data source whose generator draws on the context
+    /// seed/RNG (synthetic random data). The operator declares
+    /// [`ProvenanceInputs::SEED`](crate::operator::ProvenanceInputs), so
+    /// its output — and everything downstream — is keyed by seed and
+    /// never shared between sessions running different seeds.
+    pub fn source_seeded<F>(&mut self, name: &str, version: u64, generate: F) -> DcHandle
+    where
+        F: Fn(&ExecContext) -> Result<Value> + Send + Sync + 'static,
+    {
+        let sig = decl_signature("SeededSource", &[name, &format!("v{version}")]);
+        let id = self.add(
+            name,
+            Phase::Dpr,
+            sig,
+            false,
+            Arc::new(source::ClosureSource::seeded(generate)),
             &[],
         );
         DcHandle(id)
@@ -394,6 +417,37 @@ impl Workflow {
         let sig = decl_signature("UdfCollection", &[name, &format!("v{version}")]);
         let input_ids: Vec<NodeId> = inputs.iter().map(|h| h.0).collect();
         let id = self.add(name, phase, sig, false, Arc::new(udf), &input_ids);
+        DcHandle(id)
+    }
+
+    /// Like [`udf_collection`](Self::udf_collection), but for UDFs that
+    /// draw on the context seed or RNG: the operator declares
+    /// [`ProvenanceInputs::SEED`](crate::operator::ProvenanceInputs), so
+    /// the tracker keys its artifacts by seed and sessions with
+    /// different seeds never share them. (A plain `udf_collection`
+    /// closure that consumes the seed fails loudly at execution time.)
+    pub fn udf_collection_seeded<F>(
+        &mut self,
+        name: &str,
+        phase: Phase,
+        inputs: &[DcHandle],
+        version: u64,
+        udf: F,
+    ) -> DcHandle
+    where
+        F: Fn(&[Arc<Value>], &ExecContext) -> Result<Value> + Send + Sync + 'static,
+    {
+        assert!(!inputs.is_empty(), "udf_collection_seeded `{name}` needs at least one input");
+        let sig = decl_signature("UdfCollectionSeeded", &[name, &format!("v{version}")]);
+        let input_ids: Vec<NodeId> = inputs.iter().map(|h| h.0).collect();
+        let id = self.add(
+            name,
+            phase,
+            sig,
+            false,
+            Arc::new(crate::operator::SeededOperator(udf)),
+            &input_ids,
+        );
         DcHandle(id)
     }
 

@@ -561,11 +561,28 @@ impl NodeRunner<'_> {
                         })
                     })
                     .collect::<Result<_>>()?;
-                let ctx = crate::operator::ExecContext {
-                    pool: self.pool.clone(),
-                    seed: self.seed ^ (self.sigs[i].0 as u64) ^ ((self.sigs[i].0 >> 64) as u64),
-                };
+                let ctx = crate::operator::ExecContext::new(
+                    self.pool.clone(),
+                    self.seed ^ (self.sigs[i].0 as u64) ^ ((self.sigs[i].0 >> 64) as u64),
+                );
                 let (result, run_nanos) = timed(|| spec.operator.execute(&inputs, &ctx));
+                // Provenance enforcement: an operator that consumed the
+                // seed without declaring SEED would be stored under a
+                // seed-independent signature, silently serving one seed's
+                // bytes to sessions running another. Fail loudly instead.
+                if ctx.seed_was_read()
+                    && !spec
+                        .operator
+                        .byte_affecting_inputs()
+                        .contains(crate::operator::ProvenanceInputs::SEED)
+                {
+                    return Err(HelixError::exec(
+                        &spec.name,
+                        "operator consumed the context seed/RNG without declaring \
+                         ProvenanceInputs::SEED (wrap closure UDFs in SeededOperator); \
+                         undeclared seed use would poison cross-seed artifact sharing",
+                    ));
+                }
                 let value = Arc::new(result?);
                 let output_bytes = value.byte_size();
                 self.cache.put(id.0, Arc::clone(&value));
@@ -812,7 +829,7 @@ impl Coordinator<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::track::chain_signatures;
+    use crate::track::{chain_signatures, ExecEnv};
     use helix_data::Scalar;
     use helix_exec::RunState;
     use helix_storage::DiskProfile;
@@ -868,7 +885,7 @@ mod tests {
         strategy: MatStrategy,
         workers: usize,
     ) -> ExecOutcome {
-        let sigs = chain_signatures(wf, &HashMap::new());
+        let sigs = chain_signatures(wf, &HashMap::new(), &ExecEnv::new(7));
         let states = vec![State::Compute; wf.len()];
         execute(EngineParams {
             wf,
@@ -905,7 +922,7 @@ mod tests {
     fn outputs_are_mandatorily_materialized_except_under_never() {
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
         let wf = chain_wf();
-        let sigs = chain_signatures(&wf, &HashMap::new());
+        let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
         let c = wf.node_by_name("c").unwrap();
         run_all_compute(&wf, &catalog, MatStrategy::Opt);
         assert!(catalog.contains(sigs[c.ix()]), "output must be stored");
@@ -928,7 +945,7 @@ mod tests {
     fn load_state_reads_from_catalog() {
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
         let wf = chain_wf();
-        let sigs = chain_signatures(&wf, &HashMap::new());
+        let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
         run_all_compute(&wf, &catalog, MatStrategy::Always);
 
         // Second run: load the output, prune the rest.
@@ -965,7 +982,7 @@ mod tests {
     fn budget_blocks_elective_materialization() {
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
         let wf = chain_wf();
-        let sigs = chain_signatures(&wf, &HashMap::new());
+        let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
         let states = vec![State::Compute; wf.len()];
         let outcome = execute(EngineParams {
             wf: &wf,
@@ -997,7 +1014,7 @@ mod tests {
         // the engine must fail loudly rather than silently recompute.
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
         let wf = chain_wf();
-        let sigs = chain_signatures(&wf, &HashMap::new());
+        let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
         let states = vec![State::Prune, State::Compute, State::Compute];
         for workers in [1, 4] {
             let err = execute(EngineParams {
@@ -1020,6 +1037,85 @@ mod tests {
             });
             assert!(err.is_err(), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn undeclared_seed_use_fails_loudly_and_seeded_nodes_key_by_seed() {
+        use helix_exec::Phase;
+        // An undeclared closure UDF that consumes the seed must fail at
+        // execution time — it would otherwise be stored under a
+        // seed-independent signature and poison cross-seed sharing.
+        let mut sneaky = Workflow::new("sneaky");
+        let a = sneaky.source("a", 1, |_| Ok(Value::Scalar(Scalar::I64(1))));
+        let b = sneaky.udf_collection("b", Phase::Dpr, &[a], 1, |_inputs, ctx| {
+            Ok(Value::Scalar(Scalar::I64(ctx.seed() as i64)))
+        });
+        sneaky.output(b);
+        let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+        let sigs = chain_signatures(&sneaky, &HashMap::new(), &ExecEnv::new(7));
+        let states = vec![State::Compute; sneaky.len()];
+        let err = execute(EngineParams {
+            wf: &sneaky,
+            states: &states,
+            sigs: &sigs,
+            catalog: &catalog,
+            strategy: MatStrategy::Never,
+            budget_bytes: u64::MAX,
+            workers: 1,
+            cache_policy: CachePolicy::Eager,
+            iteration: 0,
+            seed: 7,
+            tenant: "",
+            core_budget: None,
+            prev_elective: &HashMap::new(),
+            hysteresis: 0.0,
+            pipeline: false,
+            writer: None,
+        });
+        let message = match err {
+            Err(err) => format!("{err}"),
+            Ok(_) => panic!("undeclared seed use must error"),
+        };
+        assert!(message.contains("SeededOperator"), "error must point at the fix: {message}");
+
+        // The declared twin executes fine — and its signature is keyed
+        // by seed, unlike the deterministic source upstream.
+        let declared = |version: u64| {
+            let mut wf = Workflow::new("declared");
+            let a = wf.source("a", 1, |_| Ok(Value::Scalar(Scalar::I64(1))));
+            let b = wf.udf_collection_seeded("b", Phase::Dpr, &[a], version, |_inputs, ctx| {
+                Ok(Value::Scalar(Scalar::I64(ctx.seed() as i64)))
+            });
+            wf.output(b);
+            wf
+        };
+        let wf = declared(1);
+        let s1 = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(1));
+        let s2 = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(2));
+        let at = |n: &str| wf.node_by_name(n).unwrap().ix();
+        assert_eq!(s1[at("a")], s2[at("a")], "deterministic source shared across seeds");
+        assert_ne!(s1[at("b")], s2[at("b")], "seeded UDF keyed by seed");
+        let states = vec![State::Compute; wf.len()];
+        let outcome = execute(EngineParams {
+            wf: &wf,
+            states: &states,
+            sigs: &s1,
+            catalog: &catalog,
+            strategy: MatStrategy::Never,
+            budget_bytes: u64::MAX,
+            workers: 1,
+            cache_policy: CachePolicy::Eager,
+            iteration: 0,
+            seed: 1,
+            tenant: "",
+            core_budget: None,
+            prev_elective: &HashMap::new(),
+            hysteresis: 0.0,
+            pipeline: false,
+            writer: None,
+        })
+        .expect("declared seed use executes");
+        assert!(outcome.outputs.contains_key("b"));
     }
 
     #[test]
@@ -1113,7 +1209,7 @@ mod tests {
         wf.output(join);
 
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
-        let sigs = chain_signatures(&wf, &HashMap::new());
+        let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
         let states = vec![State::Compute; wf.len()];
         let mut messages = Vec::new();
         for workers in [1, 4] {
@@ -1172,7 +1268,7 @@ mod tests {
         for workers in [1, 4] {
             let wf = build();
             let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
-            let sigs = chain_signatures(&wf, &HashMap::new());
+            let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
             let states = vec![State::Compute; wf.len()];
             let result = execute(EngineParams {
                 wf: &wf,

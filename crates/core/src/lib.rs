@@ -77,5 +77,9 @@ pub mod prelude {
 
 pub use dsl::Workflow;
 pub use materialize::MatStrategy;
+pub use operator::{Operator, ProvenanceInputs, SeededOperator};
 pub use pipeline::{speculate, BackgroundWriter, Prefetcher, SpeculationInputs, SpeculativePlan};
-pub use session::{IterationReport, ReuseScope, Session, SessionConfig, SessionHandles};
+pub use session::{
+    IterationReport, ReuseScope, Session, SessionConfig, SessionHandles, DEFAULT_SEED,
+};
+pub use track::ExecEnv;

@@ -7,7 +7,7 @@
 //! scenario where `predictions` is deprecated by a model change but
 //! `income` is not).
 
-use crate::operator::{ExecContext, Operator};
+use crate::operator::{ExecContext, Operator, ProvenanceInputs};
 use helix_common::{HelixError, Result};
 use helix_data::{Example, ExampleBatch, FeatureBundle, Model, TransformModel, Value};
 use helix_ml::{KMeans, LogisticRegression, NaiveBayes, RandomFourierFeatures, Word2Vec};
@@ -72,6 +72,15 @@ impl Algo {
     pub fn is_volatile(&self) -> bool {
         matches!(self, Algo::RandomFourier { .. })
     }
+
+    /// Whether the algorithm consumes the session seed (SGD example
+    /// shuffling, centroid init, embedding init, projection draw) — the
+    /// declaration the tracker uses to fold the seed into the model
+    /// node's signature. Naive Bayes is a closed-form count model: no
+    /// seed, so its artifacts stay shareable across seeds.
+    pub fn is_seeded(&self) -> bool {
+        !matches!(self, Algo::NaiveBayes { .. })
+    }
 }
 
 /// The learning operator: data in, model out.
@@ -92,7 +101,7 @@ impl Operator for Learner {
                 let trainer = LogisticRegression {
                     l2: *l2,
                     epochs: *epochs,
-                    seed: ctx.seed,
+                    seed: ctx.seed(),
                     ..Default::default()
                 };
                 Model::Linear(trainer.fit(&batch.examples, dim)?)
@@ -101,7 +110,7 @@ impl Operator for Learner {
                 let batch = input.as_collection()?.as_examples()?;
                 let points: Vec<helix_data::FeatureVector> =
                     batch.examples.iter().map(|e| e.features.clone()).collect();
-                let trainer = KMeans { k: *k, seed: ctx.seed, ..Default::default() };
+                let trainer = KMeans { k: *k, seed: ctx.seed(), ..Default::default() };
                 Model::Centroids(trainer.fit(&points)?)
             }
             Algo::Word2Vec { dim, epochs } => {
@@ -115,7 +124,7 @@ impl Operator for Learner {
                     })
                     .collect();
                 let trainer =
-                    Word2Vec { dim: *dim, epochs: *epochs, seed: ctx.seed, ..Default::default() };
+                    Word2Vec { dim: *dim, epochs: *epochs, seed: ctx.seed(), ..Default::default() };
                 Model::Embeddings(trainer.fit(&sentences)?)
             }
             Algo::NaiveBayes { alpha } => {
@@ -127,11 +136,19 @@ impl Operator for Learner {
                 let batch = input.as_collection()?.as_examples()?;
                 let dim = example_dim(batch);
                 let rff =
-                    RandomFourierFeatures { dim_out: *dim_out, gamma: *gamma, seed: ctx.seed };
+                    RandomFourierFeatures { dim_out: *dim_out, gamma: *gamma, seed: ctx.seed() };
                 Model::Transform(rff.fit(dim)?)
             }
         };
         Ok(Value::Model(model))
+    }
+
+    fn byte_affecting_inputs(&self) -> ProvenanceInputs {
+        if self.algo.is_seeded() {
+            ProvenanceInputs::SEED
+        } else {
+            ProvenanceInputs::NONE
+        }
     }
 }
 
@@ -298,6 +315,23 @@ mod tests {
     fn rff_is_declared_volatile() {
         assert!(Algo::RandomFourier { dim_out: 8, gamma: 0.1 }.is_volatile());
         assert!(!Algo::LogisticRegression { l2: 0.1, epochs: 5 }.is_volatile());
+    }
+
+    #[test]
+    fn seeded_algorithms_declare_seed_provenance() {
+        for algo in [
+            Algo::LogisticRegression { l2: 0.1, epochs: 5 },
+            Algo::KMeans { k: 2 },
+            Algo::Word2Vec { dim: 4, epochs: 1 },
+            Algo::RandomFourier { dim_out: 8, gamma: 0.1 },
+        ] {
+            assert!(algo.is_seeded(), "{algo:?} draws on the seed");
+            let learner = Learner { algo };
+            assert_eq!(learner.byte_affecting_inputs(), ProvenanceInputs::SEED);
+        }
+        let nb = Learner { algo: Algo::NaiveBayes { alpha: 1.0 } };
+        assert!(!nb.algo.is_seeded());
+        assert_eq!(nb.byte_affecting_inputs(), ProvenanceInputs::NONE);
     }
 
     #[test]

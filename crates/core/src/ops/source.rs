@@ -1,24 +1,32 @@
 //! Data sources and parsing operators (paper: `FileSource`, `Scanner`).
 
-use crate::operator::{ExecContext, Operator};
+use crate::operator::{ExecContext, Operator, ProvenanceInputs};
 use helix_common::{HelixError, Result};
 use helix_data::{Record, RecordBatch, Schema, Value};
 use std::sync::Arc;
 
 /// A data source backed by a user closure (synthetic generators, file
 /// readers). The DSL couples it with an explicit version token so change
-/// tracking can tell "same generator" from "new data".
+/// tracking can tell "same generator" from "new data". A generator that
+/// draws on the context seed/RNG (synthetic random data) must be
+/// declared `seeded` so the tracker keys its output by seed.
 pub struct ClosureSource<F> {
     generate: F,
+    seeded: bool,
 }
 
 impl<F> ClosureSource<F>
 where
     F: Fn(&ExecContext) -> Result<Value> + Send + Sync,
 {
-    /// Wrap a generator closure.
+    /// Wrap a generator closure that does not consume the seed.
     pub fn new(generate: F) -> Self {
-        ClosureSource { generate }
+        ClosureSource { generate, seeded: false }
+    }
+
+    /// Wrap a generator closure that draws on the context seed/RNG.
+    pub fn seeded(generate: F) -> Self {
+        ClosureSource { generate, seeded: true }
     }
 }
 
@@ -31,6 +39,14 @@ where
             return Err(HelixError::exec("source", "sources take no inputs"));
         }
         (self.generate)(ctx)
+    }
+
+    fn byte_affecting_inputs(&self) -> ProvenanceInputs {
+        if self.seeded {
+            ProvenanceInputs::SEED
+        } else {
+            ProvenanceInputs::NONE
+        }
     }
 }
 

@@ -46,7 +46,7 @@
 use crate::dsl::Workflow;
 use crate::plan::{plan_from_read_set, plan_read_set, Plan, PlanInputs, PlanReadSet};
 use crate::session::ReuseScope;
-use crate::track::chain_signatures;
+use crate::track::{chain_signatures, ExecEnv};
 use helix_common::hash::Signature;
 use helix_common::timing::Nanos;
 use helix_common::HelixError;
@@ -126,8 +126,8 @@ impl BackgroundWriter {
     const MAX_BACKLOG: usize = 16;
 
     /// Hand a staged frame to the write lane, blocking while the backlog
-    /// is at [`MAX_BACKLOG`](Self::MAX_BACKLOG). (If the writer thread
-    /// failed to spawn, the write is landed inline — slower, never lost.)
+    /// is at `MAX_BACKLOG`. (If the writer thread failed to spawn, the
+    /// write is landed inline — slower, never lost.)
     pub fn enqueue(&self, sig: Signature, frame: Arc<Vec<u8>>) {
         if self.handle.is_none() {
             let result = self.shared.catalog.complete_stage(sig, &frame);
@@ -411,6 +411,11 @@ impl<'a> Prefetcher<'a> {
 #[derive(Clone)]
 pub struct SpeculationInputs {
     pub(crate) catalog: Arc<MaterializationCatalog>,
+    /// The session's execution environment, frozen with the rest of the
+    /// snapshot: speculative signatures are keyed by the same provenance
+    /// (seed) the consuming `prepare_iteration` will use, so the sigs
+    /// equality check validates environment along with structure.
+    pub(crate) env: ExecEnv,
     pub(crate) volatile_nonces: HashMap<String, u64>,
     pub(crate) compute_stats: HashMap<Signature, Nanos>,
     pub(crate) reuse: ReuseScope,
@@ -421,8 +426,9 @@ pub struct SpeculationInputs {
 /// prove it is still the serial plan when its turn comes. Validation is
 /// content-based: the consuming `prepare_iteration` recomputes the
 /// signature chain itself and compares (`sigs` equality subsumes
-/// workflow identity and nonce state — two workflows with identical
-/// chains are equivalent by Definition 3), then revalidates the entire
+/// workflow identity, nonce state, and execution-environment provenance
+/// — two workflows with identical chains are equivalent by
+/// Definition 3), then revalidates the entire
 /// planner read set. No address or name comparison is trusted.
 pub struct SpeculativePlan {
     pub(crate) sigs: Vec<Signature>,
@@ -436,7 +442,7 @@ pub struct SpeculativePlan {
 /// construction, exactly what the plan consumed — concurrent catalog
 /// mutations can only make validation fail, never let a stale plan pass.
 pub fn speculate(inputs: &SpeculationInputs, wf: &Workflow) -> SpeculativePlan {
-    let sigs = chain_signatures(wf, &inputs.volatile_nonces);
+    let sigs = chain_signatures(wf, &inputs.volatile_nonces, &inputs.env);
     let plan_inputs = PlanInputs {
         sigs: &sigs,
         catalog: &inputs.catalog,

@@ -115,7 +115,7 @@ pub fn execution_order(wf: &Workflow, states: &[State]) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::track::chain_signatures;
+    use crate::track::{chain_signatures, ExecEnv};
     use helix_data::{Scalar, Value};
     use helix_storage::DiskProfile;
 
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn first_iteration_computes_everything_needed() {
         let wf = three_chain();
-        let sigs = chain_signatures(&wf, &HashMap::new());
+        let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
         let stats = HashMap::new();
         let plan = plan(
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn materialized_output_is_loaded_on_rerun() {
         let wf = three_chain();
-        let sigs = chain_signatures(&wf, &HashMap::new());
+        let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
         let c = wf.node_by_name("c").unwrap();
         catalog.store(sigs[c.ix()], "c", 0, &Value::Scalar(Scalar::I64(3))).unwrap();
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn reuse_scope_gates_loading() {
         let wf = three_chain();
-        let sigs = chain_signatures(&wf, &HashMap::new());
+        let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
         for (id, spec) in wf.dag().iter() {
             catalog.store(sigs[id.ix()], &spec.name, 0, &Value::Scalar(Scalar::I64(0))).unwrap();
@@ -222,7 +222,7 @@ mod tests {
         let _dead = wf.reduce("dead", a, 1, |_v, _| Ok(Value::Scalar(Scalar::I64(0))));
         let live = wf.reduce("live", a, 1, |_v, _| Ok(Value::Scalar(Scalar::I64(0))));
         wf.output(live);
-        let sigs = chain_signatures(&wf, &HashMap::new());
+        let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
         let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
         let stats = HashMap::new();
         let p = plan(

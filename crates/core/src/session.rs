@@ -25,7 +25,7 @@ use crate::engine::{execute, EngineParams};
 use crate::materialize::MatStrategy;
 use crate::pipeline::{speculate, BackgroundWriter, SpeculationInputs, SpeculativePlan};
 use crate::plan::{plan, plan_read_set, PlanInputs};
-use crate::track::{chain_signatures, signature_snapshot};
+use crate::track::{chain_signatures, signature_snapshot, ExecEnv};
 use helix_common::hash::Signature;
 use helix_common::timing::Nanos;
 use helix_common::Result;
@@ -65,8 +65,13 @@ pub struct SessionConfig {
     pub disk: DiskProfile,
     /// Catalog directory; `None` = fresh temp directory.
     pub catalog_dir: Option<PathBuf>,
-    /// Master seed for all stochastic operators.
-    pub seed: u64,
+    /// Master seed for all stochastic operators. `None` = unset: solo
+    /// sessions fall back to [`DEFAULT_SEED`]; a service fills in its
+    /// configured default at `open_session` time. The seed is part of the
+    /// signature provenance ([`ExecEnv`]), so sessions with different
+    /// seeds can safely share one catalog — seed-dependent artifacts are
+    /// keyed apart, seed-independent ones still collide and are reused.
+    pub seed: Option<u64>,
     /// In-memory cache policy (HELIX's eager eviction by default).
     pub cache_policy: CachePolicy,
     /// Compute-time estimate for operators never measured before.
@@ -83,6 +88,10 @@ pub struct SessionConfig {
     pub pipeline: bool,
 }
 
+/// The seed a session runs under when neither the caller nor a service
+/// supplies one.
+pub const DEFAULT_SEED: u64 = 42;
+
 impl SessionConfig {
     /// HELIX OPT on an unthrottled temp catalog (tests, examples).
     pub fn in_memory() -> SessionConfig {
@@ -93,7 +102,7 @@ impl SessionConfig {
             storage_budget_bytes: 256 << 20,
             disk: DiskProfile::unthrottled(),
             catalog_dir: None,
-            seed: 42,
+            seed: None,
             cache_policy: CachePolicy::Eager,
             default_compute_nanos: 1_000_000,
             mat_hysteresis: 0.0,
@@ -136,8 +145,14 @@ impl SessionConfig {
     /// Builder: set the seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> SessionConfig {
-        self.seed = seed;
+        self.seed = Some(seed);
         self
+    }
+
+    /// The seed this configuration resolves to ([`DEFAULT_SEED`] when
+    /// unset).
+    pub fn resolved_seed(&self) -> u64 {
+        self.seed.unwrap_or(DEFAULT_SEED)
     }
 
     /// Builder: set the storage budget.
@@ -183,7 +198,7 @@ pub struct SessionHandles {
     /// The shared core-token budget (`None` = unconstrained).
     pub core_budget: Option<Arc<CoreBudget>>,
     /// Owner label for catalog accounting
-    /// ([`SOLO_OWNER`](helix_storage::catalog::SOLO_OWNER) for solo use).
+    /// ([`helix_storage::catalog::SOLO_OWNER`] for solo use).
     pub tenant: String,
 }
 
@@ -219,6 +234,9 @@ impl IterationReport {
 /// The cross-iteration driver.
 pub struct Session {
     config: SessionConfig,
+    /// The execution-environment provenance fingerprint (resolved seed),
+    /// folded into every signature chain this session computes.
+    env: ExecEnv,
     catalog: Arc<MaterializationCatalog>,
     core_budget: Option<Arc<CoreBudget>>,
     tenant: String,
@@ -270,6 +288,7 @@ impl Session {
     /// tenant's quota within the shared store.
     pub fn with_handles(config: SessionConfig, handles: SessionHandles) -> Session {
         Session {
+            env: ExecEnv::new(config.resolved_seed()),
             config,
             catalog: handles.catalog,
             core_budget: handles.core_budget,
@@ -290,6 +309,16 @@ impl Session {
     /// The active configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// The execution environment this session's signatures are keyed by.
+    pub fn env(&self) -> &ExecEnv {
+        &self.env
+    }
+
+    /// The resolved master seed.
+    pub fn seed(&self) -> u64 {
+        self.env.seed
     }
 
     /// The materialization catalog.
@@ -371,9 +400,10 @@ impl Session {
     /// Lifecycle steps 1–4½: signatures, purge, OPT-EXEC-PLAN, volatile
     /// refresh, plan-time load claims. `hint` is a speculative plan from
     /// [`speculate`]; it is adopted only when its workflow identity,
-    /// nonce state, and the planner's entire post-purge read set still
-    /// match — otherwise this plans from scratch, exactly like a serial
-    /// session. Either way the resulting plan is the serial plan.
+    /// nonce state, execution-environment provenance, and the planner's
+    /// entire post-purge read set still match — otherwise this plans from
+    /// scratch, exactly like a serial session. Either way the resulting
+    /// plan is the serial plan.
     pub fn prepare_iteration(
         &mut self,
         wf: &Workflow,
@@ -392,7 +422,7 @@ impl Session {
         //    address/name heuristic (which allocation reuse could defeat)
         //    is ever relied on.
         let hint_given = hint.is_some();
-        let planning_sigs = chain_signatures(wf, &self.volatile_nonces);
+        let planning_sigs = chain_signatures(wf, &self.volatile_nonces, &self.env);
         let hint_solution = match hint {
             Some(h) if h.sigs == planning_sigs => Some((h.plan, h.read_set)),
             _ => None,
@@ -453,7 +483,7 @@ impl Session {
             }
         }
         let storage_sigs = if refreshed {
-            let sigs = chain_signatures(wf, &self.volatile_nonces);
+            let sigs = chain_signatures(wf, &self.volatile_nonces, &self.env);
             let inputs = PlanInputs {
                 sigs: &sigs,
                 catalog: &self.catalog,
@@ -538,7 +568,7 @@ impl Session {
             workers: self.config.workers,
             cache_policy: self.config.cache_policy,
             iteration: self.iteration,
-            seed: self.config.seed,
+            seed: self.env.seed,
             tenant: &self.tenant,
             core_budget: self.core_budget.as_ref(),
             prev_elective: &self.elective_memory,
@@ -579,6 +609,7 @@ impl Session {
     pub fn speculation_snapshot(&self) -> SpeculationInputs {
         SpeculationInputs {
             catalog: Arc::clone(&self.catalog),
+            env: self.env,
             volatile_nonces: self.volatile_nonces.clone(),
             compute_stats: self.compute_stats.clone(),
             reuse: self.config.reuse,

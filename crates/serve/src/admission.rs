@@ -25,10 +25,10 @@
 //!    session is stateful); only their planning overlaps.
 //!
 //! Scheduling affects *when* a tenant's iteration runs, never *what* it
-//! produces: the determinism contract is enforced one layer down (shared
-//! seed + signature-keyed artifacts + read-set-validated speculative
-//! plans), so the policy here is free to reorder across tenants for
-//! latency or fairness.
+//! produces: the determinism contract is enforced one layer down
+//! (provenance-keyed signatures that fold each session's seed into the
+//! chain + read-set-validated speculative plans), so the policy here is
+//! free to reorder across tenants for latency or fairness.
 
 use crate::ticket::TicketState;
 use helix_core::{Session, SpeculationInputs, Workflow};

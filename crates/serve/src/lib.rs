@@ -6,7 +6,7 @@
 //! direction the authors themselves named next (arXiv:1804.05892:
 //! multi-tenant resource sharing and cross-user artifact reuse).
 //!
-//! One [`HelixService`](service::HelixService) owns, process-wide:
+//! One [`HelixService`] owns, process-wide:
 //!
 //! * **a core budget** ([`helix_exec::CoreBudget`]) — every concurrently
 //!   running iteration holds one base token, and all *extra* parallelism
@@ -16,8 +16,11 @@
 //!   tenants.
 //! * **a shared materialization catalog** with per-tenant byte quotas
 //!   carved out of one global storage budget. Artifacts are keyed by
-//!   content signatures, so when two tenants' workflows share a prefix
-//!   the second tenant *loads* what the first computed — cross-tenant
+//!   *provenance-complete* content signatures (operator declarations,
+//!   parent linkage, volatile nonces, and each session's seed at the
+//!   nodes it affects), so when two tenants' workflows share a
+//!   seed-independent prefix the second tenant *loads* what the first
+//!   computed — even when the tenants run different seeds — cross-tenant
 //!   reuse falls out of Definition 3's equivalence, with per-tenant
 //!   attribution of self vs cross hits.
 //! * **an admission layer** ([`admission`]) — a bounded submission queue
@@ -32,9 +35,13 @@
 //!
 //! * the engine is worker-count-invariant (PR 1), and token grants only
 //!   narrow effective width;
-//! * all sessions of one service share the service seed, so a signature
-//!   identifies one exact byte string — loading another tenant's artifact
-//!   yields precisely the bytes the loader would have computed;
+//! * every session's seed is folded into its signature chain at the
+//!   stochastic nodes (`helix_core::track::ExecEnv`), so a signature
+//!   identifies one exact byte string *across seeds* — loading another
+//!   tenant's artifact yields precisely the bytes the loader would have
+//!   computed, and tenants are free to pick their own seeds (the old
+//!   service-wide seed override is gone; [`ServiceConfig::seed`] is only
+//!   a default for sessions that leave theirs unset);
 //! * per-tenant *quota* eviction and deprecation (`release`) are
 //!   deterministic and scoped, so one tenant can never delete bytes
 //!   another still plans around.

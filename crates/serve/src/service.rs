@@ -23,8 +23,11 @@
 //! Storage accounting: `Σ tenant quotas ≤ storage_budget_bytes` is
 //! enforced at registration; each tenant's engine checks its own quota
 //! (`used_bytes_for`) and mandatory stores evict that tenant's oldest
-//! sole-owned artifacts only. Seeds are service-wide so signature-equal
-//! artifacts are byte-equal across tenants (see the crate docs for the
+//! sole-owned artifacts only. Sessions carry their *own* seeds: the seed
+//! is part of every signature's provenance (`helix_core::track`), so
+//! signature-equal artifacts are byte-equal across tenants by
+//! construction — seed-dependent nodes key apart, seed-independent
+//! prefixes still collide and are shared (see the crate docs for the
 //! full determinism argument).
 
 use crate::admission::{AdmissionCaps, AdmissionQueue, Job, QueueSnapshot};
@@ -100,9 +103,14 @@ pub struct ServiceConfig {
     /// Values above `cores` let iterations queue on the core budget
     /// itself (useful when iterations are I/O-heavy).
     pub max_concurrent_iterations: usize,
-    /// Service-wide master seed. Every session runs under this seed so
-    /// that signature-equal artifacts are byte-equal across tenants —
-    /// per-session seeds would silently break cross-tenant reuse.
+    /// *Default* seed for sessions that do not set one of their own.
+    ///
+    /// Historically this was a service-wide override (every session's
+    /// seed was forcibly replaced, because pre-provenance signatures
+    /// could not tell artifacts from different seeds apart). Seeds are
+    /// now folded into the signature chain, so per-session seeds are
+    /// sound: a session keeps the seed its `SessionConfig` sets, and
+    /// only an *unset* seed falls back to this value.
     pub seed: u64,
     /// Hysteresis dead band for Algorithm 2 (applied to all sessions).
     pub mat_hysteresis: f64,
@@ -119,7 +127,9 @@ impl ServiceConfig {
             catalog_dir: None,
             queue_capacity: 64,
             max_concurrent_iterations: cores * 2,
-            seed: 42,
+            // Shared with solo sessions so an unset-seed workflow run
+            // in-service and solo stays byte- and signature-identical.
+            seed: helix_core::DEFAULT_SEED,
             mat_hysteresis: 0.0,
         }
     }
@@ -145,7 +155,7 @@ impl ServiceConfig {
         self
     }
 
-    /// Builder: set the service seed.
+    /// Builder: set the default seed for sessions that do not set one.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> ServiceConfig {
         self.seed = seed;
@@ -179,7 +189,16 @@ struct TenantState {
     iterations: u64,
     queue_wait_nanos: Nanos,
     run_nanos: Nanos,
+    /// Resolved seeds of this tenant's sessions, in open order — sessions
+    /// pick their own seeds now, so observability must say which seed
+    /// each one actually ran under. Bounded to the most recent
+    /// [`SESSION_SEED_HISTORY`] opens so a tenant that churns sessions
+    /// for the service's lifetime cannot grow this without limit.
+    session_seeds: Vec<u64>,
 }
+
+/// How many recent session seeds are retained per tenant for stats.
+const SESSION_SEED_HISTORY: usize = 64;
 
 struct SchedState {
     queue: AdmissionQueue,
@@ -286,23 +305,39 @@ impl HelixService {
         sched.reserved_quota += requested;
         sched.tenants.insert(
             name.to_string(),
-            TenantState { spec, iterations: 0, queue_wait_nanos: 0, run_nanos: 0 },
+            TenantState {
+                spec,
+                iterations: 0,
+                queue_wait_nanos: 0,
+                run_nanos: 0,
+                session_seeds: Vec::new(),
+            },
         );
         Ok(())
     }
 
     /// Open an iterative session for a registered tenant.
     ///
-    /// The caller's `config` chooses workers/strategy/reuse/cache policy;
-    /// the service overrides what sharing requires: catalog and disk (the
-    /// shared store), seed (service-wide), storage budget (the tenant's
-    /// quota), and hysteresis.
+    /// The caller's `config` chooses workers/strategy/reuse/cache policy
+    /// *and its own seed* — seeds are folded into signature provenance,
+    /// so distinct-seed tenants share exactly the artifacts that
+    /// genuinely match. A config that leaves the seed unset inherits the
+    /// service default ([`ServiceConfig::seed`]). The service still
+    /// overrides what sharing requires: catalog and disk (the shared
+    /// store), storage budget (the tenant's quota), and hysteresis.
     pub fn open_session(&self, tenant: &str, config: SessionConfig) -> Result<ServiceSession> {
+        let seed = config.seed.unwrap_or(self.inner.config.seed);
         let (quota, session_id) = {
             let mut sched = self.inner.sched();
-            let state =
-                sched.tenants.get(tenant).ok_or_else(|| HelixError::not_found("tenant", tenant))?;
+            let state = sched
+                .tenants
+                .get_mut(tenant)
+                .ok_or_else(|| HelixError::not_found("tenant", tenant))?;
             let quota = state.spec.quota_bytes;
+            if state.session_seeds.len() == SESSION_SEED_HISTORY {
+                state.session_seeds.remove(0);
+            }
+            state.session_seeds.push(seed);
             let id = sched.next_session_id;
             sched.next_session_id += 1;
             (quota, id)
@@ -311,7 +346,7 @@ impl HelixService {
             storage_budget_bytes: quota,
             disk: self.inner.config.disk,
             catalog_dir: None,
-            seed: self.inner.config.seed,
+            seed: Some(seed),
             mat_hysteresis: self.inner.config.mat_hysteresis,
             ..config
         };
@@ -361,6 +396,7 @@ impl HelixService {
                     quota_evictions: owner.quota_evictions,
                     owned_bytes: self.inner.catalog.used_bytes_for(name),
                     quota_bytes: state.spec.quota_bytes,
+                    session_seeds: state.session_seeds.clone(),
                 },
             );
         }
@@ -645,6 +681,11 @@ pub struct TenantStats {
     pub owned_bytes: u64,
     /// The tenant's quota.
     pub quota_bytes: u64,
+    /// Resolved seed of each of this tenant's most recent sessions (up
+    /// to 64), in open order. Seeds are per-session (folded into
+    /// signature provenance); a session that left its seed unset shows
+    /// the service default here.
+    pub session_seeds: Vec<u64>,
 }
 
 impl TenantStats {
@@ -762,6 +803,41 @@ mod tests {
             "60 + 60 > 100: second carve must fail"
         );
         svc.register_tenant("b", TenantSpec::default().with_quota(40)).unwrap();
+    }
+
+    #[test]
+    fn per_session_seeds_survive_open_and_are_surfaced() {
+        let svc = HelixService::new(ServiceConfig::new(1).with_seed(7)).expect("service starts");
+        svc.register_tenant("a", TenantSpec::default()).unwrap();
+        svc.register_tenant("b", TenantSpec::default()).unwrap();
+        // `a` picks its own seed; `b` leaves it unset → service default.
+        let _a = svc.open_session("a", SessionConfig::in_memory().with_seed(1)).unwrap();
+        let _a2 = svc.open_session("a", SessionConfig::in_memory().with_seed(2)).unwrap();
+        let _b = svc.open_session("b", SessionConfig::in_memory()).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.tenants["a"].session_seeds, vec![1, 2], "explicit seeds kept");
+        assert_eq!(stats.tenants["b"].session_seeds, vec![7], "unset seed takes the default");
+    }
+
+    #[test]
+    fn distinct_seed_tenants_share_deterministic_workflows_fully() {
+        // `chain` has no stochastic operator, so its signatures are
+        // seed-independent end to end: two tenants on different seeds
+        // must still reuse each other's artifacts completely.
+        let svc = service(2);
+        svc.register_tenant("alice", TenantSpec::default()).unwrap();
+        svc.register_tenant("bob", TenantSpec::default()).unwrap();
+        let alice = svc
+            .open_session("alice", SessionConfig::in_memory().with_seed(100))
+            .expect("session opens");
+        let bob = svc
+            .open_session("bob", SessionConfig::in_memory().with_seed(200))
+            .expect("session opens");
+        alice.run_iteration(chain(1)).unwrap();
+        let b_report = bob.run_iteration(chain(1)).unwrap();
+        assert_eq!(b_report.metrics.computed, 0, "deterministic chain shared across seeds");
+        assert!(b_report.metrics.cross_loaded > 0);
+        assert_eq!(b_report.output_scalar("c").unwrap().as_f64(), Some(11.0));
     }
 
     #[test]

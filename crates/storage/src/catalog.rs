@@ -24,8 +24,10 @@
 //! keying makes cross-tenant reuse automatic — if tenant A materialized a
 //! node that tenant B's workflow also produces, B's planner sees a hit and
 //! loads A's bytes (identical to what B would compute, because signatures
-//! capture operator versions, parent linkage, and volatile nonces, and all
-//! sessions of one service share a seed). The owner set drives:
+//! capture full provenance: operator versions, parent linkage, volatile
+//! nonces, *and* the execution environment — seeds — at the nodes it
+//! affects, so tenants may run distinct seeds and still share exactly the
+//! seed-independent artifacts). The owner set drives:
 //!
 //! * **accounting** — [`used_bytes_for`](MaterializationCatalog::used_bytes_for)
 //!   charges each owner the full size of every artifact it stored, which
@@ -43,7 +45,7 @@
 //!   frees a tenant's *sole-owned* artifacts (deterministic oldest-first
 //!   order) when a mandatory store would overflow its quota.
 //!
-//! ## Crash consistency
+//! ## Crash consistency and format versioning
 //!
 //! Manifest and artifact writes go through a temp-file + atomic-rename
 //! protocol, so a crash mid-`store`/`purge` leaves either the old or the
@@ -52,6 +54,15 @@
 //! resort rebuilds the entry set by scanning artifact files; stale temp
 //! files (and, when the manifest itself is healthy, orphaned artifact
 //! files no manifest entry references) are swept away.
+//!
+//! The manifest records a `format_version`
+//! ([`MaterializationCatalog::FORMAT_VERSION`]) naming the signature
+//! keying scheme its entries were written under. Opening a catalog from
+//! a *newer* format fails with a clear error (reading it anyway would
+//! misinterpret the keying); opening one from an *older* format migrates
+//! by invalidation — entries dropped, artifact files swept, no panic —
+//! because pre-provenance signatures could collide with current-scheme
+//! signatures while holding different bytes.
 //!
 //! ## Staged (deferred) commits
 //!
@@ -194,6 +205,15 @@ impl OwnerStats {
 
 #[derive(Default, Serialize, Deserialize)]
 struct Manifest {
+    /// Keying-scheme version of every signature in `entries`. `None`
+    /// (the field predates versioning) means format 1: signatures
+    /// computed *without* execution-environment provenance. Entries from
+    /// older formats are invalidated on open — a pre-provenance artifact
+    /// under a signature the current scheme would also produce could
+    /// silently serve wrong bytes (e.g. a stochastic output stored
+    /// before seeds were folded in). Newer-than-known formats are
+    /// refused outright.
+    format_version: Option<u32>,
     entries: Vec<CatalogEntry>,
 }
 
@@ -255,6 +275,13 @@ pub struct MaterializationCatalog {
 impl MaterializationCatalog {
     const MANIFEST: &'static str = "manifest.json";
     const MANIFEST_TMP: &'static str = "manifest.json.tmp";
+    /// Standalone keying-format marker written next to the manifest; the
+    /// recovery scan consults it when no manifest copy is readable.
+    const MARKER: &'static str = "format.version";
+    /// The manifest format this build reads and writes. Bump whenever the
+    /// signature keying scheme changes meaning (v2: execution-environment
+    /// provenance — seeds — folded into chain signatures).
+    pub const FORMAT_VERSION: u32 = 2;
 
     /// Open (or create) a catalog rooted at `root`, reading any existing
     /// manifest so previous sessions' artifacts are reusable.
@@ -271,9 +298,28 @@ impl MaterializationCatalog {
         let manifest_path = root.join(Self::MANIFEST);
         let tmp_path = root.join(Self::MANIFEST_TMP);
 
+        // The standalone marker file backs up the manifest's version
+        // field for the recovery paths: artifact files carry no version
+        // of their own, so when every manifest copy is unreadable the
+        // marker is the only way to tell a crashed current-format catalog
+        // (salvage the artifacts) from a pre-provenance one (sweep them).
+        let marker_version: Option<u32> = std::fs::read_to_string(root.join(Self::MARKER))
+            .ok()
+            .and_then(|s| s.trim().parse().ok());
+        if marker_version.is_some_and(|v| v > Self::FORMAT_VERSION) {
+            return Err(HelixError::config(format!(
+                "catalog at {} carries format-version marker v{}, newer than this build's v{}; \
+                 refusing to misread it (upgrade helix or use a different catalog directory)",
+                root.display(),
+                marker_version.unwrap_or(0),
+                Self::FORMAT_VERSION,
+            )));
+        }
+
         let mut recovered = false;
         let mut healthy_manifest = false;
-        let manifest = match Self::read_manifest(&manifest_path) {
+        let mut from_scan = false;
+        let mut manifest = match Self::read_manifest(&manifest_path) {
             Some(manifest) => {
                 healthy_manifest = true;
                 manifest
@@ -285,11 +331,15 @@ impl MaterializationCatalog {
                         recovered = true;
                         manifest
                     }
-                    None if recovered => Self::scan_artifacts(&root)?,
+                    None if recovered => {
+                        from_scan = true;
+                        Self::scan_artifacts(&root)?
+                    }
                     None => {
                         // No manifest anywhere. Any artifact files on disk
                         // predate the first commit — salvage them rather
                         // than leaving them orphaned and invisible.
+                        from_scan = true;
                         let scanned = Self::scan_artifacts(&root)?;
                         recovered = !scanned.entries.is_empty();
                         scanned
@@ -297,6 +347,46 @@ impl MaterializationCatalog {
                 }
             }
         };
+        // Format-version gate. A manifest written by a *newer* build uses
+        // a keying scheme this build does not understand — reading it
+        // anyway could treat signature-equal-looking entries as shareable
+        // when they are not, so refuse with a clear error instead of
+        // misreading. A manifest from an *older* format (absent field =
+        // v1, pre-provenance) is migrated by invalidation: its signatures
+        // were computed without execution-environment provenance, so an
+        // entry could collide with a current-scheme signature while
+        // holding different bytes. Entries are dropped and their artifact
+        // files swept; the catalog reopens empty but consistent, and a
+        // fresh current-version manifest is persisted below. Entries
+        // rebuilt by an artifact *scan* inherit the marker's version (the
+        // files themselves are unversioned): no marker means the catalog
+        // predates provenance keying, so the salvage is refused and the
+        // artifacts — which are recomputable by definition — are swept
+        // rather than trusted under the wrong scheme.
+        let version = if from_scan {
+            marker_version.unwrap_or(1)
+        } else {
+            manifest.format_version.unwrap_or(1)
+        };
+        if version > Self::FORMAT_VERSION {
+            return Err(HelixError::config(format!(
+                "catalog at {} uses manifest format v{version}, newer than this build's v{}; \
+                 refusing to misread it (upgrade helix or use a different catalog directory)",
+                root.display(),
+                Self::FORMAT_VERSION,
+            )));
+        }
+        if version < Self::FORMAT_VERSION {
+            manifest.entries.clear();
+            for dirent in std::fs::read_dir(&root)?.flatten() {
+                let name = dirent.file_name().to_string_lossy().into_owned();
+                if name.ends_with(".hxm") {
+                    let _ = std::fs::remove_file(dirent.path());
+                }
+            }
+            recovered = true;
+            healthy_manifest = false;
+        }
         // Sweep crash leftovers: the manifest temp (it has served its
         // purpose or is garbage either way) and any orphaned artifact
         // temp files from interrupted `store_owned` writes — they were
@@ -345,6 +435,11 @@ impl MaterializationCatalog {
                 }
             }
         }
+        // (Re)write the marker so future recovery paths know which scheme
+        // this directory's artifacts use from here on.
+        if marker_version != Some(Self::FORMAT_VERSION) {
+            std::fs::write(root.join(Self::MARKER), format!("{}\n", Self::FORMAT_VERSION))?;
+        }
         let catalog = MaterializationCatalog {
             root,
             disk,
@@ -364,7 +459,10 @@ impl MaterializationCatalog {
 
     /// Last-resort recovery: rebuild entries from artifact files on disk.
     /// Node names and iteration numbers are lost; sizes and signatures
-    /// (the parts correctness depends on) are not.
+    /// (the parts correctness depends on) are not. The artifact files
+    /// carry no keying-format version of their own — the caller gates the
+    /// scanned entries on the standalone [`MARKER`](Self::MARKER) file,
+    /// sweeping the salvage when the marker is absent or old.
     fn scan_artifacts(root: &Path) -> Result<Manifest> {
         let mut entries = Vec::new();
         for dirent in std::fs::read_dir(root)? {
@@ -387,7 +485,7 @@ impl MaterializationCatalog {
                 writers: None,
             });
         }
-        Ok(Manifest { entries })
+        Ok(Manifest { format_version: Some(Self::FORMAT_VERSION), entries })
     }
 
     /// Open a throwaway catalog in a fresh temp directory (tests, examples).
@@ -943,7 +1041,7 @@ impl MaterializationCatalog {
                 .map(|(_, e)| e.clone())
                 .collect();
             entries.sort_by(|a, b| a.signature.cmp(&b.signature));
-            Manifest { entries }
+            Manifest { format_version: Some(Self::FORMAT_VERSION), entries }
         };
         let text = serde_json::to_string_pretty(&manifest)
             .map_err(|e| HelixError::codec(format!("manifest serialize error: {e}")))?;
@@ -1451,7 +1549,8 @@ mod tests {
         cat.store(sig, "n", 1, &scalar(6.0)).unwrap();
         drop(cat);
         // Strip the owners field from the manifest, as a pre-ownership
-        // build would have written it.
+        // build would have written it (the format version stays current:
+        // ownership records are optional metadata, not a keying change).
         let text = std::fs::read_to_string(root.join("manifest.json")).unwrap();
         let stripped: String =
             text.lines().filter(|l| !l.contains("\"owners\"")).collect::<Vec<_>>().join("\n");
@@ -1465,5 +1564,144 @@ mod tests {
         // Solo sessions can still deprecate legacy entries.
         assert!(reopened.release(sig, SOLO_OWNER).unwrap());
         assert!(!reopened.contains(sig));
+    }
+
+    // ----- manifest format versioning -----
+
+    /// Rewrite the manifest as an older build would have written it:
+    /// no `format_version` field at all.
+    fn strip_format_version(root: &Path) {
+        let text = std::fs::read_to_string(root.join("manifest.json")).unwrap();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.contains("\"format_version\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(root.join("manifest.json"), stripped).unwrap();
+    }
+
+    #[test]
+    fn manifest_records_the_current_format_version() {
+        let cat = temp_catalog();
+        cat.store(Signature::of_str("v"), "n", 0, &scalar(1.0)).unwrap();
+        let text = std::fs::read_to_string(cat.root().join("manifest.json")).unwrap();
+        assert!(
+            text.contains("\"format_version\""),
+            "manifest must name its keying format: {text}"
+        );
+        assert!(text.contains(&MaterializationCatalog::FORMAT_VERSION.to_string()));
+    }
+
+    #[test]
+    fn pre_provenance_manifest_is_invalidated_not_misread() {
+        // A v1 (pre-provenance) catalog: its signatures were computed
+        // without seeds in the chain, so its entries must not be served
+        // under the current scheme. Open must drop the entries, sweep the
+        // artifact files, and leave a consistent, current-version, empty
+        // catalog — no panic, and a second reopen must be clean too.
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let a = Signature::of_str("old-a");
+        let b = Signature::of_str("old-b");
+        cat.store_owned(a, "alice", "a", 0, &scalar(1.0)).unwrap();
+        cat.store_owned(b, "bob", "b", 1, &scalar(2.0)).unwrap();
+        let files: Vec<String> = cat.entries().iter().map(|e| e.file.clone()).collect();
+        drop(cat);
+        strip_format_version(&root);
+
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(reopened.is_empty(), "pre-provenance entries dropped");
+        assert!(!reopened.contains(a));
+        assert_eq!(reopened.total_bytes(), 0);
+        assert_eq!(reopened.used_bytes_for("alice"), 0, "quota accounting reset");
+        for file in &files {
+            assert!(!root.join(file).exists(), "stale artifact {file} must be swept");
+        }
+        // The migrated manifest is current-version: storing and reopening
+        // round-trips normally.
+        reopened.store(Signature::of_str("fresh"), "n", 0, &scalar(3.0)).unwrap();
+        drop(reopened);
+        let again = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert_eq!(again.len(), 1);
+        assert!(again.contains(Signature::of_str("fresh")));
+    }
+
+    #[test]
+    fn pre_provenance_crash_window_still_migrates_cleanly() {
+        // Crash-consistency across the version boundary: a v-old catalog
+        // whose primary manifest is torn (crash mid-flush) recovers
+        // through the tmp snapshot — and the version gate must still
+        // apply to the recovered manifest.
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let sig = Signature::of_str("old");
+        cat.store(sig, "n", 0, &scalar(1.0)).unwrap();
+        drop(cat);
+        strip_format_version(&root);
+        // Simulate the crash: tmp holds the (old-format) snapshot, the
+        // primary is torn.
+        let good = std::fs::read_to_string(root.join("manifest.json")).unwrap();
+        std::fs::write(root.join("manifest.json.tmp"), &good).unwrap();
+        std::fs::write(root.join("manifest.json"), &good[..good.len() / 2]).unwrap();
+
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(reopened.is_empty(), "old-format entries dropped even on the recovery path");
+        assert!(!root.join(format!("{}.hxm", sig.to_hex())).exists(), "artifact swept");
+        drop(reopened);
+        let again = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(again.is_empty(), "second reopen stays clean");
+    }
+
+    #[test]
+    fn unmarked_artifact_scan_salvage_is_swept_not_trusted() {
+        // A v1 catalog (no marker file — older builds never wrote one)
+        // whose manifest is unreadable: the artifact scan must NOT
+        // resurrect the files under current-format keying, because their
+        // signatures were computed without provenance. They are swept.
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let sig = Signature::of_str("pre-provenance");
+        cat.store(sig, "n", 0, &scalar(1.0)).unwrap();
+        drop(cat);
+        std::fs::remove_file(root.join("format.version")).unwrap();
+        std::fs::write(root.join("manifest.json"), b"not json at all").unwrap();
+
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(reopened.is_empty(), "unversioned salvage must be refused");
+        assert!(
+            !root.join(format!("{}.hxm", sig.to_hex())).exists(),
+            "pre-provenance artifact swept"
+        );
+        // The marker now exists, so a current-format crash in the same
+        // directory recovers normally from here on.
+        reopened.store(sig, "n", 0, &scalar(2.0)).unwrap();
+        drop(reopened);
+        std::fs::write(root.join("manifest.json"), b"torn again").unwrap();
+        let again = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(again.contains(sig), "marked catalog still salvages via artifact scan");
+    }
+
+    #[test]
+    fn newer_manifest_format_is_rejected_with_a_clear_error() {
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        cat.store(Signature::of_str("future"), "n", 0, &scalar(1.0)).unwrap();
+        drop(cat);
+        let text = std::fs::read_to_string(root.join("manifest.json")).unwrap();
+        let newer = MaterializationCatalog::FORMAT_VERSION + 1;
+        let bumped = text.replace(
+            &format!("\"format_version\": {}", MaterializationCatalog::FORMAT_VERSION),
+            &format!("\"format_version\": {newer}"),
+        );
+        assert_ne!(text, bumped, "test must actually bump the version field");
+        std::fs::write(root.join("manifest.json"), bumped).unwrap();
+
+        let err = match MaterializationCatalog::open(&root, DiskProfile::unthrottled()) {
+            Err(err) => format!("{err}"),
+            Ok(_) => panic!("newer-format manifest must be refused"),
+        };
+        assert!(err.contains("newer"), "error must explain the refusal: {err}");
+        // Nothing was destroyed: the future build's data is intact.
+        assert!(root.join(format!("{}.hxm", Signature::of_str("future").to_hex())).exists());
     }
 }

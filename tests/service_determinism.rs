@@ -11,8 +11,10 @@
 //! Outputs are compared through the storage codec, so "identical" means
 //! identical to the byte. Execution *plans* are allowed to differ — a
 //! tenant may `Load` where its solo run computed (that is the point of
-//! cross-tenant reuse); signature keying plus the service-wide seed
-//! guarantee the loaded bytes equal the computed ones.
+//! cross-tenant reuse); provenance-keyed signatures (each session's seed
+//! folded into the chain at the stochastic nodes) guarantee the loaded
+//! bytes equal the computed ones — including when tenants run *distinct*
+//! seeds, where exactly the seed-independent prefix stays shared.
 
 use helix::core::{Session, SessionConfig};
 use helix::serve::{HelixService, ServiceConfig, TenantSpec};
@@ -51,16 +53,20 @@ fn outputs_of(report: &helix::core::IterationReport) -> Outputs {
 }
 
 /// The ground truth: a solo, strictly serial session (one worker,
-/// private catalog, pipelined lanes off).
-fn solo_serial_trace(ix: usize) -> Vec<Outputs> {
+/// private catalog, pipelined lanes off) under an explicit seed.
+fn solo_serial_trace_seeded(ix: usize, seed: u64) -> Vec<Outputs> {
     let mut session = Session::new(
-        SessionConfig::in_memory().with_workers(1).with_seed(SERVICE_SEED).with_pipeline(false),
+        SessionConfig::in_memory().with_workers(1).with_seed(seed).with_pipeline(false),
     )
     .expect("solo session opens");
     iteration_workflows(workload_for(ix))
         .iter()
         .map(|wf| outputs_of(&session.run(wf).expect("solo iteration runs")))
         .collect()
+}
+
+fn solo_serial_trace(ix: usize) -> Vec<Outputs> {
+    solo_serial_trace_seeded(ix, SERVICE_SEED)
 }
 
 #[test]
@@ -174,6 +180,70 @@ fn eight_tenants_on_a_tight_budget_stay_within_two_cores() {
         stats.peak_cores_leased,
         cores
     );
+}
+
+#[test]
+fn distinct_seed_tenants_reproduce_solo_bytes_and_share_the_prefix() {
+    // The acceptance obligation of provenance-keyed signatures: two
+    // tenants run the same census schedule under *different* seeds on one
+    // shared catalog. Each tenant's outputs must be byte-identical to its
+    // own solo serial run under its own seed (no cross-seed
+    // contamination), and the seed-independent workflow prefix — parsing,
+    // extraction, example assembly, everything upstream of the stochastic
+    // learner — must still be shared: the follower records ≥ 1
+    // cross-tenant catalog hit. Checked at every core count.
+    let seeds = [11u64, 97u64];
+    let baselines: Vec<Vec<Outputs>> =
+        seeds.iter().map(|&seed| solo_serial_trace_seeded(0, seed)).collect();
+    // Sanity for the test itself: the seeds must actually diverge
+    // somewhere, or the cross-seed-contamination assertion is vacuous.
+    // (The census output is a test-split accuracy; with distinct seeds
+    // the logistic models differ. If the traces were fully equal this
+    // test could not detect a session accidentally running the wrong
+    // seed, so fail loudly and pick better seeds.)
+    assert_ne!(baselines[0], baselines[1], "chosen seeds produce identical traces");
+
+    for cores in [1usize, 2, 4, 8] {
+        let service = HelixService::new(
+            ServiceConfig::new(cores).with_max_concurrent_iterations(seeds.len()),
+        )
+        .expect("service starts");
+        service.register_tenant("leader", TenantSpec::default()).expect("tenant registers");
+        service.register_tenant("follower", TenantSpec::default()).expect("tenant registers");
+
+        // Strictly sequential: the leader finishes its whole schedule
+        // before the follower starts, which makes the follower's prefix
+        // hits deterministic.
+        for (tenant, (&seed, baseline)) in
+            ["leader", "follower"].iter().zip(seeds.iter().zip(&baselines))
+        {
+            let session = service
+                .open_session(
+                    tenant,
+                    SessionConfig::in_memory().with_workers(cores).with_seed(seed),
+                )
+                .expect("session opens");
+            let trace: Vec<Outputs> = iteration_workflows(workload_for(0))
+                .into_iter()
+                .map(|wf| outputs_of(&session.run_iteration(wf).expect("iteration runs")))
+                .collect();
+            assert_eq!(
+                &trace, baseline,
+                "tenant {tenant} (seed {seed}) diverged from its solo serial run at {cores} cores"
+            );
+        }
+
+        let stats = service.stats();
+        assert!(
+            stats.tenants["follower"].cross_hits >= 1,
+            "follower must reuse the leader's seed-independent prefix at {cores} cores \
+             (cross_hits = {})",
+            stats.tenants["follower"].cross_hits
+        );
+        assert_eq!(stats.tenants["leader"].session_seeds, vec![seeds[0]]);
+        assert_eq!(stats.tenants["follower"].session_seeds, vec![seeds[1]]);
+        assert!(stats.peak_cores_leased <= cores, "core budget violated at {cores} cores");
+    }
 }
 
 #[test]

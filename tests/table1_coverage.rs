@@ -8,7 +8,11 @@ use helix_core::prelude::*;
 use helix_data::{Example, ExampleBatch, FeatureVector, Scalar, Split, Value};
 
 fn blob_source(wf: &mut Workflow) -> helix_core::dsl::DcHandle {
-    wf.source("data", 1, |ctx| {
+    // The generator draws on the context RNG, so the source must declare
+    // itself seeded — its output (and the whole workflow downstream) is
+    // keyed by seed and never shared across sessions with different
+    // seeds. A plain `source` here fails loudly at execution time.
+    wf.source_seeded("data", 1, |ctx| {
         let mut rng = ctx.rng();
         let examples: Vec<Example> = (0..200)
             .map(|i| {
