@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! multi_tenant [--tenants N] [--cores C] [--iterations K] [--workers W]
-//!              [--throttled] [--seed S] [--distinct-seeds] [--check]
+//!              [--throttled] [--seed S] [--distinct-seeds]
+//!              [--fair] [--heavy] [--json PATH] [--check]
 //! ```
 //!
 //! `--throttled` uses a scaled disk profile so the compute/load trade-off
@@ -13,12 +14,26 @@
 //! prints both cross-tenant hit rates side by side: per-tenant seeds
 //! share only the seed-independent workflow prefix, the shared seed is
 //! the reuse ceiling.
-//! `--check` exits non-zero unless the run observed cross-tenant hits and
-//! respected the core budget — the CI smoke contract (with
-//! `--distinct-seeds` this asserts prefix sharing survives per-tenant
-//! seeds).
+//! `--fair` switches the service to dominant-resource fair scheduling
+//! (equal weights), then *also* replays the same load under strict
+//! priority and prints both fairness audits side by side — the
+//! starvation the strict policy allows is the number fair share exists
+//! to fix.
+//! `--heavy` arms the adversarial heavy tenant: tenant 0 opens
+//! `cores + 1` sessions at maximum priority and floods the queue up
+//! front.
+//! `--json PATH` writes the machine-readable report (the CI artifact).
+//! `--check` exits non-zero unless the core budget held, every session's
+//! outputs were byte-identical to its strict-serial solo run, and —
+//! without `--heavy` — cross-tenant hits were observed (at one core the
+//! assertion is deterministic). With `--fair` it additionally fails
+//! unless the fairness audit is clean: zero non-DRF picks, zero share
+//! gap (every pick went to the lowest-dominant-share eligible tenant —
+//! the DRF bound), and no light tenant's eligible work ever waited more
+//! than `tenants + cores` consecutive picks (the no-starvation bound a
+//! strict-priority heavy run demonstrably violates).
 
-use helix_bench::multi_tenant::{run_multi_tenant, MultiTenantConfig};
+use helix_bench::multi_tenant::{run_multi_tenant, MultiTenantConfig, MultiTenantReport};
 use helix_storage::DiskProfile;
 
 fn parse_flag(args: &[String], name: &str) -> Option<u64> {
@@ -55,6 +70,10 @@ fn main() {
         config.disk = DiskProfile::scaled(5_000_000, 200_000);
     }
     config.distinct_seeds = args.iter().any(|a| a == "--distinct-seeds");
+    config.fair = args.iter().any(|a| a == "--fair");
+    config.heavy = args.iter().any(|a| a == "--heavy");
+    let check = args.iter().any(|a| a == "--check");
+    config.verify_bytes = check;
 
     let run = |config: &MultiTenantConfig| match run_multi_tenant(config) {
         Ok(report) => report,
@@ -75,10 +94,50 @@ fn main() {
             ceiling.cross_hit_rate * 100.0,
         );
     }
+    if config.fair {
+        // The strict-priority replay of the same load is the starvation
+        // the fair policy exists to prevent — print both audits. Only
+        // the scheduler audit is needed, so the replay skips the
+        // byte-identity pass and the serial timing baseline.
+        let strict = run(&MultiTenantConfig {
+            fair: false,
+            verify_bytes: false,
+            measure_serial_baseline: false,
+            ..config.clone()
+        });
+        // "Light tenants" = everyone but the heavy adversary; without
+        // --heavy, tenant 0 is an ordinary light tenant and counts too.
+        let light_from = usize::from(config.heavy);
+        let worst_wait = |r: &MultiTenantReport| {
+            r.tenants.iter().skip(light_from).map(|t| t.max_eligible_wait).max().unwrap_or(0)
+        };
+        println!(
+            "fairness: fair-share {} non-DRF picks, light tenants' worst eligible-wait {} \
+             picks; strict priority {} non-DRF picks, worst eligible-wait {} picks",
+            report.non_drf_picks,
+            worst_wait(&report),
+            strict.non_drf_picks,
+            worst_wait(&strict),
+        );
+    }
 
-    if args.iter().any(|a| a == "--check") {
+    if let Some(ix) = args.iter().position(|a| a == "--json") {
+        let path = args.get(ix + 1).cloned().unwrap_or_else(|| "BENCH_multi_tenant.json".into());
+        match serde_json::to_string_pretty(&report) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("warning: cannot write {path}: {e}");
+                } else {
+                    println!("wrote {path}");
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize report: {e}"),
+        }
+    }
+
+    if check {
         let mut failures = Vec::new();
-        if report.cross_hit_rate <= 0.0 {
+        if !config.heavy && report.cross_hit_rate <= 0.0 {
             failures.push("no cross-tenant cache hits observed".to_string());
         }
         if report.peak_cores_leased > report.cores {
@@ -87,12 +146,51 @@ fn main() {
                 report.peak_cores_leased, report.cores
             ));
         }
+        match &report.byte_identity {
+            Some(bytes) if bytes.mismatches > 0 => failures.push(format!(
+                "{}/{} sessions diverged from their solo serial runs",
+                bytes.mismatches, bytes.sessions_checked
+            )),
+            Some(_) => {}
+            None => failures.push("byte-identity verification did not run".to_string()),
+        }
+        if config.fair {
+            if report.non_drf_picks > 0 {
+                failures.push(format!(
+                    "{} of {} picks were not the DRF choice",
+                    report.non_drf_picks, report.picks
+                ));
+            }
+            if report.max_share_gap > 0.0 {
+                failures.push(format!(
+                    "dominant-share gap {} above the DRF bound",
+                    report.max_share_gap
+                ));
+            }
+            // No-starvation bound: a light (non-heavy) tenant may be
+            // passed over by the other momentarily-lower-share tenants,
+            // but never for a whole heavy backlog. `tenants + cores` is
+            // generous; strict priority with a heavy tenant exceeds it.
+            let bound = (config.tenants + config.cores) as u64;
+            for t in report.tenants.iter().skip(if config.heavy { 1 } else { 0 }) {
+                if t.max_eligible_wait > bound {
+                    failures.push(format!(
+                        "{} starved: eligible work waited {} consecutive picks (bound {})",
+                        t.tenant, t.max_eligible_wait, bound
+                    ));
+                }
+            }
+        }
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("CHECK FAILED: {f}");
             }
             std::process::exit(1);
         }
-        println!("checks passed: cross-tenant reuse observed, core budget respected");
+        println!(
+            "checks passed: outputs byte-identical to solo runs, core budget respected{}{}",
+            if config.fair { ", DRF bound held, no starvation" } else { "" },
+            if config.heavy { "" } else { ", cross-tenant reuse observed" },
+        );
     }
 }

@@ -6,22 +6,36 @@
 //! reports what the service design is supposed to buy:
 //!
 //! * **aggregate throughput** (iterations/second wall-clock) versus a
-//!   *serial back-to-back baseline*: the same tenants run one after the
+//!   *serial back-to-back baseline*: the same sessions run one after the
 //!   other in solo sessions with private catalogs — i.e., the
 //!   pre-`helix-serve` deployment model;
 //! * **per-tenant latency** split into queue wait and run time;
 //! * **cross-tenant cache-hit rate**: the fraction of catalog loads
-//!   served by artifacts some *other* tenant computed.
+//!   served by artifacts some *other* tenant computed;
+//! * **scheduling fairness** (`fair`): the service's scheduler-event
+//!   audit — whether every pick was the DRF choice, and how long each
+//!   tenant's eligible work waited — plus per-tenant dominant shares;
+//! * **byte identity** (`verify_bytes`): every session's outputs compared
+//!   against a strict-serial solo ground-truth run of the same workload
+//!   and seed — the service determinism contract, asserted in-driver.
+//!
+//! The adversarial **heavy-tenant scenario** (`heavy`) gives tenant 0
+//! `cores + 1` sessions, a deep backlog submitted up front, and maximum
+//! priority: under strict-priority scheduling it starves the light
+//! tenants of cores (visible in the audit's eligible-wait streaks), under
+//! fair-share it cannot.
 //!
 //! Used by the `multi_tenant` binary (CI smoke-tests it at small N) and
 //! by the service determinism suite as a workload generator.
 
 use helix_common::timing::Nanos;
 use helix_common::Result;
-use helix_core::SessionConfig;
-use helix_serve::{HelixService, ServiceConfig, TenantSpec};
-use helix_storage::DiskProfile;
+use helix_core::{Session, SessionConfig, Workflow};
+use helix_serve::{HelixService, JobTicket, SchedulingPolicy, ServiceConfig, TenantSpec};
+use helix_storage::{encode_value, DiskProfile};
 use helix_workloads::{CensusWorkload, GenomicsWorkload, IeWorkload, MnistWorkload, Workload};
+use serde::Serialize;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Driver configuration.
@@ -31,7 +45,7 @@ pub struct MultiTenantConfig {
     pub tenants: usize,
     /// Core tokens in the shared budget.
     pub cores: usize,
-    /// Iterations per tenant (1 initial + `iterations - 1` scripted
+    /// Iterations per session (1 initial + `iterations - 1` scripted
     /// changes).
     pub iterations: usize,
     /// Worker ceiling per session (the paper's per-workflow cluster size).
@@ -48,6 +62,22 @@ pub struct MultiTenantConfig {
     /// seed-independent workflow prefix is shared, which is exactly what
     /// this mode measures against the shared-seed ceiling.
     pub distinct_seeds: bool,
+    /// Dominant-resource fair scheduling (equal weights) instead of
+    /// strict FIFO-with-priority.
+    pub fair: bool,
+    /// Adversarial heavy tenant: tenant 0 opens `cores + 1` sessions
+    /// (min 2), submits its whole backlog up front, and registers at
+    /// maximum priority — the starvation shape strict priority cannot
+    /// handle and DRF must.
+    pub heavy: bool,
+    /// Compare every session's outputs byte-for-byte against a
+    /// strict-serial solo run of the same workload and seed.
+    pub verify_bytes: bool,
+    /// Run the serial back-to-back baseline (the throughput comparator).
+    /// Comparison replays that only need the scheduler audit (the
+    /// `--fair` strict-priority replay) turn this off to halve their
+    /// cost; `serial_wall_nanos` reports 0 then.
+    pub measure_serial_baseline: bool,
 }
 
 impl MultiTenantConfig {
@@ -61,15 +91,29 @@ impl MultiTenantConfig {
             disk: DiskProfile::unthrottled(),
             seed: 42,
             distinct_seeds: false,
+            fair: false,
+            heavy: false,
+            verify_bytes: false,
+            measure_serial_baseline: true,
         }
     }
 
-    /// The seed tenant `ix`'s session runs under in this configuration.
+    /// The seed tenant `ix`'s sessions run under in this configuration.
     pub fn seed_for(&self, ix: usize) -> u64 {
         if self.distinct_seeds {
             self.seed.wrapping_add(ix as u64)
         } else {
             self.seed
+        }
+    }
+
+    /// How many sessions tenant `ix` opens (the heavy tenant floods the
+    /// service; everyone else is an ordinary single-session client).
+    pub fn sessions_for(&self, ix: usize) -> usize {
+        if self.heavy && ix == 0 {
+            (self.cores + 1).max(2)
+        } else {
+            1
         }
     }
 }
@@ -95,14 +139,38 @@ pub fn workload_name_for(ix: usize) -> &'static str {
     }
 }
 
-/// One tenant's measured outcome.
-#[derive(Clone, Debug)]
+/// The scripted iteration schedule tenant `ix`'s sessions replay:
+/// initial build plus `iterations - 1` scripted changes, prebuilt so a
+/// whole schedule can be submitted up front.
+fn iteration_workflows(ix: usize, iterations: usize) -> Vec<Workflow> {
+    let mut workload = workload_for(ix);
+    let changes = workload.scripted_sequence();
+    let mut wfs = Vec::with_capacity(iterations);
+    wfs.push(workload.build());
+    for iter in 1..iterations {
+        workload.apply_change(changes[(iter - 1) % changes.len()]);
+        wfs.push(workload.build());
+    }
+    wfs
+}
+
+/// Output name → encoded bytes: everything a user sees from an iteration.
+type Outputs = BTreeMap<String, Vec<u8>>;
+
+fn outputs_of(report: &helix_core::IterationReport) -> Outputs {
+    report.outputs.iter().map(|(name, value)| (name.clone(), encode_value(value))).collect()
+}
+
+/// One tenant's measured outcome (summed over its sessions).
+#[derive(Clone, Debug, Serialize)]
 pub struct TenantOutcome {
     /// Tenant name (`tenant-<ix>`).
     pub tenant: String,
     /// Workload label.
     pub workload: &'static str,
-    /// Iterations completed.
+    /// Sessions this tenant ran.
+    pub sessions: usize,
+    /// Iterations completed across its sessions.
     pub iterations: usize,
     /// Submission-to-report latency per iteration.
     pub latencies_nanos: Vec<Nanos>,
@@ -114,6 +182,13 @@ pub struct TenantOutcome {
     pub self_hits: u64,
     /// Catalog loads served by other tenants' artifacts.
     pub cross_hits: u64,
+    /// Jobs the scheduler dispatched for this tenant.
+    pub dispatches: u64,
+    /// Worst streak of consecutive picks that went elsewhere while this
+    /// tenant had an eligible job queued (the starvation depth).
+    pub max_eligible_wait: u64,
+    /// Weighted dominant share at the end of the run.
+    pub dominant_share: f64,
 }
 
 impl TenantOutcome {
@@ -126,8 +201,17 @@ impl TenantOutcome {
     }
 }
 
+/// Byte-identity verification outcome (`verify_bytes`).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ByteIdentity {
+    /// Sessions whose whole output trace was compared.
+    pub sessions_checked: usize,
+    /// Sessions whose trace diverged from the strict-serial solo run.
+    pub mismatches: usize,
+}
+
 /// What one driver run measured.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct MultiTenantReport {
     /// Per-tenant outcomes, tenant-index order.
     pub tenants: Vec<TenantOutcome>,
@@ -147,6 +231,22 @@ pub struct MultiTenantReport {
     /// Whether tenants ran under per-tenant seeds (`seed + ix`) instead
     /// of one shared seed.
     pub distinct_seeds: bool,
+    /// Scheduling policy label (`priority` / `fairshare`).
+    pub scheduling: &'static str,
+    /// Whether the adversarial heavy tenant ran.
+    pub heavy: bool,
+    /// Scheduler picks observed.
+    pub picks: u64,
+    /// Picks that deviated from the DRF choice (0 under fair share).
+    pub non_drf_picks: u64,
+    /// Max picked-share minus min-eligible-share over all picks.
+    pub max_share_gap: f64,
+    /// Quota evictions across tenants.
+    pub quota_evictions: u64,
+    /// Global-pressure evictions across tenants.
+    pub global_evictions: u64,
+    /// Byte-identity verification, when `verify_bytes` was on.
+    pub byte_identity: Option<ByteIdentity>,
 }
 
 impl MultiTenantReport {
@@ -169,11 +269,13 @@ impl MultiTenantReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "multi-tenant service: {} tenants, {} cores, {} iterations total, {}\n",
+            "multi-tenant service: {} tenants, {} cores, {} iterations total, {}, {} scheduling{}\n",
             self.tenants.len(),
             self.cores,
             self.total_iterations,
             if self.distinct_seeds { "per-tenant seeds" } else { "shared seed" },
+            self.scheduling,
+            if self.heavy { ", adversarial heavy tenant" } else { "" },
         ));
         out.push_str(&format!(
             "  service wall {:>8.2} ms  ({:.2} iter/s)\n",
@@ -192,21 +294,49 @@ impl MultiTenantReport {
             self.peak_cores_leased,
             self.cores
         ));
+        out.push_str(&format!(
+            "  scheduler: {} picks, {} non-DRF, max share gap {:.3}; evictions quota {} / \
+             global {}\n",
+            self.picks,
+            self.non_drf_picks,
+            self.max_share_gap,
+            self.quota_evictions,
+            self.global_evictions,
+        ));
+        if let Some(bytes) = &self.byte_identity {
+            out.push_str(&format!(
+                "  byte identity vs solo serial: {}/{} sessions identical\n",
+                bytes.sessions_checked - bytes.mismatches,
+                bytes.sessions_checked,
+            ));
+        }
         for t in &self.tenants {
             out.push_str(&format!(
-                "  {:>10} [{:>8}]  iters {:>2}  mean latency {:>8.2} ms  queued {:>8.2} ms  \
-                 self-hits {:>3}  cross-hits {:>3}\n",
+                "  {:>10} [{:>8}] x{} sess  iters {:>2}  mean latency {:>8.2} ms  queued \
+                 {:>8.2} ms  self-hits {:>3}  cross-hits {:>3}  dispatches {:>2}  max-wait \
+                 {:>2}  share {:.3}\n",
                 t.tenant,
                 t.workload,
+                t.sessions,
                 t.iterations,
                 t.mean_latency_nanos() as f64 / 1e6,
                 t.queue_wait_nanos as f64 / 1e6,
                 t.self_hits,
                 t.cross_hits,
+                t.dispatches,
+                t.max_eligible_wait,
+                t.dominant_share,
             ));
         }
         out
     }
+}
+
+/// What one session thread brought back from the concurrent run.
+struct SessionTrace {
+    tenant_ix: usize,
+    latencies: Vec<Nanos>,
+    outputs: Vec<Outputs>,
 }
 
 /// Run the concurrent service workload and the serial baseline, and
@@ -214,97 +344,163 @@ impl MultiTenantReport {
 pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantReport> {
     let tenants = config.tenants.max(1);
     let iterations = config.iterations.max(1);
+    let total_sessions: usize = (0..tenants).map(|ix| config.sessions_for(ix)).sum();
 
     // --- concurrent service run -----------------------------------------
     let service = HelixService::new(
         ServiceConfig::new(config.cores)
             .with_disk(config.disk)
             .with_seed(config.seed)
-            .with_max_concurrent_iterations(tenants.max(config.cores)),
+            .with_max_concurrent_iterations(total_sessions.max(config.cores))
+            .with_scheduling(if config.fair {
+                SchedulingPolicy::fair()
+            } else {
+                SchedulingPolicy::Priority
+            }),
     )?;
     for ix in 0..tenants {
-        service.register_tenant(&format!("tenant-{ix}"), TenantSpec::default())?;
+        let spec = if config.heavy && ix == 0 {
+            // The adversary: a priority that would dominate under the
+            // strict policy, and enough concurrency headroom to occupy
+            // every core with its own sessions.
+            TenantSpec::default().with_priority(3).with_max_concurrent(config.sessions_for(ix))
+        } else {
+            TenantSpec::default()
+        };
+        service.register_tenant(&format!("tenant-{ix}"), spec)?;
     }
 
     let started = Instant::now();
-    let mut latency_lists: Vec<Vec<Nanos>> = Vec::new();
+    let mut traces: Vec<SessionTrace> = Vec::new();
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::new();
         for ix in 0..tenants {
-            let service = &service;
-            let session_config = SessionConfig::in_memory()
-                .with_workers(config.workers_per_session)
-                .with_seed(config.seed_for(ix));
-            handles.push(scope.spawn(move || -> Result<Vec<Nanos>> {
-                let session = service.open_session(&format!("tenant-{ix}"), session_config)?;
-                let mut workload = workload_for(ix);
-                let changes = workload.scripted_sequence();
-                let mut latencies = Vec::with_capacity(iterations);
-                for iter in 0..iterations {
-                    if iter > 0 {
-                        workload.apply_change(changes[(iter - 1) % changes.len()]);
-                    }
+            for _ in 0..config.sessions_for(ix) {
+                let service = &service;
+                let session_config = SessionConfig::in_memory()
+                    .with_workers(config.workers_per_session)
+                    .with_seed(config.seed_for(ix));
+                handles.push(scope.spawn(move || -> Result<SessionTrace> {
+                    let session = service.open_session(&format!("tenant-{ix}"), session_config)?;
+                    // Submit the whole schedule up front: this is what
+                    // creates real backlog pressure (and exercises the
+                    // planning/execution overlap of successor jobs).
                     let submitted = Instant::now();
-                    session.run_iteration(workload.build())?;
-                    latencies.push(submitted.elapsed().as_nanos() as Nanos);
-                }
-                Ok(latencies)
-            }));
+                    let tickets: Vec<JobTicket> = iteration_workflows(ix, iterations)
+                        .into_iter()
+                        .map(|wf| session.submit(wf))
+                        .collect::<Result<_>>()?;
+                    let mut latencies = Vec::with_capacity(iterations);
+                    let mut outputs = Vec::with_capacity(iterations);
+                    for ticket in tickets {
+                        let report = ticket.wait()?;
+                        latencies.push(submitted.elapsed().as_nanos() as Nanos);
+                        outputs.push(outputs_of(&report));
+                    }
+                    Ok(SessionTrace { tenant_ix: ix, latencies, outputs })
+                }));
+            }
         }
         for handle in handles {
-            latency_lists.push(handle.join().expect("tenant thread panicked")?);
+            traces.push(handle.join().expect("session thread panicked")?);
         }
         Ok(())
     })?;
     let service_wall_nanos = started.elapsed().as_nanos() as Nanos;
     let stats = service.stats();
 
+    // --- byte-identity ground truth ---------------------------------------
+    // Strict-serial solo runs (one worker, pipeline off, private catalog),
+    // one per distinct (tenant workload, seed); every session of that
+    // tenant must reproduce the trace byte-for-byte.
+    let byte_identity = if config.verify_bytes {
+        let mut ground_truth: BTreeMap<usize, Vec<Outputs>> = BTreeMap::new();
+        for ix in 0..tenants {
+            let mut session = Session::new(
+                SessionConfig {
+                    disk: config.disk,
+                    ..SessionConfig::in_memory().with_workers(1).with_pipeline(false)
+                }
+                .with_seed(config.seed_for(ix)),
+            )?;
+            let trace = iteration_workflows(ix, iterations)
+                .iter()
+                .map(|wf| session.run(wf).map(|r| outputs_of(&r)))
+                .collect::<Result<Vec<Outputs>>>()?;
+            ground_truth.insert(ix, trace);
+        }
+        let mismatches = traces.iter().filter(|t| t.outputs != ground_truth[&t.tenant_ix]).count();
+        Some(ByteIdentity { sessions_checked: traces.len(), mismatches })
+    } else {
+        None
+    };
+
     let mut outcomes = Vec::with_capacity(tenants);
-    for (ix, latencies) in latency_lists.into_iter().enumerate() {
+    for ix in 0..tenants {
         let name = format!("tenant-{ix}");
         let t = &stats.tenants[&name];
+        let audit = stats.fairness.per_tenant.get(&name);
+        let mut latencies: Vec<Nanos> = traces
+            .iter()
+            .filter(|trace| trace.tenant_ix == ix)
+            .flat_map(|trace| trace.latencies.iter().copied())
+            .collect();
+        latencies.sort_unstable();
         outcomes.push(TenantOutcome {
             tenant: name,
             workload: workload_name_for(ix),
-            iterations,
+            sessions: config.sessions_for(ix),
+            iterations: config.sessions_for(ix) * iterations,
             latencies_nanos: latencies,
             queue_wait_nanos: t.queue_wait_nanos,
             run_nanos: t.run_nanos,
             self_hits: t.self_hits,
             cross_hits: t.cross_hits,
+            dispatches: audit.map_or(0, |a| a.dispatches),
+            max_eligible_wait: audit.map_or(0, |a| a.max_eligible_wait),
+            dominant_share: t.dominant_share,
         });
     }
 
     // --- serial back-to-back baseline ------------------------------------
-    // The pre-service deployment model: each tenant is a solo session with
-    // a private catalog; tenants run strictly one after another.
-    let serial_started = Instant::now();
-    for ix in 0..tenants {
-        let mut session = helix_core::Session::new(SessionConfig {
-            disk: config.disk,
-            seed: Some(config.seed_for(ix)),
-            ..SessionConfig::in_memory().with_workers(config.workers_per_session)
-        })?;
-        let mut workload = workload_for(ix);
-        let changes = workload.scripted_sequence();
-        for iter in 0..iterations {
-            if iter > 0 {
-                workload.apply_change(changes[(iter - 1) % changes.len()]);
+    // The pre-service deployment model: each session is a solo session
+    // with a private catalog; sessions run strictly one after another.
+    let serial_wall_nanos = if config.measure_serial_baseline {
+        let serial_started = Instant::now();
+        for ix in 0..tenants {
+            for _ in 0..config.sessions_for(ix) {
+                let mut session = Session::new(SessionConfig {
+                    disk: config.disk,
+                    seed: Some(config.seed_for(ix)),
+                    ..SessionConfig::in_memory().with_workers(config.workers_per_session)
+                })?;
+                for wf in iteration_workflows(ix, iterations) {
+                    session.run(&wf)?;
+                }
             }
-            session.run(&workload.build())?;
         }
-    }
-    let serial_wall_nanos = serial_started.elapsed().as_nanos() as Nanos;
+        serial_started.elapsed().as_nanos() as Nanos
+    } else {
+        0
+    };
 
     Ok(MultiTenantReport {
         tenants: outcomes,
         service_wall_nanos,
         serial_wall_nanos,
-        total_iterations: tenants * iterations,
+        total_iterations: total_sessions * iterations,
         cross_hit_rate: stats.cross_hit_rate(),
         peak_cores_leased: stats.peak_cores_leased,
         cores: stats.cores_total,
         distinct_seeds: config.distinct_seeds,
+        scheduling: if config.fair { "fairshare" } else { "priority" },
+        heavy: config.heavy,
+        picks: stats.fairness.picks,
+        non_drf_picks: stats.fairness.non_drf_picks,
+        max_share_gap: stats.fairness.max_share_gap,
+        quota_evictions: stats.tenants.values().map(|t| t.quota_evictions).sum(),
+        global_evictions: stats.tenants.values().map(|t| t.global_evictions).sum(),
+        byte_identity,
     })
 }
 
@@ -315,12 +511,11 @@ mod tests {
     #[test]
     fn smoke_run_reports_cross_tenant_hits() {
         // Tenants 0 and 1 share the census workload end-to-end. With one
-        // core, iterations serialize on the core budget, so whichever
-        // tenant runs second *deterministically* loads artifacts the
-        // first computed (both apply the same scripted change schedule).
-        // With more cores the hits are still reported, but two tenants
-        // computing the same node simultaneously can legitimately both
-        // own it — so the deterministic assertion pins cores to 1.
+        // core, whole iterations (plan + execute, both under the base
+        // token) serialize on the core budget, so whichever tenant's
+        // identical iteration runs later *deterministically* loads
+        // artifacts the earlier one computed (both apply the same
+        // scripted change schedule).
         let config = MultiTenantConfig { cores: 1, ..MultiTenantConfig::smoke() };
         let report = run_multi_tenant(&config).unwrap();
         assert_eq!(report.total_iterations, 4);
@@ -335,6 +530,7 @@ mod tests {
             "the follower rides the leader's artifacts"
         );
         assert!(report.render().contains("cross-tenant hit rate"));
+        assert_eq!(report.scheduling, "priority");
     }
 
     #[test]
@@ -351,5 +547,27 @@ mod tests {
         assert!(report.cross_hit_rate > 0.0, "per-tenant seeds must not kill prefix sharing");
         assert!(report.peak_cores_leased <= report.cores);
         assert!(report.render().contains("per-tenant seeds"));
+    }
+
+    #[test]
+    fn fair_heavy_run_is_byte_identical_and_audit_clean() {
+        let config = MultiTenantConfig {
+            tenants: 3,
+            cores: 2,
+            fair: true,
+            heavy: true,
+            verify_bytes: true,
+            ..MultiTenantConfig::smoke()
+        };
+        let report = run_multi_tenant(&config).unwrap();
+        assert_eq!(report.scheduling, "fairshare");
+        assert_eq!(report.non_drf_picks, 0, "fair-share picks are the DRF choice");
+        assert_eq!(report.max_share_gap, 0.0);
+        let bytes = report.byte_identity.expect("verification ran");
+        assert_eq!(bytes.mismatches, 0, "every session byte-identical to its solo run");
+        assert_eq!(bytes.sessions_checked, 3 + 2, "heavy opened cores + 1 sessions");
+        assert!(report.peak_cores_leased <= report.cores);
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        assert!(json.contains("non_drf_picks"));
     }
 }

@@ -790,6 +790,25 @@ impl Coordinator<'_> {
                         &self.protected,
                     )?;
                 }
+                // Global pressure: with every tenant inside its own
+                // quota the *shared* store can still exceed the
+                // service's global byte budget (quotas may oversubscribe
+                // deliberately, and cross-tenant claims charge the same
+                // bytes to several owners). Make room across tenants in
+                // retention-score order — sole-owned first, popular
+                // (refcount > 1) artifacts retained longest; this plan's
+                // signatures and other iterations' pinned loads are
+                // never victims.
+                if let Some(global) = self.catalog.global_budget() {
+                    let projected = self.catalog.total_bytes().saturating_add(size);
+                    if projected > global {
+                        self.catalog.evict_global(
+                            self.tenant,
+                            projected - global,
+                            &self.protected,
+                        )?;
+                    }
+                }
                 // With the write lane on, stage now (index, owners, quota
                 // — everything later decisions read) and let the writer
                 // land the file off the critical path; the reported write

@@ -264,6 +264,26 @@ pub struct Session {
 pub struct PreparedIteration {
     states: Vec<State>,
     sigs: Vec<Signature>,
+    /// RAII pins on the plan's `Load` signatures: held from plan-claim
+    /// time until the iteration retires (or the prepared iteration is
+    /// dropped unexecuted), so another tenant's *global-pressure*
+    /// eviction can never delete an artifact this plan is about to load.
+    /// Owner claims already shield against `release` and quota eviction;
+    /// pins close the same window against `evict_global`, whose victims
+    /// may be co-owned.
+    pins: Option<PlanPins>,
+}
+
+/// Transient catalog pins scoped to one prepared iteration.
+struct PlanPins {
+    catalog: Arc<MaterializationCatalog>,
+    sigs: Vec<Signature>,
+}
+
+impl Drop for PlanPins {
+    fn drop(&mut self) {
+        self.catalog.unpin_many(&self.sigs);
+    }
 }
 
 impl Session {
@@ -497,23 +517,34 @@ impl Session {
             planning_sigs
         };
 
-        // 4½. Claim planned loads. On a shared catalog, the window
+        // 4½. Claim + pin planned loads. On a shared catalog, the window
         //    between planning (`contains` said yes) and execution is a
-        //    race against other tenants' deprecation or quota eviction.
-        //    Pinning every `Load` signature as a co-owner *now* closes
-        //    it: once claimed, another tenant's `release` drops only its
-        //    own claim and quota eviction skips co-owned artifacts. A
+        //    race against other tenants' deprecation, quota eviction,
+        //    and global-pressure eviction. Each `Load` signature is
+        //    claimed as a co-owner *and* transiently pinned under one
+        //    catalog lock hold (`claim_and_pin_if_present`): once
+        //    claimed, another tenant's `release` drops only its own
+        //    claim and quota eviction skips co-owned artifacts; the pin
+        //    additionally shields against `evict_global`, whose victims
+        //    may be co-owned — atomically, so there is no
+        //    claimed-but-unpinned instant an eviction could exploit. A
         //    failed claim means the artifact vanished mid-plan — replan
         //    (the node falls back to `Compute`) and try again. The retry
         //    loop is bounded: claims only fail for freshly deleted
         //    artifacts, and a replan without them cannot resurrect them.
+        //    Pins accumulate across retries (a superseded plan's pin is
+        //    just held conservatively until the iteration retires).
+        let mut pinned: Vec<Signature> = Vec::new();
         for _attempt in 0..=wf.len() {
             let mut vanished = false;
             for (id, _) in wf.dag().iter() {
-                if planned.states[id.ix()] == State::Load
-                    && !self.catalog.claim_if_present(storage_sigs[id.ix()], &self.tenant)
-                {
-                    vanished = true;
+                if planned.states[id.ix()] == State::Load {
+                    let sig = storage_sigs[id.ix()];
+                    if self.catalog.claim_and_pin_if_present(sig, &self.tenant) {
+                        pinned.push(sig);
+                    } else {
+                        vanished = true;
+                    }
                 }
             }
             if !vanished {
@@ -529,7 +560,13 @@ impl Session {
             planned = plan(wf, &inputs);
         }
 
-        Ok(PreparedIteration { states: planned.states, sigs: storage_sigs })
+        // The pins taken above live until the prepared iteration retires
+        // (RAII; one unpin per successful claim-and-pin, including
+        // superseded retry attempts).
+        let pins = (!pinned.is_empty())
+            .then(|| PlanPins { catalog: Arc::clone(&self.catalog), sigs: pinned });
+
+        Ok(PreparedIteration { states: planned.states, sigs: storage_sigs, pins })
     }
 
     /// Lifecycle steps 5–6: execute the prepared plan (with the
@@ -541,7 +578,10 @@ impl Session {
         wf: &Workflow,
         prepared: PreparedIteration,
     ) -> Result<IterationReport> {
-        let PreparedIteration { states: planned_states, sigs: storage_sigs } = prepared;
+        // `pins` stays alive for the whole execution and unpins on every
+        // exit path (including unwinds caught by the service runner).
+        let PreparedIteration { states: planned_states, sigs: storage_sigs, pins } = prepared;
+        let _pins = pins;
         assert_eq!(planned_states.len(), wf.len(), "prepared plan does not match the workflow");
 
         // The write lane exists once per session (its drain spans

@@ -29,9 +29,20 @@
 //! byte-identical whether a caller is granted all, some, or none of the
 //! tokens it asked for.
 
+use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 
 /// A shared budget of core tokens (semaphore with peak tracking).
+///
+/// Leases may carry a **label** (the tenant that holds them):
+/// [`CoreBudget::acquire_one_labeled`] attributes the base token of a
+/// running iteration to its tenant, and
+/// [`leased_for`](CoreBudget::leased_for) /
+/// [`peak_leased_for`](CoreBudget::peak_leased_for) expose the per-label
+/// current and high-water counts. This is the per-tenant executing-core
+/// accounting the fair-share scheduler and `ServiceStats` report against;
+/// unlabeled leases (engine dispatch width, data-parallel chunks, I/O
+/// lanes) still count against the shared total only.
 #[derive(Debug)]
 pub struct CoreBudget {
     total: usize,
@@ -39,10 +50,17 @@ pub struct CoreBudget {
     released: Condvar,
 }
 
+#[derive(Debug, Default)]
+struct LabelCount {
+    leased: usize,
+    peak: usize,
+}
+
 #[derive(Debug)]
 struct Counters {
     leased: usize,
     peak: usize,
+    by_label: HashMap<String, LabelCount>,
 }
 
 impl CoreBudget {
@@ -50,7 +68,7 @@ impl CoreBudget {
     pub fn new(total: usize) -> CoreBudget {
         CoreBudget {
             total: total.max(1),
-            state: Mutex::new(Counters { leased: 0, peak: 0 }),
+            state: Mutex::new(Counters { leased: 0, peak: 0, by_label: HashMap::new() }),
             released: Condvar::new(),
         }
     }
@@ -70,6 +88,16 @@ impl CoreBudget {
         self.state.lock().expect("budget poisoned").peak
     }
 
+    /// Tokens currently leased under `label`.
+    pub fn leased_for(&self, label: &str) -> usize {
+        self.state.lock().expect("budget poisoned").by_label.get(label).map_or(0, |c| c.leased)
+    }
+
+    /// High-water mark of tokens simultaneously leased under `label`.
+    pub fn peak_leased_for(&self, label: &str) -> usize {
+        self.state.lock().expect("budget poisoned").by_label.get(label).map_or(0, |c| c.peak)
+    }
+
     /// Block until one token is free, then lease it.
     ///
     /// This is the *base* lease of a running iteration. To stay
@@ -77,13 +105,29 @@ impl CoreBudget {
     /// blocking for another — all further parallelism goes through the
     /// non-blocking [`try_acquire`](Self::try_acquire).
     pub fn acquire_one(&self) -> CoreLease<'_> {
+        self.acquire_one_inner(None)
+    }
+
+    /// [`acquire_one`](Self::acquire_one), attributed to `label` in the
+    /// per-label accounting (the service labels base tokens with the
+    /// owning tenant).
+    pub fn acquire_one_labeled(&self, label: &str) -> CoreLease<'_> {
+        self.acquire_one_inner(Some(label.to_string()))
+    }
+
+    fn acquire_one_inner(&self, label: Option<String>) -> CoreLease<'_> {
         let mut state = self.state.lock().expect("budget poisoned");
         while state.leased >= self.total {
             state = self.released.wait(state).expect("budget poisoned");
         }
         state.leased += 1;
         state.peak = state.peak.max(state.leased);
-        CoreLease { budget: self, tokens: 1 }
+        if let Some(label) = &label {
+            let count = state.by_label.entry(label.clone()).or_default();
+            count.leased += 1;
+            count.peak = count.peak.max(count.leased);
+        }
+        CoreLease { budget: self, tokens: 1, label }
     }
 
     /// Lease exactly one token without blocking; `None` when the budget
@@ -100,15 +144,20 @@ impl CoreBudget {
         let grant = max.min(self.total - state.leased);
         state.leased += grant;
         state.peak = state.peak.max(state.leased);
-        CoreLease { budget: self, tokens: grant }
+        CoreLease { budget: self, tokens: grant, label: None }
     }
 
-    fn release(&self, tokens: usize) {
+    fn release(&self, tokens: usize, label: Option<&str>) {
         if tokens == 0 {
             return;
         }
         let mut state = self.state.lock().expect("budget poisoned");
         state.leased -= tokens;
+        if let Some(label) = label {
+            if let Some(count) = state.by_label.get_mut(label) {
+                count.leased = count.leased.saturating_sub(tokens);
+            }
+        }
         drop(state);
         self.released.notify_all();
     }
@@ -119,6 +168,8 @@ impl CoreBudget {
 pub struct CoreLease<'a> {
     budget: &'a CoreBudget,
     tokens: usize,
+    /// Attribution label (tenant) for per-label accounting, if any.
+    label: Option<String>,
 }
 
 impl CoreLease<'_> {
@@ -130,7 +181,7 @@ impl CoreLease<'_> {
 
 impl Drop for CoreLease<'_> {
     fn drop(&mut self) {
-        self.budget.release(self.tokens);
+        self.budget.release(self.tokens, self.label.as_deref());
     }
 }
 
@@ -153,6 +204,28 @@ mod tests {
         assert_eq!(budget.leased(), 1);
         assert_eq!(budget.try_acquire(10).tokens(), 3);
         assert_eq!(budget.peak_leased(), 4);
+    }
+
+    #[test]
+    fn labeled_leases_track_per_label_current_and_peak() {
+        let budget = CoreBudget::new(4);
+        let a1 = budget.acquire_one_labeled("alice");
+        let a2 = budget.acquire_one_labeled("alice");
+        let b = budget.acquire_one_labeled("bob");
+        let _anon = budget.try_acquire(1);
+        assert_eq!(budget.leased_for("alice"), 2);
+        assert_eq!(budget.leased_for("bob"), 1);
+        assert_eq!(budget.leased_for("nobody"), 0);
+        assert_eq!(budget.leased(), 4, "labels are attribution, not extra capacity");
+        drop(a1);
+        drop(b);
+        assert_eq!(budget.leased_for("alice"), 1);
+        assert_eq!(budget.leased_for("bob"), 0);
+        assert_eq!(budget.peak_leased_for("alice"), 2, "per-label high-water mark sticks");
+        assert_eq!(budget.peak_leased_for("bob"), 1);
+        drop(a2);
+        assert_eq!(budget.leased_for("alice"), 0);
+        assert!(budget.peak_leased() <= budget.total());
     }
 
     #[test]

@@ -1,10 +1,20 @@
 //! Admission control and scheduling policy.
 //!
 //! The service accepts work through a **bounded submission queue** (back
-//! pressure instead of unbounded memory growth) and drains it
-//! **FIFO-with-priority**: among queued jobs that are *eligible* right
-//! now, the highest tenant priority wins, ties broken by submission
-//! order. A job is eligible when
+//! pressure instead of unbounded memory growth) and drains it under one
+//! of two policies ([`SchedulingPolicy`]):
+//!
+//! * **`Priority`** (FIFO-with-priority): among queued jobs that are
+//!   *eligible* right now, the highest tenant priority wins, ties broken
+//!   by submission order.
+//! * **`FairShare`** (weighted DRF, [`crate::fairshare`]): among tenants
+//!   with an eligible job, the one with the lowest weighted dominant
+//!   share over cores + catalog storage wins (exact share ties by lowest
+//!   weighted lifetime dispatch count, then tenant id); within that
+//!   tenant, a fresh session's job beats a parked pipelining successor,
+//!   then submission order. Tenant priorities are ignored.
+//!
+//! A job is eligible when
 //!
 //! 1. the global concurrency cap has head-room
 //!    ([`AdmissionCaps::max_concurrent_iterations`], counted over all
@@ -30,6 +40,7 @@
 //! chain + read-set-validated speculative plans), so the policy here is
 //! free to reorder across tenants for latency or fairness.
 
+use crate::fairshare::{DrfAllocator, FairnessAudit, SchedulingPolicy, SHARE_SCALE};
 use crate::ticket::TicketState;
 use helix_core::{Session, SpeculationInputs, Workflow};
 use std::collections::{HashMap, VecDeque};
@@ -73,6 +84,24 @@ struct SessionActivity {
     planning: usize,
 }
 
+/// Internal audit counters (snapshotted into [`FairnessAudit`]).
+#[derive(Default)]
+struct AuditState {
+    picks: u64,
+    non_drf_picks: u64,
+    max_share_gap_scaled: u128,
+    per_tenant: HashMap<String, TenantAuditState>,
+}
+
+#[derive(Default)]
+struct TenantAuditState {
+    dispatches: u64,
+    /// Consecutive picks that went elsewhere while this tenant had an
+    /// eligible job (reset to zero on every dispatch of this tenant).
+    current_wait: u64,
+    max_wait: u64,
+}
+
 /// Queue + running-set bookkeeping (lives behind the service mutex).
 pub(crate) struct AdmissionQueue {
     caps: AdmissionCaps,
@@ -94,10 +123,34 @@ pub(crate) struct AdmissionQueue {
     /// Queued + dispatched: zero means fully drained.
     jobs_in_system: usize,
     pub shutdown: bool,
+    /// Which policy `pick` applies across tenants.
+    policy: SchedulingPolicy,
+    /// The DRF ledger: maintained under *both* policies so the fairness
+    /// audit and per-tenant dominant shares are always observable.
+    drf: DrfAllocator,
+    audit: AuditState,
 }
 
 impl AdmissionQueue {
+    /// A priority-policy queue with unit resource capacities (unit tests;
+    /// the service uses [`with_policy`](Self::with_policy)).
+    #[cfg(test)]
     pub fn new(caps: AdmissionCaps) -> AdmissionQueue {
+        Self::with_policy(caps, SchedulingPolicy::Priority, 1, 1)
+    }
+
+    /// A queue applying `policy` over `cores_capacity` core tokens and
+    /// `storage_capacity` catalog bytes (the DRF share denominators).
+    pub fn with_policy(
+        caps: AdmissionCaps,
+        policy: SchedulingPolicy,
+        cores_capacity: u64,
+        storage_capacity: u64,
+    ) -> AdmissionQueue {
+        let weights = match &policy {
+            SchedulingPolicy::FairShare { weights } => weights.clone(),
+            SchedulingPolicy::Priority => Default::default(),
+        };
         AdmissionQueue {
             caps,
             queue: VecDeque::new(),
@@ -108,6 +161,9 @@ impl AdmissionQueue {
             next_seq: 0,
             jobs_in_system: 0,
             shutdown: false,
+            policy,
+            drf: DrfAllocator::new(cores_capacity, storage_capacity).with_weights(weights),
+            audit: AuditState::default(),
         }
     }
 
@@ -130,7 +186,9 @@ impl AdmissionQueue {
         if self.dispatched_total >= self.caps.max_concurrent_iterations {
             return None;
         }
-        let mut best: Option<(usize, bool)> = None;
+        // Shared eligibility pass (both policies), in seq order:
+        // (queue index, is-pipelining-successor).
+        let mut eligible: Vec<(usize, bool)> = Vec::new();
         for (ix, job) in self.queue.iter().enumerate() {
             // Session rule: idle sessions always qualify; a session whose
             // sole dispatched job has entered its execute phase may admit
@@ -152,28 +210,104 @@ impl AdmissionQueue {
                     continue;
                 }
             }
-            // The queue is in seq order, so the first hit at a given
-            // (priority, fresh-vs-successor) rank is the FIFO winner.
-            // Strictly higher priority displaces; at equal priority a
-            // *fresh* session's job displaces a pipelining successor —
-            // the successor would only park on its session's lock, and
-            // under a tight global cap that slot should go to work that
-            // can execute now (the successor is picked on the very next
-            // round once capacity allows).
-            match best {
-                None => best = Some((ix, successor)),
-                Some((b, best_successor)) => {
-                    let better_priority = job.priority > self.queue[b].priority;
-                    let same_priority_fresh_beats_successor =
-                        job.priority == self.queue[b].priority && best_successor && !successor;
-                    if better_priority || same_priority_fresh_beats_successor {
-                        best = Some((ix, successor));
+            eligible.push((ix, successor));
+        }
+        // Each arm yields the chosen queue index plus the DRF reference
+        // choice at decision-time shares (what the audit compares
+        // against; under FairShare they coincide by construction).
+        let (ix, drf_choice) = match &self.policy {
+            SchedulingPolicy::Priority => {
+                // The queue is in seq order, so the first hit at a given
+                // (priority, fresh-vs-successor) rank is the FIFO winner.
+                // Strictly higher priority displaces; at equal priority a
+                // *fresh* session's job displaces a pipelining successor —
+                // the successor would only park on its session's lock, and
+                // under a tight global cap that slot should go to work
+                // that can execute now (the successor is picked on the
+                // very next round once capacity allows).
+                let mut best: Option<(usize, bool)> = None;
+                for &(ix, successor) in &eligible {
+                    match best {
+                        None => best = Some((ix, successor)),
+                        Some((b, best_successor)) => {
+                            let job = &self.queue[ix];
+                            let better_priority = job.priority > self.queue[b].priority;
+                            let fresh_beats_successor = job.priority == self.queue[b].priority
+                                && best_successor
+                                && !successor;
+                            if better_priority || fresh_beats_successor {
+                                best = Some((ix, successor));
+                            }
+                        }
                     }
                 }
+                let ix = best.map(|(ix, _)| ix)?;
+                let choice = self
+                    .drf
+                    .pick(eligible.iter().map(|&(jx, _)| self.queue[jx].tenant.as_str()))?;
+                (ix, choice)
+            }
+            SchedulingPolicy::FairShare { .. } => {
+                // One candidate per tenant: the first eligible *fresh*
+                // job in seq order, falling back to the first eligible
+                // successor (same fresh-beats-parked-successor rationale
+                // as above, applied within the tenant). Across tenants,
+                // DRF: lowest weighted dominant share, ties by tenant id.
+                let mut by_tenant: HashMap<&str, (usize, bool)> = HashMap::new();
+                for &(ix, successor) in &eligible {
+                    match by_tenant.get_mut(self.queue[ix].tenant.as_str()) {
+                        None => {
+                            by_tenant.insert(self.queue[ix].tenant.as_str(), (ix, successor));
+                        }
+                        Some(slot) => {
+                            if slot.1 && !successor {
+                                *slot = (ix, successor);
+                            }
+                        }
+                    }
+                }
+                let tenant = self.drf.pick(by_tenant.keys().copied())?;
+                (by_tenant[tenant].0, tenant)
+            }
+        };
+        // Audit the decision against the DRF ledger (both policies), at
+        // decision-time shares. Inline (field-disjoint borrows) so the
+        // FairShare winner is reused instead of re-solving the pick.
+        let picked_tenant = self.queue[ix].tenant.as_str();
+        self.audit.picks += 1;
+        if drf_choice != picked_tenant {
+            self.audit.non_drf_picks += 1;
+        }
+        let gap = self
+            .drf
+            .dominant_share_scaled(picked_tenant)
+            .saturating_sub(self.drf.dominant_share_scaled(drf_choice));
+        self.audit.max_share_gap_scaled = self.audit.max_share_gap_scaled.max(gap);
+        let mut eligible_tenants: Vec<&str> =
+            eligible.iter().map(|&(jx, _)| self.queue[jx].tenant.as_str()).collect();
+        eligible_tenants.sort_unstable();
+        eligible_tenants.dedup();
+        // Wait streaks measure *consecutive* picks while continuously
+        // eligible: a tenant that left the eligible set since the last
+        // pick (cap reached, sessions busy) ended its streak — it was
+        // not waiting — so its counter restarts rather than resuming.
+        for (tenant, state) in self.audit.per_tenant.iter_mut() {
+            if !eligible_tenants.contains(&tenant.as_str()) {
+                state.current_wait = 0;
             }
         }
-        let best = best.map(|(ix, _)| ix);
-        let ix = best?;
+        for tenant in &eligible_tenants {
+            let entry = self.audit.per_tenant.entry((*tenant).to_string()).or_default();
+            if *tenant == picked_tenant {
+                entry.dispatches += 1;
+                entry.current_wait = 0;
+            } else {
+                entry.current_wait += 1;
+                entry.max_wait = entry.max_wait.max(entry.current_wait);
+            }
+        }
+        self.drf.acquire(picked_tenant);
+
         let job = self.queue.remove(ix).expect("index valid");
         self.dispatched_total += 1;
         let activity = self.sessions.entry(job.session_id).or_default();
@@ -183,6 +317,60 @@ impl AdmissionQueue {
         activity.members += 1;
         activity.planning += 1;
         Some(job)
+    }
+
+    /// The distinct tenants with queued work, name-ordered. The
+    /// scheduler pairs this with one batched catalog lookup and
+    /// [`set_tenant_bytes`](Self::set_tenant_bytes) to refresh the DRF
+    /// ledger's storage side before each pick round.
+    pub fn queued_tenants(&self) -> Vec<String> {
+        let mut tenants: Vec<&str> = self.queue.iter().map(|job| job.tenant.as_str()).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        tenants.into_iter().map(str::to_string).collect()
+    }
+
+    /// Install refreshed storage-side usage into the DRF ledger
+    /// (parallel arrays, as returned by a batched catalog lookup).
+    pub fn set_tenant_bytes(&mut self, tenants: &[String], bytes: &[u64]) {
+        for (tenant, bytes) in tenants.iter().zip(bytes) {
+            self.drf.set_bytes(tenant, *bytes);
+        }
+    }
+
+    /// `tenant`'s weighted dominant share computed against `bytes` of
+    /// storage usage — read-only (the stats path must not write into the
+    /// scheduler's ledger).
+    pub fn dominant_share(&self, tenant: &str, bytes: u64) -> f64 {
+        self.drf.dominant_share_given_bytes(tenant, bytes)
+    }
+
+    /// The DRF weight in force for `tenant`.
+    pub fn weight_of(&self, tenant: &str) -> u32 {
+        self.drf.weight_of(tenant)
+    }
+
+    /// Snapshot the fairness audit.
+    pub fn fairness(&self) -> FairnessAudit {
+        FairnessAudit {
+            picks: self.audit.picks,
+            non_drf_picks: self.audit.non_drf_picks,
+            max_share_gap: self.audit.max_share_gap_scaled as f64 / SHARE_SCALE as f64,
+            per_tenant: self
+                .audit
+                .per_tenant
+                .iter()
+                .map(|(tenant, state)| {
+                    (
+                        tenant.clone(),
+                        crate::fairshare::TenantAudit {
+                            dispatches: state.dispatches,
+                            max_eligible_wait: state.max_wait,
+                        },
+                    )
+                })
+                .collect(),
+        }
     }
 
     /// Whether a job for `session_id` is still waiting in the queue (a
@@ -207,6 +395,14 @@ impl AdmissionQueue {
     /// semantics).
     pub fn requeue(&mut self, job: Job) {
         self.dispatched_total -= 1;
+        // The dispatch never happened: reverse the core lease *and* the
+        // lifetime dispatch count (and its audit mirror), or the re-pick
+        // would double-count this job against the tenant in the
+        // round-robin tie-break and the reported stats.
+        self.drf.cancel_dispatch(&job.tenant);
+        if let Some(state) = self.audit.per_tenant.get_mut(&job.tenant) {
+            state.dispatches = state.dispatches.saturating_sub(1);
+        }
         if let Some(activity) = self.sessions.get_mut(&job.session_id) {
             activity.members -= 1;
             activity.planning = activity.planning.saturating_sub(1);
@@ -235,6 +431,7 @@ impl AdmissionQueue {
     pub fn finish(&mut self, tenant: &str, session_id: u64, entered_execute: bool) {
         self.dispatched_total -= 1;
         self.jobs_in_system -= 1;
+        self.drf.release(tenant);
         if entered_execute {
             self.executing_total = self.executing_total.saturating_sub(1);
         }
@@ -425,6 +622,87 @@ mod tests {
         assert!(q.pick().is_none(), "global cap of 2 dispatched jobs reached");
         q.finish("t", 0, false);
         assert!(q.pick().is_some());
+    }
+
+    fn fair_queue(cores: u64) -> AdmissionQueue {
+        AdmissionQueue::with_policy(caps(64, 64), SchedulingPolicy::fair(), cores, 1 << 20)
+    }
+
+    #[test]
+    fn fair_share_rotates_across_backlogged_tenants_ignoring_priority() {
+        let mut q = fair_queue(4);
+        // A high-priority heavy tenant floods the queue first; a
+        // zero-priority light tenant arrives last.
+        for s in 0..4 {
+            q.enqueue(job("heavy", 3, s, 8));
+        }
+        q.enqueue(job("light", 0, 10, 8));
+        // Both start at share 0: exact tie breaks by tenant id (h < l).
+        assert_eq!(q.pick().unwrap().tenant, "heavy");
+        // Heavy now holds one executing-core lease; light's zero share
+        // wins despite later submission and lower priority.
+        assert_eq!(q.pick().unwrap().tenant, "light");
+        // One lease each: tie again, id order.
+        assert_eq!(q.pick().unwrap().tenant, "heavy");
+        let audit = q.fairness();
+        assert_eq!(audit.picks, 3);
+        assert_eq!(audit.non_drf_picks, 0, "fair-share picks are the DRF choice by construction");
+        assert_eq!(audit.max_share_gap, 0.0);
+    }
+
+    #[test]
+    fn fair_share_weights_entitle_proportionally_more() {
+        let weights: std::collections::BTreeMap<String, u32> =
+            [("heavy".to_string(), 2)].into_iter().collect();
+        let mut q = AdmissionQueue::with_policy(
+            caps(64, 64),
+            SchedulingPolicy::FairShare { weights },
+            2,
+            1 << 20,
+        );
+        for s in 0..4 {
+            q.enqueue(job("heavy", 0, s, 8));
+        }
+        q.enqueue(job("light", 0, 10, 8));
+        q.enqueue(job("light", 0, 11, 8));
+        let picked: Vec<String> = (0..5).map(|_| q.pick().unwrap().tenant).collect();
+        // Weight 2 halves heavy's dominant share: it takes two leases for
+        // every one of light's (ties by id).
+        assert_eq!(picked, ["heavy", "light", "heavy", "heavy", "light"]);
+    }
+
+    #[test]
+    fn priority_policy_records_drf_deviations_in_the_audit() {
+        // Under strict priority the audit *measures* unfairness: the
+        // starved light tenant's eligible-wait streak grows with the
+        // heavy backlog, and picks deviate from the DRF choice.
+        let mut q = AdmissionQueue::with_policy(caps(64, 64), SchedulingPolicy::Priority, 2, 1024);
+        for s in 0..4 {
+            q.enqueue(job("heavy", 3, s, 8));
+        }
+        q.enqueue(job("light", 0, 10, 8));
+        for _ in 0..4 {
+            assert_eq!(q.pick().unwrap().tenant, "heavy", "priority starves the light tenant");
+        }
+        assert_eq!(q.pick().unwrap().tenant, "light");
+        let audit = q.fairness();
+        assert!(audit.non_drf_picks >= 2, "picks 2..4 deviate from DRF");
+        assert!(audit.max_share_gap > 0.0);
+        assert_eq!(audit.per_tenant["light"].max_eligible_wait, 4);
+        assert_eq!(audit.per_tenant["light"].dispatches, 1);
+        assert_eq!(audit.per_tenant["heavy"].dispatches, 4);
+    }
+
+    #[test]
+    fn fair_share_prefers_fresh_work_over_a_parked_successor_within_a_tenant() {
+        let mut q = fair_queue(4);
+        q.enqueue(job("a", 0, 1, 8));
+        q.enqueue(job("a", 0, 1, 8)); // successor of session 1 (earlier seq)
+        q.enqueue(job("a", 0, 2, 8)); // fresh session (later seq)
+        assert_eq!(q.pick().unwrap().session_id, 1);
+        q.mark_executing(1);
+        assert_eq!(q.pick().unwrap().session_id, 2, "fresh session displaces the successor");
+        assert_eq!(q.pick().unwrap().session_id, 1, "successor picked next");
     }
 
     #[test]

@@ -24,8 +24,19 @@
 //!   reuse falls out of Definition 3's equivalence, with per-tenant
 //!   attribution of self vs cross hits.
 //! * **an admission layer** ([`admission`]) — a bounded submission queue
-//!   drained FIFO-with-priority under per-tenant and global concurrency
-//!   caps.
+//!   drained under per-tenant and global concurrency caps by one of two
+//!   policies ([`SchedulingPolicy`]): FIFO-with-priority, or **weighted
+//!   dominant-resource fairness** ([`fairshare`]) over cores + catalog
+//!   storage, which keeps one backlogged tenant from starving the rest
+//!   of either resource. A scheduler-event fairness audit
+//!   ([`FairnessAudit`]) is maintained under both policies.
+//! * **tenant-aware global eviction** — the shared catalog carries the
+//!   service's global byte budget; when a store would overflow it (even
+//!   with every tenant inside its quota), victims are chosen across
+//!   tenants by a deterministic retention score that keeps popular
+//!   (refcount > 1) cross-tenant artifacts longest, never touching
+//!   artifacts an in-flight plan pinned. Evictions are attributed
+//!   per-tenant in [`ServiceStats`].
 //!
 //! ## Determinism contract
 //!
@@ -59,10 +70,12 @@
 //! ```
 
 pub mod admission;
+pub mod fairshare;
 pub mod service;
 pub mod ticket;
 
 pub use admission::{AdmissionCaps, QueueSnapshot};
+pub use fairshare::{DrfAllocator, FairnessAudit, SchedulingPolicy, TenantAudit};
 pub use service::{HelixService, ServiceConfig, ServiceStats, TenantSpec, TenantStats};
 pub use ticket::{JobOutcome, JobTicket};
 

@@ -8,10 +8,12 @@
 //! which run on background threads:
 //!
 //! ```text
-//! submit ──▶ bounded queue ──▶ scheduler (FIFO-with-priority,
-//!                      per-tenant + global caps, one in flight per
-//!                      session) ──▶ runner thread: acquire 1 core token
-//!                      (blocking) ──▶ Session::run ──▶ fulfill ticket
+//! submit ──▶ bounded queue ──▶ scheduler (FIFO-with-priority or
+//!                      dominant-resource fair share, per-tenant +
+//!                      global caps, one in flight per session)
+//!                      ──▶ runner thread: acquire 1 tenant-labeled core
+//!                      token (blocking) ──▶ Session::run ──▶ fulfill
+//!                      ticket
 //! ```
 //!
 //! Core accounting: the runner's base token covers the engine's
@@ -23,7 +25,11 @@
 //! Storage accounting: `Σ tenant quotas ≤ storage_budget_bytes` is
 //! enforced at registration; each tenant's engine checks its own quota
 //! (`used_bytes_for`) and mandatory stores evict that tenant's oldest
-//! sole-owned artifacts only. Sessions carry their *own* seeds: the seed
+//! sole-owned artifacts only. The same budget is installed on the shared
+//! catalog as its *global* byte cap: when a store would overflow it even
+//! with every tenant inside its quota, retention-scored global eviction
+//! frees bytes across tenants (popular refcount > 1 artifacts last,
+//! pinned in-flight loads never). Sessions carry their *own* seeds: the seed
 //! is part of every signature's provenance (`helix_core::track`), so
 //! signature-equal artifacts are byte-equal across tenants by
 //! construction — seed-dependent nodes key apart, seed-independent
@@ -31,6 +37,7 @@
 //! full determinism argument).
 
 use crate::admission::{AdmissionCaps, AdmissionQueue, Job, QueueSnapshot};
+use crate::fairshare::{FairnessAudit, SchedulingPolicy};
 use crate::ticket::{JobOutcome, JobTicket, TicketState};
 use helix_common::timing::Nanos;
 use helix_common::{HelixError, Result};
@@ -38,6 +45,7 @@ use helix_core::{
     speculate, IterationReport, Session, SessionConfig, SessionHandles, SpeculationInputs, Workflow,
 };
 use helix_exec::CoreBudget;
+use helix_storage::EvictionRecord;
 use helix_storage::{DiskProfile, MaterializationCatalog};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
@@ -114,6 +122,13 @@ pub struct ServiceConfig {
     pub seed: u64,
     /// Hysteresis dead band for Algorithm 2 (applied to all sessions).
     pub mat_hysteresis: f64,
+    /// How eligible work is ordered across tenants: strict
+    /// FIFO-with-priority (the default), or weighted dominant-resource
+    /// fairness over cores + catalog storage
+    /// ([`SchedulingPolicy::FairShare`]). Scheduling affects only *when*
+    /// a tenant's iteration runs, never its bytes, so both policies pass
+    /// the same determinism suite.
+    pub scheduling: SchedulingPolicy,
 }
 
 impl ServiceConfig {
@@ -131,6 +146,7 @@ impl ServiceConfig {
             // in-service and solo stays byte- and signature-identical.
             seed: helix_core::DEFAULT_SEED,
             mat_hysteresis: 0.0,
+            scheduling: SchedulingPolicy::Priority,
         }
     }
 
@@ -181,6 +197,19 @@ impl ServiceConfig {
     pub fn with_hysteresis(mut self, band: f64) -> ServiceConfig {
         self.mat_hysteresis = band;
         self
+    }
+
+    /// Builder: set the scheduling policy.
+    #[must_use]
+    pub fn with_scheduling(mut self, scheduling: SchedulingPolicy) -> ServiceConfig {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// Builder: equal-weight dominant-resource fair scheduling.
+    #[must_use]
+    pub fn with_fair_share(self) -> ServiceConfig {
+        self.with_scheduling(SchedulingPolicy::fair())
     }
 }
 
@@ -245,11 +274,20 @@ impl HelixService {
             queue_capacity: config.queue_capacity,
             max_concurrent_iterations: config.max_concurrent_iterations,
         };
+        // The shared catalog carries the service's *global* byte budget:
+        // tenant-aware global-pressure eviction activates when the whole
+        // store (not just one tenant's quota) is tight.
+        catalog.set_global_budget(Some(config.storage_budget_bytes));
         let inner = Arc::new(ServiceInner {
             budget: Arc::new(CoreBudget::new(config.cores)),
             catalog: Arc::new(catalog),
             sched: Mutex::new(SchedState {
-                queue: AdmissionQueue::new(caps),
+                queue: AdmissionQueue::with_policy(
+                    caps,
+                    config.scheduling.clone(),
+                    config.cores as u64,
+                    config.storage_budget_bytes,
+                ),
                 tenants: HashMap::new(),
                 reserved_quota: 0,
                 next_session_id: 0,
@@ -381,9 +419,14 @@ impl HelixService {
     /// Aggregate service statistics (scheduling + catalog + cores).
     pub fn stats(&self) -> ServiceStats {
         let sched = self.inner.sched();
+        let names: Vec<String> = sched.tenants.keys().cloned().collect();
         let mut tenants = BTreeMap::new();
-        for (name, state) in &sched.tenants {
-            let owner = self.inner.catalog.owner_stats(name);
+        for name in names {
+            let owner = self.inner.catalog.owner_stats(&name);
+            let owned_bytes = self.inner.catalog.used_bytes_for(&name);
+            let dominant_share = sched.queue.dominant_share(&name, owned_bytes);
+            let weight = sched.queue.weight_of(&name);
+            let state = &sched.tenants[&name];
             tenants.insert(
                 name.clone(),
                 TenantStats {
@@ -394,9 +437,13 @@ impl HelixService {
                     cross_hits: owner.cross_hits,
                     stored_bytes: owner.stored_bytes,
                     quota_evictions: owner.quota_evictions,
-                    owned_bytes: self.inner.catalog.used_bytes_for(name),
+                    global_evictions: owner.global_evictions,
+                    owned_bytes,
                     quota_bytes: state.spec.quota_bytes,
                     session_seeds: state.session_seeds.clone(),
+                    dominant_share,
+                    weight,
+                    peak_cores_leased: self.inner.budget.peak_leased_for(&name),
                 },
             );
         }
@@ -408,6 +455,9 @@ impl HelixService {
             catalog_bytes: self.inner.catalog.total_bytes(),
             catalog_artifacts: self.inner.catalog.len(),
             queue: sched.queue.snapshot(),
+            scheduling: self.inner.config.scheduling.clone(),
+            fairness: sched.queue.fairness(),
+            evictions: self.inner.catalog.eviction_log(),
         }
     }
 }
@@ -514,6 +564,16 @@ fn scheduler_loop(inner: Arc<ServiceInner>) {
         let job = {
             let mut sched = inner.sched();
             loop {
+                // Refresh the DRF ledger's storage side before deciding:
+                // dominant shares fold in each competing tenant's current
+                // catalog charge — one batched catalog-lock hold for all
+                // queued tenants. (The catalog has its own lock and never
+                // takes the scheduler's, so this nesting is cycle-free.)
+                let tenants = sched.queue.queued_tenants();
+                if !tenants.is_empty() {
+                    let bytes = inner.catalog.used_bytes_for_many(&tenants);
+                    sched.queue.set_tenant_bytes(&tenants, &bytes);
+                }
                 if let Some(job) = sched.queue.pick() {
                     break Some(job);
                 }
@@ -609,7 +669,10 @@ fn run_job(inner: Arc<ServiceInner>, job: Job) {
     // budget deadlock-free. Queue time is measured after both waits, so
     // queue_wait + run covers the whole submission-to-report span.
     let mut session = lock_session(&job.session);
-    let lease = inner.budget.acquire_one();
+    // The base token is labeled with the tenant: per-tenant
+    // executing-core accounting for `ServiceStats` and the fairness
+    // audit's ground truth.
+    let lease = inner.budget.acquire_one_labeled(&job.tenant);
     let queue_wait = job.enqueued.elapsed().as_nanos() as Nanos;
     let started = Instant::now();
     let prepared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -677,6 +740,9 @@ pub struct TenantStats {
     pub stored_bytes: u64,
     /// Artifacts evicted to keep this tenant inside its quota.
     pub quota_evictions: u64,
+    /// Artifacts this tenant had a claim on that fell to global-pressure
+    /// eviction (possibly triggered by another tenant's store).
+    pub global_evictions: u64,
     /// Bytes currently charged against the tenant's quota.
     pub owned_bytes: u64,
     /// The tenant's quota.
@@ -686,6 +752,15 @@ pub struct TenantStats {
     /// signature provenance); a session that left its seed unset shows
     /// the service default here.
     pub session_seeds: Vec<u64>,
+    /// The tenant's weighted dominant share right now (the fair-share
+    /// scheduler's ordering key): max of its executing-core and
+    /// catalog-byte fractions, divided by its weight.
+    pub dominant_share: f64,
+    /// The tenant's DRF weight (1 unless configured).
+    pub weight: u32,
+    /// High-water mark of base core tokens this tenant's runners held
+    /// simultaneously (per-tenant executing-core lease accounting).
+    pub peak_cores_leased: usize,
 }
 
 impl TenantStats {
@@ -717,6 +792,14 @@ pub struct ServiceStats {
     pub catalog_artifacts: usize,
     /// Admission state.
     pub queue: QueueSnapshot,
+    /// The scheduling policy in force.
+    pub scheduling: SchedulingPolicy,
+    /// Scheduler-event fairness audit (maintained under both policies;
+    /// under `FairShare`, `non_drf_picks == 0` by construction).
+    pub fairness: FairnessAudit,
+    /// The bounded eviction-attribution log (quota + global-pressure
+    /// events, most recent 64).
+    pub evictions: Vec<EvictionRecord>,
 }
 
 impl ServiceStats {
@@ -938,6 +1021,74 @@ mod tests {
         // The session is not wedged: a good iteration still runs.
         let ok = session.run_iteration(chain(1)).unwrap();
         assert_eq!(ok.output_scalar("c").unwrap().as_f64(), Some(11.0));
+    }
+
+    #[test]
+    fn fair_share_service_drains_a_heavy_backlog_without_drf_deviations() {
+        let svc = HelixService::new(
+            ServiceConfig::new(1).with_fair_share().with_max_concurrent_iterations(2),
+        )
+        .expect("service starts");
+        // Priority 3 would let `heavy` starve `light` under the old
+        // policy; fair share ignores it.
+        svc.register_tenant("heavy", TenantSpec::default().with_max_concurrent(4).with_priority(3))
+            .unwrap();
+        svc.register_tenant("light", TenantSpec::default()).unwrap();
+        let heavy: Vec<ServiceSession> = (0..2)
+            .map(|_| svc.open_session("heavy", SessionConfig::in_memory()).unwrap())
+            .collect();
+        let light = svc.open_session("light", SessionConfig::in_memory()).unwrap();
+        let mut tickets = Vec::new();
+        for session in &heavy {
+            for version in [1u64, 2] {
+                tickets.push(session.submit(chain(version)).unwrap());
+            }
+        }
+        tickets.push(light.submit(chain(1)).unwrap());
+        for ticket in tickets {
+            ticket.wait().expect("iteration succeeds");
+        }
+        let stats = svc.stats();
+        assert!(stats.scheduling.is_fair());
+        assert_eq!(stats.fairness.non_drf_picks, 0, "fair picks are the DRF choice");
+        assert_eq!(stats.fairness.max_share_gap, 0.0);
+        assert_eq!(stats.fairness.picks, 5);
+        assert_eq!(stats.tenants["heavy"].weight, 1);
+        assert!(stats.tenants["light"].dominant_share >= 0.0);
+        assert!(stats.tenants["heavy"].peak_cores_leased <= stats.cores_total);
+        assert_eq!(stats.tenants.values().map(|t| t.iterations).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn tight_global_budget_evicts_with_attribution_but_keeps_results_correct() {
+        use helix_storage::EvictionKind;
+        let svc = service(2);
+        // Force global pressure on every store (a scalar artifact is
+        // bigger than this), while per-tenant quotas stay roomy — this is
+        // exactly the regime quota eviction alone cannot handle.
+        svc.catalog().set_global_budget(Some(64));
+        svc.register_tenant("alice", TenantSpec::default()).unwrap();
+        svc.register_tenant("bob", TenantSpec::default()).unwrap();
+        let alice = svc.open_session("alice", SessionConfig::in_memory()).unwrap();
+        let bob = svc.open_session("bob", SessionConfig::in_memory()).unwrap();
+        for version in 1..=3u64 {
+            let expect = 10.0 * version as f64 + 1.0;
+            let a = alice.run_iteration(chain(version)).unwrap();
+            assert_eq!(a.output_scalar("c").unwrap().as_f64(), Some(expect));
+            let b = bob.run_iteration(chain(version)).unwrap();
+            assert_eq!(b.output_scalar("c").unwrap().as_f64(), Some(expect));
+        }
+        let stats = svc.stats();
+        assert!(
+            stats.evictions.iter().any(|e| e.kind == EvictionKind::GlobalPressure),
+            "global-pressure evictions must be logged: {:?}",
+            stats.evictions
+        );
+        assert!(
+            stats.tenants.values().any(|t| t.global_evictions > 0),
+            "evictions must be attributed to owners"
+        );
+        assert!(stats.evictions.len() <= 64, "attribution log is bounded");
     }
 
     #[test]

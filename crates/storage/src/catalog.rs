@@ -43,7 +43,24 @@
 //!   delete an artifact another tenant's in-flight plan depends on;
 //! * **quota eviction** — [`evict_owned`](MaterializationCatalog::evict_owned)
 //!   frees a tenant's *sole-owned* artifacts (deterministic oldest-first
-//!   order) when a mandatory store would overflow its quota.
+//!   order) when a mandatory store would overflow its quota;
+//! * **global-pressure eviction** — when the catalog carries a *global*
+//!   byte budget ([`set_global_budget`](MaterializationCatalog::set_global_budget);
+//!   `helix-serve` sets its service-wide storage budget) and a store
+//!   would overflow it even though every tenant is inside its own quota,
+//!   [`evict_global`](MaterializationCatalog::evict_global) frees
+//!   artifacts across tenants in **retention-score order**: sole-owned
+//!   (refcount ≤ 1) artifacts go first, oldest first, then by signature;
+//!   cross-tenant artifacts with writer/reader refcount > 1 are retained
+//!   longer (popularity retention) and fall only when nothing unpopular
+//!   remains. Entries named by the caller's `protected` set (its current
+//!   plan) or transiently **pinned** by any in-flight iteration
+//!   ([`pin_many`](MaterializationCatalog::pin_many)) are never victims,
+//!   so global pressure can never delete bytes an executing plan is
+//!   about to load. Every eviction (quota or global) is recorded in a
+//!   bounded attribution log
+//!   ([`eviction_log`](MaterializationCatalog::eviction_log), last
+//!   [`EVICTION_LOG_CAP`] events) that `ServiceStats` surfaces.
 //!
 //! ## Crash consistency and format versioning
 //!
@@ -185,7 +202,44 @@ pub struct OwnerStats {
     pub stored_bytes: u64,
     /// Artifacts evicted from this owner to satisfy its quota.
     pub quota_evictions: u64,
+    /// Artifacts this owner had a claim on that fell to *global-pressure*
+    /// eviction (the global byte budget was tight; the victim may have
+    /// been triggered by another tenant's store).
+    pub global_evictions: u64,
 }
+
+/// Why an artifact was evicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionKind {
+    /// The owning tenant's quota was tight (scoped to its sole-owned
+    /// artifacts).
+    Quota,
+    /// The catalog's *global* byte budget was tight (victims scored
+    /// across tenants by the retention function).
+    GlobalPressure,
+}
+
+/// One entry of the bounded eviction-attribution log.
+#[derive(Clone, Debug)]
+pub struct EvictionRecord {
+    /// Hex signature of the evicted artifact.
+    pub signature: String,
+    /// Human-readable node name.
+    pub node_name: String,
+    /// Encoded size that was freed.
+    pub bytes: u64,
+    /// Owner set at eviction time (whose working sets lost the artifact).
+    pub owners: Vec<String>,
+    /// The tenant whose store triggered the eviction.
+    pub trigger: String,
+    /// Quota or global pressure.
+    pub kind: EvictionKind,
+}
+
+/// How many recent [`EvictionRecord`]s the catalog retains — bounded, so
+/// a long-running service's stats cannot grow without limit (the same
+/// treatment as per-tenant session-seed history).
+pub const EVICTION_LOG_CAP: usize = 64;
 
 impl OwnerStats {
     /// Total catalog loads attributed to this owner.
@@ -227,6 +281,17 @@ struct Inner {
     /// signature; the `Arc` identity doubles as a staleness token for
     /// [`MaterializationCatalog::complete_stage`].
     pending: HashMap<Signature, Arc<Vec<u8>>>,
+    /// Global byte budget; `None` = unbounded (solo-session semantics,
+    /// where only per-tenant budgets apply).
+    global_budget: Option<u64>,
+    /// Transient pin refcounts: signatures an in-flight iteration's plan
+    /// will load. Global-pressure eviction never touches a pinned entry —
+    /// this is the cross-session analogue of the caller-local `protected`
+    /// set. Pins are scoped to an iteration (RAII in the session layer),
+    /// unlike owner claims, which persist.
+    pins: HashMap<Signature, usize>,
+    /// Bounded attribution log of evictions ([`EVICTION_LOG_CAP`]).
+    eviction_log: Vec<EvictionRecord>,
 }
 
 impl Inner {
@@ -242,6 +307,15 @@ impl Inner {
                 *b = b.saturating_sub(bytes);
             }
         }
+    }
+
+    /// Append to the bounded eviction-attribution log (oldest dropped
+    /// beyond [`EVICTION_LOG_CAP`]).
+    fn log_eviction(&mut self, record: EvictionRecord) {
+        if self.eviction_log.len() == EVICTION_LOG_CAP {
+            self.eviction_log.remove(0);
+        }
+        self.eviction_log.push(record);
     }
 
     /// Remove an entry and fix all byte accounting; returns its file name.
@@ -408,6 +482,9 @@ impl MaterializationCatalog {
             owned_bytes: HashMap::new(),
             stats: HashMap::new(),
             pending: HashMap::new(),
+            global_budget: None,
+            pins: HashMap::new(),
+            eviction_log: Vec::new(),
         };
         for entry in manifest.entries {
             let sig = Signature::from_hex(&entry.signature)
@@ -547,6 +624,24 @@ impl MaterializationCatalog {
         } else {
             inner.owned_bytes.get(owner).copied().unwrap_or(0)
         }
+    }
+
+    /// [`used_bytes_for`](Self::used_bytes_for) for several owners under
+    /// a *single* lock hold (the scheduler refreshes every queued
+    /// tenant's DRF byte usage once per pick round; one acquisition
+    /// instead of one per tenant).
+    pub fn used_bytes_for_many(&self, owners: &[String]) -> Vec<u64> {
+        let inner = self.inner.lock();
+        owners
+            .iter()
+            .map(|owner| {
+                if owner == SOLO_OWNER {
+                    inner.total_bytes
+                } else {
+                    inner.owned_bytes.get(owner.as_str()).copied().unwrap_or(0)
+                }
+            })
+            .collect()
     }
 
     /// Reuse/usage statistics for an owner (zeroes if never seen).
@@ -872,6 +967,35 @@ impl MaterializationCatalog {
         present
     }
 
+    /// [`claim_if_present`](Self::claim_if_present) that also takes one
+    /// transient pin on the artifact — claim and pin land under a
+    /// *single* lock hold, so there is no window in which a concurrent
+    /// [`evict_global`](Self::evict_global) can observe the artifact as
+    /// claimed-but-unpinned and delete it out from under the plan.
+    /// Sessions use this for every planned `Load`; the matching unpins
+    /// are released when the prepared iteration retires.
+    pub fn claim_and_pin_if_present(&self, sig: Signature, owner: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let mut claim: Option<u64> = None;
+        let present = match inner.entries.get_mut(&sig) {
+            None => false,
+            Some(entry) => {
+                if !entry.is_owned_by(owner) {
+                    entry.add_owner(owner);
+                    claim = Some(entry.bytes);
+                }
+                true
+            }
+        };
+        if present {
+            *inner.pins.entry(sig).or_insert(0) += 1;
+        }
+        if let Some(bytes) = claim {
+            inner.credit(&[owner.to_string()], bytes);
+        }
+        present
+    }
+
     /// Remove a deprecated artifact unconditionally (single-tenant
     /// semantics). Returns whether anything was removed.
     pub fn purge(&self, sig: Signature) -> Result<bool> {
@@ -943,9 +1067,15 @@ impl MaterializationCatalog {
     /// *sole-owned* artifacts (for the solo owner, legacy unowned entries
     /// qualify too), oldest first, then by signature — a deterministic
     /// order, so identical histories evict identically. Entries whose
-    /// signature is in `protected` (the current iteration's plan) are
-    /// never touched. Returns the bytes actually freed, which may fall
-    /// short when nothing evictable remains.
+    /// signature is in `protected` (the current iteration's plan) or
+    /// transiently pinned by any in-flight iteration
+    /// ([`pin_many`](Self::pin_many)) are never touched — the pin check
+    /// matters for *sibling sessions of the same tenant*: a claim on an
+    /// artifact the tenant already owns adds no co-owner, so without the
+    /// pin one session's mandatory store could quota-evict a sole-owned
+    /// artifact another session of the same tenant is about to load.
+    /// Returns the bytes actually freed, which may fall short when
+    /// nothing evictable remains.
     pub fn evict_owned(
         &self,
         owner: &str,
@@ -965,7 +1095,7 @@ impl MaterializationCatalog {
                 .entries
                 .iter()
                 .filter(|(sig, entry)| {
-                    if protected.contains(sig) {
+                    if protected.contains(sig) || inner.pins.contains_key(sig) {
                         return false;
                     }
                     let owners = entry.owners();
@@ -979,12 +1109,156 @@ impl MaterializationCatalog {
                 if freed >= bytes_needed {
                     break;
                 }
-                if let Some(entry) = inner.entries.get(&sig) {
-                    let bytes = entry.bytes;
+                let meta = inner
+                    .entries
+                    .get(&sig)
+                    .map(|e| (e.bytes, e.node_name.clone(), e.owners().to_vec()));
+                if let Some((bytes, node_name, owners)) = meta {
                     if let Some(file) = inner.remove_entry(sig) {
                         freed += bytes;
                         files.push(file);
                         inner.stats.entry(owner.to_string()).or_default().quota_evictions += 1;
+                        inner.log_eviction(EvictionRecord {
+                            signature: sig.to_hex(),
+                            node_name,
+                            bytes,
+                            owners,
+                            trigger: owner.to_string(),
+                            kind: EvictionKind::Quota,
+                        });
+                    }
+                }
+            }
+            files
+        };
+        if files.is_empty() {
+            return Ok(0);
+        }
+        for file in &files {
+            self.remove_file(file)?;
+        }
+        self.flush_manifest()?;
+        Ok(freed)
+    }
+
+    /// Set (or clear) the catalog's *global* byte budget. `helix-serve`
+    /// sets its service-wide storage budget here at startup; solo
+    /// sessions leave it unset (their per-tenant budget already caps the
+    /// whole catalog).
+    pub fn set_global_budget(&self, budget: Option<u64>) {
+        self.inner.lock().global_budget = budget;
+    }
+
+    /// The global byte budget in force, if any.
+    pub fn global_budget(&self) -> Option<u64> {
+        self.inner.lock().global_budget
+    }
+
+    /// Transiently pin `sigs` for the duration of an iteration: pinned
+    /// entries are never global-pressure victims. Pins nest (refcounts);
+    /// the session layer holds them RAII-style from plan-claim time until
+    /// the iteration retires, which closes the cross-session race a
+    /// caller-local `protected` set cannot see — tenant A's store must
+    /// not evict an artifact tenant B's *executing* plan is about to
+    /// load.
+    pub fn pin_many(&self, sigs: &[Signature]) {
+        let mut inner = self.inner.lock();
+        for sig in sigs {
+            *inner.pins.entry(*sig).or_insert(0) += 1;
+        }
+    }
+
+    /// Release pins taken by [`pin_many`](Self::pin_many).
+    pub fn unpin_many(&self, sigs: &[Signature]) {
+        let mut inner = self.inner.lock();
+        for sig in sigs {
+            if let Some(count) = inner.pins.get_mut(sig) {
+                *count -= 1;
+                if *count == 0 {
+                    inner.pins.remove(sig);
+                }
+            }
+        }
+    }
+
+    /// Number of distinct signatures currently pinned (tests).
+    pub fn pinned_count(&self) -> usize {
+        self.inner.lock().pins.len()
+    }
+
+    /// The bounded eviction-attribution log, oldest first (at most
+    /// [`EVICTION_LOG_CAP`] events).
+    pub fn eviction_log(&self) -> Vec<EvictionRecord> {
+        self.inner.lock().eviction_log.clone()
+    }
+
+    /// Global-pressure eviction: free at least `bytes_needed` bytes
+    /// across *all* tenants, in deterministic **retention-score** order.
+    /// The score ranks victims:
+    ///
+    /// 1. **popularity class** — artifacts with writer/reader refcount
+    ///    ≤ 1 (sole-owned or unowned) evict first; cross-tenant artifacts
+    ///    with refcount > 1 are retained longer and fall only when
+    ///    freeing every unpopular candidate was not enough;
+    /// 2. **age** — `created_iteration` ascending;
+    /// 3. **signature** — hex ascending (a total order, so identical
+    ///    catalog states always evict identically).
+    ///
+    /// Entries in the caller's `protected` set (its current plan) or
+    /// pinned by any in-flight iteration ([`pin_many`](Self::pin_many))
+    /// are never victims. Evictions are attributed: every owner's
+    /// `global_evictions` counter increments and the bounded
+    /// [`eviction_log`](Self::eviction_log) records the victim with
+    /// `trigger` (the tenant whose store created the pressure). Returns
+    /// the bytes actually freed, which may fall short when everything
+    /// left is protected or pinned.
+    pub fn evict_global(
+        &self,
+        trigger: &str,
+        bytes_needed: u64,
+        protected: &HashSet<Signature>,
+    ) -> Result<u64> {
+        // Selection and index removal under ONE lock hold, exactly like
+        // quota eviction: a concurrent claim lands entirely before (the
+        // refcount rose — at worst the entry evicts a class later) or
+        // entirely after (the claim fails and the claimant replans).
+        let mut freed = 0u64;
+        let files: Vec<String> = {
+            let mut inner = self.inner.lock();
+            let mut candidates: Vec<(Signature, u8, u64, String)> = inner
+                .entries
+                .iter()
+                .filter(|(sig, _)| !protected.contains(sig) && !inner.pins.contains_key(sig))
+                .map(|(sig, entry)| {
+                    let popular = u8::from(entry.owners().len() > 1);
+                    (*sig, popular, entry.created_iteration, entry.signature.clone())
+                })
+                .collect();
+            candidates.sort_by(|a, b| (a.1, a.2, &a.3).cmp(&(b.1, b.2, &b.3)));
+            let mut files = Vec::new();
+            for (sig, _, _, _) in candidates {
+                if freed >= bytes_needed {
+                    break;
+                }
+                let meta = inner
+                    .entries
+                    .get(&sig)
+                    .map(|e| (e.bytes, e.node_name.clone(), e.owners().to_vec()));
+                if let Some((bytes, node_name, owners)) = meta {
+                    if let Some(file) = inner.remove_entry(sig) {
+                        freed += bytes;
+                        files.push(file);
+                        for owner in &owners {
+                            inner.stats.entry(owner.clone()).or_default().global_evictions += 1;
+                        }
+                        inner.log_eviction(EvictionRecord {
+                            signature: sig.to_hex(),
+                            node_name,
+                            bytes,
+                            owners,
+                            trigger: trigger.to_string(),
+                            kind: EvictionKind::GlobalPressure,
+                        });
                     }
                 }
             }
@@ -1256,6 +1530,153 @@ mod tests {
         let freed = cat.evict_owned("alice", u64::MAX, &protected).unwrap();
         assert_eq!(freed, 0, "only sole-owned candidate is protected");
         assert!(cat.contains(newer));
+    }
+
+    // ----- global-pressure eviction, retention, pins -----
+
+    #[test]
+    fn global_eviction_scores_by_popularity_then_age() {
+        let cat = temp_catalog();
+        let old_solo = Signature::of_str("old-solo");
+        let new_solo = Signature::of_str("new-solo");
+        let popular = Signature::of_str("popular");
+        cat.store_owned(old_solo, "alice", "old", 0, &scalar(1.0)).unwrap();
+        cat.store_owned(new_solo, "alice", "new", 7, &scalar(2.0)).unwrap();
+        cat.store_owned(popular, "alice", "pop", 0, &scalar(3.0)).unwrap();
+        assert!(cat.claim_if_present(popular, "bob"), "reader claim raises the refcount");
+
+        let freed = cat.evict_global("trigger", 1, &HashSet::new()).unwrap();
+        assert!(freed > 0);
+        assert!(!cat.contains(old_solo), "oldest unpopular entry evicts first");
+        assert!(cat.contains(new_solo) && cat.contains(popular));
+
+        cat.evict_global("trigger", 1, &HashSet::new()).unwrap();
+        assert!(!cat.contains(new_solo), "unpopular candidates exhaust next");
+        assert!(cat.contains(popular), "refcount > 1 retained while alternatives exist");
+
+        cat.evict_global("trigger", u64::MAX, &HashSet::new()).unwrap();
+        assert!(!cat.contains(popular), "popular entries still fall under extreme pressure");
+        assert_eq!(cat.total_bytes(), 0);
+
+        // Attribution: every owner of a victim is debited; the log names
+        // the triggering tenant and the kind.
+        assert_eq!(cat.owner_stats("alice").global_evictions, 3);
+        assert_eq!(cat.owner_stats("bob").global_evictions, 1);
+        let log = cat.eviction_log();
+        assert_eq!(log.len(), 3);
+        assert!(log
+            .iter()
+            .all(|r| r.kind == EvictionKind::GlobalPressure && r.trigger == "trigger"));
+        assert_eq!(log[0].node_name, "old");
+    }
+
+    #[test]
+    fn pinned_and_protected_entries_are_never_global_victims() {
+        let cat = temp_catalog();
+        let pinned = Signature::of_str("pinned");
+        let planned = Signature::of_str("planned");
+        let victim = Signature::of_str("victim");
+        cat.store_owned(pinned, "a", "pinned", 0, &scalar(1.0)).unwrap();
+        cat.store_owned(planned, "a", "planned", 0, &scalar(2.0)).unwrap();
+        cat.store_owned(victim, "a", "victim", 0, &scalar(3.0)).unwrap();
+        cat.pin_many(&[pinned]);
+        let protected: HashSet<Signature> = [planned].into_iter().collect();
+
+        cat.evict_global("a", u64::MAX, &protected).unwrap();
+        assert!(!cat.contains(victim));
+        assert!(cat.contains(pinned), "pinned entry survives unlimited pressure");
+        assert!(cat.contains(planned), "protected entry survives unlimited pressure");
+
+        // Pins nest and release; once gone the entry is fair game.
+        cat.pin_many(&[pinned]);
+        cat.unpin_many(&[pinned]);
+        assert_eq!(cat.pinned_count(), 1);
+        cat.unpin_many(&[pinned]);
+        assert_eq!(cat.pinned_count(), 0);
+        cat.evict_global("a", u64::MAX, &protected).unwrap();
+        assert!(!cat.contains(pinned));
+    }
+
+    #[test]
+    fn pins_shield_sole_owned_artifacts_from_sibling_quota_eviction() {
+        // Two sessions of ONE tenant: session 1 claims + pins a
+        // sole-owned artifact (the claim adds no co-owner — the tenant
+        // already owns it — so the pin is the only shield); session 2's
+        // quota eviction must not take it.
+        let cat = temp_catalog();
+        let planned = Signature::of_str("sibling-planned-load");
+        let spare = Signature::of_str("spare");
+        cat.store_owned(planned, "alice", "p", 0, &scalar(1.0)).unwrap();
+        cat.store_owned(spare, "alice", "s", 1, &scalar(2.0)).unwrap();
+        assert!(cat.claim_and_pin_if_present(planned, "alice"));
+        assert_eq!(cat.entry(planned).unwrap().owners(), ["alice"], "no co-owner added");
+
+        cat.evict_owned("alice", u64::MAX, &HashSet::new()).unwrap();
+        assert!(cat.contains(planned), "pinned sole-owned artifact survives quota pressure");
+        assert!(!cat.contains(spare), "unpinned sole-owned artifact is still evictable");
+
+        cat.unpin_many(&[planned]);
+        cat.evict_owned("alice", u64::MAX, &HashSet::new()).unwrap();
+        assert!(!cat.contains(planned), "after the iteration retires it is fair game");
+    }
+
+    #[test]
+    fn claim_and_pin_is_atomic_and_shields_from_global_eviction() {
+        let cat = temp_catalog();
+        let sig = Signature::of_str("planned-load");
+        cat.store_owned(sig, "alice", "n", 0, &scalar(1.0)).unwrap();
+        assert!(cat.claim_and_pin_if_present(sig, "bob"));
+        assert_eq!(cat.pinned_count(), 1);
+        assert!(cat.entry(sig).unwrap().is_owned_by("bob"), "claim landed");
+        assert!(cat.used_bytes_for("bob") > 0, "claim charges the claimant");
+
+        cat.evict_global("alice", u64::MAX, &HashSet::new()).unwrap();
+        assert!(cat.contains(sig), "pinned entry survives unlimited global pressure");
+
+        cat.unpin_many(&[sig]);
+        cat.evict_global("alice", u64::MAX, &HashSet::new()).unwrap();
+        assert!(!cat.contains(sig), "unpinned (though co-owned) entry is evictable");
+
+        // A vanished signature claims nothing and pins nothing.
+        assert!(!cat.claim_and_pin_if_present(Signature::of_str("gone"), "bob"));
+        assert_eq!(cat.pinned_count(), 0);
+    }
+
+    #[test]
+    fn eviction_log_is_bounded() {
+        let cat = temp_catalog();
+        for i in 0..(EVICTION_LOG_CAP + 6) {
+            let sig = Signature::of_str(&format!("bulk-{i}"));
+            cat.store_owned(sig, "a", "n", i as u64, &scalar(i as f64)).unwrap();
+        }
+        cat.evict_global("a", u64::MAX, &HashSet::new()).unwrap();
+        let log = cat.eviction_log();
+        assert_eq!(log.len(), EVICTION_LOG_CAP, "log capped at {EVICTION_LOG_CAP}");
+        // The oldest events were dropped: the first retained victim is
+        // the 7th in eviction order (6 dropped).
+        assert_eq!(cat.owner_stats("a").global_evictions as usize, EVICTION_LOG_CAP + 6);
+    }
+
+    #[test]
+    fn quota_evictions_are_logged_too() {
+        let cat = temp_catalog();
+        let sig = Signature::of_str("quota-victim");
+        cat.store_owned(sig, "alice", "n", 0, &scalar(1.0)).unwrap();
+        cat.evict_owned("alice", u64::MAX, &HashSet::new()).unwrap();
+        let log = cat.eviction_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, EvictionKind::Quota);
+        assert_eq!(log[0].trigger, "alice");
+    }
+
+    #[test]
+    fn global_budget_is_settable_and_readable() {
+        let cat = temp_catalog();
+        assert_eq!(cat.global_budget(), None, "unbounded by default");
+        cat.set_global_budget(Some(1 << 20));
+        assert_eq!(cat.global_budget(), Some(1 << 20));
+        cat.set_global_budget(None);
+        assert_eq!(cat.global_budget(), None);
     }
 
     #[test]

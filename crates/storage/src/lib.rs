@@ -21,6 +21,6 @@ pub mod catalog;
 pub mod codec;
 pub mod disk;
 
-pub use catalog::{CatalogEntry, MaterializationCatalog};
+pub use catalog::{CatalogEntry, EvictionKind, EvictionRecord, MaterializationCatalog};
 pub use codec::{decode_value, encode_value};
 pub use disk::DiskProfile;

@@ -17,12 +17,24 @@
 //! seeds, where exactly the seed-independent prefix stays shared.
 
 use helix::core::{Session, SessionConfig};
-use helix::serve::{HelixService, ServiceConfig, TenantSpec};
+use helix::serve::{HelixService, SchedulingPolicy, ServiceConfig, TenantSpec};
 use helix::storage::encode_value;
 use helix::workloads::{CensusWorkload, GenomicsWorkload, IeWorkload, MnistWorkload, Workload};
 use std::collections::BTreeMap;
 
 const SERVICE_SEED: u64 = 42;
+
+/// Apply the CI determinism matrix's scheduler selection: with
+/// `HELIX_SCHEDULING=priority|fairshare` set, every service in this suite
+/// runs under that policy — both schedulers must pass the exact same
+/// byte-identity obligations, because scheduling may reorder work but
+/// never change bytes.
+fn scheduled(config: ServiceConfig) -> ServiceConfig {
+    match SchedulingPolicy::from_env() {
+        Some(policy) => config.with_scheduling(policy),
+        None => config,
+    }
+}
 
 /// Output name → encoded bytes: everything a user sees from an iteration.
 type Outputs = BTreeMap<String, Vec<u8>>;
@@ -75,11 +87,11 @@ fn concurrent_tenants_match_solo_serial_at_every_core_count() {
     let baselines: Vec<Vec<Outputs>> = (0..tenants).map(solo_serial_trace).collect();
 
     for cores in [1usize, 2, 4, 8] {
-        let service = HelixService::new(
+        let service = HelixService::new(scheduled(
             ServiceConfig::new(cores)
                 .with_seed(SERVICE_SEED)
                 .with_max_concurrent_iterations(tenants),
-        )
+        ))
         .expect("service starts");
         for ix in 0..tenants {
             service
@@ -145,9 +157,9 @@ fn eight_tenants_on_a_tight_budget_stay_within_two_cores() {
     // high-water mark bounds the whole process.
     let cores = 2;
     let tenants = 8;
-    let service = HelixService::new(
+    let service = HelixService::new(scheduled(
         ServiceConfig::new(cores).with_seed(SERVICE_SEED).with_max_concurrent_iterations(tenants),
-    )
+    ))
     .expect("service starts");
     for ix in 0..tenants {
         service.register_tenant(&format!("t{ix}"), TenantSpec::default()).unwrap();
@@ -204,9 +216,9 @@ fn distinct_seed_tenants_reproduce_solo_bytes_and_share_the_prefix() {
     assert_ne!(baselines[0], baselines[1], "chosen seeds produce identical traces");
 
     for cores in [1usize, 2, 4, 8] {
-        let service = HelixService::new(
+        let service = HelixService::new(scheduled(
             ServiceConfig::new(cores).with_max_concurrent_iterations(seeds.len()),
-        )
+        ))
         .expect("service starts");
         service.register_tenant("leader", TenantSpec::default()).expect("tenant registers");
         service.register_tenant("follower", TenantSpec::default()).expect("tenant registers");
@@ -252,8 +264,8 @@ fn cross_tenant_reuse_is_byte_transparent() {
     // after the other makes the follower's cross-tenant hits
     // deterministic; its outputs must still be byte-identical to its solo
     // serial run even though it loads artifacts it never computed.
-    let service =
-        HelixService::new(ServiceConfig::new(2).with_seed(SERVICE_SEED)).expect("service starts");
+    let service = HelixService::new(scheduled(ServiceConfig::new(2).with_seed(SERVICE_SEED)))
+        .expect("service starts");
     service.register_tenant("leader", TenantSpec::default()).unwrap();
     service.register_tenant("follower", TenantSpec::default()).unwrap();
 
@@ -279,4 +291,79 @@ fn cross_tenant_reuse_is_byte_transparent() {
         "follower must actually have reused the leader's artifacts"
     );
     assert!(stats.cross_hit_rate() > 0.0);
+}
+
+#[test]
+fn fair_share_with_adversarial_heavy_tenant_stays_byte_identical() {
+    // The fair-share acceptance shape: one heavy tenant (two sessions,
+    // maximum priority, whole backlog submitted up front) against three
+    // light tenants at every core count. Fair-share scheduling must (a)
+    // keep every session's outputs byte-identical to its solo serial
+    // run — scheduling reorders work, never bytes — and (b) audit clean:
+    // every pick is the DRF choice, so no light tenant's dominant share
+    // can fall below its entitlement while it is backlogged.
+    let tenants = 4;
+    let baselines: Vec<Vec<Outputs>> = (0..tenants).map(solo_serial_trace).collect();
+
+    for cores in [1usize, 2, 4, 8] {
+        let service = HelixService::new(
+            ServiceConfig::new(cores)
+                .with_seed(SERVICE_SEED)
+                .with_max_concurrent_iterations(tenants + 2)
+                .with_scheduling(SchedulingPolicy::fair()),
+        )
+        .expect("service starts");
+        service
+            .register_tenant("t0", TenantSpec::default().with_priority(3).with_max_concurrent(2))
+            .expect("heavy registers");
+        for ix in 1..tenants {
+            service.register_tenant(&format!("t{ix}"), TenantSpec::default()).unwrap();
+        }
+
+        // Heavy runs its schedule on two sessions; each light tenant on
+        // one. Session traces must all match the per-tenant baseline.
+        let plans: Vec<usize> = (0..2).map(|_| 0).chain(1..tenants).collect();
+        let traces: Vec<(usize, Vec<Outputs>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plans
+                .iter()
+                .map(|&ix| {
+                    let service = &service;
+                    scope.spawn(move || {
+                        let session = service
+                            .open_session(
+                                &format!("t{ix}"),
+                                SessionConfig::in_memory().with_workers(cores),
+                            )
+                            .expect("session opens");
+                        let tickets: Vec<_> = iteration_workflows(workload_for(ix))
+                            .into_iter()
+                            .map(|wf| session.submit(wf).expect("submission accepted"))
+                            .collect();
+                        let trace = tickets
+                            .into_iter()
+                            .map(|t| outputs_of(&t.wait().expect("iteration runs")))
+                            .collect::<Vec<Outputs>>();
+                        (ix, trace)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("session thread panicked")).collect()
+        });
+
+        for (ix, trace) in &traces {
+            assert_eq!(
+                trace, &baselines[*ix],
+                "tenant t{ix} diverged from its solo serial run under fair share at \
+                 {cores} cores"
+            );
+        }
+        let stats = service.stats();
+        assert!(stats.scheduling.is_fair());
+        assert_eq!(
+            stats.fairness.non_drf_picks, 0,
+            "every pick must be the DRF choice at {cores} cores"
+        );
+        assert_eq!(stats.fairness.max_share_gap, 0.0);
+        assert!(stats.peak_cores_leased <= cores, "core budget violated at {cores} cores");
+    }
 }
