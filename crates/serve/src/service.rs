@@ -46,7 +46,7 @@ use helix_core::{
 };
 use helix_exec::CoreBudget;
 use helix_storage::EvictionRecord;
-use helix_storage::{DiskProfile, MaterializationCatalog};
+use helix_storage::{DiskProfile, MaterializationCatalog, RecoveryStats};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -458,6 +458,7 @@ impl HelixService {
             scheduling: self.inner.config.scheduling.clone(),
             fairness: sched.queue.fairness(),
             evictions: self.inner.catalog.eviction_log(),
+            catalog_recovery: self.inner.catalog.recovery_stats().clone(),
         }
     }
 }
@@ -800,6 +801,13 @@ pub struct ServiceStats {
     /// The bounded eviction-attribution log (quota + global-pressure
     /// events, most recent 64).
     pub evictions: Vec<EvictionRecord>,
+    /// What the catalog's journal recovery found and repaired when this
+    /// service opened its store — torn tails truncated, entries dropped,
+    /// files swept, sweep failures, and the disk-vs-accounting
+    /// reconciliation. Operators watch this after a crash: a non-empty
+    /// `sweep_failures` or a large `journal_tail_bytes` is the earliest
+    /// signal of storage trouble.
+    pub catalog_recovery: RecoveryStats,
 }
 
 impl ServiceStats {
@@ -1089,6 +1097,42 @@ mod tests {
             "evictions must be attributed to owners"
         );
         assert!(stats.evictions.len() <= 64, "attribution log is bounded");
+    }
+
+    #[test]
+    fn service_stats_surface_catalog_crash_recovery() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "helix-serve-recovery-{}-{}",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A prior service run leaves a catalog behind...
+        {
+            let svc = HelixService::new(ServiceConfig::new(1).with_catalog_dir(&dir)).unwrap();
+            svc.register_tenant("t", TenantSpec::default()).unwrap();
+            let session = svc.open_session("t", SessionConfig::in_memory()).unwrap();
+            session.run_iteration(chain(1)).unwrap();
+        }
+        // ...whose journal is torn mid-append by a crash.
+        let journal = dir.join("catalog.journal");
+        let mut bytes = std::fs::read(&journal).unwrap();
+        bytes.extend_from_slice(b"HXF3\x03torn-mid-append");
+        std::fs::write(&journal, &bytes).unwrap();
+
+        let svc = HelixService::new(ServiceConfig::new(1).with_catalog_dir(&dir)).unwrap();
+        let recovery = svc.stats().catalog_recovery.clone();
+        assert!(recovery.recovered, "the torn tail must be reported as repaired");
+        assert!(recovery.journal_tail_bytes > 0);
+        assert!(recovery.journal_stop.is_some());
+        assert_eq!(recovery.sweep_failures.len(), 0);
+        // The committed prefix survived: artifacts are still servable.
+        svc.register_tenant("t", TenantSpec::default()).unwrap();
+        let session = svc.open_session("t", SessionConfig::in_memory()).unwrap();
+        let report = session.run_iteration(chain(1)).unwrap();
+        assert_eq!(report.output_scalar("c").unwrap().as_f64(), Some(11.0));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! * artifacts are stored one-per-file, named by the 128-bit signature of
 //!   the operator output (`helix-core`'s Merkle chain hash), so a hit *is*
 //!   an equivalent materialization in the sense of Definition 3;
-//! * a JSON manifest makes the store durable across sessions and
-//!   human-inspectable;
+//! * an append-only, hash-chained journal makes the store durable across
+//!   sessions (see "Crash consistency" below);
 //! * every store/load is timed through the [`DiskProfile`], and measured
 //!   load times are remembered — these are the `l_i` statistics OEP uses
 //!   ("if a node has an equivalent materialization … we would have run the
@@ -62,24 +62,35 @@
 //!   ([`eviction_log`](MaterializationCatalog::eviction_log), last
 //!   [`EVICTION_LOG_CAP`] events) that `ServiceStats` surfaces.
 //!
-//! ## Crash consistency and format versioning
+//! ## Crash consistency: the catalog journal
 //!
-//! Manifest and artifact writes go through a temp-file + atomic-rename
-//! protocol, so a crash mid-`store`/`purge` leaves either the old or the
-//! new manifest, never a torn one. `open` prefers `manifest.json`, falls
-//! back to a fully written but unrenamed temp snapshot, and as a last
-//! resort rebuilds the entry set by scanning artifact files; stale temp
-//! files (and, when the manifest itself is healthy, orphaned artifact
-//! files no manifest entry references) are swept away.
+//! Durability is an append-only, hash-chained **journal**
+//! (`catalog.journal`, see [`crate::journal`]): every commit appends one
+//! O(entry) frame (`Upsert`/`Remove`/`Clear`) instead of rewriting a
+//! whole manifest, and artifact writes stay temp-file + atomic-rename.
+//! Recovery is deterministic: scan the journal, verify CRC and chain
+//! linkage per frame, replay the longest valid prefix, then drop entries
+//! whose backing artifact file is missing. Torn tails are truncated,
+//! stale temp files and artifact files the journal does not reference
+//! are swept, and sweep *failures* are surfaced (not swallowed) in
+//! [`RecoveryStats`] together with an on-disk byte reconciliation — an
+//! orphan that cannot be deleted stays visible as `stranded_bytes`
+//! instead of silently consuming disk forever. The journal is compacted
+//! to a single `Snapshot` frame when it grows well past the live entry
+//! count (and on every recovery/migration), so scans stay bounded.
 //!
-//! The manifest records a `format_version`
-//! ([`MaterializationCatalog::FORMAT_VERSION`]) naming the signature
-//! keying scheme its entries were written under. Opening a catalog from
-//! a *newer* format fails with a clear error (reading it anyway would
-//! misinterpret the keying); opening one from an *older* format migrates
-//! by invalidation — entries dropped, artifact files swept, no panic —
-//! because pre-provenance signatures could collide with current-scheme
-//! signatures while holding different bytes.
+//! ## Format versioning
+//!
+//! Frames carry the format version
+//! ([`MaterializationCatalog::FORMAT_VERSION`], mirrored by
+//! [`crate::frame::FORMAT_VERSION`]) naming the signature keying scheme
+//! entries were written under. Opening a catalog from a *newer* format
+//! fails with a clear error (reading it anyway would misinterpret the
+//! keying); opening one from an *older* format — a pre-journal
+//! `manifest.json` catalog (v1/v2) — migrates by invalidation: entries
+//! dropped, artifact files and manifest swept, no panic. Artifacts are
+//! recomputable by definition (the paper's premise), so invalidation
+//! costs recomputation, never correctness.
 //!
 //! ## Staged (deferred) commits
 //!
@@ -90,20 +101,22 @@
 //! (loads of a staged entry are served from the retained in-memory
 //! bytes) — but defers the throttled file write, which a background
 //! writer later lands with
-//! [`complete_stage`](MaterializationCatalog::complete_stage) and seals
-//! with one [`commit_staged`](MaterializationCatalog::commit_staged)
-//! manifest flush once the queue drains. Because every *decision*
-//! consumes only the in-memory index (which updates synchronously at
-//! stage time, in the engine's deterministic finalize order), the final
-//! catalog contents are independent of write completion order. The
-//! manifest never references a file that is not yet durable: entries
-//! still pending are filtered from every snapshot, so a crash
-//! mid-background-write recovers to a consistent catalog that simply
-//! lacks the un-landed artifacts — exactly what a serial engine crash at
-//! the same point would leave.
+//! [`complete_stage`](MaterializationCatalog::complete_stage) (sealing
+//! one `Upsert` journal frame for the now-durable file) and
+//! [`commit_staged`](MaterializationCatalog::commit_staged) fsyncs the
+//! journal once the queue drains. Because every *decision* consumes only
+//! the in-memory index (which updates synchronously at stage time, in
+//! the engine's deterministic finalize order), the final catalog
+//! contents are independent of write completion order. The journal never
+//! references a file that is not yet durable: entries still pending are
+//! excluded from every frame, so a crash mid-background-write recovers
+//! to a consistent catalog holding exactly the writes that landed —
+//! what a serial engine crash at the same point would leave.
 
 use crate::codec::{decode_value, encode_value};
 use crate::disk::DiskProfile;
+use crate::frame::FrameKind;
+use crate::journal::{self, JournalWriter, ScanStop};
 use helix_common::hash::Signature;
 use helix_common::timing::Nanos;
 use helix_common::{HelixError, Result};
@@ -257,18 +270,96 @@ impl OwnerStats {
     }
 }
 
+/// The pre-journal (format ≤ 2) `manifest.json` layout. Read only to
+/// recognize a legacy catalog and migrate it by invalidation; never
+/// written.
 #[derive(Default, Serialize, Deserialize)]
-struct Manifest {
+struct LegacyManifest {
     /// Keying-scheme version of every signature in `entries`. `None`
     /// (the field predates versioning) means format 1: signatures
-    /// computed *without* execution-environment provenance. Entries from
-    /// older formats are invalidated on open — a pre-provenance artifact
-    /// under a signature the current scheme would also produce could
-    /// silently serve wrong bytes (e.g. a stochastic output stored
-    /// before seeds were folded in). Newer-than-known formats are
-    /// refused outright.
+    /// computed *without* execution-environment provenance.
     format_version: Option<u32>,
     entries: Vec<CatalogEntry>,
+}
+
+/// Payload of a [`FrameKind::Snapshot`] journal frame: the full entry
+/// set at a compaction point, plus the keying-format version the chain
+/// was written under (the chain's first frame is always a snapshot, so
+/// the journal is self-describing).
+#[derive(Serialize, Deserialize)]
+struct SnapshotRecord {
+    format_version: u32,
+    entries: Vec<CatalogEntry>,
+}
+
+/// Payload of a [`FrameKind::Remove`] journal frame.
+#[derive(Serialize, Deserialize)]
+struct RemoveRecord {
+    signature: String,
+}
+
+/// One file the recovery sweep tried and failed to delete. Surfaced
+/// instead of swallowed: a permission error must not leave orphan bytes
+/// invisible forever.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepFailure {
+    /// File name inside the catalog root.
+    pub file: String,
+    /// The OS error.
+    pub error: String,
+}
+
+/// What [`MaterializationCatalog::open`] found and repaired. Serialized
+/// alongside benchmark artifacts in CI so recovery behavior is
+/// observable, not just correct.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RecoveryStats {
+    /// Whether open had to repair anything at all (torn tail, damaged
+    /// frames, dropped entries, migration, or salvage).
+    pub recovered: bool,
+    /// Set when a pre-journal catalog was migrated by invalidation; the
+    /// old format version.
+    pub migrated_from: Option<u32>,
+    /// Entries were rebuilt by scanning artifact files (journal absent
+    /// but the marker proves current-format keying).
+    pub salvaged_by_scan: bool,
+    /// Frames replayed from the journal's valid prefix.
+    pub journal_frames_replayed: u64,
+    /// Bytes past the valid prefix (torn tail / damage), truncated away.
+    pub journal_tail_bytes: u64,
+    /// Why the journal scan stopped early, when it did.
+    pub journal_stop: Option<String>,
+    /// Replayed entries dropped because their backing file is missing.
+    pub entries_dropped_missing_file: u64,
+    /// Crash leftovers (temps, unreferenced artifacts, legacy manifests)
+    /// deleted by the sweep.
+    pub swept_files: u64,
+    /// Bytes those deletions freed.
+    pub swept_bytes: u64,
+    /// Sweep deletions that *failed* — surfaced, not ignored.
+    pub sweep_failures: Vec<SweepFailure>,
+    /// Bytes of files that should be gone but could not be deleted.
+    pub stranded_bytes: u64,
+    /// Total bytes of all files in the catalog directory after recovery
+    /// (reconciliation scan).
+    pub disk_bytes_after_open: u64,
+    /// Bytes accounted by live entries after recovery. The difference
+    /// from `disk_bytes_after_open` is journal + marker + stranded
+    /// bytes.
+    pub accounted_bytes_after_open: u64,
+    /// The journal was rewritten (compacted to one snapshot) at open.
+    pub journal_rewritten: bool,
+}
+
+/// A mutation the journal must record.
+enum JournalOp {
+    /// Entry for this signature was inserted/replaced (payload is a
+    /// fresh clone read under the lock at append time).
+    Upsert(Signature),
+    /// Entry for this signature was removed.
+    Remove(Signature),
+    /// All entries were removed.
+    Clear,
 }
 
 struct Inner {
@@ -292,6 +383,12 @@ struct Inner {
     pins: HashMap<Signature, usize>,
     /// Bounded attribution log of evictions ([`EVICTION_LOG_CAP`]).
     eviction_log: Vec<EvictionRecord>,
+    /// Entries whose in-memory metadata (claims, measured load times)
+    /// has drifted from the journal. Loads and claims stay write-free on
+    /// the hot path; the dirty set is drained — one `Upsert` frame each,
+    /// with a fresh clone read under the lock — at the next journal
+    /// commit.
+    dirty: HashSet<Signature>,
 }
 
 impl Inner {
@@ -325,6 +422,7 @@ impl Inner {
     fn remove_entry(&mut self, sig: Signature) -> Option<String> {
         let entry = self.entries.remove(&sig)?;
         self.pending.remove(&sig);
+        self.dirty.remove(&sig);
         self.total_bytes -= entry.bytes;
         let owners = entry.owners().to_vec();
         self.debit(&owners, entry.bytes);
@@ -335,48 +433,65 @@ impl Inner {
 /// Directory-backed artifact store keyed by operator-output signatures.
 ///
 /// Safe to share (`Arc`) across threads and sessions: the in-memory index
-/// sits behind a mutex and all manifest/artifact writes are atomic
-/// temp-file + rename sequences serialized by an I/O lock.
+/// sits behind a mutex, artifact writes are atomic temp-file + rename
+/// sequences, and journal appends are serialized by the journal-writer
+/// mutex. Lock order is always journal → inner.
 pub struct MaterializationCatalog {
     root: PathBuf,
     disk: DiskProfile,
     inner: Mutex<Inner>,
-    /// Serializes manifest snapshots so a slow writer can never clobber a
-    /// newer one (snapshot happens inside the lock).
-    io_lock: Mutex<()>,
+    /// The append-only durable log. Holding this lock across
+    /// snapshot-read + append also guarantees a slower committer can
+    /// never write an older state after a newer one.
+    journal: Mutex<JournalWriter>,
+    /// What `open` found and repaired (immutable after open).
+    recovery: RecoveryStats,
 }
 
 impl MaterializationCatalog {
-    const MANIFEST: &'static str = "manifest.json";
-    const MANIFEST_TMP: &'static str = "manifest.json.tmp";
-    /// Standalone keying-format marker written next to the manifest; the
-    /// recovery scan consults it when no manifest copy is readable.
+    /// Pre-journal manifest names (format ≤ 2) — read for migration,
+    /// swept afterwards.
+    const LEGACY_MANIFEST: &'static str = "manifest.json";
+    const LEGACY_MANIFEST_TMP: &'static str = "manifest.json.tmp";
+    /// The journal file name.
+    const JOURNAL: &'static str = "catalog.journal";
+    /// Standalone keying-format marker written next to the journal; the
+    /// recovery paths consult it when no journal exists (artifact files
+    /// carry no keying version of their own).
     const MARKER: &'static str = "format.version";
-    /// The manifest format this build reads and writes. Bump whenever the
-    /// signature keying scheme changes meaning (v2: execution-environment
-    /// provenance — seeds — folded into chain signatures).
-    pub const FORMAT_VERSION: u32 = 2;
+    /// The catalog format this build reads and writes. Bump whenever the
+    /// signature keying scheme OR the durable layout changes meaning
+    /// (v2: execution-environment provenance — seeds — folded into chain
+    /// signatures; v3: the hash-chained journal replaced the JSON
+    /// manifest). Mirrored by the frame-format version
+    /// ([`crate::frame::FORMAT_VERSION`]).
+    pub const FORMAT_VERSION: u32 = 3;
+    /// Compact the journal once it carries more than
+    /// `4 × live entries + 64` frames: scans stay O(catalog), while
+    /// steady-state commits stay O(entry).
+    const COMPACT_SLACK: u64 = 64;
 
-    /// Open (or create) a catalog rooted at `root`, reading any existing
-    /// manifest so previous sessions' artifacts are reusable.
+    /// Open (or create) a catalog rooted at `root`, replaying the journal
+    /// so previous sessions' artifacts are reusable.
     ///
-    /// Crash tolerance: a stale `manifest.json.tmp` (from a crash between
-    /// temp-write and rename) is consulted only when `manifest.json`
-    /// itself is missing or unreadable, then removed; if both are corrupt
-    /// — or no manifest exists at all but artifact files do (a crash
-    /// before the first commit) — the entry set is rebuilt by scanning
-    /// `*.hxm` artifact files.
+    /// Recovery is deterministic (module docs): scan the journal, replay
+    /// the longest CRC- and chain-valid prefix, drop entries whose
+    /// backing artifact file is missing, sweep crash leftovers (recording
+    /// failures, not swallowing them), and report everything in
+    /// [`RecoveryStats`]. A pre-journal (`manifest.json`) catalog is
+    /// migrated by invalidation; artifact files found with a
+    /// current-format marker but no journal are salvaged by scan.
     pub fn open(root: impl Into<PathBuf>, disk: DiskProfile) -> Result<MaterializationCatalog> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        let manifest_path = root.join(Self::MANIFEST);
-        let tmp_path = root.join(Self::MANIFEST_TMP);
+        let journal_path = root.join(Self::JOURNAL);
+        let legacy_path = root.join(Self::LEGACY_MANIFEST);
+        let legacy_tmp_path = root.join(Self::LEGACY_MANIFEST_TMP);
+        let mut stats = RecoveryStats::default();
 
-        // The standalone marker file backs up the manifest's version
-        // field for the recovery paths: artifact files carry no version
-        // of their own, so when every manifest copy is unreadable the
-        // marker is the only way to tell a crashed current-format catalog
-        // (salvage the artifacts) from a pre-provenance one (sweep them).
+        // The standalone marker file names the keying scheme of the
+        // artifact files for recovery paths where no journal survives
+        // (the artifact files themselves are unversioned).
         let marker_version: Option<u32> = std::fs::read_to_string(root.join(Self::MARKER))
             .ok()
             .and_then(|s| s.trim().parse().ok());
@@ -390,89 +505,117 @@ impl MaterializationCatalog {
             )));
         }
 
-        let mut recovered = false;
-        let mut healthy_manifest = false;
-        let mut from_scan = false;
-        let mut manifest = match Self::read_manifest(&manifest_path) {
-            Some(manifest) => {
-                healthy_manifest = true;
-                manifest
+        let scan = journal::scan_file(&journal_path)?;
+        let mut entries: HashMap<Signature, CatalogEntry> = HashMap::new();
+        // A fresh snapshot is written (instead of appending to the
+        // scanned prefix) whenever the journal is absent, damaged beyond
+        // a clean end, migrated, or salvaged; `maybe-compact` handles the
+        // merely-long case below.
+        let mut needs_rewrite = scan.is_none();
+        match &scan {
+            Some(scan) => {
+                // A *first* frame from a newer frame format means a newer
+                // build owns this directory: refuse rather than treat its
+                // data as damage and destroy it. (A mid-journal version
+                // jump is indistinguishable from bit rot in the version
+                // byte and is handled as damage: the prefix before it is
+                // replayed, the rest dropped.)
+                if scan.frames == 0 {
+                    if let Some(ScanStop::UnsupportedVersion(v)) = scan.stop {
+                        if u32::from(v) > Self::FORMAT_VERSION {
+                            return Err(HelixError::config(format!(
+                                "catalog journal at {} begins with frame-format v{v}, newer \
+                                 than this build's v{}; refusing to misread it (upgrade helix \
+                                 or use a different catalog directory)",
+                                root.display(),
+                                Self::FORMAT_VERSION,
+                            )));
+                        }
+                    }
+                }
+                stats.journal_tail_bytes = scan.tail_bytes;
+                stats.journal_stop = scan.stop.map(|s| s.to_string());
+                if scan.stop.is_some() || scan.tail_bytes > 0 {
+                    stats.recovered = true;
+                    needs_rewrite = true;
+                }
+                let (version, replayed, frames_replayed, clean) = Self::replay(&scan.records);
+                stats.journal_frames_replayed = frames_replayed;
+                entries = replayed;
+                if !clean {
+                    // A CRC-valid frame carrying an unreadable payload:
+                    // the prefix before it is still trusted, the rest is
+                    // not.
+                    stats.journal_stop = Some("bad-payload".to_string());
+                    stats.recovered = true;
+                    needs_rewrite = true;
+                }
+                // Keying-format gate, from the snapshot frame. Newer:
+                // refuse rather than misread (signature-equal-looking
+                // entries might not be shareable). Older: migrate by
+                // invalidation — the entries' signatures were computed
+                // under a scheme that could alias current-scheme
+                // signatures while holding different bytes. Artifacts
+                // are recomputable by definition, so invalidation costs
+                // recomputation, never correctness.
+                if version > Self::FORMAT_VERSION {
+                    return Err(HelixError::config(format!(
+                        "catalog at {} uses format v{version}, newer than this build's v{}; \
+                         refusing to misread it (upgrade helix or use a different catalog \
+                         directory)",
+                        root.display(),
+                        Self::FORMAT_VERSION,
+                    )));
+                }
+                if version < Self::FORMAT_VERSION {
+                    entries.clear();
+                    stats.migrated_from = Some(version);
+                    stats.recovered = true;
+                    needs_rewrite = true;
+                }
             }
             None => {
-                recovered = manifest_path.exists();
-                match Self::read_manifest(&tmp_path) {
-                    Some(manifest) => {
-                        recovered = true;
-                        manifest
+                // No journal. Either a pre-journal catalog (a legacy JSON
+                // manifest names its format), a crashed current-format
+                // directory (marker present, artifacts only), or a fresh
+                // directory.
+                let legacy = Self::read_legacy_manifest(&legacy_path)
+                    .or_else(|| Self::read_legacy_manifest(&legacy_tmp_path));
+                let legacy_present = legacy_path.exists() || legacy_tmp_path.exists();
+                if let Some(manifest) = legacy {
+                    // Format ≤ 2 signatures were computed under older
+                    // keying schemes. Migrate by invalidation: entries
+                    // dropped, manifest and artifact files swept below.
+                    stats.migrated_from = Some(manifest.format_version.unwrap_or(1));
+                    stats.recovered = true;
+                } else if legacy_present {
+                    // Unreadable legacy manifest: same migration; the
+                    // version comes from the marker when it survives.
+                    stats.migrated_from = Some(marker_version.unwrap_or(1));
+                    stats.recovered = true;
+                } else if marker_version == Some(Self::FORMAT_VERSION) {
+                    // Current-format directory that lost its journal (a
+                    // crash before the first journal write, or manual
+                    // deletion): salvage the artifact files — sizes and
+                    // signatures (what correctness depends on) live in
+                    // the file names.
+                    for entry in Self::scan_artifacts(&root)? {
+                        let sig = Signature::from_hex(&entry.signature)
+                            .expect("scan_artifacts yields hex-named entries");
+                        entries.insert(sig, entry);
                     }
-                    None if recovered => {
-                        from_scan = true;
-                        Self::scan_artifacts(&root)?
+                    if !entries.is_empty() {
+                        stats.salvaged_by_scan = true;
+                        stats.recovered = true;
                     }
-                    None => {
-                        // No manifest anywhere. Any artifact files on disk
-                        // predate the first commit — salvage them rather
-                        // than leaving them orphaned and invisible.
-                        from_scan = true;
-                        let scanned = Self::scan_artifacts(&root)?;
-                        recovered = !scanned.entries.is_empty();
-                        scanned
-                    }
+                } else if Self::has_artifacts(&root)? {
+                    // Artifacts with no journal, no manifest, and no
+                    // current marker predate provenance keying: sweeping
+                    // them (recomputable by definition) beats trusting
+                    // them under the wrong scheme.
+                    stats.migrated_from = Some(marker_version.unwrap_or(1));
+                    stats.recovered = true;
                 }
-            }
-        };
-        // Format-version gate. A manifest written by a *newer* build uses
-        // a keying scheme this build does not understand — reading it
-        // anyway could treat signature-equal-looking entries as shareable
-        // when they are not, so refuse with a clear error instead of
-        // misreading. A manifest from an *older* format (absent field =
-        // v1, pre-provenance) is migrated by invalidation: its signatures
-        // were computed without execution-environment provenance, so an
-        // entry could collide with a current-scheme signature while
-        // holding different bytes. Entries are dropped and their artifact
-        // files swept; the catalog reopens empty but consistent, and a
-        // fresh current-version manifest is persisted below. Entries
-        // rebuilt by an artifact *scan* inherit the marker's version (the
-        // files themselves are unversioned): no marker means the catalog
-        // predates provenance keying, so the salvage is refused and the
-        // artifacts — which are recomputable by definition — are swept
-        // rather than trusted under the wrong scheme.
-        let version = if from_scan {
-            marker_version.unwrap_or(1)
-        } else {
-            manifest.format_version.unwrap_or(1)
-        };
-        if version > Self::FORMAT_VERSION {
-            return Err(HelixError::config(format!(
-                "catalog at {} uses manifest format v{version}, newer than this build's v{}; \
-                 refusing to misread it (upgrade helix or use a different catalog directory)",
-                root.display(),
-                Self::FORMAT_VERSION,
-            )));
-        }
-        if version < Self::FORMAT_VERSION {
-            manifest.entries.clear();
-            for dirent in std::fs::read_dir(&root)?.flatten() {
-                let name = dirent.file_name().to_string_lossy().into_owned();
-                if name.ends_with(".hxm") {
-                    let _ = std::fs::remove_file(dirent.path());
-                }
-            }
-            recovered = true;
-            healthy_manifest = false;
-        }
-        // Sweep crash leftovers: the manifest temp (it has served its
-        // purpose or is garbage either way) and any orphaned artifact
-        // temp files from interrupted `store_owned` writes — they were
-        // never renamed into place, so nothing references them, but they
-        // would otherwise consume disk invisible to `total_bytes`.
-        if tmp_path.exists() {
-            let _ = std::fs::remove_file(&tmp_path);
-        }
-        for dirent in std::fs::read_dir(&root)?.flatten() {
-            let name = dirent.file_name().to_string_lossy().into_owned();
-            if name.contains(".hxm.tmp-") {
-                let _ = std::fs::remove_file(dirent.path());
             }
         }
 
@@ -485,53 +628,184 @@ impl MaterializationCatalog {
             global_budget: None,
             pins: HashMap::new(),
             eviction_log: Vec::new(),
+            dirty: HashSet::new(),
         };
-        for entry in manifest.entries {
-            let sig = Signature::from_hex(&entry.signature)
-                .ok_or_else(|| HelixError::codec("bad signature in manifest"))?;
-            // Only trust entries whose backing file still exists.
-            if root.join(&entry.file).exists() {
+        for (sig, entry) in entries {
+            // Only trust entries whose backing file still exists (and is
+            // a regular file — a directory squatting on the name cannot
+            // serve loads).
+            if root.join(&entry.file).is_file() {
                 inner.total_bytes += entry.bytes;
                 let owners = entry.owners().to_vec();
                 inner.credit(&owners, entry.bytes);
                 inner.entries.insert(sig, entry);
+            } else {
+                stats.entries_dropped_missing_file += 1;
+                stats.recovered = true;
+                needs_rewrite = true;
             }
         }
-        // With a *healthy* primary manifest (not any recovery path, where
-        // artifact files are a source of truth), an artifact file the
-        // manifest does not reference is a crash leftover: a staged write
-        // landed its file but died before the manifest commit. The bytes
-        // are invisible to accounting either way; sweep them.
-        if healthy_manifest {
-            let referenced: HashSet<String> =
-                inner.entries.values().map(|e| e.file.clone()).collect();
-            for dirent in std::fs::read_dir(&root)?.flatten() {
-                let name = dirent.file_name().to_string_lossy().into_owned();
-                if name.ends_with(".hxm") && !referenced.contains(&name) {
-                    let _ = std::fs::remove_file(dirent.path());
-                }
+
+        // Sweep crash leftovers: temp files of every lane (artifact
+        // writes, journal compactions, legacy manifest flushes), legacy
+        // manifests (migrated or garbage either way), and artifact files
+        // no live entry references — the journal is the sole source of
+        // truth, so an unreferenced artifact is a stage that landed its
+        // file but crashed before its journal frame. Failures are
+        // recorded, never swallowed: a file that cannot be deleted stays
+        // visible as stranded bytes instead of silently consuming disk.
+        let referenced: HashSet<&str> = inner.entries.values().map(|e| e.file.as_str()).collect();
+        let mut leftovers: Vec<(PathBuf, String)> = Vec::new();
+        for dirent in std::fs::read_dir(&root)?.flatten() {
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            let leftover = name.contains(".tmp-")
+                || name == Self::LEGACY_MANIFEST
+                || name == Self::LEGACY_MANIFEST_TMP
+                || (name.ends_with(".hxm") && !referenced.contains(name.as_str()));
+            if leftover {
+                leftovers.push((dirent.path(), name));
             }
         }
-        // (Re)write the marker so future recovery paths know which scheme
-        // this directory's artifacts use from here on.
+        // Deterministic sweep (and stats) order regardless of read_dir's.
+        leftovers.sort_by(|a, b| a.1.cmp(&b.1));
+        for (path, name) in leftovers {
+            Self::sweep_file(&path, &name, &mut stats);
+        }
+        if stats.swept_files > 0 || !stats.sweep_failures.is_empty() {
+            stats.recovered = true;
+        }
+
+        // (Re)write the marker so future recovery paths know which
+        // scheme this directory's artifacts use from here on.
         if marker_version != Some(Self::FORMAT_VERSION) {
             std::fs::write(root.join(Self::MARKER), format!("{}\n", Self::FORMAT_VERSION))?;
         }
-        let catalog = MaterializationCatalog {
+
+        // Position the journal writer: resume the scanned chain (torn
+        // tail truncated by `append_to`) when the prefix was healthy and
+        // short enough, otherwise rewrite one fresh snapshot frame.
+        let threshold = 4 * inner.entries.len() as u64 + Self::COMPACT_SLACK;
+        let writer = match &scan {
+            Some(scan) if !needs_rewrite && scan.frames <= threshold => {
+                JournalWriter::append_to(&journal_path, scan)?
+            }
+            _ => {
+                stats.journal_rewritten = true;
+                let payload = Self::snapshot_payload(&inner)?;
+                JournalWriter::rewrite(&journal_path, [(FrameKind::Snapshot, payload.as_slice())])?
+            }
+        };
+
+        // Reconciliation: what is physically on disk vs what live
+        // entries account for. The difference is journal + marker (+ any
+        // stranded bytes) — drift beyond that is observable in CI.
+        for dirent in std::fs::read_dir(&root)?.flatten() {
+            if let Ok(meta) = dirent.metadata() {
+                if meta.is_file() {
+                    stats.disk_bytes_after_open += meta.len();
+                }
+            }
+        }
+        stats.accounted_bytes_after_open = inner.total_bytes;
+
+        Ok(MaterializationCatalog {
             root,
             disk,
             inner: Mutex::new(inner),
-            io_lock: Mutex::new(()),
-        };
-        if recovered {
-            catalog.flush_manifest()?;
-        }
-        Ok(catalog)
+            journal: Mutex::new(writer),
+            recovery: stats,
+        })
     }
 
-    fn read_manifest(path: &Path) -> Option<Manifest> {
+    /// Replay scanned journal records into an entry map. Returns the
+    /// keying-format version (current when the journal is empty), the
+    /// live entries, the count of frames replayed, and whether every
+    /// payload parsed — `false` means a CRC-valid frame carried an
+    /// unreadable payload; the prefix *before* it is still trusted.
+    fn replay(
+        records: &[(FrameKind, Vec<u8>)],
+    ) -> (u32, HashMap<Signature, CatalogEntry>, u64, bool) {
+        let mut version = Self::FORMAT_VERSION;
+        let mut map: HashMap<Signature, CatalogEntry> = HashMap::new();
+        let mut replayed = 0u64;
+        let insert = |map: &mut HashMap<Signature, CatalogEntry>, e: CatalogEntry| -> bool {
+            match Signature::from_hex(&e.signature) {
+                Some(sig) => {
+                    map.insert(sig, e);
+                    true
+                }
+                None => false,
+            }
+        };
+        for (kind, payload) in records {
+            let ok = match kind {
+                FrameKind::Snapshot => match serde_json::from_slice::<SnapshotRecord>(payload) {
+                    Ok(snap) => {
+                        version = snap.format_version;
+                        map.clear();
+                        snap.entries.into_iter().all(|e| insert(&mut map, e))
+                    }
+                    Err(_) => false,
+                },
+                FrameKind::Upsert => match serde_json::from_slice::<CatalogEntry>(payload) {
+                    Ok(e) => insert(&mut map, e),
+                    Err(_) => false,
+                },
+                FrameKind::Remove => match serde_json::from_slice::<RemoveRecord>(payload) {
+                    Ok(r) => match Signature::from_hex(&r.signature) {
+                        Some(sig) => {
+                            map.remove(&sig);
+                            true
+                        }
+                        None => false,
+                    },
+                    Err(_) => false,
+                },
+                FrameKind::Clear => {
+                    map.clear();
+                    true
+                }
+                // An artifact frame has no business inside the journal.
+                FrameKind::Artifact => false,
+            };
+            if !ok {
+                return (version, map, replayed, false);
+            }
+            replayed += 1;
+        }
+        (version, map, replayed, true)
+    }
+
+    fn read_legacy_manifest(path: &Path) -> Option<LegacyManifest> {
         let text = std::fs::read_to_string(path).ok()?;
         serde_json::from_str(&text).ok()
+    }
+
+    /// Whether any `*.hxm` artifact file exists under `root`.
+    fn has_artifacts(root: &Path) -> Result<bool> {
+        for dirent in std::fs::read_dir(root)? {
+            if dirent?.file_name().to_string_lossy().ends_with(".hxm") {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Delete one crash leftover, recording the outcome in `stats`.
+    fn sweep_file(path: &Path, name: &str, stats: &mut RecoveryStats) {
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        match std::fs::remove_file(path) {
+            Ok(()) => {
+                stats.swept_files += 1;
+                stats.swept_bytes += bytes;
+            }
+            Err(e) => {
+                stats
+                    .sweep_failures
+                    .push(SweepFailure { file: name.to_string(), error: e.to_string() });
+                stats.stranded_bytes += bytes;
+            }
+        }
     }
 
     /// Last-resort recovery: rebuild entries from artifact files on disk.
@@ -540,7 +814,7 @@ impl MaterializationCatalog {
     /// carry no keying-format version of their own — the caller gates the
     /// scanned entries on the standalone [`MARKER`](Self::MARKER) file,
     /// sweeping the salvage when the marker is absent or old.
-    fn scan_artifacts(root: &Path) -> Result<Manifest> {
+    fn scan_artifacts(root: &Path) -> Result<Vec<CatalogEntry>> {
         let mut entries = Vec::new();
         for dirent in std::fs::read_dir(root)? {
             let dirent = dirent?;
@@ -549,11 +823,14 @@ impl MaterializationCatalog {
             if Signature::from_hex(stem).is_none() {
                 continue;
             }
-            let bytes = dirent.metadata()?.len();
+            let meta = dirent.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
             entries.push(CatalogEntry {
                 signature: stem.to_string(),
                 file: name,
-                bytes,
+                bytes: meta.len(),
                 node_name: "(recovered)".to_string(),
                 created_iteration: 0,
                 write_nanos: 0,
@@ -562,7 +839,7 @@ impl MaterializationCatalog {
                 writers: None,
             });
         }
-        Ok(Manifest { format_version: Some(Self::FORMAT_VERSION), entries })
+        Ok(entries)
     }
 
     /// Open a throwaway catalog in a fresh temp directory (tests, examples).
@@ -709,15 +986,16 @@ impl MaterializationCatalog {
         });
         io_result?;
         self.register_entry(sig, owner, node_name, iteration, file, bytes, write_nanos, None);
-        self.flush_manifest()?;
+        self.journal_commit(&[JournalOp::Upsert(sig)])?;
         Ok((bytes, write_nanos))
     }
 
     /// Stage a materialization: all index bookkeeping happens *now* —
     /// entry visible, owners/writers recorded, quota charged, loads
     /// servable from the retained bytes — but the throttled file write is
-    /// deferred to [`complete_stage`](Self::complete_stage) and the
-    /// manifest flush to [`commit_staged`](Self::commit_staged). The
+    /// deferred to [`complete_stage`](Self::complete_stage) (which also
+    /// seals the entry's journal frame) and the journal fsync to
+    /// [`commit_staged`](Self::commit_staged). The
     /// reported write time is the disk model's *target* for the size (the
     /// deterministic cost a serial engine would have paid); the measured
     /// time is recorded on the entry when the write lands.
@@ -781,24 +1059,39 @@ impl MaterializationCatalog {
             std::fs::rename(&tmp, &path)
         });
         io_result?;
-        {
+        let landed = {
             let mut inner = self.inner.lock();
             if fresh(&inner) {
                 inner.pending.remove(&sig);
                 if let Some(entry) = inner.entries.get_mut(&sig) {
                     entry.write_nanos = write_nanos;
                 }
+                true
+            } else {
+                // Turned stale mid-write: leave the file (see doc
+                // comment).
+                false
             }
-            // Turned stale mid-write: leave the file (see doc comment).
+        };
+        if landed {
+            // The file is durable (renamed into place), so seal its
+            // journal frame now: a crash before `commit_staged` recovers
+            // this entry — exactly what a serial engine crash after the
+            // same store would leave.
+            self.journal_commit(&[JournalOp::Upsert(sig)])?;
         }
         Ok(write_nanos)
     }
 
-    /// Flush the manifest after a background writer drained its queue.
-    /// (Entries still pending are excluded from every manifest snapshot,
-    /// so calling this early is safe, just not final.)
+    /// Fsync the journal after a background writer drained its queue —
+    /// the durability point of a staged batch. Each landed stage sealed
+    /// its own `Upsert` frame in [`complete_stage`](Self::complete_stage)
+    /// already (entries still pending are excluded from every frame, so
+    /// calling this early is safe, just not final); this drains any
+    /// remaining dirty metadata and flushes the lot to stable storage.
     pub fn commit_staged(&self) -> Result<()> {
-        self.flush_manifest()
+        self.journal_commit(&[])?;
+        self.journal.lock().sync()
     }
 
     /// Number of staged entries whose file write has not landed yet.
@@ -879,8 +1172,8 @@ impl MaterializationCatalog {
     /// normally claimed earlier, at plan time
     /// ([`claim_if_present`](Self::claim_if_present)); this is the
     /// belt-and-braces path for direct `load_for` callers. The claim is
-    /// applied in memory immediately and persisted at the next manifest
-    /// flush (loads stay write-free on the hot path).
+    /// applied in memory immediately and persisted at the next journal
+    /// commit (loads stay write-free on the hot path).
     pub fn load_for(&self, sig: Signature, owner: &str) -> Result<(Value, Nanos, bool)> {
         let (file, bytes, cross, staged) = {
             let inner = self.inner.lock();
@@ -923,6 +1216,9 @@ impl MaterializationCatalog {
                     entry.add_owner(owner);
                     claim = Some(entry.bytes);
                 }
+                // Metadata drifted from the journal; persisted lazily at
+                // the next commit (loads stay write-free).
+                inner.dirty.insert(sig);
             }
             if let Some(bytes) = claim {
                 inner.credit(&[owner.to_string()], bytes);
@@ -961,6 +1257,9 @@ impl MaterializationCatalog {
                 true
             }
         };
+        if present {
+            inner.dirty.insert(sig);
+        }
         if let Some(bytes) = claim {
             inner.credit(&[owner.to_string()], bytes);
         }
@@ -989,6 +1288,7 @@ impl MaterializationCatalog {
         };
         if present {
             *inner.pins.entry(sig).or_insert(0) += 1;
+            inner.dirty.insert(sig);
         }
         if let Some(bytes) = claim {
             inner.credit(&[owner.to_string()], bytes);
@@ -1003,7 +1303,7 @@ impl MaterializationCatalog {
         match removed {
             Some(file) => {
                 self.remove_file(&file)?;
-                self.flush_manifest()?;
+                self.journal_commit(&[JournalOp::Remove(sig)])?;
                 Ok(true)
             }
             None => Ok(false),
@@ -1017,7 +1317,15 @@ impl MaterializationCatalog {
     ///
     /// This is the multi-tenant-safe spelling of the paper's §6.6 purge:
     /// tenant A deprecating a signature must not delete bytes tenant B
-    /// still plans to load.
+    /// still plans to load. Entries transiently pinned by an in-flight
+    /// iteration ([`pin_many`](Self::pin_many)) are never unlinked here,
+    /// for the same reason they are never eviction victims — the claim
+    /// a sibling session *of the same tenant* takes on a planned load
+    /// adds no co-owner, so without the pin check this session's
+    /// deprecation could delete an artifact that sibling is about to
+    /// load. A pinned release is a no-op (`false`); the deprecated entry
+    /// lingers until the pin drops and a later release or eviction
+    /// reclaims it.
     pub fn release(&self, sig: Signature, owner: &str) -> Result<bool> {
         enum Outcome {
             Removed(String),
@@ -1026,11 +1334,17 @@ impl MaterializationCatalog {
         }
         let outcome = {
             let mut inner = self.inner.lock();
+            // Only the *unlink* outcomes are gated on pins: dropping one
+            // owner of several never removes the file, so it stays safe
+            // while pinned.
+            let pinned = inner.pins.contains_key(&sig);
             match inner.entries.get_mut(&sig) {
                 None => Outcome::Untouched,
                 Some(entry) => {
                     let legacy = entry.owners().is_empty();
-                    if legacy {
+                    if (legacy || entry.owners() == [owner]) && pinned {
+                        Outcome::Untouched
+                    } else if legacy {
                         Outcome::Removed(inner.remove_entry(sig).expect("entry exists"))
                     } else if entry.is_owned_by(owner) {
                         if entry.owners().len() == 1 {
@@ -1052,11 +1366,11 @@ impl MaterializationCatalog {
         match outcome {
             Outcome::Removed(file) => {
                 self.remove_file(&file)?;
-                self.flush_manifest()?;
+                self.journal_commit(&[JournalOp::Remove(sig)])?;
                 Ok(true)
             }
             Outcome::OwnerDropped => {
-                self.flush_manifest()?;
+                self.journal_commit(&[JournalOp::Upsert(sig)])?;
                 Ok(false)
             }
             Outcome::Untouched => Ok(false),
@@ -1089,7 +1403,7 @@ impl MaterializationCatalog {
         // gone and the claim fails, so the claimant replans) — never in
         // between.
         let mut freed = 0u64;
-        let files: Vec<String> = {
+        let victims: Vec<(Signature, String)> = {
             let mut inner = self.inner.lock();
             let mut candidates: Vec<(Signature, u64, String)> = inner
                 .entries
@@ -1104,7 +1418,7 @@ impl MaterializationCatalog {
                 .map(|(sig, entry)| (*sig, entry.created_iteration, entry.signature.clone()))
                 .collect();
             candidates.sort_by(|a, b| (a.1, &a.2).cmp(&(b.1, &b.2)));
-            let mut files = Vec::new();
+            let mut victims = Vec::new();
             for (sig, _, _) in candidates {
                 if freed >= bytes_needed {
                     break;
@@ -1116,7 +1430,7 @@ impl MaterializationCatalog {
                 if let Some((bytes, node_name, owners)) = meta {
                     if let Some(file) = inner.remove_entry(sig) {
                         freed += bytes;
-                        files.push(file);
+                        victims.push((sig, file));
                         inner.stats.entry(owner.to_string()).or_default().quota_evictions += 1;
                         inner.log_eviction(EvictionRecord {
                             signature: sig.to_hex(),
@@ -1129,15 +1443,16 @@ impl MaterializationCatalog {
                     }
                 }
             }
-            files
+            victims
         };
-        if files.is_empty() {
+        if victims.is_empty() {
             return Ok(0);
         }
-        for file in &files {
+        for (_, file) in &victims {
             self.remove_file(file)?;
         }
-        self.flush_manifest()?;
+        let ops: Vec<JournalOp> = victims.iter().map(|(sig, _)| JournalOp::Remove(*sig)).collect();
+        self.journal_commit(&ops)?;
         Ok(freed)
     }
 
@@ -1223,7 +1538,7 @@ impl MaterializationCatalog {
         // refcount rose — at worst the entry evicts a class later) or
         // entirely after (the claim fails and the claimant replans).
         let mut freed = 0u64;
-        let files: Vec<String> = {
+        let victims: Vec<(Signature, String)> = {
             let mut inner = self.inner.lock();
             let mut candidates: Vec<(Signature, u8, u64, String)> = inner
                 .entries
@@ -1235,7 +1550,7 @@ impl MaterializationCatalog {
                 })
                 .collect();
             candidates.sort_by(|a, b| (a.1, a.2, &a.3).cmp(&(b.1, b.2, &b.3)));
-            let mut files = Vec::new();
+            let mut victims = Vec::new();
             for (sig, _, _, _) in candidates {
                 if freed >= bytes_needed {
                     break;
@@ -1247,7 +1562,7 @@ impl MaterializationCatalog {
                 if let Some((bytes, node_name, owners)) = meta {
                     if let Some(file) = inner.remove_entry(sig) {
                         freed += bytes;
-                        files.push(file);
+                        victims.push((sig, file));
                         for owner in &owners {
                             inner.stats.entry(owner.clone()).or_default().global_evictions += 1;
                         }
@@ -1262,15 +1577,16 @@ impl MaterializationCatalog {
                     }
                 }
             }
-            files
+            victims
         };
-        if files.is_empty() {
+        if victims.is_empty() {
             return Ok(0);
         }
-        for file in &files {
+        for (_, file) in &victims {
             self.remove_file(file)?;
         }
-        self.flush_manifest()?;
+        let ops: Vec<JournalOp> = victims.iter().map(|(sig, _)| JournalOp::Remove(*sig)).collect();
+        self.journal_commit(&ops)?;
         Ok(freed)
     }
 
@@ -1281,6 +1597,7 @@ impl MaterializationCatalog {
             let files = inner.entries.values().map(|e| e.file.clone()).collect();
             inner.entries.clear();
             inner.pending.clear();
+            inner.dirty.clear();
             inner.total_bytes = 0;
             inner.owned_bytes.clear();
             files
@@ -1288,7 +1605,12 @@ impl MaterializationCatalog {
         for file in files {
             self.remove_file(&file)?;
         }
-        self.flush_manifest()
+        self.journal_commit(&[JournalOp::Clear])
+    }
+
+    /// What the last [`open`](Self::open) found and repaired.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
     }
 
     fn remove_file(&self, file: &str) -> Result<()> {
@@ -1299,29 +1621,87 @@ impl MaterializationCatalog {
         Ok(())
     }
 
-    /// Persist the manifest atomically: snapshot and temp-write under the
-    /// I/O lock (so an older snapshot can never land after a newer one),
-    /// then rename into place. A crash at any point leaves a parseable
-    /// manifest on disk. Staged entries whose file write has not landed
-    /// are excluded: the manifest never references a non-durable file.
-    fn flush_manifest(&self) -> Result<()> {
-        let _io = self.io_lock.lock();
-        let manifest = {
-            let inner = self.inner.lock();
-            let mut entries: Vec<CatalogEntry> = inner
-                .entries
-                .iter()
-                .filter(|(sig, _)| !inner.pending.contains_key(sig))
-                .map(|(_, e)| e.clone())
-                .collect();
-            entries.sort_by(|a, b| a.signature.cmp(&b.signature));
-            Manifest { format_version: Some(Self::FORMAT_VERSION), entries }
+    fn entry_payload(entry: &CatalogEntry) -> Result<Vec<u8>> {
+        serde_json::to_vec(entry)
+            .map_err(|e| HelixError::codec(format!("catalog entry serialize error: {e}")))
+    }
+
+    /// Serialize the live, non-pending entry set as one snapshot payload
+    /// (sorted by signature, so identical states are byte-identical).
+    /// The journal never references a file that is not yet durable.
+    fn snapshot_payload(inner: &Inner) -> Result<Vec<u8>> {
+        let mut entries: Vec<CatalogEntry> = inner
+            .entries
+            .iter()
+            .filter(|(sig, _)| !inner.pending.contains_key(sig))
+            .map(|(_, e)| e.clone())
+            .collect();
+        entries.sort_by(|a, b| a.signature.cmp(&b.signature));
+        serde_json::to_vec(&SnapshotRecord { format_version: Self::FORMAT_VERSION, entries })
+            .map_err(|e| HelixError::codec(format!("snapshot serialize error: {e}")))
+    }
+
+    /// Record `ops` — plus any metadata that drifted since the last
+    /// commit (the dirty set) — as journal frames: one O(entry) append
+    /// each, serialized by the journal lock. Payloads are snapshotted
+    /// under both locks (journal → inner), so a slower committer can
+    /// never append an older state after a newer one. Entries whose file
+    /// write is still pending are skipped (their frame seals at
+    /// `complete_stage`). Compacts when the journal has grown well past
+    /// the live entry count.
+    fn journal_commit(&self, ops: &[JournalOp]) -> Result<()> {
+        let mut journal = self.journal.lock();
+        let (frames, live_entries) = {
+            let mut inner = self.inner.lock();
+            let mut dirty: Vec<Signature> = inner.dirty.drain().collect();
+            dirty.sort();
+            let mut frames: Vec<(FrameKind, Vec<u8>)> = Vec::new();
+            for sig in dirty {
+                if inner.pending.contains_key(&sig) {
+                    continue;
+                }
+                if let Some(entry) = inner.entries.get(&sig) {
+                    frames.push((FrameKind::Upsert, Self::entry_payload(entry)?));
+                }
+            }
+            for op in ops {
+                match op {
+                    JournalOp::Upsert(sig) => {
+                        if inner.pending.contains_key(sig) {
+                            continue;
+                        }
+                        if let Some(entry) = inner.entries.get(sig) {
+                            frames.push((FrameKind::Upsert, Self::entry_payload(entry)?));
+                        }
+                    }
+                    JournalOp::Remove(sig) => {
+                        let payload = serde_json::to_vec(&RemoveRecord { signature: sig.to_hex() })
+                            .map_err(|e| {
+                                HelixError::codec(format!("remove record serialize error: {e}"))
+                            })?;
+                        frames.push((FrameKind::Remove, payload));
+                    }
+                    JournalOp::Clear => frames.push((FrameKind::Clear, Vec::new())),
+                }
+            }
+            (frames, inner.entries.len() as u64)
         };
-        let text = serde_json::to_string_pretty(&manifest)
-            .map_err(|e| HelixError::codec(format!("manifest serialize error: {e}")))?;
-        let tmp = self.root.join(Self::MANIFEST_TMP);
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, self.root.join(Self::MANIFEST))?;
+        for (kind, payload) in &frames {
+            journal.append(*kind, payload)?;
+        }
+        self.maybe_compact(&mut journal, live_entries)
+    }
+
+    /// Rewrite the journal as one snapshot frame once it carries more
+    /// than `4 × live entries + COMPACT_SLACK` frames, so recovery scans
+    /// stay O(catalog) no matter how long the session ran.
+    fn maybe_compact(&self, journal: &mut JournalWriter, live_entries: u64) -> Result<()> {
+        if journal.frames() <= 4 * live_entries + Self::COMPACT_SLACK {
+            return Ok(());
+        }
+        let payload = Self::snapshot_payload(&self.inner.lock())?;
+        let path = journal.path().to_path_buf();
+        *journal = JournalWriter::rewrite(&path, [(FrameKind::Snapshot, payload.as_slice())])?;
         Ok(())
     }
 }
@@ -1395,7 +1775,7 @@ mod tests {
     }
 
     #[test]
-    fn manifest_survives_reopen() {
+    fn catalog_survives_reopen() {
         let cat = temp_catalog();
         let root = cat.root().to_path_buf();
         let sig = Signature::of_str("persistent");
@@ -1759,23 +2139,33 @@ mod tests {
         assert_eq!(value.as_scalar().unwrap().as_f64(), Some(4.5));
     }
 
+    /// All journal record payloads, concatenated as a lossy string
+    /// (enough to check which signatures the journal references).
+    fn journal_text(root: &Path) -> String {
+        let scan = journal::scan_file(&root.join("catalog.journal")).unwrap().unwrap();
+        scan.records
+            .iter()
+            .map(|(_, payload)| String::from_utf8_lossy(payload).into_owned())
+            .collect()
+    }
+
     #[test]
-    fn manifest_never_references_unlanded_files() {
+    fn journal_never_references_unlanded_files() {
         let cat = temp_catalog();
         let durable = Signature::of_str("durable");
         let staged = Signature::of_str("staged");
         cat.store(durable, "d", 0, &scalar(1.0)).unwrap();
         let (_, _, frame) = cat.stage_owned(staged, "", "s", 0, &scalar(2.0)).unwrap();
-        // A flush while the stage is pending (any serial store triggers
+        // A commit while the stage is pending (any serial store triggers
         // one) must exclude the staged entry.
         cat.store(Signature::of_str("d2"), "d2", 0, &scalar(3.0)).unwrap();
-        let text = std::fs::read_to_string(cat.root().join("manifest.json")).unwrap();
-        assert!(!text.contains(&staged.to_hex()), "pending entry leaked into the manifest");
+        let text = journal_text(cat.root());
+        assert!(!text.contains(&staged.to_hex()), "pending entry leaked into the journal");
         assert!(text.contains(&durable.to_hex()));
         // After completion + commit it appears.
         cat.complete_stage(staged, &frame).unwrap();
         cat.commit_staged().unwrap();
-        let text = std::fs::read_to_string(cat.root().join("manifest.json")).unwrap();
+        let text = journal_text(cat.root());
         assert!(text.contains(&staged.to_hex()));
     }
 
@@ -1790,6 +2180,27 @@ mod tests {
         cat.complete_stage(sig, &frame).unwrap();
         assert!(!cat.root().join(format!("{}.hxm", sig.to_hex())).exists());
         assert!(!cat.contains(sig));
+    }
+
+    #[test]
+    fn release_never_unlinks_a_pinned_entry() {
+        // Two sessions of the SAME tenant: session A pins a planned load
+        // (the claim adds no co-owner — the tenant already owns it), then
+        // session B deprecates the signature. The release must not unlink
+        // the artifact out from under A's in-flight iteration; once the
+        // pin drops, a later release reclaims it normally.
+        let cat = temp_catalog();
+        let sig = Signature::of_str("pinned-load");
+        cat.store_owned(sig, "t0", "n", 0, &scalar(4.0)).unwrap();
+        cat.pin_many(&[sig]);
+        assert!(!cat.release(sig, "t0").unwrap(), "pinned release is a no-op");
+        assert!(cat.contains(sig), "entry survives");
+        let (value, _, _) = cat.load_for(sig, "t0").unwrap();
+        assert_eq!(value.as_scalar().unwrap().as_f64(), Some(4.0));
+        cat.unpin_many(&[sig]);
+        assert!(cat.release(sig, "t0").unwrap(), "unpinned release removes it");
+        assert!(!cat.contains(sig));
+        assert!(!cat.root().join(format!("{}.hxm", sig.to_hex())).exists());
     }
 
     #[test]
@@ -1810,8 +2221,8 @@ mod tests {
     #[test]
     fn staged_then_crashed_reopen_is_consistent() {
         // Crash windows, in order of the staged protocol:
-        //  (1) staged, file never landed, manifest never flushed;
-        //  (2) file landed, manifest commit never happened.
+        //  (1) staged, file never landed, frame never sealed;
+        //  (2) file landed + frame sealed, journal never fsynced.
         let cat = temp_catalog();
         let root = cat.root().to_path_buf();
         let kept = Signature::of_str("kept");
@@ -1822,7 +2233,7 @@ mod tests {
         let never_landed = Signature::of_str("never-landed");
         let (_, _, _frame) = cat.stage_owned(never_landed, "", "n", 0, &scalar(2.0)).unwrap();
 
-        // Window 2: stage + complete, no commit.
+        // Window 2: stage + complete, no commit_staged.
         let landed = Signature::of_str("landed-uncommitted");
         let (_, _, frame) = cat.stage_owned(landed, "", "n", 0, &scalar(3.0)).unwrap();
         cat.complete_stage(landed, &frame).unwrap();
@@ -1832,13 +2243,12 @@ mod tests {
         assert!(reopened.contains(kept), "durable entries survive");
         assert!(!reopened.contains(never_landed), "window-1 stage is simply absent");
         assert!(
-            !reopened.contains(landed),
-            "window-2 stage is absent (manifest is the source of truth)"
+            reopened.contains(landed),
+            "window-2 stage survives: its file is durable and its frame was sealed \
+             (exactly what a serial engine crash after the store would leave)"
         );
-        assert!(
-            !root.join(format!("{}.hxm", landed.to_hex())).exists(),
-            "window-2 orphan file swept on open"
-        );
+        let (value, _) = reopened.load(landed).unwrap();
+        assert_eq!(value.as_scalar().unwrap().as_f64(), Some(3.0));
         // And every referenced file exists.
         for entry in reopened.entries() {
             assert!(root.join(&entry.file).exists());
@@ -1865,57 +2275,166 @@ mod tests {
     }
 
     #[test]
-    fn stale_manifest_tmp_is_tolerated_and_swept() {
+    fn torn_journal_tail_is_truncated_and_prefix_replayed() {
         let cat = temp_catalog();
         let root = cat.root().to_path_buf();
-        let sig = Signature::of_str("durable");
-        cat.store(sig, "n", 0, &scalar(7.0)).unwrap();
+        let kept = Signature::of_str("kept");
+        cat.store(kept, "n", 2, &scalar(1.5)).unwrap();
         drop(cat);
-        // Simulate a crash mid-flush: a half-written temp file next to a
-        // good manifest.
-        std::fs::write(root.join("manifest.json.tmp"), b"{ \"entries\": [ TRUNC").unwrap();
-        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
-        assert!(reopened.contains(sig), "good manifest wins");
-        assert!(!root.join("manifest.json.tmp").exists(), "stale temp swept");
-    }
-
-    #[test]
-    fn truncated_manifest_recovers_from_tmp_snapshot() {
-        let cat = temp_catalog();
-        let root = cat.root().to_path_buf();
-        let sig = Signature::of_str("snap");
-        cat.store(sig, "n", 2, &scalar(1.5)).unwrap();
-        drop(cat);
-        // Simulate the opposite crash: temp fully written, rename pending,
-        // manifest.json torn.
-        let good = std::fs::read_to_string(root.join("manifest.json")).unwrap();
-        std::fs::write(root.join("manifest.json.tmp"), &good).unwrap();
-        let torn = &good[..good.len() / 2];
-        std::fs::write(root.join("manifest.json"), torn).unwrap();
+        // Crash mid-append: garbage bytes at the journal tail.
+        let journal = root.join("catalog.journal");
+        let mut bytes = std::fs::read(&journal).unwrap();
+        bytes.extend_from_slice(b"HXF3\x03half-a-frame");
+        std::fs::write(&journal, &bytes).unwrap();
 
         let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
-        assert!(reopened.contains(sig), "temp snapshot restores the entry");
-        assert_eq!(reopened.entry(sig).unwrap().created_iteration, 2, "metadata intact");
-        // And the repaired manifest was re-persisted.
+        assert!(reopened.contains(kept), "valid prefix replayed");
+        assert_eq!(reopened.entry(kept).unwrap().created_iteration, 2, "metadata intact");
+        let stats = reopened.recovery_stats();
+        assert!(stats.recovered);
+        assert!(stats.journal_tail_bytes > 0, "torn tail measured");
+        assert!(stats.journal_rewritten, "damaged journal compacted to a fresh snapshot");
+        // The repaired journal reopens clean.
         drop(reopened);
         let again = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
-        assert!(again.contains(sig));
+        assert!(again.contains(kept));
+        assert!(!again.recovery_stats().recovered, "second reopen is healthy");
     }
 
     #[test]
-    fn corrupt_manifest_without_tmp_rebuilds_from_artifact_scan() {
+    fn mid_journal_bit_rot_replays_exactly_the_valid_prefix() {
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let first = Signature::of_str("first");
+        let second = Signature::of_str("second");
+        cat.store(first, "a", 0, &scalar(1.0)).unwrap();
+        let boundary = {
+            let scan = journal::scan_file(&root.join("catalog.journal")).unwrap().unwrap();
+            scan.valid_bytes as usize
+        };
+        cat.store(second, "b", 1, &scalar(2.0)).unwrap();
+        drop(cat);
+        // Flip a bit inside the *second* store's frame.
+        let journal = root.join("catalog.journal");
+        let mut bytes = std::fs::read(&journal).unwrap();
+        bytes[boundary + 20] ^= 0x40;
+        std::fs::write(&journal, &bytes).unwrap();
+
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(reopened.contains(first), "frames before the damage replay");
+        assert!(!reopened.contains(second), "frames at/after the damage do not");
+        let stats = reopened.recovery_stats();
+        assert!(stats.recovered);
+        assert!(stats.journal_stop.is_some(), "the stop reason is surfaced");
+        // The second store's artifact file is now unreferenced: swept.
+        assert!(!root.join(format!("{}.hxm", second.to_hex())).exists());
+        assert!(stats.swept_files >= 1);
+    }
+
+    #[test]
+    fn lost_journal_with_current_marker_salvages_by_artifact_scan() {
         let cat = temp_catalog();
         let root = cat.root().to_path_buf();
         let sig = Signature::of_str("scanned");
         cat.store(sig, "n", 0, &scalar(3.25)).unwrap();
         drop(cat);
-        std::fs::write(root.join("manifest.json"), b"not json at all").unwrap();
+        // The journal vanishes (crash before the first journal write, or
+        // manual deletion); the marker proves current-format keying.
+        std::fs::remove_file(root.join("catalog.journal")).unwrap();
 
         let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
         assert!(reopened.contains(sig), "artifact scan resurrects the entry");
         let (value, _) = reopened.load(sig).unwrap();
         assert_eq!(value.as_scalar().unwrap().as_f64(), Some(3.25));
         assert_eq!(reopened.entry(sig).unwrap().node_name, "(recovered)");
+        assert!(reopened.recovery_stats().salvaged_by_scan);
+        assert!(reopened.recovery_stats().journal_rewritten);
+    }
+
+    #[test]
+    fn stale_legacy_manifest_tmp_is_swept_and_reported() {
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let sig = Signature::of_str("durable");
+        cat.store(sig, "n", 0, &scalar(7.0)).unwrap();
+        drop(cat);
+        // A leftover from a pre-journal build's interrupted flush.
+        std::fs::write(root.join("manifest.json.tmp"), b"{ \"entries\": [ TRUNC").unwrap();
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(reopened.contains(sig), "journal wins");
+        assert!(!root.join("manifest.json.tmp").exists(), "stale temp swept");
+        assert!(reopened.recovery_stats().swept_files >= 1);
+    }
+
+    #[test]
+    fn undeletable_sweep_target_is_reported_not_swallowed() {
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let kept = Signature::of_str("kept");
+        cat.store(kept, "n", 0, &scalar(1.0)).unwrap();
+        drop(cat);
+        // An unreferenced artifact that `remove_file` cannot delete (it
+        // is a directory) — the closest portable stand-in for a
+        // permission failure.
+        let stuck = root.join(format!("{}.hxm", Signature::of_str("stuck").to_hex()));
+        std::fs::create_dir(&stuck).unwrap();
+
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(reopened.contains(kept), "open still succeeds");
+        let stats = reopened.recovery_stats();
+        assert_eq!(stats.sweep_failures.len(), 1, "failure surfaced: {stats:?}");
+        assert!(stats.sweep_failures[0].file.ends_with(".hxm"));
+        assert!(!stats.sweep_failures[0].error.is_empty());
+        assert!(stats.stranded_bytes > 0, "undeletable bytes stay visible");
+        assert!(stuck.exists(), "the stuck file is still there — but reported");
+        std::fs::remove_dir(&stuck).unwrap();
+    }
+
+    #[test]
+    fn recovery_stats_reconcile_disk_against_accounting() {
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        cat.store(Signature::of_str("a"), "a", 0, &scalar(1.0)).unwrap();
+        cat.store(Signature::of_str("b"), "b", 0, &scalar(2.0)).unwrap();
+        drop(cat);
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        let stats = reopened.recovery_stats();
+        assert_eq!(stats.accounted_bytes_after_open, reopened.total_bytes());
+        assert!(
+            stats.disk_bytes_after_open >= stats.accounted_bytes_after_open,
+            "disk holds at least the accounted artifact bytes"
+        );
+        // The overhead is exactly journal + marker (nothing stranded).
+        let overhead = stats.disk_bytes_after_open - stats.accounted_bytes_after_open;
+        let journal = std::fs::metadata(root.join("catalog.journal")).unwrap().len();
+        let marker = std::fs::metadata(root.join("format.version")).unwrap().len();
+        assert_eq!(overhead, journal + marker);
+        assert_eq!(stats.stranded_bytes, 0);
+    }
+
+    #[test]
+    fn long_journals_compact_to_a_snapshot() {
+        let cat = temp_catalog();
+        let root = cat.root().to_path_buf();
+        let sig = Signature::of_str("churn");
+        // Many commits against few live entries: the journal must not
+        // grow without bound.
+        for i in 0..300 {
+            cat.store(sig, "n", i, &scalar(i as f64)).unwrap();
+        }
+        let scan = journal::scan_file(&root.join("catalog.journal")).unwrap().unwrap();
+        let live_entries = 1;
+        assert!(
+            scan.frames <= 4 * live_entries + MaterializationCatalog::COMPACT_SLACK + 1,
+            "journal compacted during churn (frames = {})",
+            scan.frames
+        );
+        assert_eq!(scan.stop, None);
+        // State is intact after all that churn.
+        drop(cat);
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.entry(sig).unwrap().created_iteration, 299);
     }
 
     // ----- concurrency -----
@@ -1954,7 +2473,7 @@ mod tests {
         // Accounting is exact after the melee.
         let total: u64 = cat.entries().iter().map(|e| e.bytes).sum();
         assert_eq!(cat.total_bytes(), total);
-        // And the manifest on disk reflects a consistent snapshot.
+        // And the journal on disk replays to a consistent state.
         let root = cat.root().to_path_buf();
         drop(cat);
         let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
@@ -1963,21 +2482,29 @@ mod tests {
     }
 
     #[test]
-    fn legacy_manifest_without_owners_field_still_parses() {
+    fn journal_entries_without_owner_fields_still_parse() {
+        // Optional metadata fields (owners/writers) may be absent in
+        // frames written by builds that predate them; replay must default
+        // them to "unowned", and solo sessions can still deprecate such
+        // entries.
         let cat = temp_catalog();
         let root = cat.root().to_path_buf();
         let sig = Signature::of_str("legacy");
         cat.store(sig, "n", 1, &scalar(6.0)).unwrap();
+        let bytes = cat.entry(sig).unwrap().bytes;
         drop(cat);
-        // Strip the owners field from the manifest, as a pre-ownership
-        // build would have written it (the format version stays current:
-        // ownership records are optional metadata, not a keying change).
-        let text = std::fs::read_to_string(root.join("manifest.json")).unwrap();
-        let stripped: String =
-            text.lines().filter(|l| !l.contains("\"owners\"")).collect::<Vec<_>>().join("\n");
-        // Drop a trailing comma left by the removed last field, if any.
-        let stripped = stripped.replace(",\n    }", "\n    }").replace(",\n  }", "\n  }");
-        std::fs::write(root.join("manifest.json"), stripped).unwrap();
+        // Rewrite the journal with a snapshot whose entry omits the
+        // optional fields entirely.
+        let payload = format!(
+            r#"{{"format_version":{},"entries":[{{"signature":"{hex}","file":"{hex}.hxm","bytes":{bytes},"node_name":"n","created_iteration":1,"write_nanos":0,"measured_load_nanos":null}}]}}"#,
+            MaterializationCatalog::FORMAT_VERSION,
+            hex = sig.to_hex(),
+        );
+        JournalWriter::rewrite(
+            &root.join("catalog.journal"),
+            [(FrameKind::Snapshot, payload.as_bytes())],
+        )
+        .unwrap();
 
         let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
         assert!(reopened.contains(sig));
@@ -1987,142 +2514,181 @@ mod tests {
         assert!(!reopened.contains(sig));
     }
 
-    // ----- manifest format versioning -----
+    // ----- durable format versioning -----
 
-    /// Rewrite the manifest as an older build would have written it:
-    /// no `format_version` field at all.
-    fn strip_format_version(root: &Path) {
-        let text = std::fs::read_to_string(root.join("manifest.json")).unwrap();
-        let stripped: String = text
-            .lines()
-            .filter(|l| !l.contains("\"format_version\""))
-            .collect::<Vec<_>>()
-            .join("\n");
-        std::fs::write(root.join("manifest.json"), stripped).unwrap();
+    /// Create a directory that looks exactly like a pre-journal catalog:
+    /// artifact files plus a legacy `manifest.json` (and, when `version`
+    /// is set, the matching marker file), no journal.
+    fn fake_legacy_catalog(version: Option<u32>) -> (PathBuf, Vec<String>) {
+        let root = std::env::temp_dir().join(format!(
+            "helix-legacy-test-{}-{}",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&root).unwrap();
+        let mut files = Vec::new();
+        let mut entries = Vec::new();
+        for (i, name) in ["old-a", "old-b"].iter().enumerate() {
+            let sig = Signature::of_str(name);
+            let file = format!("{}.hxm", sig.to_hex());
+            std::fs::write(root.join(&file), b"legacy artifact bytes").unwrap();
+            entries.push(format!(
+                r#"{{"signature":"{}","file":"{file}","bytes":21,"node_name":"{name}","created_iteration":{i},"write_nanos":0,"measured_load_nanos":null,"owners":null,"writers":null}}"#,
+                sig.to_hex(),
+            ));
+            files.push(file);
+        }
+        let version_field = version.map(|v| format!("\"format_version\":{v},")).unwrap_or_default();
+        std::fs::write(
+            root.join("manifest.json"),
+            format!("{{{version_field}\"entries\":[{}]}}", entries.join(",")),
+        )
+        .unwrap();
+        if let Some(v) = version {
+            std::fs::write(root.join("format.version"), format!("{v}\n")).unwrap();
+        }
+        (root, files)
     }
 
     #[test]
-    fn manifest_records_the_current_format_version() {
+    fn journal_snapshot_records_the_current_format_version() {
         let cat = temp_catalog();
         cat.store(Signature::of_str("v"), "n", 0, &scalar(1.0)).unwrap();
-        let text = std::fs::read_to_string(cat.root().join("manifest.json")).unwrap();
+        let scan = journal::scan_file(&cat.root().join("catalog.journal")).unwrap().unwrap();
+        assert_eq!(scan.records[0].0, FrameKind::Snapshot, "journal opens with a snapshot");
+        let text = String::from_utf8_lossy(&scan.records[0].1).into_owned();
         assert!(
-            text.contains("\"format_version\""),
-            "manifest must name its keying format: {text}"
+            text.contains(&format!(
+                "\"format_version\":{}",
+                MaterializationCatalog::FORMAT_VERSION
+            )),
+            "snapshot must name its keying format: {text}"
         );
-        assert!(text.contains(&MaterializationCatalog::FORMAT_VERSION.to_string()));
     }
 
     #[test]
     fn pre_provenance_manifest_is_invalidated_not_misread() {
-        // A v1 (pre-provenance) catalog: its signatures were computed
-        // without seeds in the chain, so its entries must not be served
-        // under the current scheme. Open must drop the entries, sweep the
-        // artifact files, and leave a consistent, current-version, empty
-        // catalog — no panic, and a second reopen must be clean too.
-        let cat = temp_catalog();
-        let root = cat.root().to_path_buf();
-        let a = Signature::of_str("old-a");
-        let b = Signature::of_str("old-b");
-        cat.store_owned(a, "alice", "a", 0, &scalar(1.0)).unwrap();
-        cat.store_owned(b, "bob", "b", 1, &scalar(2.0)).unwrap();
-        let files: Vec<String> = cat.entries().iter().map(|e| e.file.clone()).collect();
-        drop(cat);
-        strip_format_version(&root);
-
+        // A v1 (pre-provenance, pre-journal) catalog: its signatures were
+        // computed without seeds in the chain, so its entries must not be
+        // served under the current scheme. Open must drop the entries,
+        // sweep the manifest and artifact files, and leave a consistent,
+        // journal-backed, empty catalog — no panic, and a second reopen
+        // must be clean too.
+        let (root, files) = fake_legacy_catalog(None);
         let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
         assert!(reopened.is_empty(), "pre-provenance entries dropped");
-        assert!(!reopened.contains(a));
         assert_eq!(reopened.total_bytes(), 0);
-        assert_eq!(reopened.used_bytes_for("alice"), 0, "quota accounting reset");
         for file in &files {
             assert!(!root.join(file).exists(), "stale artifact {file} must be swept");
         }
-        // The migrated manifest is current-version: storing and reopening
-        // round-trips normally.
+        assert!(!root.join("manifest.json").exists(), "legacy manifest swept");
+        let stats = reopened.recovery_stats();
+        assert_eq!(stats.migrated_from, Some(1));
+        assert!(stats.recovered);
+        assert!(stats.swept_bytes > 0);
+        // The migrated catalog is journal-backed from here on.
         reopened.store(Signature::of_str("fresh"), "n", 0, &scalar(3.0)).unwrap();
         drop(reopened);
         let again = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
         assert_eq!(again.len(), 1);
         assert!(again.contains(Signature::of_str("fresh")));
+        assert_eq!(again.recovery_stats().migrated_from, None, "second open is native");
     }
 
     #[test]
-    fn pre_provenance_crash_window_still_migrates_cleanly() {
-        // Crash-consistency across the version boundary: a v-old catalog
-        // whose primary manifest is torn (crash mid-flush) recovers
-        // through the tmp snapshot — and the version gate must still
-        // apply to the recovered manifest.
-        let cat = temp_catalog();
-        let root = cat.root().to_path_buf();
-        let sig = Signature::of_str("old");
-        cat.store(sig, "n", 0, &scalar(1.0)).unwrap();
-        drop(cat);
-        strip_format_version(&root);
-        // Simulate the crash: tmp holds the (old-format) snapshot, the
-        // primary is torn.
+    fn v2_manifest_catalog_migrates_by_invalidation_too() {
+        // v2 keyed signatures correctly but persisted through the
+        // rewrite-the-whole-manifest scheme; the journal replaced it.
+        let (root, files) = fake_legacy_catalog(Some(2));
+        let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
+        assert!(reopened.is_empty(), "pre-journal entries dropped");
+        for file in &files {
+            assert!(!root.join(file).exists());
+        }
+        assert_eq!(reopened.recovery_stats().migrated_from, Some(2));
+        assert!(reopened.recovery_stats().journal_rewritten);
+    }
+
+    #[test]
+    fn torn_legacy_manifest_still_migrates_cleanly() {
+        // Crash-consistency across the version boundary: a legacy catalog
+        // that died mid-flush (tmp holds the snapshot, primary torn) must
+        // still migrate by invalidation, not panic or misread.
+        let (root, files) = fake_legacy_catalog(None);
         let good = std::fs::read_to_string(root.join("manifest.json")).unwrap();
         std::fs::write(root.join("manifest.json.tmp"), &good).unwrap();
         std::fs::write(root.join("manifest.json"), &good[..good.len() / 2]).unwrap();
 
         let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
-        assert!(reopened.is_empty(), "old-format entries dropped even on the recovery path");
-        assert!(!root.join(format!("{}.hxm", sig.to_hex())).exists(), "artifact swept");
+        assert!(reopened.is_empty(), "legacy entries dropped even on the recovery path");
+        for file in &files {
+            assert!(!root.join(file).exists(), "artifact {file} swept");
+        }
+        assert!(!root.join("manifest.json.tmp").exists());
         drop(reopened);
         let again = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
         assert!(again.is_empty(), "second reopen stays clean");
     }
 
     #[test]
-    fn unmarked_artifact_scan_salvage_is_swept_not_trusted() {
-        // A v1 catalog (no marker file — older builds never wrote one)
-        // whose manifest is unreadable: the artifact scan must NOT
-        // resurrect the files under current-format keying, because their
-        // signatures were computed without provenance. They are swept.
-        let cat = temp_catalog();
-        let root = cat.root().to_path_buf();
+    fn unmarked_artifacts_are_swept_not_trusted() {
+        // Artifact files with no journal, no manifest, and no marker
+        // predate provenance keying: the salvage scan must NOT resurrect
+        // them under the current scheme. They are swept (recomputable by
+        // definition).
+        let root = std::env::temp_dir().join(format!(
+            "helix-unmarked-test-{}-{}",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&root).unwrap();
         let sig = Signature::of_str("pre-provenance");
-        cat.store(sig, "n", 0, &scalar(1.0)).unwrap();
-        drop(cat);
-        std::fs::remove_file(root.join("format.version")).unwrap();
-        std::fs::write(root.join("manifest.json"), b"not json at all").unwrap();
+        let file = format!("{}.hxm", sig.to_hex());
+        std::fs::write(root.join(&file), b"unversioned bytes").unwrap();
 
         let reopened = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
         assert!(reopened.is_empty(), "unversioned salvage must be refused");
-        assert!(
-            !root.join(format!("{}.hxm", sig.to_hex())).exists(),
-            "pre-provenance artifact swept"
-        );
-        // The marker now exists, so a current-format crash in the same
-        // directory recovers normally from here on.
+        assert!(!root.join(&file).exists(), "pre-provenance artifact swept");
+        assert!(reopened.recovery_stats().migrated_from.is_some());
+        // The marker + journal now exist, so a current-format crash in
+        // the same directory salvages normally from here on.
         reopened.store(sig, "n", 0, &scalar(2.0)).unwrap();
         drop(reopened);
-        std::fs::write(root.join("manifest.json"), b"torn again").unwrap();
+        std::fs::remove_file(root.join("catalog.journal")).unwrap();
         let again = MaterializationCatalog::open(&root, DiskProfile::unthrottled()).unwrap();
         assert!(again.contains(sig), "marked catalog still salvages via artifact scan");
+        assert!(again.recovery_stats().salvaged_by_scan);
     }
 
     #[test]
-    fn newer_manifest_format_is_rejected_with_a_clear_error() {
+    fn newer_format_catalogs_are_rejected_with_a_clear_error() {
         let cat = temp_catalog();
         let root = cat.root().to_path_buf();
         cat.store(Signature::of_str("future"), "n", 0, &scalar(1.0)).unwrap();
         drop(cat);
-        let text = std::fs::read_to_string(root.join("manifest.json")).unwrap();
         let newer = MaterializationCatalog::FORMAT_VERSION + 1;
-        let bumped = text.replace(
-            &format!("\"format_version\": {}", MaterializationCatalog::FORMAT_VERSION),
-            &format!("\"format_version\": {newer}"),
-        );
-        assert_ne!(text, bumped, "test must actually bump the version field");
-        std::fs::write(root.join("manifest.json"), bumped).unwrap();
 
+        // (a) A newer snapshot format version inside the journal.
+        let payload = format!(r#"{{"format_version":{newer},"entries":[]}}"#);
+        JournalWriter::rewrite(
+            &root.join("catalog.journal"),
+            [(FrameKind::Snapshot, payload.as_bytes())],
+        )
+        .unwrap();
         let err = match MaterializationCatalog::open(&root, DiskProfile::unthrottled()) {
             Err(err) => format!("{err}"),
-            Ok(_) => panic!("newer-format manifest must be refused"),
+            Ok(_) => panic!("newer-format journal must be refused"),
         };
         assert!(err.contains("newer"), "error must explain the refusal: {err}");
         // Nothing was destroyed: the future build's data is intact.
         assert!(root.join(format!("{}.hxm", Signature::of_str("future").to_hex())).exists());
+
+        // (b) A newer standalone marker refuses even before the scan.
+        std::fs::write(root.join("format.version"), format!("{newer}\n")).unwrap();
+        let err = match MaterializationCatalog::open(&root, DiskProfile::unthrottled()) {
+            Err(err) => format!("{err}"),
+            Ok(_) => panic!("newer marker must be refused"),
+        };
+        assert!(err.contains("newer"));
     }
 }

@@ -1,21 +1,19 @@
 //! Binary codec for [`Value`]s.
 //!
-//! Frame layout:
-//!
-//! ```text
-//! +-------+---------+------+-----------------+--------+
-//! | magic | version | kind | payload (varint | crc32  |
-//! | HXM1  |  u8     | u8   |  framed fields) | u32 LE |
-//! +-------+---------+------+-----------------+--------+
-//! ```
-//!
-//! The CRC covers everything before it. Integers are varint-encoded
-//! (zig-zag for signed), floats are IEEE-754 little-endian bit patterns
-//! (exact round trip, NaN-safe). The format is self-contained per artifact:
-//! no cross-file references, so a catalog entry can be loaded in a fresh
-//! process — exactly what cross-iteration reuse needs.
+//! An artifact is one [`frame`]-sealed
+//! [`FrameKind::Artifact`] frame (the same versioned header, length
+//! field, and CRC-32 trailer the catalog journal uses; `prev_hash` is
+//! [`GENESIS_HASH`](crate::frame::GENESIS_HASH) — artifacts stand
+//! alone). The payload is the value kind byte followed by varint-framed
+//! fields: integers are varint-encoded (zig-zag for signed), floats are
+//! IEEE-754 little-endian bit patterns (exact round trip, NaN-safe).
+//! Decoding enforces exact-length consumption at both levels: the frame
+//! must span the input exactly, and the payload must be fully consumed.
+//! The format is self-contained per artifact: no cross-file references,
+//! so a catalog entry can be loaded in a fresh process — exactly what
+//! cross-iteration reuse needs.
 
-use helix_common::crc32::crc32;
+use crate::frame::{self, FrameError, FrameKind};
 use helix_common::{HelixError, Result};
 use helix_data::{
     BucketizerModel, CentroidModel, DataCollection, EmbeddingModel, Example, ExampleBatch,
@@ -25,9 +23,6 @@ use helix_data::{
 };
 use std::collections::HashMap;
 use std::sync::Arc;
-
-const MAGIC: &[u8; 4] = b"HXM1";
-const VERSION: u8 = 1;
 
 // ---------------------------------------------------------------------
 // Low-level writer / reader
@@ -173,16 +168,24 @@ impl<'a> Reader<'a> {
     }
 
     fn get_len(&mut self, elem_floor: usize) -> Result<usize> {
-        let len = self.get_varint()? as usize;
+        // Compare in u64 BEFORE any usize cast: on a 32-bit target a
+        // corrupt declared length of 2^32 + k would otherwise truncate to
+        // k and decode garbage as a valid shorter field.
+        let len = self.get_varint()?;
         // Defensive bound: a declared length can never exceed the number of
         // elements that could possibly fit in the remaining bytes.
-        let remaining = self.buf.len() - self.pos;
-        if elem_floor > 0 && len > remaining / elem_floor + 1 {
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if elem_floor > 0 && len > remaining / elem_floor as u64 + 1 {
             return Err(HelixError::codec(format!(
                 "declared length {len} exceeds remaining frame ({remaining} bytes)"
             )));
         }
-        Ok(len)
+        if len > usize::MAX as u64 {
+            return Err(HelixError::codec(format!(
+                "declared length {len} exceeds the address space"
+            )));
+        }
+        Ok(len as usize)
     }
 
     fn get_bytes(&mut self) -> Result<&'a [u8]> {
@@ -658,16 +661,15 @@ fn get_scalar(r: &mut Reader) -> Result<Scalar> {
 // Top-level frame
 // ---------------------------------------------------------------------
 
-/// Encode a value into a self-contained, checksummed frame.
+/// Encode a value into one self-contained, sealed [`FrameKind::Artifact`]
+/// frame.
 pub fn encode_value(value: &Value) -> Vec<u8> {
     // `byte_size` is a cheap in-memory estimate (no encoding work) that
     // tracks the encoded size closely for the float-dominated payloads
     // that matter; a slightly-off hint costs at most one reallocation.
     use helix_data::ByteSized;
     let hint = (value.byte_size() as usize).saturating_add(64);
-    let mut w = Writer::with_capacity(hint);
-    w.buf.extend_from_slice(MAGIC);
-    w.put_u8(VERSION);
+    let mut w = Writer { buf: frame::begin_frame(FrameKind::Artifact, hint) };
     w.put_u8(value.kind().to_byte());
     match value {
         Value::Collection(DataCollection::Records(b)) => put_records(&mut w, b),
@@ -676,30 +678,35 @@ pub fn encode_value(value: &Value) -> Vec<u8> {
         Value::Model(m) => put_model(&mut w, m),
         Value::Scalar(s) => put_scalar(&mut w, s),
     }
-    let crc = crc32(&w.buf);
-    w.buf.extend_from_slice(&crc.to_le_bytes());
-    w.into_bytes()
+    frame::seal_frame(w.into_bytes(), frame::GENESIS_HASH)
 }
 
-/// Decode a frame produced by [`encode_value`], verifying magic, version,
-/// CRC, and exact-length consumption.
+/// Decode a frame produced by [`encode_value`], verifying — in this
+/// order, so the error names the actual problem — magic, version, frame
+/// truncation, CRC, and exact-length consumption. A non-HELIX input
+/// reports *bad magic*, never a misleading checksum mismatch; the three
+/// corruption categories (`not a HELIX frame` / `truncated` /
+/// `checksum mismatch`) stay distinct so callers (and the journal
+/// scanner, which shares the parser) can act on them.
 pub fn decode_value(bytes: &[u8]) -> Result<Value> {
-    if bytes.len() < MAGIC.len() + 2 + 4 {
-        return Err(HelixError::codec("frame too short"));
+    let parsed = frame::parse_frame(bytes).map_err(|e| match e {
+        FrameError::NotAFrame => HelixError::codec("bad magic (not a HELIX artifact)"),
+        FrameError::Truncated => HelixError::codec("truncated artifact frame"),
+        FrameError::Corrupt => HelixError::codec("checksum mismatch (corrupt artifact)"),
+        other => HelixError::from(other),
+    })?;
+    // Exact-length consumption, frame level: bytes beyond the sealed
+    // frame mean the file was appended to or spliced.
+    if parsed.len != bytes.len() {
+        return Err(HelixError::codec("trailing bytes after artifact frame"));
     }
-    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
-    if crc32(body) != stored_crc {
-        return Err(HelixError::codec("checksum mismatch (corrupt artifact)"));
+    if parsed.kind != FrameKind::Artifact {
+        return Err(HelixError::codec(format!(
+            "not an artifact (frame kind {:#04x} is a catalog-journal record)",
+            parsed.kind.to_byte()
+        )));
     }
-    if &body[..4] != MAGIC {
-        return Err(HelixError::codec("bad magic (not a HELIX artifact)"));
-    }
-    let mut r = Reader::new(&body[4..]);
-    let version = r.get_u8()?;
-    if version != VERSION {
-        return Err(HelixError::codec(format!("unsupported format version {version}")));
-    }
+    let mut r = Reader::new(parsed.payload);
     let kind_byte = r.get_u8()?;
     let kind = ValueKind::from_byte(kind_byte)
         .ok_or_else(|| HelixError::codec(format!("bad value kind {kind_byte}")))?;
@@ -719,6 +726,7 @@ pub fn decode_value(bytes: &[u8]) -> Result<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use helix_common::crc32::crc32;
 
     fn sample_records() -> Value {
         let schema = Schema::new(["age", "education", "target"]);
@@ -928,6 +936,52 @@ mod tests {
         let crc = crc32(&bytes[..len - 4]);
         bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
         assert!(decode_value(&bytes).is_err());
+    }
+
+    #[test]
+    fn non_helix_file_reports_bad_magic_not_corruption() {
+        // Feeding a random non-Helix file must say "not ours", never the
+        // misleading "checksum mismatch" the old decoder led with.
+        for junk in [&b"PK\x03\x04zip archive bytes"[..], b"{\"json\": true}", b"\x00\x01\x02"] {
+            let err = decode_value(junk).unwrap_err().to_string();
+            assert!(err.contains("magic"), "want magic error, got: {err}");
+            assert!(!err.contains("checksum"), "must not claim corruption: {err}");
+        }
+    }
+
+    #[test]
+    fn error_categories_stay_distinct() {
+        let good = encode_value(&Value::Scalar(Scalar::I64(7)));
+        // Truncated: the frame header declares more than is present.
+        let err = decode_value(&good[..good.len() - 3]).unwrap_err().to_string();
+        assert!(err.contains("truncated"), "{err}");
+        // Corrupt: correctly delimited, CRC broken.
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        let err = decode_value(&bad).unwrap_err().to_string();
+        assert!(err.contains("checksum"), "{err}");
+        // Not an artifact: a CRC-valid *journal* frame is refused by kind.
+        let mut journal = frame::begin_frame(FrameKind::Upsert, 2);
+        journal.extend_from_slice(b"{}");
+        let journal = frame::seal_frame(journal, frame::GENESIS_HASH);
+        let err = decode_value(&journal).unwrap_err().to_string();
+        assert!(err.contains("not an artifact"), "{err}");
+    }
+
+    #[test]
+    fn declared_length_past_u32_boundary_is_rejected_not_truncated() {
+        // Regression: `get_len` used to cast the declared u64 to usize
+        // BEFORE bounds-checking — on a 32-bit target 2^32 + 3 truncates
+        // to 3 and decodes garbage as a valid shorter field. The bound
+        // must be checked in u64.
+        let mut w = Writer::new();
+        w.put_varint((1u64 << 32) + 3);
+        w.buf.extend_from_slice(b"abc");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let err = r.get_bytes().unwrap_err().to_string();
+        assert!(err.contains("exceeds"), "a truncating cast would have returned \"abc\": {err}");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Golden byte vectors for the durable formats.
+//!
+//! The sealed bytes of artifact frames and journal chains are a
+//! **compatibility surface**: catalogs written by one build must be
+//! readable by the next. These tests pin the exact bytes against
+//! checked-in hex dumps in `test_vectors/`, so any encoding drift —
+//! however innocent-looking — fails loudly instead of silently stranding
+//! every existing catalog.
+//!
+//! If a failure here is *intentional* (you are changing the format):
+//! bump `MaterializationCatalog::FORMAT_VERSION` and
+//! `frame::FORMAT_VERSION` together, provide a migration path in
+//! `Catalog::open`, and regenerate the vectors with
+//! `UPDATE_GOLDEN=1 cargo test -p helix-storage --test golden_vectors`.
+
+use helix_data::{Scalar, Value};
+use helix_storage::encode_value;
+use helix_storage::frame::{self, FrameKind, GENESIS_HASH};
+use std::path::PathBuf;
+
+fn vectors_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("test_vectors")
+}
+
+/// Render bytes as lowercase hex, 32 bytes per line (stable, diffable).
+fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2 + bytes.len() / 32 + 1);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 32 == 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("{b:02x}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Compare `bytes` against the checked-in vector `name`, or regenerate it
+/// when `UPDATE_GOLDEN=1`.
+fn golden(name: &str, bytes: &[u8]) {
+    let path = vectors_dir().join(name);
+    let rendered = to_hex(bytes);
+    if std::env::var("UPDATE_GOLDEN").ok().as_deref() == Some("1") {
+        std::fs::create_dir_all(vectors_dir()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden vector {name}; create it with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        rendered, expected,
+        "sealed bytes of `{name}` drifted from the checked-in golden vector.\n\
+         If this change is intentional, bump MaterializationCatalog::FORMAT_VERSION and \
+         frame::FORMAT_VERSION together, add a migration path in Catalog::open, and \
+         regenerate with: UPDATE_GOLDEN=1 cargo test -p helix-storage --test golden_vectors"
+    );
+}
+
+#[test]
+fn artifact_frames_are_byte_stable() {
+    golden("artifact_f64.hex", &encode_value(&Value::Scalar(Scalar::F64(2.5))));
+    golden("artifact_i64.hex", &encode_value(&Value::Scalar(Scalar::I64(-42))));
+    golden(
+        "artifact_text.hex",
+        &encode_value(&Value::Scalar(Scalar::Text("helix golden vector".to_string()))),
+    );
+    golden(
+        "artifact_metrics.hex",
+        &encode_value(&Value::Scalar(Scalar::Metrics(vec![
+            ("accuracy".to_string(), 0.875),
+            ("loss".to_string(), 0.125),
+        ]))),
+    );
+}
+
+#[test]
+fn journal_chain_is_byte_stable() {
+    // A four-frame chain exercising every journal kind with fixed
+    // payloads; prev-hash linkage makes the vector sensitive to *any*
+    // change in sealing, hashing, or framing.
+    let records: [(FrameKind, &[u8]); 4] = [
+        (FrameKind::Snapshot, br#"{"format_version":3,"entries":[]}"#),
+        (
+            FrameKind::Upsert,
+            br#"{"signature":"00000000000000000000000000000001","file":"00000000000000000000000000000001.hxm","bytes":42,"node_name":"golden","created_iteration":1,"write_nanos":0,"measured_load_nanos":null,"owners":["t"],"writers":["t"]}"#,
+        ),
+        (FrameKind::Remove, br#"{"signature":"00000000000000000000000000000001"}"#),
+        (FrameKind::Clear, b""),
+    ];
+    let mut chain = Vec::new();
+    let mut prev = GENESIS_HASH;
+    for (kind, payload) in records {
+        let mut buf = frame::begin_frame(kind, payload.len());
+        buf.extend_from_slice(payload);
+        let sealed = frame::seal_frame(buf, prev);
+        prev = frame::chain_hash(&sealed);
+        chain.extend_from_slice(&sealed);
+    }
+    golden("journal_chain.hex", &chain);
+
+    // The vector must itself scan clean — guards against checking in a
+    // vector the scanner would reject.
+    let scan = helix_storage::journal::scan_bytes(&chain);
+    assert_eq!(scan.stop, None);
+    assert_eq!(scan.frames, 4);
+}

@@ -108,6 +108,56 @@ fn write_inner(value: &Json, indent: usize, out: &mut String) {
     }
 }
 
+/// Render `value` as compact JSON (no whitespace) — the framing used for
+/// journal payloads, where every byte is CRC'd and hashed.
+pub fn write_json_compact(value: &Json) -> String {
+    let mut out = String::new();
+    write_compact_inner(value, &mut out);
+    out
+}
+
+fn write_compact_inner(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Json::String(s) => write_escaped(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact_inner(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(pairs) => {
+            out.push('{');
+            for (i, (key, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                write_compact_inner(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 fn push_indent(levels: usize, out: &mut String) {
     for _ in 0..levels {
         out.push_str("  ");

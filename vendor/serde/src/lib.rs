@@ -17,7 +17,7 @@ pub use serde_derive::{Deserialize, Serialize};
 
 mod json;
 
-pub use json::{parse_json, write_json, Json};
+pub use json::{parse_json, write_json, write_json_compact, Json};
 
 /// A value that can render itself as a [`Json`] tree.
 pub trait Serialize {

@@ -1,6 +1,7 @@
 //! Offline stand-in for the `serde_json` crate, built on the vendored
-//! `serde` shim's [`serde::Json`] tree. Provides the two entry points the
-//! workspace uses: [`to_string_pretty`] and [`from_str`].
+//! `serde` shim's [`serde::Json`] tree. Provides the entry points the
+//! workspace uses: [`to_string_pretty`], [`to_vec`], [`from_str`], and
+//! [`from_slice`].
 
 /// Error type mirroring `serde_json::Error`'s role (display-only here).
 #[derive(Debug)]
@@ -19,10 +20,22 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     Ok(serde::write_json(&value.to_json()))
 }
 
+/// Render any serializable value as compact (whitespace-free) JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(serde::write_json_compact(&value.to_json()).into_bytes())
+}
+
 /// Parse a JSON document into a deserializable value.
 pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
     let json = serde::parse_json(text).map_err(Error)?;
     T::from_json(&json).map_err(Error)
+}
+
+/// Parse a JSON document from raw bytes (must be valid UTF-8).
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| Error(format!("invalid utf-8 in JSON document: {e}")))?;
+    from_str(text)
 }
 
 #[cfg(test)]
