@@ -135,6 +135,20 @@ fn main() {
         }
     }
 
+    // With HELIX_TRACE=<path> in the environment, print the compact
+    // per-track timeline and export the run's spans as Chrome
+    // trace_event JSON (Perfetto-loadable).
+    if helix_obs::tracing_enabled() {
+        let (events, dropped) = helix_obs::drain_spans();
+        print!("{}", helix_obs::render_timeline(&events, dropped));
+        if let Some(path) = helix_obs::trace_env_path() {
+            match helix_obs::write_trace(&path, &events, dropped) {
+                Ok(()) => println!("wrote trace {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write HELIX_TRACE file: {e}"),
+            }
+        }
+    }
+
     if check {
         let mut failures = Vec::new();
         if !config.heavy && report.cross_hit_rate <= 0.0 {

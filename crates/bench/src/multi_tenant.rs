@@ -31,6 +31,7 @@
 use helix_common::timing::Nanos;
 use helix_common::Result;
 use helix_core::{Session, SessionConfig, Workflow};
+use helix_obs::{layer, now_nanos, span_at, Registry, RegistrySnapshot};
 use helix_serve::{HelixService, JobTicket, SchedulingPolicy, ServiceConfig, TenantSpec};
 use helix_storage::{encode_value, DiskProfile};
 use helix_workloads::{CensusWorkload, GenomicsWorkload, IeWorkload, MnistWorkload, Workload};
@@ -247,6 +248,10 @@ pub struct MultiTenantReport {
     pub global_evictions: u64,
     /// Byte-identity verification, when `verify_bytes` was on.
     pub byte_identity: Option<ByteIdentity>,
+    /// Timing aggregation: per-iteration submission-to-report latencies
+    /// and per-tenant queue/run totals, with log-bucketed p50/p95/p99
+    /// summaries (`helix_obs::Registry`).
+    pub metrics: RegistrySnapshot,
 }
 
 impl MultiTenantReport {
@@ -370,6 +375,8 @@ pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantReport>
         service.register_tenant(&format!("tenant-{ix}"), spec)?;
     }
 
+    let registry = Registry::new();
+    let service_begin = now_nanos();
     let started = Instant::now();
     let mut traces: Vec<SessionTrace> = Vec::new();
     std::thread::scope(|scope| -> Result<()> {
@@ -408,6 +415,21 @@ pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantReport>
     })?;
     let service_wall_nanos = started.elapsed().as_nanos() as Nanos;
     let stats = service.stats();
+    let _ = span_at(layer::BENCH, "service.wall", service_begin, service_wall_nanos)
+        .track("bench-service")
+        .amount((total_sessions * iterations) as u64);
+    let latency_hist = registry.histogram("multi_tenant.latency_nanos");
+    for trace in &traces {
+        for latency in &trace.latencies {
+            latency_hist.record(*latency);
+        }
+    }
+    for t in stats.tenants.values() {
+        registry.histogram("multi_tenant.tenant_queue_wait_nanos").record(t.queue_wait_nanos);
+        registry.histogram("multi_tenant.tenant_run_nanos").record(t.run_nanos);
+        registry.counter("multi_tenant.self_hits").add(t.self_hits);
+        registry.counter("multi_tenant.cross_hits").add(t.cross_hits);
+    }
 
     // --- byte-identity ground truth ---------------------------------------
     // Strict-serial solo runs (one worker, pipeline off, private catalog),
@@ -501,6 +523,7 @@ pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantReport>
         quota_evictions: stats.tenants.values().map(|t| t.quota_evictions).sum(),
         global_evictions: stats.tenants.values().map(|t| t.global_evictions).sum(),
         byte_identity,
+        metrics: registry.snapshot(),
     })
 }
 
@@ -569,5 +592,11 @@ mod tests {
         assert!(report.peak_cores_leased <= report.cores);
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         assert!(json.contains("non_drf_picks"));
+        // The registry summary block rides along: one latency sample per
+        // (session, iteration).
+        let lat = &report.metrics.histograms["multi_tenant.latency_nanos"];
+        assert_eq!(lat.count, (3 + 2) as u64 * 2, "5 sessions x 2 iterations");
+        assert!(lat.min <= lat.p50 && lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
+        assert!(json.contains("\"histograms\""));
     }
 }

@@ -21,6 +21,7 @@
 use helix_common::timing::Nanos;
 use helix_common::{HelixError, Result};
 use helix_core::{Session, SessionConfig, Workflow};
+use helix_obs::{layer, now_nanos, span_at, Registry, RegistrySnapshot};
 use helix_storage::{encode_value, DiskProfile};
 use helix_workloads::{CensusWorkload, GenomicsWorkload, Workload};
 use serde::Serialize;
@@ -94,6 +95,10 @@ pub struct PipelineBenchReport {
     pub workers: usize,
     /// Iterations per workload.
     pub iterations: usize,
+    /// Timing aggregation: per-iteration serial latencies, per-workload
+    /// walls, and speculation counters, with log-bucketed p50/p95/p99
+    /// summaries (`helix_obs::Registry`).
+    pub metrics: RegistrySnapshot,
 }
 
 impl PipelineBenchReport {
@@ -153,6 +158,7 @@ fn compare_one(
     label: &'static str,
     make: &dyn Fn() -> Box<dyn Workload>,
     config: &PipelineBenchConfig,
+    registry: &Registry,
 ) -> Result<WorkloadComparison> {
     let session_config = SessionConfig::in_memory()
         .with_workers(config.workers)
@@ -162,10 +168,14 @@ fn compare_one(
     // Serial reference.
     let wfs = sequence(make(), config.iterations);
     let mut serial = Session::new(session_config.clone().with_pipeline(false))?;
+    let serial_iter_hist = registry.histogram("pipeline.serial_iteration_nanos");
+    let serial_begin = now_nanos();
     let serial_started = Instant::now();
     let mut serial_fps = Vec::new();
     for wf in &wfs {
+        let iter_started = Instant::now();
         serial_fps.push(fingerprint(&serial.run(wf)?));
+        serial_iter_hist.record(iter_started.elapsed().as_nanos() as u64);
     }
     let serial_wall = serial_started.elapsed().as_nanos() as Nanos;
     let serial_io: Nanos =
@@ -176,6 +186,7 @@ fn compare_one(
     // Pipelined run (fresh session, fresh catalog, same seed/sequence).
     let wfs = sequence(make(), config.iterations);
     let mut pipelined = Session::new(session_config)?;
+    let pipelined_begin = now_nanos();
     let pipelined_started = Instant::now();
     let reports = pipelined.run_pipelined(&wfs)?;
     pipelined.sync()?; // durability before the clock stops — fair vs inline writes
@@ -203,6 +214,26 @@ fn compare_one(
     let speedup = serial_wall as f64 / pipelined_wall.max(1) as f64;
     let hidden = serial_wall.saturating_sub(pipelined_wall) as f64;
     let overlap_ratio = (hidden / (serial_io.max(1) as f64)).clamp(0.0, 1.0);
+
+    // Timing aggregation onto the shared registry...
+    registry.histogram("pipeline.serial_wall_nanos").record(serial_wall);
+    registry.histogram("pipeline.pipelined_wall_nanos").record(pipelined_wall);
+    registry.counter("pipeline.spec_hits").add(spec_hits);
+    registry.counter("pipeline.spec_misses").add(spec_misses);
+
+    // ...and retrospective trace spans carrying the *exact* measured
+    // nanos, so a trace consumer can re-derive the overlap ratio
+    // `(serial.wall − pipelined.wall) / serial.io` from the exported
+    // JSON alone (the inertness suite asserts this matches the report).
+    let track = format!("bench-{label}");
+    let _ = span_at(layer::BENCH, "serial.wall", serial_begin, serial_wall)
+        .track(track.as_str())
+        .amount(config.iterations as u64);
+    let _ = span_at(layer::BENCH, "serial.io", serial_begin, serial_io).track(track.as_str());
+    let _ = span_at(layer::BENCH, "pipelined.wall", pipelined_begin, pipelined_wall)
+        .track(track.as_str())
+        .amount(config.iterations as u64);
+
     Ok(WorkloadComparison {
         workload: label,
         iterations: config.iterations,
@@ -223,9 +254,10 @@ pub fn run_pipeline_bench(config: &PipelineBenchConfig) -> Result<PipelineBenchR
         ("census", Box::new(|| Box::new(CensusWorkload::small()) as Box<dyn Workload>)),
         ("genomics", Box::new(|| Box::new(GenomicsWorkload::small()) as Box<dyn Workload>)),
     ];
+    let registry = Registry::new();
     let mut comparisons = Vec::new();
     for (label, make) in &workloads {
-        comparisons.push(compare_one(label, make.as_ref(), config)?);
+        comparisons.push(compare_one(label, make.as_ref(), config, &registry)?);
     }
     let serial_total: f64 = comparisons.iter().map(|c| c.serial_ms).sum();
     let pipelined_total: f64 = comparisons.iter().map(|c| c.pipelined_ms).sum();
@@ -234,6 +266,7 @@ pub fn run_pipeline_bench(config: &PipelineBenchConfig) -> Result<PipelineBenchR
         workers: config.workers,
         iterations: config.iterations,
         workloads: comparisons,
+        metrics: registry.snapshot(),
     })
 }
 
@@ -257,5 +290,15 @@ mod tests {
             assert!((0.0..=1.0).contains(&w.overlap_ratio));
         }
         assert!(report.render().contains("combined speedup"));
+
+        // The registry block rides along in the report: one serial
+        // iteration sample per (workload, iteration) and one wall sample
+        // per workload, each with quantile summaries.
+        let iters = &report.metrics.histograms["pipeline.serial_iteration_nanos"];
+        assert_eq!(iters.count, 2 * 3);
+        assert!(iters.p50 >= iters.min && iters.p99 <= iters.max);
+        assert_eq!(report.metrics.histograms["pipeline.serial_wall_nanos"].count, 2);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"histograms\"") && json.contains("pipeline.serial_wall_nanos"));
     }
 }

@@ -9,6 +9,8 @@
 //! * [`rng`] — a tiny deterministic PRNG (SplitMix64) for seeded workload
 //!   generation independent of external crates.
 //! * [`fmt`] — human-readable byte / duration formatting for reports.
+//! * [`ring`] — a bounded history log with oldest-first eviction and an
+//!   explicit drop counter, plus the workspace-wide `BOUNDED_LOG_CAP`.
 //! * [`timing`] — a monotonic stopwatch and nanosecond conventions.
 //!
 //! HELIX's optimizers reason about *nanosecond integer costs* everywhere
@@ -18,10 +20,12 @@ pub mod crc32;
 pub mod error;
 pub mod fmt;
 pub mod hash;
+pub mod ring;
 pub mod rng;
 pub mod timing;
 
 pub use error::{HelixError, Result};
 pub use hash::{Signature, StableHasher};
+pub use ring::{RingLog, BOUNDED_LOG_CAP};
 pub use rng::SplitMix64;
 pub use timing::{Nanos, Stopwatch};

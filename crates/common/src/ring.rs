@@ -1,0 +1,158 @@
+//! Bounded append-only logs with oldest-first eviction.
+//!
+//! Several subsystems keep a short rolling history of recent events —
+//! per-session seeds in `helix-serve`, eviction records in
+//! `helix-storage`, span events in `helix-obs`. They all want the same
+//! thing: a fixed capacity, pushes that never fail, the *newest* entries
+//! retained, and an explicit count of how many entries were discarded so
+//! truncation is never silent. [`RingLog`] is that type, and
+//! [`BOUNDED_LOG_CAP`] is the workspace-wide default capacity that the
+//! previously independent `SESSION_SEED_HISTORY` / `EVICTION_LOG_CAP`
+//! constants unify behind.
+
+use std::collections::VecDeque;
+
+/// Default capacity for bounded in-process history logs.
+///
+/// Chosen once here instead of per-subsystem: large enough that recent
+/// history is useful for debugging and audit assertions, small enough
+/// that a per-tenant or per-catalog log is never a memory concern.
+pub const BOUNDED_LOG_CAP: usize = 64;
+
+/// A fixed-capacity log that drops the *oldest* entry on overflow.
+///
+/// Unlike a plain `VecDeque` with manual `pop_front`, `RingLog` counts
+/// every dropped entry ([`RingLog::dropped`]) so readers can tell a
+/// complete history from a truncated one.
+#[derive(Debug, Clone)]
+pub struct RingLog<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl<T> RingLog<T> {
+    /// Create a log holding at most `cap` entries. A zero capacity is
+    /// clamped to 1 so `push` always retains the newest entry.
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        RingLog { buf: VecDeque::with_capacity(cap), cap, dropped: 0 }
+    }
+
+    /// Create a log with the workspace default capacity.
+    pub fn with_default_cap() -> Self {
+        Self::new(BOUNDED_LOG_CAP)
+    }
+
+    /// Append `value`, evicting the oldest entry (and counting it as
+    /// dropped) if the log is full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total number of entries evicted to make room since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate retained entries oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Most recently pushed entry, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.buf.back()
+    }
+
+    /// Discard all retained entries (the drop counter is preserved —
+    /// it tracks capacity evictions, not explicit clears).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Drain all retained entries oldest → newest, leaving the log empty.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.buf.drain(..)
+    }
+
+    /// Copy the retained entries into a `Vec`, oldest → newest.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+impl<T> Default for RingLog<T> {
+    fn default() -> Self {
+        Self::with_default_cap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_newest_and_counts_drops() {
+        let mut log = RingLog::new(3);
+        for i in 0..5 {
+            log.push(i);
+        }
+        assert_eq!(log.to_vec(), vec![2, 3, 4]);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.last(), Some(&4));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut log = RingLog::new(0);
+        log.push(1);
+        log.push(2);
+        assert_eq!(log.to_vec(), vec![2]);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut log: RingLog<u8> = RingLog::with_default_cap();
+        assert_eq!(log.capacity(), BOUNDED_LOG_CAP);
+        for i in 0..BOUNDED_LOG_CAP as u8 {
+            log.push(i);
+        }
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.len(), BOUNDED_LOG_CAP);
+    }
+
+    #[test]
+    fn clear_preserves_drop_counter() {
+        let mut log = RingLog::new(1);
+        log.push(1);
+        log.push(2);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+}

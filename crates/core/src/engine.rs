@@ -220,6 +220,7 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         tenant,
         prefetch: prefetcher.as_ref(),
         epoch,
+        iteration,
     };
     let mut coord = Coordinator {
         wf,
@@ -374,6 +375,10 @@ fn run_parallel(
                 // Dispatch (or immediately retire) everything ready;
                 // retiring a prune node can ready more, which `pop_min`
                 // picks up in the same sweep.
+                let sweep_span = helix_obs::span(helix_obs::layer::ENGINE, "dispatch")
+                    .tenant(runner.tenant)
+                    .iteration(runner.iteration);
+                let mut dispatched = 0u64;
                 while let Some(node) = frontier.pop_min() {
                     // After an error at topo position p, keep dispatching
                     // only nodes *before* p: the serial loop would have
@@ -387,10 +392,12 @@ fn run_parallel(
                     } else if error_pos.is_none_or(|pos| coord.topo_pos[node.ix()] < pos) {
                         executor.submit(node);
                         in_flight += 1;
+                        dispatched += 1;
                     }
                     // Nodes at or past the error position are dropped; we
                     // only drain what serial would still have run.
                 }
+                let _ = sweep_span.amount(dispatched);
                 if in_flight == 0 {
                     break;
                 }
@@ -494,6 +501,8 @@ struct NodeRunner<'a> {
     prefetch: Option<&'a Prefetcher<'a>>,
     /// Iteration start, for epoch-relative load spans.
     epoch: Instant,
+    /// Iteration number, as a trace label only.
+    iteration: u64,
 }
 
 impl NodeRunner<'_> {
@@ -518,6 +527,10 @@ impl NodeRunner<'_> {
         match self.states[i] {
             State::Prune => unreachable!("prune nodes are retired by the coordinator"),
             State::Load => {
+                let _span = helix_obs::span(helix_obs::layer::ENGINE, "load")
+                    .node(spec.name.as_str())
+                    .tenant(self.tenant)
+                    .iteration(self.iteration);
                 // Prefetched when the load lane is on; the reported cost
                 // is the deterministic disk-model time either way, so
                 // statistics (and therefore future plans) are identical
@@ -546,6 +559,10 @@ impl NodeRunner<'_> {
                 })
             }
             State::Compute => {
+                let _span = helix_obs::span(helix_obs::layer::ENGINE, "compute")
+                    .node(spec.name.as_str())
+                    .tenant(self.tenant)
+                    .iteration(self.iteration);
                 let inputs: Vec<Arc<Value>> = dag
                     .parents(id)
                     .iter()
@@ -652,6 +669,12 @@ impl Coordinator<'_> {
     fn record_prune(&mut self, id: NodeId) {
         let i = id.ix();
         let spec = self.wf.dag().payload(id);
+        // Prunes do no work; a zero-duration marker keeps the taxonomy
+        // complete in traces.
+        let _ = helix_obs::span_at(helix_obs::layer::ENGINE, "prune", helix_obs::now_nanos(), 0)
+            .node(spec.name.as_str())
+            .tenant(self.tenant)
+            .iteration(self.iteration);
         self.runs[i] = Some(NodeRun {
             node: id.0,
             name: spec.name.clone(),
@@ -780,6 +803,11 @@ impl Coordinator<'_> {
                 self.elective_decisions.push((self.sigs[i], elective));
             }
             if mandatory || elective {
+                let _span = helix_obs::span(helix_obs::layer::ENGINE, "materialize")
+                    .node(spec.name.as_str())
+                    .tenant(self.tenant)
+                    .iteration(self.iteration)
+                    .amount(size);
                 // A mandatory store may overflow the quota: make room by
                 // evicting this tenant's own oldest sole-owned artifacts
                 // (deterministic order; the current plan is protected).

@@ -55,7 +55,7 @@ use helix_exec::{CoreBudget, TaskQueue};
 use helix_flow::NodeId;
 use helix_storage::MaterializationCatalog;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -192,7 +192,10 @@ impl BackgroundWriter {
             // Opportunistic token: accounts the lane while it works, but a
             // sleep-dominated throttled write never idles a durable token.
             let _lease = shared.core_budget.as_ref().and_then(|b| b.try_acquire_one());
+            let drain_span =
+                helix_obs::span(helix_obs::layer::PIPELINE, "writer.drain").track("writer");
             let result = shared.catalog.complete_stage(job.sig, &job.frame);
+            drop(drain_span);
             Self::record_error(shared, result.err());
             let now_idle = {
                 let mut state = shared.state.lock().expect("writer state poisoned");
@@ -204,6 +207,8 @@ impl BackgroundWriter {
             shared.idle.notify_all();
             if now_idle {
                 // Idle edge: everything staged so far is durable — seal it.
+                let _span =
+                    helix_obs::span(helix_obs::layer::PIPELINE, "writer.commit").track("writer");
                 let result = shared.catalog.commit_staged();
                 Self::record_error(shared, result.err());
                 shared.idle.notify_all();
@@ -282,6 +287,9 @@ pub struct Prefetcher<'a> {
     ready: Condvar,
     halted_flag: AtomicBool,
     spans: Mutex<Vec<(Nanos, Nanos)>>,
+    /// Trace-only ordinal handed to each `run_lane` entrant so every
+    /// lane renders as its own track.
+    lane_seq: AtomicU32,
 }
 
 impl<'a> Prefetcher<'a> {
@@ -304,6 +312,7 @@ impl<'a> Prefetcher<'a> {
             ready: Condvar::new(),
             halted_flag: AtomicBool::new(false),
             spans: Mutex::new(Vec::new()),
+            lane_seq: AtomicU32::new(0),
         }
     }
 
@@ -325,6 +334,7 @@ impl<'a> Prefetcher<'a> {
     /// One lane: claim loads in topo order and fetch until drained or
     /// halted. Run from a scoped thread.
     pub fn run_lane(&self) {
+        let lane = self.lane_seq.fetch_add(1, Ordering::Relaxed);
         loop {
             let (node, sig) = {
                 let mut state = self.state.lock().expect("prefetch state poisoned");
@@ -345,12 +355,17 @@ impl<'a> Prefetcher<'a> {
                 state.slots.insert(job.0 .0, Slot::InFlight);
                 job
             };
+            let fetch_span = helix_obs::span(helix_obs::layer::PIPELINE, "prefetch")
+                .track(format!("lane-{lane}"))
+                .tenant(self.tenant)
+                .lane(lane);
             let start = self.offset_nanos();
             let result = self
                 .catalog
                 .load_for(sig, self.tenant)
                 .map(|(value, load_nanos, cross)| PrefetchedLoad { value, load_nanos, cross });
             let end = self.offset_nanos();
+            drop(fetch_span);
             self.spans.lock().expect("prefetch spans poisoned").push((start, end));
             let mut state = self.state.lock().expect("prefetch state poisoned");
             state.slots.insert(node.0, Slot::Done(Some(result)));
@@ -442,6 +457,7 @@ pub struct SpeculativePlan {
 /// construction, exactly what the plan consumed — concurrent catalog
 /// mutations can only make validation fail, never let a stale plan pass.
 pub fn speculate(inputs: &SpeculationInputs, wf: &Workflow) -> SpeculativePlan {
+    let _span = helix_obs::span(helix_obs::layer::PIPELINE, "speculate").track("planner");
     let sigs = chain_signatures(wf, &inputs.volatile_nonces, &inputs.env);
     let plan_inputs = PlanInputs {
         sigs: &sigs,

@@ -598,6 +598,9 @@ impl Session {
         }
 
         // 5. Execute + materialize.
+        let iteration_span = helix_obs::span(helix_obs::layer::ENGINE, "iteration")
+            .tenant(self.tenant.as_str())
+            .iteration(self.iteration);
         let outcome = execute(EngineParams {
             wf,
             states: &planned_states,
@@ -616,6 +619,7 @@ impl Session {
             pipeline: self.config.pipeline,
             writer: self.writer.as_ref(),
         })?;
+        drop(iteration_span);
 
         // 6. Update statistics and snapshots.
         for (sig, nanos) in &outcome.compute_times {

@@ -1,0 +1,155 @@
+//! Property tests for the observability substrate.
+//!
+//! * Histogram p50/p95/p99 against an exact sorted reference over
+//!   adversarial distributions — empty, single-sample, all-equal,
+//!   power-law, and arbitrary — must stay within the documented bucket
+//!   resolution (≤ 1/32 relative above 32, exact below).
+//! * Span-ring drop accounting under concurrent writers: retained events
+//!   plus the reported drop count must equal the number of spans pushed,
+//!   with no double counting across drains.
+
+use helix_obs::span::Collector;
+use helix_obs::{Histogram, SpanEvent};
+use proptest::prelude::*;
+
+/// Exact reference for quantile `q` using the histogram's rank rule:
+/// `sorted[clamp(ceil(q * count), 1, count) - 1]`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as u64).clamp(1, sorted.len() as u64);
+    sorted[rank as usize - 1]
+}
+
+/// Assert the histogram answer matches the exact reference to within
+/// bucket resolution: never above, and at most `exact / 32` below
+/// (exact below 32, ≤ 1/32 relative above).
+fn assert_quantile_close(hist: &Histogram, sorted: &[u64], q: f64) {
+    let exact = exact_quantile(sorted, q);
+    let got = hist.quantile(q).expect("non-empty histogram");
+    assert!(got <= exact, "q={q}: histogram {got} above exact {exact}");
+    assert!(exact - got <= exact / 32, "q={q}: histogram {got} more than 1/32 below exact {exact}");
+}
+
+/// Adversarial sample vectors: empty and single-sample handled by the
+/// generator's size range; all-equal, power-law, and arbitrary shapes by
+/// the strategy union.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        // Arbitrary magnitudes across the full range.
+        prop::collection::vec(any::<u64>(), 0..200),
+        // All-equal.
+        (any::<u64>(), 1..100usize).prop_map(|(v, n)| vec![v; n]),
+        // Power-law-ish: many tiny values, few huge ones.
+        prop::collection::vec(
+            (0u32..64).prop_flat_map(
+                |shift| (0u64..4).prop_map(move |m| (1u64 << shift).saturating_mul(m + 1))
+            ),
+            1..200
+        ),
+        // Small dense values (the exact sub-32 regime).
+        prop::collection::vec(0u64..32, 1..100),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_track_exact_sorted_reference(samples in samples()) {
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        if samples.is_empty() {
+            prop_assert!(hist.quantile(0.5).is_none());
+            prop_assert_eq!(hist.summary().count, 0);
+        } else {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.50, 0.95, 0.99] {
+                assert_quantile_close(&hist, &sorted, q);
+            }
+            let summary = hist.summary();
+            prop_assert_eq!(summary.count, samples.len() as u64);
+            prop_assert_eq!(summary.min, sorted[0]);
+            prop_assert_eq!(summary.max, *sorted.last().unwrap());
+            prop_assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
+        }
+    }
+
+    #[test]
+    fn single_sample_and_all_equal_are_exact(v in any::<u64>(), n in 1..50usize) {
+        let hist = Histogram::new();
+        for _ in 0..n {
+            hist.record(v);
+        }
+        // The min/max clamp makes degenerate distributions exact despite
+        // the log bucketing.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(hist.quantile(q), Some(v));
+        }
+        let summary = hist.summary();
+        prop_assert_eq!(summary.min, v);
+        prop_assert_eq!(summary.max, v);
+        prop_assert_eq!(summary.p50, v);
+    }
+}
+
+fn event(thread: u32, begin: u64) -> SpanEvent {
+    SpanEvent {
+        name: "probe",
+        cat: "test",
+        begin,
+        end: begin + 1,
+        thread,
+        track: None,
+        tenant: None,
+        session: None,
+        iteration: None,
+        node: None,
+        lane: None,
+        amount: None,
+    }
+}
+
+#[test]
+fn ring_drop_accounting_survives_concurrent_writers() {
+    // 4 shards of 64 spans against 8 writers x 512 spans: most spans
+    // must drop, and retained + dropped must exactly equal pushed.
+    const WRITERS: u32 = 8;
+    const PER_WRITER: u64 = 512;
+    let collector = Collector::new(4, 64);
+    std::thread::scope(|scope| {
+        for t in 0..WRITERS {
+            let collector = &collector;
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    collector.record(event(t, i));
+                }
+            });
+        }
+    });
+    let (events, dropped) = collector.drain();
+    assert_eq!(
+        events.len() as u64 + dropped,
+        WRITERS as u64 * PER_WRITER,
+        "every span is either retained or counted as dropped"
+    );
+    assert!(dropped > 0, "the ring was sized to overflow");
+    // A second drain reports no stale drops and no events.
+    let (again, dropped_again) = collector.drain();
+    assert!(again.is_empty());
+    assert_eq!(dropped_again, 0, "drops are reported once, as deltas");
+}
+
+#[test]
+fn drop_deltas_accumulate_across_drains() {
+    let collector = Collector::new(1, 4);
+    for i in 0..10 {
+        collector.record(event(0, i));
+    }
+    let (events, dropped) = collector.drain();
+    assert_eq!((events.len(), dropped), (4, 6));
+    for i in 0..7 {
+        collector.record(event(0, i));
+    }
+    let (events, dropped) = collector.drain();
+    assert_eq!((events.len(), dropped), (4, 3), "only drops since the last drain");
+}

@@ -307,8 +307,22 @@ impl AdmissionQueue {
             }
         }
         self.drf.acquire(picked_tenant);
+        let share_at_pick = self.drf.dominant_share_scaled(picked_tenant);
 
         let job = self.queue.remove(ix).expect("index valid");
+        // Trace the enqueue→pick wait retrospectively, carrying the
+        // tenant's (weighted, scaled) dominant share at pick time.
+        let waited = helix_common::timing::duration_to_nanos(job.enqueued.elapsed());
+        let _ = helix_obs::span_at(
+            helix_obs::layer::SERVE,
+            "admission.queued",
+            helix_obs::now_nanos().saturating_sub(waited),
+            waited,
+        )
+        .track(format!("tenant-{}", job.tenant))
+        .tenant(job.tenant.as_str())
+        .session(job.session_id)
+        .amount(u64::try_from(share_at_pick).unwrap_or(u64::MAX));
         self.dispatched_total += 1;
         let activity = self.sessions.entry(job.session_id).or_default();
         if activity.members == 0 {
@@ -467,7 +481,7 @@ impl AdmissionQueue {
 }
 
 /// Observable admission state (for dashboards and tests).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct QueueSnapshot {
     /// Jobs waiting for dispatch.
     pub queued: usize,

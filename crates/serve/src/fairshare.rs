@@ -71,6 +71,20 @@ pub enum SchedulingPolicy {
     },
 }
 
+impl serde::Serialize for SchedulingPolicy {
+    // Manual impl: the derive shim covers fieldless enums only, and the
+    // `FairShare` variant carries its weight map.
+    fn to_json(&self) -> serde::Json {
+        match self {
+            SchedulingPolicy::Priority => serde::Json::String("priority".into()),
+            SchedulingPolicy::FairShare { weights } => serde::Json::Object(vec![
+                ("policy".to_string(), serde::Json::String("fairshare".into())),
+                ("weights".to_string(), serde::Serialize::to_json(weights)),
+            ]),
+        }
+    }
+}
+
 impl SchedulingPolicy {
     /// Equal-weight fair share (every tenant weight 1).
     pub fn fair() -> SchedulingPolicy {
@@ -254,7 +268,7 @@ impl DrfAllocator {
 }
 
 /// Per-tenant fairness observations (see [`FairnessAudit`]).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, serde::Serialize)]
 pub struct TenantAudit {
     /// Jobs dispatched for this tenant.
     pub dispatches: u64,
@@ -275,7 +289,7 @@ pub struct TenantAudit {
 /// regression guard (`non_drf_picks == 0`, `max_share_gap == 0.0` by
 /// construction); under `Priority` it *measures* the unfairness the
 /// policy buys — the `multi_tenant --fair` bench prints both sides.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, serde::Serialize)]
 pub struct FairnessAudit {
     /// Successful picks observed.
     pub picks: u64,

@@ -40,7 +40,7 @@ use crate::admission::{AdmissionCaps, AdmissionQueue, Job, QueueSnapshot};
 use crate::fairshare::{FairnessAudit, SchedulingPolicy};
 use crate::ticket::{JobOutcome, JobTicket, TicketState};
 use helix_common::timing::Nanos;
-use helix_common::{HelixError, Result};
+use helix_common::{HelixError, Result, RingLog};
 use helix_core::{
     speculate, IterationReport, Session, SessionConfig, SessionHandles, SpeculationInputs, Workflow,
 };
@@ -221,13 +221,11 @@ struct TenantState {
     /// Resolved seeds of this tenant's sessions, in open order — sessions
     /// pick their own seeds now, so observability must say which seed
     /// each one actually ran under. Bounded to the most recent
-    /// [`SESSION_SEED_HISTORY`] opens so a tenant that churns sessions
-    /// for the service's lifetime cannot grow this without limit.
-    session_seeds: Vec<u64>,
+    /// [`helix_common::BOUNDED_LOG_CAP`] opens so a tenant that churns
+    /// sessions for the service's lifetime cannot grow this without
+    /// limit.
+    session_seeds: RingLog<u64>,
 }
-
-/// How many recent session seeds are retained per tenant for stats.
-const SESSION_SEED_HISTORY: usize = 64;
 
 struct SchedState {
     queue: AdmissionQueue,
@@ -348,7 +346,7 @@ impl HelixService {
                 iterations: 0,
                 queue_wait_nanos: 0,
                 run_nanos: 0,
-                session_seeds: Vec::new(),
+                session_seeds: RingLog::with_default_cap(),
             },
         );
         Ok(())
@@ -372,9 +370,6 @@ impl HelixService {
                 .get_mut(tenant)
                 .ok_or_else(|| HelixError::not_found("tenant", tenant))?;
             let quota = state.spec.quota_bytes;
-            if state.session_seeds.len() == SESSION_SEED_HISTORY {
-                state.session_seeds.remove(0);
-            }
             state.session_seeds.push(seed);
             let id = sched.next_session_id;
             sched.next_session_id += 1;
@@ -440,7 +435,7 @@ impl HelixService {
                     global_evictions: owner.global_evictions,
                     owned_bytes,
                     quota_bytes: state.spec.quota_bytes,
-                    session_seeds: state.session_seeds.clone(),
+                    session_seeds: state.session_seeds.to_vec(),
                     dominant_share,
                     weight,
                     peak_cores_leased: self.inner.budget.peak_leased_for(&name),
@@ -669,11 +664,20 @@ fn run_job(inner: Arc<ServiceInner>, job: Job) {
     // parallelism inside the engine is non-blocking, which keeps the
     // budget deadlock-free. Queue time is measured after both waits, so
     // queue_wait + run covers the whole submission-to-report span.
+    let wait_span = helix_obs::span(helix_obs::layer::SERVE, "session.wait")
+        .track(format!("tenant-{}", job.tenant))
+        .tenant(job.tenant.as_str())
+        .session(job.session_id);
     let mut session = lock_session(&job.session);
     // The base token is labeled with the tenant: per-tenant
     // executing-core accounting for `ServiceStats` and the fairness
     // audit's ground truth.
     let lease = inner.budget.acquire_one_labeled(&job.tenant);
+    drop(wait_span);
+    let exec_span = helix_obs::span(helix_obs::layer::SERVE, "execute")
+        .track(format!("tenant-{}", job.tenant))
+        .tenant(job.tenant.as_str())
+        .session(job.session_id);
     let queue_wait = job.enqueued.elapsed().as_nanos() as Nanos;
     let started = Instant::now();
     let prepared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -707,6 +711,7 @@ fn run_job(inner: Arc<ServiceInner>, job: Job) {
         Err(err) => Err(err),
     };
     let run_nanos = started.elapsed().as_nanos() as Nanos;
+    drop(exec_span);
     drop(session);
     drop(lease);
     {
@@ -725,7 +730,7 @@ fn run_job(inner: Arc<ServiceInner>, job: Job) {
 }
 
 /// Point-in-time statistics for one tenant.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct TenantStats {
     /// Iterations completed.
     pub iterations: u64,
@@ -776,7 +781,7 @@ impl TenantStats {
 }
 
 /// Aggregate service statistics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct ServiceStats {
     /// Per-tenant breakdown, name-ordered.
     pub tenants: BTreeMap<String, TenantStats>,
@@ -821,6 +826,14 @@ impl ServiceStats {
             return 0.0;
         }
         cross as f64 / total as f64
+    }
+
+    /// The full stats tree as a JSON value, ready for
+    /// [`serde::write_json`] / [`serde::write_json_compact`]. Dashboards
+    /// and the bench drivers use this; nothing in the service reads it
+    /// back.
+    pub fn to_json(&self) -> serde::Json {
+        serde::Serialize::to_json(self)
     }
 }
 

@@ -119,7 +119,7 @@ use crate::frame::FrameKind;
 use crate::journal::{self, JournalWriter, ScanStop};
 use helix_common::hash::Signature;
 use helix_common::timing::Nanos;
-use helix_common::{HelixError, Result};
+use helix_common::{HelixError, Result, RingLog};
 use helix_data::Value;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -222,7 +222,7 @@ pub struct OwnerStats {
 }
 
 /// Why an artifact was evicted.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum EvictionKind {
     /// The owning tenant's quota was tight (scoped to its sole-owned
     /// artifacts).
@@ -233,7 +233,7 @@ pub enum EvictionKind {
 }
 
 /// One entry of the bounded eviction-attribution log.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct EvictionRecord {
     /// Hex signature of the evicted artifact.
     pub signature: String,
@@ -251,8 +251,9 @@ pub struct EvictionRecord {
 
 /// How many recent [`EvictionRecord`]s the catalog retains — bounded, so
 /// a long-running service's stats cannot grow without limit (the same
-/// treatment as per-tenant session-seed history).
-pub const EVICTION_LOG_CAP: usize = 64;
+/// treatment as per-tenant session-seed history; both now share the
+/// workspace-wide [`helix_common::BOUNDED_LOG_CAP`]).
+pub const EVICTION_LOG_CAP: usize = helix_common::BOUNDED_LOG_CAP;
 
 impl OwnerStats {
     /// Total catalog loads attributed to this owner.
@@ -382,7 +383,7 @@ struct Inner {
     /// unlike owner claims, which persist.
     pins: HashMap<Signature, usize>,
     /// Bounded attribution log of evictions ([`EVICTION_LOG_CAP`]).
-    eviction_log: Vec<EvictionRecord>,
+    eviction_log: RingLog<EvictionRecord>,
     /// Entries whose in-memory metadata (claims, measured load times)
     /// has drifted from the journal. Loads and claims stay write-free on
     /// the hot path; the dirty set is drained — one `Upsert` frame each,
@@ -407,11 +408,8 @@ impl Inner {
     }
 
     /// Append to the bounded eviction-attribution log (oldest dropped
-    /// beyond [`EVICTION_LOG_CAP`]).
+    /// beyond [`EVICTION_LOG_CAP`], counted by the ring).
     fn log_eviction(&mut self, record: EvictionRecord) {
-        if self.eviction_log.len() == EVICTION_LOG_CAP {
-            self.eviction_log.remove(0);
-        }
         self.eviction_log.push(record);
     }
 
@@ -505,6 +503,7 @@ impl MaterializationCatalog {
             )));
         }
 
+        let replay_begin = helix_obs::now_nanos();
         let scan = journal::scan_file(&journal_path)?;
         let mut entries: HashMap<Signature, CatalogEntry> = HashMap::new();
         // A fresh snapshot is written (instead of appending to the
@@ -618,6 +617,13 @@ impl MaterializationCatalog {
                 }
             }
         }
+        let _ = helix_obs::span_at(
+            helix_obs::layer::STORAGE,
+            "recovery.replay",
+            replay_begin,
+            helix_obs::now_nanos().saturating_sub(replay_begin),
+        )
+        .amount(stats.journal_frames_replayed);
 
         let mut inner = Inner {
             entries: HashMap::new(),
@@ -627,7 +633,7 @@ impl MaterializationCatalog {
             pending: HashMap::new(),
             global_budget: None,
             pins: HashMap::new(),
-            eviction_log: Vec::new(),
+            eviction_log: RingLog::new(EVICTION_LOG_CAP),
             dirty: HashSet::new(),
         };
         for (sig, entry) in entries {
@@ -1091,6 +1097,7 @@ impl MaterializationCatalog {
     /// remaining dirty metadata and flushes the lot to stable storage.
     pub fn commit_staged(&self) -> Result<()> {
         self.journal_commit(&[])?;
+        let _span = helix_obs::span(helix_obs::layer::STORAGE, "journal.fsync");
         self.journal.lock().sync()
     }
 
@@ -1402,6 +1409,8 @@ impl MaterializationCatalog {
         // sole-owned and is skipped) or after (the entry is already
         // gone and the claim fails, so the claimant replans) — never in
         // between.
+        let eviction_span =
+            helix_obs::span(helix_obs::layer::STORAGE, "evict.quota").tenant(owner.to_string());
         let mut freed = 0u64;
         let victims: Vec<(Signature, String)> = {
             let mut inner = self.inner.lock();
@@ -1445,6 +1454,7 @@ impl MaterializationCatalog {
             }
             victims
         };
+        let _eviction_span = eviction_span.amount(freed);
         if victims.is_empty() {
             return Ok(0);
         }
@@ -1504,7 +1514,7 @@ impl MaterializationCatalog {
     /// The bounded eviction-attribution log, oldest first (at most
     /// [`EVICTION_LOG_CAP`] events).
     pub fn eviction_log(&self) -> Vec<EvictionRecord> {
-        self.inner.lock().eviction_log.clone()
+        self.inner.lock().eviction_log.to_vec()
     }
 
     /// Global-pressure eviction: free at least `bytes_needed` bytes
@@ -1537,6 +1547,8 @@ impl MaterializationCatalog {
         // quota eviction: a concurrent claim lands entirely before (the
         // refcount rose — at worst the entry evicts a class later) or
         // entirely after (the claim fails and the claimant replans).
+        let eviction_span =
+            helix_obs::span(helix_obs::layer::STORAGE, "evict.global").tenant(trigger.to_string());
         let mut freed = 0u64;
         let victims: Vec<(Signature, String)> = {
             let mut inner = self.inner.lock();
@@ -1579,6 +1591,7 @@ impl MaterializationCatalog {
             }
             victims
         };
+        let _eviction_span = eviction_span.amount(freed);
         if victims.is_empty() {
             return Ok(0);
         }
@@ -1686,8 +1699,12 @@ impl MaterializationCatalog {
             }
             (frames, inner.entries.len() as u64)
         };
-        for (kind, payload) in &frames {
-            journal.append(*kind, payload)?;
+        {
+            let _span = helix_obs::span(helix_obs::layer::STORAGE, "journal.append")
+                .amount(frames.len() as u64);
+            for (kind, payload) in &frames {
+                journal.append(*kind, payload)?;
+            }
         }
         self.maybe_compact(&mut journal, live_entries)
     }
@@ -1699,6 +1716,8 @@ impl MaterializationCatalog {
         if journal.frames() <= 4 * live_entries + Self::COMPACT_SLACK {
             return Ok(());
         }
+        let _span =
+            helix_obs::span(helix_obs::layer::STORAGE, "journal.compact").amount(journal.frames());
         let payload = Self::snapshot_payload(&self.inner.lock())?;
         let path = journal.path().to_path_buf();
         *journal = JournalWriter::rewrite(&path, [(FrameKind::Snapshot, payload.as_slice())])?;

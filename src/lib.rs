@@ -32,7 +32,8 @@
 //! session) · [`workloads`] (the four paper workloads + iteration
 //! simulator) · [`serve`] (the multi-tenant session service: shared core
 //! budget, shared catalog with per-tenant quotas, admission control —
-//! see `examples/shared_service.rs`).
+//! see `examples/shared_service.rs`) · [`obs`] (spans, metrics, Chrome
+//! trace export — provably inert, see `tests/observability_inertness.rs`).
 
 pub use helix_common as common;
 pub use helix_core as core;
@@ -40,6 +41,7 @@ pub use helix_data as data;
 pub use helix_exec as exec;
 pub use helix_flow as flow;
 pub use helix_ml as ml;
+pub use helix_obs as obs;
 pub use helix_serve as serve;
 pub use helix_storage as storage;
 pub use helix_workloads as workloads;

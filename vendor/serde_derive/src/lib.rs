@@ -165,12 +165,25 @@ fn parse_name_and_body<'a>(
     }
 }
 
-/// Split a brace-group body at top-level commas.
+/// Split a brace-group body at top-level commas. Commas nested inside
+/// generic arguments (`BTreeMap<String, u64>`) do not split: angle
+/// brackets arrive as plain puncts, so depth is tracked explicitly.
 fn split_top_level(body: &proc_macro::Group) -> Vec<Vec<TokenTree>> {
     let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
     for token in body.stream() {
         match &token {
-            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                chunks.last_mut().unwrap().push(token);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                chunks.last_mut().unwrap().push(token);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new())
+            }
             _ => chunks.last_mut().unwrap().push(token),
         }
     }
