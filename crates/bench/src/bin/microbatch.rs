@@ -1,0 +1,121 @@
+//! Intra-node micro-batch co-execution bench: whole-frame operator
+//! execution vs the partition-streaming dispatcher.
+//!
+//! ```text
+//! microbatch [--rows N] [--row-bytes B] [--batch K] [--lanes L] [--seed S]
+//!            [--json PATH] [--check] [--min-overlap X]
+//! ```
+//!
+//! Writes machine-readable results to `BENCH_microbatch.json` (or
+//! `--json PATH`). The driver itself errors unless the streamed output
+//! is byte-identical to whole-frame, some load/compute overlap was
+//! measured, and peak resident slice bytes stayed under a quarter of the
+//! dataset. `--check` switches to the CI smoke configuration and gates
+//! only on those structural properties — the overlap-*floor* timing gate
+//! (`--min-overlap`, default 0.05 outside `--check`) is disabled so a
+//! 1-core runner can't flake on scheduling luck.
+
+use helix_bench::microbatch::{run_microbatch_bench, MicrobatchBenchConfig};
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1)).and_then(|v| {
+        v.parse()
+            .map_err(|_| {
+                eprintln!("invalid value for {name}: {v}");
+                std::process::exit(2);
+            })
+            .ok()
+    })
+}
+
+fn parse_f64(args: &[String], name: &str) -> Option<f64> {
+    args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1)).and_then(|v| {
+        v.parse()
+            .map_err(|_| {
+                eprintln!("invalid value for {name}: {v}");
+                std::process::exit(2);
+            })
+            .ok()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let mut config =
+        if check { MicrobatchBenchConfig::smoke() } else { MicrobatchBenchConfig::default_run() };
+    if let Some(n) = parse_flag(&args, "--rows") {
+        config.rows = n as usize;
+    }
+    if let Some(b) = parse_flag(&args, "--row-bytes") {
+        config.row_bytes = (b as usize).max(8);
+    }
+    if let Some(k) = parse_flag(&args, "--batch") {
+        config.batch_rows = (k as usize).max(1);
+    }
+    if let Some(l) = parse_flag(&args, "--lanes") {
+        config.lanes = (l as usize).max(1);
+    }
+    if let Some(s) = parse_flag(&args, "--seed") {
+        config.seed = s;
+    }
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|ix| args.get(ix + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_microbatch.json".to_string());
+
+    let report = match run_microbatch_bench(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("microbatch bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&json_path, text) {
+                eprintln!("warning: cannot write {json_path}: {e}");
+            } else {
+                println!("wrote {json_path}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize report: {e}"),
+    }
+
+    // With HELIX_TRACE=<path> in the environment, print the compact
+    // per-track timeline and export the run's spans as Chrome
+    // trace_event JSON (Perfetto-loadable).
+    if helix_obs::tracing_enabled() {
+        let (events, dropped) = helix_obs::drain_spans();
+        print!("{}", helix_obs::render_timeline(&events, dropped));
+        if let Some(path) = helix_obs::trace_env_path() {
+            match helix_obs::write_trace(&path, &events, dropped) {
+                Ok(()) => println!("wrote trace {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write HELIX_TRACE file: {e}"),
+            }
+        }
+    }
+
+    if check {
+        println!(
+            "checks passed: byte-identical streamed output, overlap {:.2} ms, \
+             peak resident {:.1} KB on a {:.1} MB dataset",
+            report.overlap_ms,
+            report.peak_inflight_bytes as f64 / 1e3,
+            report.dataset_bytes as f64 / 1e6
+        );
+    } else {
+        let min_overlap = parse_f64(&args, "--min-overlap").unwrap_or(0.05);
+        if report.overlap_ratio < min_overlap {
+            eprintln!(
+                "CHECK FAILED: overlap ratio {:.3} below the {min_overlap:.3} floor",
+                report.overlap_ratio
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -26,12 +26,17 @@
 //! * [`pipeline`] — the pipelined iteration runtime vs the serial
 //!   engine (speedup, overlap ratio, speculation hit rate); emits
 //!   `BENCH_pipeline.json`.
+//! * [`microbatch`] — intra-node micro-batch co-execution vs whole-frame
+//!   operator execution (load/compute overlap, O(batch) residency);
+//!   emits `BENCH_microbatch.json`.
 
 pub mod experiments;
+pub mod microbatch;
 pub mod multi_tenant;
 pub mod pipeline;
 pub mod report;
 
 pub use experiments::{ExperimentConfig, SystemKind};
+pub use microbatch::{run_microbatch_bench, MicrobatchBenchConfig, MicrobatchBenchReport};
 pub use multi_tenant::{run_multi_tenant, MultiTenantConfig, MultiTenantReport};
 pub use pipeline::{run_pipeline_bench, PipelineBenchConfig, PipelineBenchReport};

@@ -104,6 +104,12 @@ pub struct EngineParams<'a> {
     /// The session's background materialization writer (the write lane).
     /// `None` or `pipeline == false` keeps the serial inline writes.
     pub writer: Option<&'a BackgroundWriter>,
+    /// Micro-batch streaming: partitionable operators execute as a
+    /// stream of `microbatch_rows`-row partitions through overlapped
+    /// load/compute/commit lanes (`crate::microbatch`). 0 disables.
+    /// Byte-identical to whole-frame execution — an execution detail,
+    /// like `workers`.
+    pub microbatch_rows: usize,
 }
 
 /// What an iteration produced.
@@ -157,6 +163,7 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         hysteresis,
         pipeline,
         writer,
+        microbatch_rows,
     } = params;
     let dag = wf.dag();
     let n = dag.len();
@@ -221,6 +228,9 @@ pub fn execute(params: EngineParams<'_>) -> Result<ExecOutcome> {
         prefetch: prefetcher.as_ref(),
         epoch,
         iteration,
+        workers,
+        core_budget,
+        microbatch_rows,
     };
     let mut coord = Coordinator {
         wf,
@@ -503,6 +513,14 @@ struct NodeRunner<'a> {
     epoch: Instant,
     /// Iteration number, as a trace label only.
     iteration: u64,
+    /// Nominal worker width — the compute-lane ceiling for streamed
+    /// micro-batch execution (same meaning as for data-parallel maps).
+    workers: usize,
+    /// Shared core budget, so streamed lanes beyond the first are leased
+    /// from the same tokens node- and data-level parallelism use.
+    core_budget: Option<&'a Arc<CoreBudget>>,
+    /// Partition size for micro-batch streaming; 0 = whole-frame.
+    microbatch_rows: usize,
 }
 
 impl NodeRunner<'_> {
@@ -582,7 +600,44 @@ impl NodeRunner<'_> {
                     self.pool.clone(),
                     self.seed ^ (self.sigs[i].0 as u64) ^ ((self.sigs[i].0 >> 64) as u64),
                 );
-                let (result, run_nanos) = timed(|| spec.operator.execute(&inputs, &ctx));
+                // Micro-batch co-execution: a partitionable operator runs
+                // as a partition stream with overlapped load/compute/
+                // commit lanes. Byte-identical to whole-frame execution
+                // by construction (see `crate::microbatch`), so nothing
+                // downstream — signatures, plans, mat decisions — can
+                // tell the difference.
+                let stream_spec = (self.microbatch_rows > 0)
+                    .then(|| spec.operator.partitionable())
+                    .flatten()
+                    .filter(|ps| {
+                        inputs
+                            .get(ps.partition_input)
+                            .and_then(|v| v.as_collection().ok())
+                            .is_some_and(|c| c.len() >= ps.min_rows.max(1))
+                    });
+                let (result, run_nanos) = match stream_spec {
+                    Some(ps) => {
+                        let labels = crate::microbatch::StreamLabels {
+                            node: spec.name.as_str(),
+                            tenant: self.tenant,
+                            iteration: self.iteration,
+                        };
+                        timed(|| {
+                            crate::microbatch::execute_streamed(
+                                spec.operator.as_ref(),
+                                &ps,
+                                &inputs,
+                                &ctx,
+                                self.microbatch_rows,
+                                self.workers,
+                                self.core_budget.map(|b| b.as_ref()),
+                                &labels,
+                            )
+                            .map(|(value, _report)| value)
+                        })
+                    }
+                    None => timed(|| spec.operator.execute(&inputs, &ctx)),
+                };
                 // Provenance enforcement: an operator that consumed the
                 // seed without declaring SEED would be stored under a
                 // seed-independent signature, silently serving one seed's
@@ -951,6 +1006,7 @@ mod tests {
             hysteresis: 0.0,
             pipeline: false,
             writer: None,
+            microbatch_rows: 0,
         })
         .unwrap()
     }
@@ -1014,6 +1070,7 @@ mod tests {
             hysteresis: 0.0,
             pipeline: false,
             writer: None,
+            microbatch_rows: 0,
         })
         .unwrap();
         assert_eq!(outcome.outputs["c"].as_scalar().unwrap().as_f64(), Some(11.0));
@@ -1048,6 +1105,7 @@ mod tests {
             hysteresis: 0.0,
             pipeline: false,
             writer: None,
+            microbatch_rows: 0,
         })
         .unwrap();
         // Only the mandatory output may be present.
@@ -1081,6 +1139,7 @@ mod tests {
                 hysteresis: 0.0,
                 pipeline: false,
                 writer: None,
+                microbatch_rows: 0,
             });
             assert!(err.is_err(), "workers={workers}");
         }
@@ -1118,6 +1177,7 @@ mod tests {
             hysteresis: 0.0,
             pipeline: false,
             writer: None,
+            microbatch_rows: 0,
         });
         let message = match err {
             Err(err) => format!("{err}"),
@@ -1160,6 +1220,7 @@ mod tests {
             hysteresis: 0.0,
             pipeline: false,
             writer: None,
+            microbatch_rows: 0,
         })
         .expect("declared seed use executes");
         assert!(outcome.outputs.contains_key("b"));
@@ -1277,6 +1338,7 @@ mod tests {
                 hysteresis: 0.0,
                 pipeline: false,
                 writer: None,
+                microbatch_rows: 0,
             });
             let Err(err) = result else {
                 panic!("workers={workers}: expected an error");
@@ -1334,6 +1396,7 @@ mod tests {
                 hysteresis: 0.0,
                 pipeline: false,
                 writer: None,
+                microbatch_rows: 0,
             });
             assert!(result.is_err(), "workers={workers}");
             let entries: Vec<String> =
@@ -1345,6 +1408,62 @@ mod tests {
             "failed iteration must leave the same catalog at any worker count"
         );
         assert_eq!(catalog_sigs[0].len(), 1, "exactly slow_ok's artifact survives");
+    }
+
+    #[test]
+    fn microbatch_streaming_is_byte_identical_to_whole_frame() {
+        use helix_data::{FieldValue, Record, RecordBatch, Schema};
+        let build = || {
+            let mut wf = Workflow::new("stream");
+            let raw = wf.source("raw", 1, |_| {
+                let schema = Schema::new(["line"]);
+                let rows = (0..200)
+                    .map(|i| Record::train(vec![FieldValue::Text(format!("{i},v{i}"))]))
+                    .collect();
+                Ok(Value::records(RecordBatch::new(schema, rows)?))
+            });
+            let parsed = wf.csv_scan("parsed", raw, &["id", "val"]);
+            let ext = wf.field_extractor("ext", parsed, "val");
+            wf.output(ext);
+            wf
+        };
+        let run = |microbatch_rows: usize, workers: usize| {
+            let wf = build();
+            let catalog = MaterializationCatalog::open_temp(DiskProfile::unthrottled()).unwrap();
+            let sigs = chain_signatures(&wf, &HashMap::new(), &ExecEnv::new(7));
+            let states = vec![State::Compute; wf.len()];
+            let outcome = execute(EngineParams {
+                wf: &wf,
+                states: &states,
+                sigs: &sigs,
+                catalog: &catalog,
+                strategy: MatStrategy::Always,
+                budget_bytes: u64::MAX,
+                workers,
+                cache_policy: CachePolicy::Eager,
+                iteration: 0,
+                seed: 7,
+                tenant: "",
+                core_budget: None,
+                prev_elective: &HashMap::new(),
+                hysteresis: 0.0,
+                pipeline: false,
+                writer: None,
+                microbatch_rows,
+            })
+            .unwrap();
+            let entries: Vec<String> =
+                catalog.entries().iter().map(|e| e.signature.clone()).collect();
+            (format!("{:?}", outcome.outputs["ext"]), entries)
+        };
+        let (whole_out, whole_entries) = run(0, 1);
+        for batch in [1usize, 7, 64, 200, 201] {
+            for workers in [1usize, 4] {
+                let (out, entries) = run(batch, workers);
+                assert_eq!(out, whole_out, "batch={batch} workers={workers}");
+                assert_eq!(entries, whole_entries, "batch={batch} workers={workers}");
+            }
+        }
     }
 
     #[test]

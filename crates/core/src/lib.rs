@@ -59,6 +59,7 @@
 pub mod dsl;
 pub mod engine;
 pub mod materialize;
+pub mod microbatch;
 pub mod operator;
 pub mod ops;
 pub mod pipeline;
@@ -77,7 +78,8 @@ pub mod prelude {
 
 pub use dsl::Workflow;
 pub use materialize::MatStrategy;
-pub use operator::{Operator, ProvenanceInputs, SeededOperator};
+pub use microbatch::{execute_streamed, partition_bounds, StreamLabels, StreamReport};
+pub use operator::{Operator, PartitionSpec, ProvenanceInputs, SeededOperator};
 pub use pipeline::{speculate, BackgroundWriter, Prefetcher, SpeculationInputs, SpeculativePlan};
 pub use session::{
     IterationReport, ReuseScope, Session, SessionConfig, SessionHandles, DEFAULT_SEED,

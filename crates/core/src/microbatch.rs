@@ -1,0 +1,517 @@
+//! Intra-node micro-batch co-execution (PR 9).
+//!
+//! PR 3 pipelined *across* iterations; this module overlaps work *inside*
+//! one node. A partitionable operator (see
+//! [`Operator::partitionable`](crate::operator::Operator::partitionable))
+//! is executed as a stream of fixed-boundary partitions through three
+//! co-scheduled stages:
+//!
+//! - a **load lane** that slices the partition input into batch-sized
+//!   sub-collections (the stand-in for load/decode I/O),
+//! - `1 + leased` **compute lanes** (extra lanes leased from the shared
+//!   [`CoreBudget`], exactly like the engine's dispatch width) that run
+//!   the operator over individual partitions, and
+//! - a **commit lane** (the caller thread) that merges finished
+//!   partitions *strictly in partition order* into the node output that
+//!   the engine then hands to the staged-commit writer.
+//!
+//! So compute on batch `k` overlaps the load of batch `k+1`, and the
+//! dispatcher's working set stays `O(window × batch)` instead of
+//! `O(dataset)`.
+//!
+//! ## Determinism
+//!
+//! Byte-identity with whole-frame execution is structural, not lucky:
+//!
+//! 1. partition boundaries are a pure function of `(input len, batch
+//!    rows)` ([`partition_bounds`]) — no timing, no worker count;
+//! 2. each partition runs under an [`ExecContext::partition`] carrying
+//!    the node seed and the partition's global row offset, so per-row
+//!    provenance (`SemanticUnit::origin`) comes out globally indexed;
+//! 3. partitions merge strictly in partition order, whatever order lanes
+//!    finish in; and
+//! 4. on failure the error surfaced is the one from the lowest-numbered
+//!    failing partition — the same first-in-row-order error the
+//!    whole-frame parallel map would report.
+//!
+//! Signatures, plans, and OPT-MAT-PLAN decisions never see any of this:
+//! batching is an execution detail, like worker count.
+
+use crate::operator::{ExecContext, Operator, PartitionSpec};
+use helix_common::timing::{duration_to_nanos, Nanos};
+use helix_common::{HelixError, Result};
+use helix_data::{ByteSized, DataCollection, Value};
+use helix_exec::CoreBudget;
+use helix_obs::layer;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Deterministic fixed partition boundaries: contiguous `[start, end)`
+/// row ranges of `batch_rows` rows (last may be short). A pure function
+/// of `(len, batch_rows)` — this is the whole determinism argument for
+/// *where* batches split.
+pub fn partition_bounds(len: usize, batch_rows: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if batch_rows == 0 {
+        return vec![(0, len)];
+    }
+    (0..len).step_by(batch_rows).map(|s| (s, (s + batch_rows).min(len))).collect()
+}
+
+/// Copy rows `[start, end)` of a collection into a standalone collection
+/// of the same element kind (schema/space handles are shared, rows are
+/// cloned — this is the "load/decode" cost the load lane pays).
+pub fn slice_collection(dc: &DataCollection, start: usize, end: usize) -> DataCollection {
+    match dc {
+        DataCollection::Records(b) => DataCollection::Records(helix_data::RecordBatch {
+            schema: Arc::clone(&b.schema),
+            rows: b.rows[start..end].to_vec(),
+        }),
+        DataCollection::Units(b) => {
+            DataCollection::Units(helix_data::UnitBatch::new(b.units[start..end].to_vec()))
+        }
+        DataCollection::Examples(b) => DataCollection::Examples(helix_data::ExampleBatch {
+            space: Arc::clone(&b.space),
+            examples: b.examples[start..end].to_vec(),
+        }),
+    }
+}
+
+/// Append `chunk` onto the in-order accumulator. Chunks arrive in
+/// partition order, so plain extension reproduces the whole-frame
+/// output element order exactly.
+fn append_chunk(acc: &mut Option<DataCollection>, chunk: DataCollection) -> Result<()> {
+    let Some(current) = acc else {
+        *acc = Some(chunk);
+        return Ok(());
+    };
+    match (current, chunk) {
+        (DataCollection::Records(a), DataCollection::Records(b)) => {
+            if a.schema.signature() != b.schema.signature() {
+                return Err(HelixError::exec("microbatch", "partition output schemas diverged"));
+            }
+            a.rows.extend(b.rows);
+        }
+        (DataCollection::Units(a), DataCollection::Units(b)) => {
+            a.units.extend(b.units);
+        }
+        (DataCollection::Examples(a), DataCollection::Examples(b)) => {
+            if a.space.signature() != b.space.signature() {
+                return Err(HelixError::exec("microbatch", "partition feature spaces diverged"));
+            }
+            a.examples.extend(b.examples);
+        }
+        (a, b) => {
+            return Err(HelixError::exec(
+                "microbatch",
+                format!(
+                    "partition output kinds diverged: {} vs {}",
+                    a.element_kind(),
+                    b.element_kind()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Identity labels stamped onto `batch.*` spans.
+pub struct StreamLabels<'a> {
+    /// Node name.
+    pub node: &'a str,
+    /// Owning tenant.
+    pub tenant: &'a str,
+    /// Iteration ordinal.
+    pub iteration: u64,
+}
+
+impl StreamLabels<'_> {
+    /// Anonymous labels for tests and benches.
+    pub fn anonymous() -> StreamLabels<'static> {
+        StreamLabels { node: "node", tenant: "solo", iteration: 0 }
+    }
+}
+
+/// What one streamed execution did — the bench's raw material for
+/// overlap and memory-bound reporting. Span intervals are nanos
+/// relative to the stream's own start.
+#[derive(Clone, Debug, Default)]
+pub struct StreamReport {
+    /// Partitions executed.
+    pub partitions: usize,
+    /// Total rows of the partition input.
+    pub rows: usize,
+    /// Compute lanes used (1 + leased).
+    pub lanes: usize,
+    /// In-flight partition credit window.
+    pub window: usize,
+    /// Peak bytes of partition slices resident in the dispatcher
+    /// (loaded but not yet merged) — the `O(window × batch)` bound.
+    pub peak_inflight_bytes: u64,
+    /// Total busy time of the load lane.
+    pub load_busy_nanos: Nanos,
+    /// Total busy time across compute lanes.
+    pub compute_busy_nanos: Nanos,
+    /// Wall time of the whole stream.
+    pub wall_nanos: Nanos,
+    /// Per-partition load intervals `(begin, end)`.
+    pub load_spans: Vec<(Nanos, Nanos)>,
+    /// Per-partition compute intervals `(begin, end)`.
+    pub compute_spans: Vec<(Nanos, Nanos)>,
+}
+
+struct Job {
+    k: usize,
+    base: usize,
+    inputs: Vec<Arc<Value>>,
+    rows: usize,
+    bytes: u64,
+}
+
+struct Done {
+    k: usize,
+    result: Result<Value>,
+    bytes: u64,
+}
+
+struct Flow {
+    issued: usize,
+    merged: usize,
+    halted: bool,
+}
+
+/// Execute `op` as a partition stream and merge the result in partition
+/// order. Byte-identical to `op.execute(inputs, ctx)` for any operator
+/// honouring its [`PartitionSpec`] contract; see the module docs for the
+/// argument. `max_lanes` caps compute lanes; with a `core_budget` the
+/// lanes beyond the first are leased (and released when the stream
+/// ends), mirroring the engine's dispatch-width policy.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_streamed(
+    op: &dyn Operator,
+    spec: &PartitionSpec,
+    inputs: &[Arc<Value>],
+    ctx: &ExecContext,
+    batch_rows: usize,
+    max_lanes: usize,
+    core_budget: Option<&CoreBudget>,
+    labels: &StreamLabels<'_>,
+) -> Result<(Value, StreamReport)> {
+    let part_input = inputs.get(spec.partition_input).ok_or_else(|| {
+        HelixError::exec("microbatch", format!("partition input {} missing", spec.partition_input))
+    })?;
+    let dc = part_input.as_collection()?;
+    let bounds = partition_bounds(dc.len(), batch_rows);
+    if bounds.is_empty() {
+        // Empty input: nothing to stream; whole-frame is already O(0).
+        return Ok((op.execute(inputs, ctx)?, StreamReport::default()));
+    }
+
+    let ceiling = max_lanes.max(1).min(bounds.len());
+    let lease = core_budget.map(|b| b.try_acquire(ceiling - 1));
+    let lanes = match &lease {
+        Some(l) => 1 + l.tokens(),
+        None => ceiling,
+    };
+    let window = lanes * 2 + 2;
+
+    let epoch = Instant::now();
+    let flow = Mutex::new(Flow { issued: 0, merged: 0, halted: false });
+    let cv = Condvar::new();
+    let inflight = AtomicU64::new(0);
+    let peak = AtomicU64::new(0);
+    let load_busy = AtomicU64::new(0);
+    let compute_busy = AtomicU64::new(0);
+    let load_spans = Mutex::new(Vec::with_capacity(bounds.len()));
+    let compute_spans = Mutex::new(Vec::with_capacity(bounds.len()));
+
+    let (in_tx, in_rx) = mpsc::sync_channel::<Job>(window);
+    let in_rx = Mutex::new(in_rx);
+    let (out_tx, out_rx) = mpsc::channel::<Done>();
+
+    let mut acc: Option<DataCollection> = None;
+    let mut failure: Option<HelixError> = None;
+
+    std::thread::scope(|scope| {
+        // Load lane: slice partitions in order under a bounded credit
+        // window so at most `window` partitions are in flight.
+        scope.spawn({
+            let (flow, cv) = (&flow, &cv);
+            let (inflight, peak, load_busy, load_spans) =
+                (&inflight, &peak, &load_busy, &load_spans);
+            let bounds = &bounds;
+            move || {
+                for (k, &(s, e)) in bounds.iter().enumerate() {
+                    {
+                        let mut f = flow.lock().unwrap();
+                        while !f.halted && f.issued - f.merged >= window {
+                            f = cv.wait(f).unwrap();
+                        }
+                        if f.halted {
+                            return;
+                        }
+                        f.issued += 1;
+                    }
+                    let began = duration_to_nanos(epoch.elapsed());
+                    let sp = helix_obs::span(layer::ENGINE, "batch.load")
+                        .track(format!("{}/load", labels.node))
+                        .tenant(labels.tenant)
+                        .iteration(labels.iteration)
+                        .node(labels.node)
+                        .amount((e - s) as u64);
+                    let slice = slice_collection(dc, s, e);
+                    let bytes = slice.byte_size();
+                    let mut sub = inputs.to_vec();
+                    sub[spec.partition_input] = Arc::new(Value::Collection(slice));
+                    drop(sp);
+                    let ended = duration_to_nanos(epoch.elapsed());
+                    load_busy.fetch_add(ended - began, Ordering::Relaxed);
+                    load_spans.lock().unwrap().push((began, ended));
+                    let now = inflight.fetch_add(bytes, Ordering::SeqCst) + bytes;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    if in_tx.send(Job { k, base: s, inputs: sub, rows: e - s, bytes }).is_err() {
+                        return;
+                    }
+                }
+                // `in_tx` drops here; lanes drain and exit.
+            }
+        });
+
+        // Compute lanes: claim jobs from the shared channel, run the
+        // partition under an offset context, emit in any finish order.
+        for lane in 0..lanes {
+            let tx = out_tx.clone();
+            let in_rx = &in_rx;
+            let (compute_busy, compute_spans) = (&compute_busy, &compute_spans);
+            scope.spawn(move || loop {
+                let job = { in_rx.lock().unwrap().recv() };
+                let Ok(job) = job else { return };
+                let began = duration_to_nanos(epoch.elapsed());
+                let sp = helix_obs::span(layer::ENGINE, "batch.compute")
+                    .track(format!("{}/lane-{lane}", labels.node))
+                    .tenant(labels.tenant)
+                    .iteration(labels.iteration)
+                    .node(labels.node)
+                    .lane(lane as u32)
+                    .amount(job.rows as u64);
+                let pctx = ctx.partition(job.base as u32);
+                let result = op.execute(&job.inputs, &pctx);
+                drop(sp);
+                let ended = duration_to_nanos(epoch.elapsed());
+                compute_busy.fetch_add(ended - began, Ordering::Relaxed);
+                compute_spans.lock().unwrap().push((began, ended));
+                if tx.send(Done { k: job.k, result, bytes: job.bytes }).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(out_tx);
+
+        // Commit lane (this thread): merge strictly in partition order.
+        let mut buffered: BTreeMap<usize, Done> = BTreeMap::new();
+        let mut next = 0usize;
+        for done in out_rx.iter() {
+            inflight.fetch_sub(done.bytes, Ordering::SeqCst);
+            if failure.is_some() {
+                continue; // drain only; lanes/load wind down via halt
+            }
+            buffered.insert(done.k, done);
+            while failure.is_none() {
+                let Some(d) = buffered.remove(&next) else { break };
+                match d.result {
+                    Ok(v) => {
+                        let sp = helix_obs::span(layer::ENGINE, "batch.commit")
+                            .track(format!("{}/commit", labels.node))
+                            .tenant(labels.tenant)
+                            .iteration(labels.iteration)
+                            .node(labels.node)
+                            .amount(d.bytes);
+                        let merged = match v {
+                            Value::Collection(c) => append_chunk(&mut acc, c),
+                            other => Err(HelixError::exec(
+                                "microbatch",
+                                format!(
+                                    "partitioned operator returned non-collection {:?}",
+                                    other.kind()
+                                ),
+                            )),
+                        };
+                        drop(sp);
+                        if let Err(e) = merged {
+                            failure = Some(e);
+                        }
+                    }
+                    // In-order merging makes this the lowest-numbered
+                    // failing partition — the whole-frame error.
+                    Err(e) => failure = Some(e),
+                }
+                next += 1;
+                let mut f = flow.lock().unwrap();
+                f.merged = next;
+                if failure.is_some() {
+                    f.halted = true;
+                }
+                cv.notify_all();
+            }
+            if failure.is_some() {
+                buffered.clear();
+            }
+        }
+    });
+    drop(lease);
+
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    let acc = acc.ok_or_else(|| HelixError::exec("microbatch", "no partitions merged"))?;
+    let report = StreamReport {
+        partitions: bounds.len(),
+        rows: dc.len(),
+        lanes,
+        window,
+        peak_inflight_bytes: peak.load(Ordering::SeqCst),
+        load_busy_nanos: load_busy.load(Ordering::Relaxed),
+        compute_busy_nanos: compute_busy.load(Ordering::Relaxed),
+        wall_nanos: duration_to_nanos(epoch.elapsed()),
+        load_spans: load_spans.into_inner().unwrap(),
+        compute_spans: compute_spans.into_inner().unwrap(),
+    };
+    Ok((Value::Collection(acc), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::extract::FieldExtractor;
+    use crate::ops::source::CsvScan;
+    use helix_data::{FieldValue, Record, RecordBatch, Schema};
+
+    fn lines(n: usize) -> Arc<Value> {
+        let schema = Schema::new(["line"]);
+        let rows =
+            (0..n).map(|i| Record::train(vec![FieldValue::Text(format!("{i},v{i}"))])).collect();
+        Arc::new(Value::records(RecordBatch::new(schema, rows).unwrap()))
+    }
+
+    #[test]
+    fn bounds_are_fixed_and_exhaustive() {
+        assert_eq!(partition_bounds(0, 4), vec![]);
+        assert_eq!(partition_bounds(10, 0), vec![(0, 10)]);
+        assert_eq!(partition_bounds(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(partition_bounds(4, 4), vec![(0, 4)]);
+        assert_eq!(partition_bounds(3, 4), vec![(0, 3)]);
+        for (len, batch) in [(1usize, 1usize), (17, 3), (64, 64), (65, 64), (100, 7)] {
+            let bounds = partition_bounds(len, batch);
+            assert_eq!(bounds.first().unwrap().0, 0);
+            assert_eq!(bounds.last().unwrap().1, len);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            assert_eq!(bounds, partition_bounds(len, batch), "pure function");
+        }
+    }
+
+    #[test]
+    fn streamed_matches_whole_frame_for_scan() {
+        let op = CsvScan::new(&["id", "val"]);
+        let spec = op.partitionable().unwrap();
+        let inputs = [lines(23)];
+        let ctx = ExecContext::serial(0);
+        let whole = op.execute(&inputs, &ctx).unwrap();
+        for batch_rows in [1usize, 4, 23, 24] {
+            for lanes in [1usize, 3] {
+                let (streamed, report) = execute_streamed(
+                    &op,
+                    &spec,
+                    &inputs,
+                    &ctx,
+                    batch_rows,
+                    lanes,
+                    None,
+                    &StreamLabels::anonymous(),
+                )
+                .unwrap();
+                assert_eq!(format!("{whole:?}"), format!("{streamed:?}"));
+                assert_eq!(report.partitions, partition_bounds(23, batch_rows).len());
+                assert_eq!(report.rows, 23);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_origins_are_global() {
+        let schema = Schema::new(["age"]);
+        let rows = (0..20).map(|i| Record::train(vec![FieldValue::Int(i)])).collect();
+        let batch = Arc::new(Value::records(RecordBatch::new(schema, rows).unwrap()));
+        let op = FieldExtractor::new("age");
+        let spec = op.partitionable().unwrap();
+        let (out, _) = execute_streamed(
+            &op,
+            &spec,
+            &[batch],
+            &ExecContext::serial(0),
+            3,
+            4,
+            None,
+            &StreamLabels::anonymous(),
+        )
+        .unwrap();
+        let binding = out.as_collection().unwrap();
+        let units = binding.as_units().unwrap();
+        let origins: Vec<u32> = units.units.iter().map(|u| u.origin).collect();
+        assert_eq!(origins, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn mid_stream_error_is_first_in_row_order() {
+        let schema = Schema::new(["line"]);
+        let mut rows: Vec<Record> =
+            (0..40).map(|i| Record::train(vec![FieldValue::Text(format!("{i},v{i}"))])).collect();
+        rows[13] = Record::train(vec![FieldValue::Text("ragged".into())]);
+        rows[31] = Record::train(vec![FieldValue::Text("also,rag,ged".into())]);
+        let input = Arc::new(Value::records(RecordBatch::new(schema, rows).unwrap()));
+        let op = CsvScan::new(&["id", "val"]);
+        let spec = op.partitionable().unwrap();
+        let ctx = ExecContext::serial(0);
+        let whole_err = op.execute(&[Arc::clone(&input)], &ctx).unwrap_err();
+        for batch_rows in [1usize, 5, 64] {
+            let err = execute_streamed(
+                &op,
+                &spec,
+                &[Arc::clone(&input)],
+                &ctx,
+                batch_rows,
+                4,
+                None,
+                &StreamLabels::anonymous(),
+            )
+            .unwrap_err();
+            assert_eq!(format!("{err}"), format!("{whole_err}"));
+        }
+    }
+
+    #[test]
+    fn inflight_stays_bounded_by_window() {
+        let op = CsvScan::new(&["id", "val"]);
+        let spec = op.partitionable().unwrap();
+        let inputs = [lines(1000)];
+        let ctx = ExecContext::serial(0);
+        let total = inputs[0].as_collection().unwrap().byte_size();
+        let (_, report) =
+            execute_streamed(&op, &spec, &inputs, &ctx, 10, 2, None, &StreamLabels::anonymous())
+                .unwrap();
+        assert_eq!(report.partitions, 100);
+        // 100 partitions in flight would be ~total; the window keeps the
+        // dispatcher's resident slice bytes to a handful of batches.
+        assert!(
+            report.peak_inflight_bytes < total / 4,
+            "peak {} vs total {total}",
+            report.peak_inflight_bytes
+        );
+    }
+}

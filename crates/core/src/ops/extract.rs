@@ -6,7 +6,7 @@
 //! or materialize each extractor independently — the granularity at which
 //! the Census experiment's feature-engineering iterations operate.
 
-use crate::operator::{ExecContext, Operator};
+use crate::operator::{ExecContext, Operator, PartitionSpec};
 use helix_common::{HelixError, Result};
 use helix_data::{FeatureBundle, SemanticUnit, UnitBatch, Value};
 use helix_ml::preprocess::QuantileBucketizer;
@@ -49,7 +49,12 @@ impl Operator for FieldExtractor {
             };
             SemanticUnit { origin: 0, split: row.split, features, key: None }
         });
-        Ok(Value::units(with_origins(units)))
+        Ok(Value::units(with_origins(units, ctx.base_origin())))
+    }
+
+    /// Row-local: each unit depends only on its own record.
+    fn partitionable(&self) -> Option<PartitionSpec> {
+        Some(PartitionSpec::on_input(0))
     }
 }
 
@@ -93,8 +98,11 @@ impl Operator for BucketizerExtractor {
             };
             SemanticUnit { origin: 0, split: row.split, features, key: None }
         });
-        Ok(Value::units(with_origins(units)))
+        Ok(Value::units(with_origins(units, ctx.base_origin())))
     }
+    // Deliberately NOT partitionable: the quantile fit is a global pass
+    // over every row, so a partition's buckets would diverge from the
+    // whole-frame discretization.
 }
 
 /// The paper's `InteractionFeature(Array(eduExt, occExt))` (Figure 3a line
@@ -185,7 +193,12 @@ impl Operator for TokenizeColumn {
                 key: None,
             }
         });
-        Ok(Value::units(with_origins(units)))
+        Ok(Value::units(with_origins(units, ctx.base_origin())))
+    }
+
+    /// Row-local: tokenization never looks across rows.
+    fn partitionable(&self) -> Option<PartitionSpec> {
+        Some(PartitionSpec::on_input(0))
     }
 }
 
@@ -222,15 +235,23 @@ where
             features: (self.udf)(row, schema),
             key: None,
         });
-        Ok(Value::units(with_origins(units)))
+        Ok(Value::units(with_origins(units, ctx.base_origin())))
+    }
+
+    /// Row-local by construction: the UDF sees one record at a time.
+    fn partitionable(&self) -> Option<PartitionSpec> {
+        Some(PartitionSpec::on_input(0))
     }
 }
 
 /// Stamp sequential origins onto parallel-map output (the map preserves
-/// input order, so index == origin).
-fn with_origins(mut units: Vec<SemanticUnit>) -> UnitBatch {
+/// input order, so index == origin). `base` is the global index of the
+/// first row — 0 for whole-frame execution, the partition's start offset
+/// under micro-batch streaming — so streamed and whole-frame origins are
+/// byte-identical.
+fn with_origins(mut units: Vec<SemanticUnit>, base: u32) -> UnitBatch {
     for (i, u) in units.iter_mut().enumerate() {
-        u.origin = i as u32;
+        u.origin = base + i as u32;
     }
     UnitBatch::new(units)
 }
@@ -271,6 +292,15 @@ mod tests {
             FeatureBundle::Categorical(vec![("education".into(), "PhD".into())])
         );
         assert_eq!(units.units[2].features, FeatureBundle::Empty, "null → empty bundle");
+    }
+
+    #[test]
+    fn partition_context_offsets_origins() {
+        let ctx = ExecContext::serial(0).partition(10);
+        let out = FieldExtractor::new("age").execute(&[census_batch()], &ctx).unwrap();
+        let binding = out.as_collection().unwrap();
+        let units = binding.as_units().unwrap();
+        assert_eq!(units.units.iter().map(|u| u.origin).collect::<Vec<_>>(), vec![10, 11, 12]);
     }
 
     #[test]

@@ -86,6 +86,12 @@ pub struct SessionConfig {
     /// Off = the strictly serial reference the determinism suites
     /// compare against. Results are byte-identical either way.
     pub pipeline: bool,
+    /// Micro-batch co-execution: partitionable operators execute as a
+    /// stream of fixed `microbatch_rows`-row partitions with overlapped
+    /// load/compute/commit lanes (see `helix_core::microbatch`). 0 (the
+    /// default) = whole-frame execution. Byte-identical either way —
+    /// an execution detail like `workers`.
+    pub microbatch_rows: usize,
 }
 
 /// The seed a session runs under when neither the caller nor a service
@@ -107,6 +113,7 @@ impl SessionConfig {
             default_compute_nanos: 1_000_000,
             mat_hysteresis: 0.0,
             pipeline: true,
+            microbatch_rows: 0,
         }
     }
 
@@ -180,6 +187,13 @@ impl SessionConfig {
     #[must_use]
     pub fn with_pipeline(mut self, pipeline: bool) -> SessionConfig {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Builder: set the micro-batch partition size (0 = whole-frame).
+    #[must_use]
+    pub fn with_microbatch(mut self, rows: usize) -> SessionConfig {
+        self.microbatch_rows = rows;
         self
     }
 }
@@ -566,6 +580,21 @@ impl Session {
         let pins = (!pinned.is_empty())
             .then(|| PlanPins { catalog: Arc::clone(&self.catalog), sigs: pinned });
 
+        // Background-reclaimer carry-over: claims credit co-owner bytes
+        // with no budget check of their own, so plan-time claims alone
+        // can push the shared store past its global budget. Drain that
+        // pressure now instead of waiting for the next store to trip the
+        // engine's check. Plan signatures are protected (and the claimed
+        // ones pinned), so this can only evict other artifacts.
+        if let Some(global) = self.catalog.global_budget() {
+            let projected = self.catalog.total_bytes();
+            if projected > global {
+                let protected: std::collections::HashSet<Signature> =
+                    storage_sigs.iter().copied().collect();
+                self.catalog.evict_global(&self.tenant, projected - global, &protected)?;
+            }
+        }
+
         Ok(PreparedIteration { states: planned.states, sigs: storage_sigs, pins })
     }
 
@@ -618,6 +647,7 @@ impl Session {
             hysteresis: self.config.mat_hysteresis,
             pipeline: self.config.pipeline,
             writer: self.writer.as_ref(),
+            microbatch_rows: self.config.microbatch_rows,
         })?;
         drop(iteration_span);
 
@@ -675,6 +705,15 @@ impl Session {
     /// plan lane's work survived validation.
     pub fn speculation_stats(&self) -> (u64, u64) {
         (self.spec_hits, self.spec_misses)
+    }
+
+    /// Signatures whose materialization Algorithm 2 decided *electively*
+    /// (latest decision per signature). Elective choices compare measured
+    /// node times against the disk model, so they are wall-timing-coupled
+    /// and legitimately differ between otherwise identical sessions —
+    /// cross-session catalog comparisons must exclude them.
+    pub fn elective_signatures(&self) -> Vec<Signature> {
+        self.elective_memory.keys().copied().collect()
     }
 }
 

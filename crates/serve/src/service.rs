@@ -556,10 +556,19 @@ fn lock_session(session: &Mutex<Session>) -> MutexGuard<'_, Session> {
 }
 
 fn scheduler_loop(inner: Arc<ServiceInner>) {
+    let pick_hist = helix_obs::metrics::global().histogram("serve.pick_nanos");
+    // Memoized ledger refresh: `(byte epoch, tenant set)` of the last
+    // `set_tenant_bytes` walk. Pick rounds are frequent (every submit,
+    // completion, and requeue wakes the loop) while byte accounting
+    // changes only on store/claim/release/evict — the catalog's dirty
+    // epoch tells the rounds apart, so unchanged rounds skip the walk
+    // entirely and the pick hot path flattens to one epoch read.
+    let mut last_refresh: Option<(u64, Vec<String>)> = None;
     loop {
         let job = {
             let mut sched = inner.sched();
             loop {
+                let pick_started = std::time::Instant::now();
                 // Refresh the DRF ledger's storage side before deciding:
                 // dominant shares fold in each competing tenant's current
                 // catalog charge — one batched catalog-lock hold for all
@@ -567,10 +576,18 @@ fn scheduler_loop(inner: Arc<ServiceInner>) {
                 // takes the scheduler's, so this nesting is cycle-free.)
                 let tenants = sched.queue.queued_tenants();
                 if !tenants.is_empty() {
-                    let bytes = inner.catalog.used_bytes_for_many(&tenants);
-                    sched.queue.set_tenant_bytes(&tenants, &bytes);
+                    let epoch = inner.catalog.dirty_epoch();
+                    let stale =
+                        last_refresh.as_ref().is_none_or(|(e, t)| *e != epoch || *t != tenants);
+                    if stale {
+                        let bytes = inner.catalog.used_bytes_for_many(&tenants);
+                        sched.queue.set_tenant_bytes(&tenants, &bytes);
+                        last_refresh = Some((epoch, tenants));
+                    }
                 }
-                if let Some(job) = sched.queue.pick() {
+                let picked = sched.queue.pick();
+                pick_hist.record(helix_common::timing::duration_to_nanos(pick_started.elapsed()));
+                if let Some(job) = picked {
                     break Some(job);
                 }
                 if sched.queue.shutdown && sched.queue.is_drained() {

@@ -390,16 +390,26 @@ struct Inner {
     /// with a fresh clone read under the lock — at the next journal
     /// commit.
     dirty: HashSet<Signature>,
+    /// Monotonic byte-accounting epoch: bumped whenever any owner's
+    /// charged bytes (or the physical total) change — every such change
+    /// flows through [`Inner::credit`]/[`Inner::debit`] (entries always
+    /// carry ≥ 1 owner) or [`MaterializationCatalog::clear`]. Readers
+    /// that derive state from byte usage (the admission scheduler's DRF
+    /// ledger) memoize on this and skip their refresh walk while it is
+    /// unchanged.
+    byte_epoch: u64,
 }
 
 impl Inner {
     fn credit(&mut self, owners: &[String], bytes: u64) {
+        self.byte_epoch += 1;
         for owner in owners {
             *self.owned_bytes.entry(owner.clone()).or_insert(0) += bytes;
         }
     }
 
     fn debit(&mut self, owners: &[String], bytes: u64) {
+        self.byte_epoch += 1;
         for owner in owners {
             if let Some(b) = self.owned_bytes.get_mut(owner) {
                 *b = b.saturating_sub(bytes);
@@ -635,6 +645,7 @@ impl MaterializationCatalog {
             pins: HashMap::new(),
             eviction_log: RingLog::new(EVICTION_LOG_CAP),
             dirty: HashSet::new(),
+            byte_epoch: 0,
         };
         for (sig, entry) in entries {
             // Only trust entries whose backing file still exists (and is
@@ -925,6 +936,15 @@ impl MaterializationCatalog {
                 }
             })
             .collect()
+    }
+
+    /// Monotonic byte-accounting epoch: changes iff some owner's charged
+    /// bytes (or the physical total) may have changed since it was last
+    /// read. Lets per-round byte refreshes (the scheduler's
+    /// `set_tenant_bytes` walk) become a single lock-and-compare when
+    /// nothing stored, claimed, released, or evicted in between.
+    pub fn dirty_epoch(&self) -> u64 {
+        self.inner.lock().byte_epoch
     }
 
     /// Reuse/usage statistics for an owner (zeroes if never seen).
@@ -1613,6 +1633,7 @@ impl MaterializationCatalog {
             inner.dirty.clear();
             inner.total_bytes = 0;
             inner.owned_bytes.clear();
+            inner.byte_epoch += 1;
             files
         };
         for file in files {
@@ -1752,6 +1773,27 @@ mod tests {
         // Load time is remembered for OEP statistics.
         assert_eq!(cat.entry(sig).unwrap().measured_load_nanos, Some(load_nanos));
         assert_eq!(cat.estimated_load_nanos(sig), Some(load_nanos));
+    }
+
+    #[test]
+    fn dirty_epoch_tracks_byte_accounting_changes() {
+        let cat = temp_catalog();
+        let sig = Signature::of_str("epoch/a");
+        let e0 = cat.dirty_epoch();
+        assert_eq!(cat.dirty_epoch(), e0, "reads do not advance the epoch");
+        cat.store_owned(sig, "alice", "n", 0, &scalar(1.0)).unwrap();
+        let e1 = cat.dirty_epoch();
+        assert!(e1 > e0, "a store changes byte accounting");
+        let _ = cat.used_bytes_for_many(&["alice".to_string()]);
+        assert_eq!(cat.dirty_epoch(), e1, "byte reads leave it unchanged");
+        assert!(cat.claim_if_present(sig, "bob"));
+        let e2 = cat.dirty_epoch();
+        assert!(e2 > e1, "a claim credits the co-owner");
+        assert!(!cat.release(sig, "bob").unwrap(), "alice still owns the entry");
+        let e3 = cat.dirty_epoch();
+        assert!(e3 > e2, "a release debits");
+        cat.clear().unwrap();
+        assert!(cat.dirty_epoch() > e3, "clear resets accounting");
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! The micro-batch determinism contract: partition streaming is an
+//! execution detail, like worker count.
+//!
+//! PR 9's intra-node dispatcher (`helix_core::microbatch`) slices a
+//! partitionable operator's input into fixed-boundary batches and runs
+//! load/compute/commit as overlapped lanes. Nothing a user can observe
+//! may depend on that: outputs, catalogs, and errors must be
+//! byte-identical to whole-frame execution at every batch size, worker
+//! count, and scheduling policy. This suite enforces the contract
+//! directly:
+//!
+//! * **Grid identity**: a csv-scan → tokenize → extract workflow runs
+//!   whole-frame and streamed at batch sizes {1, 7, 64, len, len+1} ×
+//!   1/2/4/8 workers, solo and through the multi-tenant service under
+//!   both `HELIX_SCHEDULING` policies (strict priority and DRF fair
+//!   share). Encoded outputs and final catalog signatures must match
+//!   byte-for-byte.
+//! * **Property identity**: proptest draws (rows, batch, workers, seed)
+//!   and replays the same comparison.
+//! * **Failure identity**: a mid-stream parse failure must surface the
+//!   same error `Display` as the serial run (the earliest failing row in
+//!   row order, from the earliest failing node in topo order) and leave
+//!   the catalog in the same state as the serial failure.
+//!
+//! Materialization runs under `MatStrategy::Always` so elective (wall-
+//! timing-coupled) Opt decisions can't masquerade as batching effects.
+
+use helix::core::{MatStrategy, Session, SessionConfig, Workflow};
+use helix::data::{FieldValue, Record, RecordBatch, Schema, Value};
+use helix::serve::{HelixService, SchedulingPolicy, ServiceConfig, TenantSpec};
+use helix::storage::encode_value;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const SEED: u64 = 42;
+
+/// Output name → encoded bytes, plus the catalog's final signature list:
+/// everything an iteration leaves behind.
+type Fingerprint = (BTreeMap<String, Vec<u8>>, Vec<String>);
+
+/// csv scan → tokenize → field extract over `rows` synthetic lines; all
+/// three bulk operators are partitionable, the source is not.
+fn workflow(rows: usize, ragged_at: Option<usize>) -> Workflow {
+    let mut wf = Workflow::new("microbatch-grid");
+    // The closure's content isn't hashed into the source signature, so
+    // the version must change whenever the generated data does (else the
+    // catalog would legitimately reuse the other variant's bytes).
+    let version = rows as u64 * 2 + ragged_at.is_some() as u64;
+    let raw = wf.source("raw", version, move |_| {
+        let schema = Schema::new(["line"]);
+        let rows = (0..rows)
+            .map(|i| {
+                let line = if ragged_at == Some(i) {
+                    format!("{i},stray,extra")
+                } else {
+                    format!("{i},token{} token{}", i % 13, i % 7)
+                };
+                Record::train(vec![FieldValue::Text(line)])
+            })
+            .collect();
+        Ok(Value::records(RecordBatch::new(schema, rows)?))
+    });
+    let parsed = wf.csv_scan("parsed", raw, &["id", "text"]);
+    let tokens = wf.tokenize("tokens", parsed, "text");
+    let ids = wf.field_extractor("ids", parsed, "id");
+    wf.output(tokens);
+    wf.output(ids);
+    wf
+}
+
+fn config(workers: usize, microbatch: usize) -> SessionConfig {
+    SessionConfig::in_memory()
+        .with_strategy(MatStrategy::Always)
+        .with_workers(workers)
+        .with_seed(SEED)
+        .with_microbatch(microbatch)
+}
+
+/// Run the workflow twice (build + identical rerun — compute and reuse
+/// paths) in a fresh session and fingerprint the second report.
+fn solo_fingerprint(rows: usize, workers: usize, microbatch: usize) -> Fingerprint {
+    let mut session = Session::new(config(workers, microbatch)).expect("session opens");
+    let wf = workflow(rows, None);
+    session.run(&wf).expect("first iteration");
+    let report = session.run(&wf).expect("rerun");
+    let outputs =
+        report.outputs.iter().map(|(name, value)| (name.clone(), encode_value(value))).collect();
+    let sigs = session.catalog().entries().iter().map(|e| e.signature.clone()).collect();
+    (outputs, sigs)
+}
+
+/// The same fingerprint taken through the multi-tenant service, so the
+/// scheduler and its admission path sit between us and the engine.
+fn service_fingerprint(
+    rows: usize,
+    workers: usize,
+    microbatch: usize,
+    policy: SchedulingPolicy,
+) -> Vec<Fingerprint> {
+    let tenants = 2;
+    let service = HelixService::new(
+        ServiceConfig::new(workers)
+            .with_seed(SEED)
+            .with_max_concurrent_iterations(tenants)
+            .with_scheduling(policy),
+    )
+    .expect("service starts");
+    for ix in 0..tenants {
+        service.register_tenant(&format!("t{ix}"), TenantSpec::default()).expect("tenant");
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|ix| {
+                let service = &service;
+                scope.spawn(move || {
+                    let session = service
+                        .open_session(&format!("t{ix}"), config(workers, microbatch))
+                        .expect("session opens");
+                    // Tenants differ in row count so cross-tenant reuse
+                    // can't hide a divergence.
+                    let reports: Vec<_> = (0..2)
+                        .map(|_| {
+                            let wf = workflow(rows + ix * 11, None);
+                            session.submit(wf).expect("submit").wait().expect("runs")
+                        })
+                        .collect();
+                    let last = reports.last().expect("two iterations");
+                    let outputs = last
+                        .outputs
+                        .iter()
+                        .map(|(name, value)| (name.clone(), encode_value(value)))
+                        .collect::<BTreeMap<_, _>>();
+                    (outputs, Vec::new())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("tenant thread")).collect()
+    })
+}
+
+#[test]
+fn streamed_is_byte_identical_across_batch_and_worker_grid() {
+    let rows = 120usize;
+    for workers in [1usize, 2, 4, 8] {
+        let whole = solo_fingerprint(rows, workers, 0);
+        for batch in [1usize, 7, 64, rows, rows + 1] {
+            let streamed = solo_fingerprint(rows, workers, batch);
+            assert_eq!(whole, streamed, "solo diverged at batch={batch} workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn streamed_is_byte_identical_under_both_scheduling_policies() {
+    let rows = 60usize;
+    for policy in [SchedulingPolicy::Priority, SchedulingPolicy::fair()] {
+        for workers in [1usize, 2, 4, 8] {
+            let whole = service_fingerprint(rows, workers, 0, policy.clone());
+            for batch in [1usize, 7, 64, rows, rows + 1] {
+                let streamed = service_fingerprint(rows, workers, batch, policy.clone());
+                assert_eq!(
+                    whole, streamed,
+                    "service diverged at batch={batch} workers={workers} {policy:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_stream_failure_matches_serial_error_and_catalog() {
+    let rows = 90usize;
+    let run_failing = |microbatch: usize, workers: usize| -> (String, Vec<String>) {
+        let mut session = Session::new(config(workers, microbatch)).expect("session opens");
+        // A clean iteration first, so the failing run has prior catalog
+        // state that the failure must not corrupt.
+        session.run(&workflow(rows, None)).expect("clean iteration");
+        let err = match session.run(&workflow(rows, Some(37))) {
+            Ok(_) => panic!("ragged row must fail"),
+            Err(e) => e,
+        };
+        let sigs = session.catalog().entries().iter().map(|e| e.signature.clone()).collect();
+        (format!("{err}"), sigs)
+    };
+    let (serial_err, serial_sigs) = run_failing(0, 1);
+    for workers in [2usize, 4] {
+        for batch in [1usize, 7, 64, rows, rows + 1] {
+            let (err, sigs) = run_failing(batch, workers);
+            assert_eq!(err, serial_err, "error diverged at batch={batch} workers={workers}");
+            assert_eq!(sigs, serial_sigs, "catalog diverged at batch={batch} workers={workers}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (rows, batch, workers) combination is byte-identical to the
+    /// whole-frame run of the same shape.
+    #[test]
+    fn streamed_matches_whole_frame_for_any_shape(
+        rows in 1usize..160,
+        batch in 1usize..170,
+        workers in 1usize..5,
+    ) {
+        let whole = solo_fingerprint(rows, workers, 0);
+        let streamed = solo_fingerprint(rows, workers, batch);
+        prop_assert_eq!(whole, streamed);
+    }
+}
