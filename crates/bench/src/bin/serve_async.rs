@@ -1,0 +1,146 @@
+//! Open-loop async-service stress bench: deterministic Poisson-like
+//! arrivals of many sessions against one `HelixService`, collected
+//! entirely through the non-blocking `JobTicket` surface.
+//!
+//! ```text
+//! serve_async [--sessions N] [--tenants T] [--cores C] [--iterations K]
+//!             [--rate JOBS_PER_SEC] [--seed S] [--slo-ms MS]
+//!             [--fair] [--json PATH] [--check]
+//! ```
+//!
+//! The CI smoke runs a few hundred sessions; `--sessions 10000` is the
+//! acceptance configuration — ten thousand sessions multiplexed over a
+//! worker pool of `min(cores, max_concurrent)` threads plus one
+//! scheduler, with the OS thread count asserted flat.
+//!
+//! `--json PATH` writes the machine-readable report (the CI artifact;
+//! default name `BENCH_serve_async.json`).
+//! `--check` exits non-zero unless every job completed (no failures, no
+//! drain timeouts), the core budget held (`peak_leased <= cores`), and —
+//! on Linux — the service added at most `pool + 2` OS threads at peak
+//! (pool workers + scheduler + sampling slack): the thread ceiling that
+//! separates the pooled runner from thread-per-job.
+
+use helix_bench::serve_async::{run_serve_async, ServeAsyncConfig};
+use std::time::Duration;
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter().position(|a| a == name).and_then(|ix| args.get(ix + 1)).and_then(|v| {
+        v.parse()
+            .map_err(|_| {
+                eprintln!("invalid value for {name}: {v}");
+                std::process::exit(2);
+            })
+            .ok()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = ServeAsyncConfig::smoke();
+    if let Some(n) = parse_flag(&args, "--sessions") {
+        config.sessions = n as usize;
+    }
+    if let Some(t) = parse_flag(&args, "--tenants") {
+        config.tenants = t as usize;
+    }
+    if let Some(c) = parse_flag(&args, "--cores") {
+        config.cores = c as usize;
+    }
+    if let Some(k) = parse_flag(&args, "--iterations") {
+        config.iterations_per_session = k as usize;
+    }
+    if let Some(r) = parse_flag(&args, "--rate") {
+        config.arrival_rate = r as f64;
+    }
+    if let Some(s) = parse_flag(&args, "--seed") {
+        config.seed = s;
+    }
+    if let Some(ms) = parse_flag(&args, "--slo-ms") {
+        config.slo = Duration::from_millis(ms);
+    }
+    config.fair = args.iter().any(|a| a == "--fair");
+    let check = args.iter().any(|a| a == "--check");
+
+    let report = match run_serve_async(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serve-async bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+
+    if let Some(ix) = args.iter().position(|a| a == "--json") {
+        let path = args.get(ix + 1).cloned().unwrap_or_else(|| "BENCH_serve_async.json".into());
+        match serde_json::to_string_pretty(&report) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("warning: cannot write {path}: {e}");
+                } else {
+                    println!("wrote {path}");
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize report: {e}"),
+        }
+    }
+
+    // With HELIX_TRACE=<path> in the environment, print the compact
+    // per-track timeline and export the run's spans as Chrome
+    // trace_event JSON (Perfetto-loadable) — this run's park/resume
+    // spans are the interesting ones.
+    if helix_obs::tracing_enabled() {
+        let (events, dropped) = helix_obs::drain_spans();
+        print!("{}", helix_obs::render_timeline(&events, dropped));
+        if let Some(path) = helix_obs::trace_env_path() {
+            match helix_obs::write_trace(&path, &events, dropped) {
+                Ok(()) => println!("wrote trace {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write HELIX_TRACE file: {e}"),
+            }
+        }
+    }
+
+    if check {
+        let mut failures = Vec::new();
+        if report.completed != report.total_jobs {
+            failures.push(format!(
+                "{} of {} jobs did not complete cleanly ({} failed, {} timed out)",
+                report.total_jobs - report.completed,
+                report.total_jobs,
+                report.failed,
+                report.timed_out,
+            ));
+        }
+        if report.peak_cores_leased > report.cores {
+            failures.push(format!(
+                "core budget violated: peak {} > {}",
+                report.peak_cores_leased, report.cores
+            ));
+        }
+        // Thread ceiling: pool workers + the scheduler, with slack for a
+        // transient (lazy writer spin-up, sampling race). Only
+        // measurable where /proc/self/task exists.
+        if report.peak_threads > 0 && report.service_threads() > report.pool_size + 2 {
+            failures.push(format!(
+                "thread ceiling violated: service added {} threads at peak \
+                 (pool {} + scheduler + slack allows {})",
+                report.service_threads(),
+                report.pool_size,
+                report.pool_size + 2,
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "checks passed: {} jobs completed on {} service threads (pool {}), \
+             core budget respected",
+            report.total_jobs,
+            report.service_threads(),
+            report.pool_size,
+        );
+    }
+}

@@ -29,14 +29,20 @@
 //! * [`microbatch`] — intra-node micro-batch co-execution vs whole-frame
 //!   operator execution (load/compute overlap, O(batch) residency);
 //!   emits `BENCH_microbatch.json`.
+//! * [`serve_async`] — open-loop stress of the pooled session runner:
+//!   deterministic Poisson-like arrivals, non-blocking ticket
+//!   collection, latency p50/p99 + SLO burn, and the OS-thread ceiling;
+//!   emits `BENCH_serve_async.json`.
 
 pub mod experiments;
 pub mod microbatch;
 pub mod multi_tenant;
 pub mod pipeline;
 pub mod report;
+pub mod serve_async;
 
 pub use experiments::{ExperimentConfig, SystemKind};
 pub use microbatch::{run_microbatch_bench, MicrobatchBenchConfig, MicrobatchBenchReport};
 pub use multi_tenant::{run_multi_tenant, MultiTenantConfig, MultiTenantReport};
 pub use pipeline::{run_pipeline_bench, PipelineBenchConfig, PipelineBenchReport};
+pub use serve_async::{run_serve_async, ServeAsyncConfig, ServeAsyncReport};

@@ -1,0 +1,421 @@
+//! Open-loop async-service stress driver.
+//!
+//! Replays an **open-loop** arrival process against one [`HelixService`]:
+//! sessions arrive on a deterministic Poisson-like schedule (SplitMix64
+//! exponential inter-arrivals, so the same seed replays the same
+//! timeline), each submits its iterations through the non-blocking
+//! [`JobTicket`] surface, and **no client thread ever blocks on a
+//! ticket** while arrivals are still due — outcomes are swept with
+//! [`JobTicket::try_outcome`] between submissions and drained with
+//! [`JobTicket::wait_timeout`] at the end.
+//!
+//! This is the workload the pooled session runner exists for: thousands
+//! of open sessions multiplexed over `min(cores, max_concurrent)` worker
+//! threads plus one scheduler. The driver measures what that buys:
+//!
+//! * **latency distribution** (p50/p99 of admission-to-completion, split
+//!   into queue wait and run time) under load the thread-per-job design
+//!   could only absorb by spawning a thread per session;
+//! * **SLO burn**: the fraction of iterations whose latency exceeded the
+//!   target — the open-loop health metric (closed-loop drivers hide
+//!   overload by slowing the clients down);
+//! * **thread ceiling**: peak OS thread count sampled over the run; the
+//!   service contributes pool + scheduler threads *regardless of how
+//!   many sessions are in flight* (`--check` fails otherwise);
+//! * **parked high-water mark**: peak of the `serve.sessions_parked`
+//!   gauge — how deep the session/core wait-sets actually got.
+//!
+//! Used by the `serve_async` binary (CI smoke-tests it at small N; the
+//! `--sessions 10000` configuration is the acceptance run) and by the
+//! runner stress suite as a workload generator.
+
+use helix_common::timing::Nanos;
+use helix_common::Result;
+use helix_core::{SessionConfig, Workflow};
+use helix_data::{Scalar, Value};
+use helix_obs::{metrics, Registry, RegistrySnapshot};
+use helix_serve::{HelixService, JobTicket, ServiceConfig, TenantSpec};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct ServeAsyncConfig {
+    /// Open sessions (each submits `iterations_per_session` jobs).
+    pub sessions: usize,
+    /// Tenants the sessions are spread over, round-robin.
+    pub tenants: usize,
+    /// Core tokens in the shared budget (also the worker-pool size).
+    pub cores: usize,
+    /// Jobs each session submits over its lifetime.
+    pub iterations_per_session: usize,
+    /// Open-loop arrival rate, jobs per second. Arrivals that fall
+    /// behind wall-clock are submitted immediately (the open-loop
+    /// property: the client never slows down to match the service).
+    pub arrival_rate: f64,
+    /// Seed for the arrival schedule (and the sessions).
+    pub seed: u64,
+    /// Latency target for the SLO-burn metric.
+    pub slo: Duration,
+    /// Dominant-resource fair scheduling instead of FIFO-with-priority.
+    pub fair: bool,
+}
+
+impl ServeAsyncConfig {
+    /// A small configuration suitable for CI smoke runs.
+    pub fn smoke() -> ServeAsyncConfig {
+        ServeAsyncConfig {
+            sessions: 64,
+            tenants: 8,
+            cores: 4,
+            iterations_per_session: 1,
+            arrival_rate: 2000.0,
+            seed: 42,
+            slo: Duration::from_millis(250),
+            fair: false,
+        }
+    }
+}
+
+/// SplitMix64 step — the deterministic arrival clock's entropy source.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exponential inter-arrival draw: `-ln(U)/rate`, `U` uniform in (0,1).
+fn exp_interarrival(state: &mut u64, rate_per_sec: f64) -> Duration {
+    let u = ((splitmix64(state) >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    Duration::from_secs_f64(-u.ln() / rate_per_sec.max(1e-9))
+}
+
+/// Live OS threads of this process (Linux); 0 where unsupported.
+pub fn os_thread_count() -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::read_dir("/proc/self/task").map(|dir| dir.count()).unwrap_or(0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// The per-session workflow: a tiny three-node arithmetic chain in one
+/// of eight variants, so consecutive sessions share full signature
+/// prefixes (the steady state is load-dominated — queue and scheduling
+/// costs dominate, which is exactly what this bench stresses).
+fn stress_workflow(variant: u64) -> Workflow {
+    let version = (variant % 8) + 1;
+    let mut wf = Workflow::new("stress");
+    let a = wf.source("a", 1, |_| Ok(Value::Scalar(Scalar::I64(10))));
+    let b = wf.reduce("b", a, version, move |v, _| {
+        let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+        Ok(Value::Scalar(Scalar::F64(x * version as f64)))
+    });
+    let c = wf.reduce("c", b, 1, |v, _| {
+        let x = v.as_scalar()?.as_f64().unwrap_or(0.0);
+        Ok(Value::Scalar(Scalar::F64(x + 1.0)))
+    });
+    wf.output(c);
+    wf
+}
+
+/// What one open-loop run measured.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeAsyncReport {
+    /// Sessions opened.
+    pub sessions: usize,
+    /// Tenants they were spread over.
+    pub tenants: usize,
+    /// Core budget.
+    pub cores: usize,
+    /// Worker threads in the runner pool.
+    pub pool_size: usize,
+    /// Jobs per session.
+    pub iterations_per_session: usize,
+    /// Total jobs submitted.
+    pub total_jobs: usize,
+    /// Configured arrival rate (jobs/second).
+    pub arrival_rate_per_sec: f64,
+    /// Wall-clock of the whole run (arrivals + drain).
+    pub wall_nanos: Nanos,
+    /// Jobs that completed with an `Ok` report.
+    pub completed: usize,
+    /// Jobs that completed with an error.
+    pub failed: usize,
+    /// Jobs whose outcome never arrived inside the drain deadline.
+    pub timed_out: usize,
+    /// p50 of admission-to-completion latency.
+    pub p50_latency_nanos: u64,
+    /// p99 of admission-to-completion latency.
+    pub p99_latency_nanos: u64,
+    /// p99 of the queue-wait component alone.
+    pub p99_queue_wait_nanos: u64,
+    /// The SLO target.
+    pub slo_nanos: u64,
+    /// Jobs over the SLO target.
+    pub slo_violations: usize,
+    /// `slo_violations / total_jobs` — the open-loop burn rate.
+    pub slo_burn: f64,
+    /// Core-token high-water mark.
+    pub peak_cores_leased: usize,
+    /// Peak of the `serve.sessions_parked` gauge over the run.
+    pub peak_sessions_parked: i64,
+    /// OS threads before the service existed.
+    pub baseline_threads: usize,
+    /// Peak OS threads sampled during the run.
+    pub peak_threads: usize,
+    /// Scheduling policy label.
+    pub scheduling: &'static str,
+    /// Full latency/queue-wait/run histograms.
+    pub metrics: RegistrySnapshot,
+}
+
+impl ServeAsyncReport {
+    /// Jobs per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        self.total_jobs as f64 / (self.wall_nanos.max(1) as f64 / 1e9)
+    }
+
+    /// Threads the service itself added at peak (pool + scheduler; the
+    /// stress contract is that this never scales with session count).
+    pub fn service_threads(&self) -> usize {
+        self.peak_threads.saturating_sub(self.baseline_threads)
+    }
+
+    /// Render a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve-async open loop: {} sessions / {} tenants, {} cores (pool {}), \
+             {:.0} jobs/s arrivals, {} scheduling\n",
+            self.sessions,
+            self.tenants,
+            self.cores,
+            self.pool_size,
+            self.arrival_rate_per_sec,
+            self.scheduling,
+        ));
+        out.push_str(&format!(
+            "  {} jobs in {:.2} ms  ({:.0} jobs/s)  completed {}  failed {}  timed out {}\n",
+            self.total_jobs,
+            self.wall_nanos as f64 / 1e6,
+            self.throughput(),
+            self.completed,
+            self.failed,
+            self.timed_out,
+        ));
+        out.push_str(&format!(
+            "  latency p50 {:.2} ms  p99 {:.2} ms  (queue-wait p99 {:.2} ms)\n",
+            self.p50_latency_nanos as f64 / 1e6,
+            self.p99_latency_nanos as f64 / 1e6,
+            self.p99_queue_wait_nanos as f64 / 1e6,
+        ));
+        out.push_str(&format!(
+            "  SLO {:.0} ms: {} violations ({:.2}% burn)\n",
+            self.slo_nanos as f64 / 1e6,
+            self.slo_violations,
+            self.slo_burn * 100.0,
+        ));
+        out.push_str(&format!(
+            "  peak cores {}/{}  peak parked sessions {}  threads {} -> peak {} \
+             (service added {})\n",
+            self.peak_cores_leased,
+            self.cores,
+            self.peak_sessions_parked,
+            self.baseline_threads,
+            self.peak_threads,
+            self.service_threads(),
+        ));
+        out
+    }
+}
+
+/// Run the open-loop stress workload and assemble the report.
+pub fn run_serve_async(config: &ServeAsyncConfig) -> Result<ServeAsyncReport> {
+    let sessions = config.sessions.max(1);
+    let tenants = config.tenants.max(1).min(sessions);
+    let iterations = config.iterations_per_session.max(1);
+    let total_jobs = sessions * iterations;
+
+    let baseline_threads = os_thread_count();
+    let mut service_config = ServiceConfig::new(config.cores)
+        .with_seed(config.seed)
+        // Open loop: the bounded queue must never push back on the
+        // arrival clock, so it is sized to the whole job population.
+        .with_queue_capacity(total_jobs.max(config.cores))
+        .with_max_concurrent_iterations(config.cores);
+    if config.fair {
+        service_config = service_config.with_fair_share();
+    }
+    // Carve the global storage budget evenly so any tenant count fits
+    // (the stress artifacts are tiny scalars; quota pressure is not
+    // what this bench studies).
+    let quota = service_config.storage_budget_bytes / tenants as u64;
+    let service = HelixService::new(service_config)?;
+    let pool_size = service.worker_pool_size();
+    for t in 0..tenants {
+        // Generous per-tenant concurrency: admission pressure should
+        // come from the core budget, not an artificial tenant cap.
+        service.register_tenant(
+            &format!("tenant-{t}"),
+            TenantSpec::default().with_quota(quota).with_max_concurrent(config.cores.max(1)),
+        )?;
+    }
+    let handles: Vec<_> = (0..sessions)
+        .map(|s| {
+            // One worker, no pipelining: a session contributes zero
+            // threads of its own — concurrency comes from the pool.
+            service.open_session(
+                &format!("tenant-{}", s % tenants),
+                SessionConfig::in_memory().with_workers(1).with_pipeline(false),
+            )
+        })
+        .collect::<Result<_>>()?;
+
+    // Deterministic arrival timeline, fixed before the clock starts.
+    let mut rng = config.seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+    let mut at = Duration::ZERO;
+    let mut arrivals = Vec::with_capacity(total_jobs);
+    for _ in 0..total_jobs {
+        at += exp_interarrival(&mut rng, config.arrival_rate);
+        arrivals.push(at);
+    }
+
+    let parked_gauge = metrics::global().gauge("serve.sessions_parked");
+    let mut peak_parked = 0i64;
+    let mut peak_threads = baseline_threads;
+    let mut pending: Vec<JobTicket> = Vec::with_capacity(total_jobs);
+    let mut outcomes = Vec::with_capacity(total_jobs);
+    let started = Instant::now();
+    for (job, due) in arrivals.iter().enumerate() {
+        // Sleep until the arrival is due; a late clock submits
+        // immediately and never amortizes the backlog (open loop).
+        if let Some(wait) = due.checked_sub(started.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let session = &handles[job % sessions];
+        pending.push(session.submit(stress_workflow((job % sessions) as u64))?);
+        if job % 32 == 0 {
+            // Sweep finished tickets without blocking, and sample the
+            // run's high-water marks while arrivals are still due.
+            pending.retain(|ticket| match ticket.try_outcome() {
+                Some(outcome) => {
+                    outcomes.push(outcome);
+                    false
+                }
+                None => true,
+            });
+            peak_parked = peak_parked.max(parked_gauge.get());
+            peak_threads = peak_threads.max(os_thread_count());
+        }
+    }
+    // Drain: everything is submitted; now (and only now) block, with a
+    // deadline so a wedged service fails the run instead of hanging it.
+    let mut timed_out = 0usize;
+    for ticket in pending {
+        match ticket.wait_timeout(Duration::from_secs(120)) {
+            Some(outcome) => outcomes.push(outcome),
+            None => timed_out += 1,
+        }
+        peak_parked = peak_parked.max(parked_gauge.get());
+        peak_threads = peak_threads.max(os_thread_count());
+    }
+    let wall_nanos = started.elapsed().as_nanos() as Nanos;
+
+    let registry = Registry::new();
+    let latency_hist = registry.histogram("serve_async.latency_nanos");
+    let queue_hist = registry.histogram("serve_async.queue_wait_nanos");
+    let run_hist = registry.histogram("serve_async.run_nanos");
+    let slo_nanos = config.slo.as_nanos() as u64;
+    let (mut completed, mut failed, mut slo_violations) = (0usize, 0usize, 0usize);
+    for outcome in &outcomes {
+        let latency = outcome.queue_wait_nanos + outcome.run_nanos;
+        latency_hist.record(latency);
+        queue_hist.record(outcome.queue_wait_nanos);
+        run_hist.record(outcome.run_nanos);
+        if latency > slo_nanos {
+            slo_violations += 1;
+        }
+        match &outcome.result {
+            Ok(_) => completed += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    // A job that never came back burned its SLO by definition.
+    slo_violations += timed_out;
+
+    let stats = service.stats();
+    Ok(ServeAsyncReport {
+        sessions,
+        tenants,
+        cores: config.cores,
+        pool_size,
+        iterations_per_session: iterations,
+        total_jobs,
+        arrival_rate_per_sec: config.arrival_rate,
+        wall_nanos,
+        completed,
+        failed,
+        timed_out,
+        p50_latency_nanos: latency_hist.quantile(0.5).unwrap_or(0),
+        p99_latency_nanos: latency_hist.quantile(0.99).unwrap_or(0),
+        p99_queue_wait_nanos: queue_hist.quantile(0.99).unwrap_or(0),
+        slo_nanos,
+        slo_violations,
+        slo_burn: slo_violations as f64 / total_jobs.max(1) as f64,
+        peak_cores_leased: stats.peak_cores_leased,
+        peak_sessions_parked: peak_parked,
+        baseline_threads,
+        peak_threads,
+        scheduling: if config.fair { "fairshare" } else { "priority" },
+        metrics: registry.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_schedule_is_deterministic_and_positive() {
+        let draw = |seed: u64| {
+            let mut rng = seed;
+            (0..64).map(|_| exp_interarrival(&mut rng, 1000.0)).collect::<Vec<_>>()
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7), "same seed, same timeline");
+        assert_ne!(a, draw(8), "different seed, different timeline");
+        assert!(a.iter().all(|d| *d > Duration::ZERO));
+        // Mean of exp(λ=1000/s) is 1ms; 64 draws land well inside 10x.
+        let mean = a.iter().sum::<Duration>() / 64;
+        assert!(mean > Duration::from_micros(100) && mean < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn smoke_open_loop_run_completes_every_job() {
+        let config = ServeAsyncConfig {
+            sessions: 24,
+            tenants: 4,
+            cores: 2,
+            arrival_rate: 5000.0,
+            ..ServeAsyncConfig::smoke()
+        };
+        let report = run_serve_async(&config).unwrap();
+        assert_eq!(report.total_jobs, 24);
+        assert_eq!(report.completed, 24, "every open-loop job completes");
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.timed_out, 0);
+        assert!(report.peak_cores_leased <= report.cores);
+        assert!(report.pool_size <= config.cores);
+        assert!(report.p50_latency_nanos <= report.p99_latency_nanos);
+        assert!(report.render().contains("SLO"));
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        assert!(json.contains("slo_burn"));
+        assert!(json.contains("\"histograms\""));
+    }
+}

@@ -25,6 +25,10 @@
 //!   materialization policy under the storage budget.
 //! * [`session`] — the iteration driver: owns the catalog and statistics
 //!   across iterations and exposes `run(&Workflow)`.
+//! * [`driver`] — one iteration as an explicit state machine
+//!   ([`SessionDriver`]): solo sessions drive it inline, pooled service
+//!   runners park it between steps so idle sessions cost memory, not
+//!   threads.
 //! * [`prune`] — data-driven pruning helpers (zero-weight feature → prunable
 //!   extractor provenance, §5.4).
 //!
@@ -56,6 +60,7 @@
 //! assert_eq!(out.as_f64(), Some(4.5));
 //! ```
 
+pub mod driver;
 pub mod dsl;
 pub mod engine;
 pub mod materialize;
@@ -76,6 +81,7 @@ pub mod prelude {
     pub use helix_exec::Phase;
 }
 
+pub use driver::{drive_overlapped, speculate_budgeted, SessionDriver, Step};
 pub use dsl::Workflow;
 pub use materialize::MatStrategy;
 pub use microbatch::{execute_streamed, partition_bounds, StreamLabels, StreamReport};

@@ -2,7 +2,7 @@
 //!
 //! PR 3 pipelined *across* iterations; this module overlaps work *inside*
 //! one node. A partitionable operator (see
-//! [`Operator::partitionable`](crate::operator::Operator::partitionable))
+//! [`Operator::partitionable`])
 //! is executed as a stream of fixed-boundary partitions through three
 //! co-scheduled stages:
 //!

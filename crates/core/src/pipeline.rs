@@ -82,6 +82,16 @@ struct WriterState {
     first_error: Option<HelixError>,
 }
 
+/// The writer's drain thread, started on the first enqueue. Lazy so the
+/// thousands of mostly-loading sessions a pooled service multiplexes
+/// never pay a thread for a write lane they don't use (the
+/// `runner_stress` thread bound counts on this).
+enum LazyThread {
+    NotStarted,
+    Running(std::thread::JoinHandle<()>),
+    Failed,
+}
+
 /// The background materialization writer: a session-lifetime thread that
 /// lands staged catalog writes off the critical path (see module docs).
 ///
@@ -93,11 +103,12 @@ struct WriterState {
 /// un-landed file.
 pub struct BackgroundWriter {
     shared: Arc<WriterShared>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handle: Mutex<LazyThread>,
 }
 
 impl BackgroundWriter {
-    /// Spawn the writer thread for `catalog`.
+    /// A writer for `catalog`. No thread is spawned until the first
+    /// [`enqueue`](Self::enqueue).
     pub fn new(
         catalog: Arc<MaterializationCatalog>,
         core_budget: Option<Arc<CoreBudget>>,
@@ -109,14 +120,33 @@ impl BackgroundWriter {
             state: Mutex::new(WriterState::default()),
             idle: Condvar::new(),
         });
-        let handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("helix-bg-writer".into())
-                .spawn(move || Self::drain_loop(&shared))
-                .ok()
-        };
-        BackgroundWriter { shared, handle }
+        BackgroundWriter { shared, handle: Mutex::new(LazyThread::NotStarted) }
+    }
+
+    /// Start the drain thread if it isn't running; `false` means a
+    /// previous spawn failed and writes must land inline.
+    fn ensure_thread(&self) -> bool {
+        let mut handle = self.handle.lock().expect("writer handle poisoned");
+        match &*handle {
+            LazyThread::Running(_) => true,
+            LazyThread::Failed => false,
+            LazyThread::NotStarted => {
+                let shared = Arc::clone(&self.shared);
+                match std::thread::Builder::new()
+                    .name("helix-bg-writer".into())
+                    .spawn(move || Self::drain_loop(&shared))
+                {
+                    Ok(h) => {
+                        *handle = LazyThread::Running(h);
+                        true
+                    }
+                    Err(_) => {
+                        *handle = LazyThread::Failed;
+                        false
+                    }
+                }
+            }
+        }
     }
 
     /// Deepest backlog `enqueue` accepts before it blocks the caller.
@@ -129,7 +159,7 @@ impl BackgroundWriter {
     /// is at `MAX_BACKLOG`. (If the writer thread failed to spawn, the
     /// write is landed inline — slower, never lost.)
     pub fn enqueue(&self, sig: Signature, frame: Arc<Vec<u8>>) {
-        if self.handle.is_none() {
+        if !self.ensure_thread() {
             let result = self.shared.catalog.complete_stage(sig, &frame);
             Self::record_error(&self.shared, result.err());
             return;
@@ -220,7 +250,11 @@ impl BackgroundWriter {
 impl Drop for BackgroundWriter {
     fn drop(&mut self) {
         self.shared.queue.close();
-        if let Some(handle) = self.handle.take() {
+        let handle = std::mem::replace(
+            self.handle.get_mut().expect("writer handle poisoned"),
+            LazyThread::Failed,
+        );
+        if let LazyThread::Running(handle) = handle {
             let _ = handle.join();
         }
         // Final seal for anything the loop landed right before close.

@@ -20,10 +20,11 @@
 //! [`SessionConfig::deepdive_like`] (materialize everything, reuse DPR
 //! only).
 
+use crate::driver::{drive_overlapped, SessionDriver};
 use crate::dsl::Workflow;
 use crate::engine::{execute, EngineParams};
 use crate::materialize::MatStrategy;
-use crate::pipeline::{speculate, BackgroundWriter, SpeculationInputs, SpeculativePlan};
+use crate::pipeline::{BackgroundWriter, SpeculationInputs, SpeculativePlan};
 use crate::plan::{plan, plan_read_set, PlanInputs};
 use crate::track::{chain_signatures, signature_snapshot, ExecEnv};
 use helix_common::hash::Signature;
@@ -375,10 +376,11 @@ impl Session {
         self.iteration
     }
 
-    /// Run one iteration of `wf` through the full lifecycle.
+    /// Run one iteration of `wf` through the full lifecycle. This is the
+    /// solo consumption of the [`SessionDriver`](crate::driver) state
+    /// machine: drive to completion inline, no parking.
     pub fn run(&mut self, wf: &Workflow) -> Result<IterationReport> {
-        let prepared = self.prepare_iteration(wf, None)?;
-        self.execute_prepared(wf, prepared)
+        SessionDriver::new(self, wf).drive()
     }
 
     /// Run a whole scripted sequence of iterations with cross-iteration
@@ -388,44 +390,16 @@ impl Session {
     /// perfect read-set match) when its turn comes. Byte-identical to
     /// calling [`run`](Self::run) once per workflow — speculation can
     /// only move planning off the critical path, never change its result.
+    /// Each loop turn is one [`crate::driver::drive_overlapped`] call —
+    /// the same driver + budget-gated speculation the service runner
+    /// uses.
     pub fn run_pipelined(&mut self, wfs: &[Workflow]) -> Result<Vec<IterationReport>> {
         let mut reports = Vec::with_capacity(wfs.len());
         let mut hint: Option<SpeculativePlan> = None;
         for (t, wf) in wfs.iter().enumerate() {
-            let prepared = self.prepare_iteration(wf, hint.take())?;
-            let report = match wfs.get(t + 1) {
-                Some(next_wf) if self.config.pipeline => {
-                    let inputs = self.speculation_snapshot();
-                    let budget = self.core_budget.clone();
-                    let (report, spec) = std::thread::scope(|scope| {
-                        let handle = scope.spawn(move || {
-                            // Plan-lane budget discipline: speculate only
-                            // when a core token is free (or the session is
-                            // unconstrained); planning is real CPU work,
-                            // unlike the sleep-dominated I/O lanes.
-                            let _lease = match budget.as_ref() {
-                                Some(b) => match b.try_acquire_one() {
-                                    Some(lease) => Some(lease),
-                                    None => return None,
-                                },
-                                None => None,
-                            };
-                            Some(speculate(&inputs, next_wf))
-                        });
-                        let report = self.execute_prepared(wf, prepared);
-                        let spec = match handle.join() {
-                            Ok(spec) => spec,
-                            // A speculation panic is a planner bug, not a
-                            // tolerable miss — resurface it loudly.
-                            Err(panic) => std::panic::resume_unwind(panic),
-                        };
-                        (report, spec)
-                    });
-                    hint = spec;
-                    report?
-                }
-                _ => self.execute_prepared(wf, prepared)?,
-            };
+            let next_wf = if self.config.pipeline { wfs.get(t + 1) } else { None };
+            let (report, spec) = drive_overlapped(self, wf, hint.take(), next_wf)?;
+            hint = spec;
             reports.push(report);
         }
         Ok(reports)
@@ -433,7 +407,8 @@ impl Session {
 
     /// Lifecycle steps 1–4½: signatures, purge, OPT-EXEC-PLAN, volatile
     /// refresh, plan-time load claims. `hint` is a speculative plan from
-    /// [`speculate`]; it is adopted only when its workflow identity,
+    /// [`speculate_budgeted`](crate::driver::speculate_budgeted); it is
+    /// adopted only when its workflow identity,
     /// nonce state, execution-environment provenance, and the planner's
     /// entire post-purge read set still match — otherwise this plans from
     /// scratch, exactly like a serial session. Either way the resulting
@@ -676,7 +651,8 @@ impl Session {
     }
 
     /// Snapshot everything speculative planning reads, for
-    /// [`speculate`]. Taken when an iteration enters its execute phase:
+    /// [`speculate_budgeted`](crate::driver::speculate_budgeted). Taken
+    /// when an iteration enters its execute phase:
     /// the per-session maps are stable until the next `prepare_iteration`
     /// mutates them, and the (live) catalog handle races only writes that
     /// read-set validation will catch.
@@ -689,6 +665,18 @@ impl Session {
             reuse: self.config.reuse,
             default_compute_nanos: self.config.default_compute_nanos,
         }
+    }
+
+    /// The shared core budget this session draws from, if any (for the
+    /// driver's budget-gated speculation lane).
+    pub(crate) fn core_budget_arc(&self) -> Option<Arc<CoreBudget>> {
+        self.core_budget.clone()
+    }
+
+    /// Pending background materialization writes (the driver's
+    /// [`crate::driver::Step::NeedsIo`] cue).
+    pub(crate) fn writer_backlog(&self) -> usize {
+        self.writer.as_ref().map_or(0, BackgroundWriter::backlog)
     }
 
     /// Block until every background materialization write has landed and

@@ -50,7 +50,11 @@ pub mod layer {
     pub const ENGINE: &str = "engine";
     /// `core::pipeline` lanes: speculation, background writer, prefetch.
     pub const PIPELINE: &str = "pipeline";
-    /// Serve admission: enqueue→pick→execute wait split, DRF shares.
+    /// Serve admission + runner: `admission.queued` (enqueue→pick, DRF
+    /// share at pick), `session.park` (retrospective at resume: time a
+    /// job sat parked for its session or a core token), `runner.resume`
+    /// (park→iteration handoff on a pool worker), `execute`; gauge
+    /// `serve.sessions_parked` tracks the live wait-set depth.
     pub const SERVE: &str = "serve";
     /// Storage: journal append/compact/fsync, eviction, recovery replay.
     pub const STORAGE: &str = "storage";

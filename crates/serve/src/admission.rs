@@ -393,42 +393,15 @@ impl AdmissionQueue {
         self.queue.iter().any(|job| job.session_id == session_id)
     }
 
-    /// Whether `session_id`'s only dispatched job is the caller's —
-    /// i.e. no incumbent could be holding the session lock. Decides if a
-    /// spawn-failure fallback may safely run the job inline on the
-    /// scheduler thread.
-    pub fn is_sole_dispatched(&self, session_id: u64) -> bool {
-        self.sessions.get(&session_id).is_some_and(|activity| activity.members == 1)
-    }
-
-    /// Undo a pick: put the job back in seq order and reverse all
-    /// dispatch bookkeeping. Used when the runner thread could not be
-    /// spawned — the job retries on a later scheduling round instead of
-    /// running inline on the scheduler (which could now block on a busy
-    /// session for a whole iteration under execute-phase-only
-    /// semantics).
-    pub fn requeue(&mut self, job: Job) {
-        self.dispatched_total -= 1;
-        // The dispatch never happened: reverse the core lease *and* the
-        // lifetime dispatch count (and its audit mirror), or the re-pick
-        // would double-count this job against the tenant in the
-        // round-robin tie-break and the reported stats.
-        self.drf.cancel_dispatch(&job.tenant);
-        if let Some(state) = self.audit.per_tenant.get_mut(&job.tenant) {
-            state.dispatches = state.dispatches.saturating_sub(1);
-        }
-        if let Some(activity) = self.sessions.get_mut(&job.session_id) {
-            activity.members -= 1;
-            activity.planning = activity.planning.saturating_sub(1);
-            if activity.members == 0 {
-                self.sessions.remove(&job.session_id);
-                if let Some(active) = self.active_sessions_per_tenant.get_mut(&job.tenant) {
-                    *active = active.saturating_sub(1);
-                }
-            }
-        }
-        let at = self.queue.iter().position(|q| q.seq > job.seq).unwrap_or(self.queue.len());
-        self.queue.insert(at, job);
+    /// Remove a still-queued job by its ticket (cancellation). A job
+    /// that already dispatched is not in the queue and returns `None` —
+    /// it runs to completion; there is no dispatch bookkeeping to
+    /// reverse for a job that never dispatched.
+    pub fn remove_queued(&mut self, ticket: &Arc<TicketState>) -> Option<Job> {
+        let ix = self.queue.iter().position(|job| Arc::ptr_eq(&job.ticket, ticket))?;
+        let job = self.queue.remove(ix).expect("index valid");
+        self.jobs_in_system -= 1;
+        Some(job)
     }
 
     /// A dispatched job finished planning and entered its execute phase:
@@ -576,17 +549,19 @@ mod tests {
     }
 
     #[test]
-    fn requeue_reverses_pick_bookkeeping() {
+    fn remove_queued_cancels_only_undispatched_jobs() {
         let mut q = AdmissionQueue::new(caps(10, 10));
-        q.enqueue(job("a", 0, 1, 1));
-        q.enqueue(job("a", 0, 2, 1));
+        q.enqueue(job("a", 0, 1, 4));
+        q.enqueue(job("b", 0, 2, 4));
         let picked = q.pick().unwrap();
-        assert!(q.pick().is_none(), "tenant cap holds while session 1 is active");
-        q.requeue(picked);
-        // Fully reversed: the same job comes back first (seq order) and
-        // the tenant cap slot was returned.
-        assert_eq!(q.pick().unwrap().session_id, 1);
-        assert!(!q.is_drained());
+        assert_eq!(picked.tenant, "a");
+        assert!(q.remove_queued(&picked.ticket).is_none(), "dispatched jobs are not cancellable");
+        let queued_ticket = { Arc::clone(&q.queue.front().expect("b still queued").ticket) };
+        let removed = q.remove_queued(&queued_ticket).expect("queued job cancels");
+        assert_eq!(removed.tenant, "b");
+        assert!(q.pick().is_none(), "nothing left to pick");
+        q.finish("a", 1, false);
+        assert!(q.is_drained(), "cancelled job left the system");
     }
 
     #[test]

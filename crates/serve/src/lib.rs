@@ -71,6 +71,7 @@
 
 pub mod admission;
 pub mod fairshare;
+pub(crate) mod runner;
 pub mod service;
 pub mod ticket;
 

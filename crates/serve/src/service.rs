@@ -11,8 +11,9 @@
 //! submit ──▶ bounded queue ──▶ scheduler (FIFO-with-priority or
 //!                      dominant-resource fair share, per-tenant +
 //!                      global caps, one in flight per session)
-//!                      ──▶ runner thread: acquire 1 tenant-labeled core
-//!                      token (blocking) ──▶ Session::run ──▶ fulfill
+//!                      ──▶ worker pool (`runner`): park until
+//!                      the session is free and a tenant-labeled core
+//!                      token grants ──▶ SessionDriver ──▶ fulfill
 //!                      ticket
 //! ```
 //!
@@ -38,11 +39,12 @@
 
 use crate::admission::{AdmissionCaps, AdmissionQueue, Job, QueueSnapshot};
 use crate::fairshare::{FairnessAudit, SchedulingPolicy};
+use crate::runner::{self, Runner};
 use crate::ticket::{JobOutcome, JobTicket, TicketState};
 use helix_common::timing::Nanos;
 use helix_common::{HelixError, Result, RingLog};
 use helix_core::{
-    speculate, IterationReport, Session, SessionConfig, SessionHandles, SpeculationInputs, Workflow,
+    IterationReport, Session, SessionConfig, SessionHandles, SpeculationInputs, Workflow,
 };
 use helix_exec::CoreBudget;
 use helix_storage::EvictionRecord;
@@ -213,11 +215,11 @@ impl ServiceConfig {
     }
 }
 
-struct TenantState {
+pub(crate) struct TenantState {
     spec: TenantSpec,
-    iterations: u64,
-    queue_wait_nanos: Nanos,
-    run_nanos: Nanos,
+    pub(crate) iterations: u64,
+    pub(crate) queue_wait_nanos: Nanos,
+    pub(crate) run_nanos: Nanos,
     /// Resolved seeds of this tenant's sessions, in open order — sessions
     /// pick their own seeds now, so observability must say which seed
     /// each one actually ran under. Bounded to the most recent
@@ -227,42 +229,47 @@ struct TenantState {
     session_seeds: RingLog<u64>,
 }
 
-struct SchedState {
-    queue: AdmissionQueue,
-    tenants: HashMap<String, TenantState>,
+pub(crate) struct SchedState {
+    pub(crate) queue: AdmissionQueue,
+    pub(crate) tenants: HashMap<String, TenantState>,
     reserved_quota: u64,
     next_session_id: u64,
 }
 
-struct ServiceInner {
-    config: ServiceConfig,
-    catalog: Arc<MaterializationCatalog>,
-    budget: Arc<CoreBudget>,
-    sched: Mutex<SchedState>,
+pub(crate) struct ServiceInner {
+    pub(crate) config: ServiceConfig,
+    pub(crate) catalog: Arc<MaterializationCatalog>,
+    pub(crate) budget: Arc<CoreBudget>,
+    pub(crate) sched: Mutex<SchedState>,
+    /// The worker pool's parked-state-machine bookkeeping.
+    pub(crate) runner: Runner,
     /// Scheduler wake-ups (new work, retired work, shutdown).
-    work: Condvar,
+    pub(crate) work: Condvar,
     /// Submitters blocked on the bounded queue.
-    space: Condvar,
+    pub(crate) space: Condvar,
     /// Drain/shutdown waiters.
-    idle: Condvar,
+    pub(crate) idle: Condvar,
 }
 
 impl ServiceInner {
-    fn sched(&self) -> MutexGuard<'_, SchedState> {
+    pub(crate) fn sched(&self) -> MutexGuard<'_, SchedState> {
         self.sched.lock().expect("scheduler state poisoned")
     }
 }
 
 /// The long-lived multi-tenant service. Dropping it drains in-flight and
-/// queued work, then joins the scheduler.
+/// queued work, then joins the scheduler and the worker pool.
 pub struct HelixService {
     inner: Arc<ServiceInner>,
     scheduler: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl HelixService {
     /// Start a service: open (or create) the shared catalog, size the
-    /// core budget, and launch the scheduler.
+    /// core budget, and launch the scheduler plus the worker pool
+    /// (`min(cores, max_concurrent_iterations)` threads — sessions
+    /// beyond that park as state machines instead of holding threads).
     pub fn new(config: ServiceConfig) -> Result<HelixService> {
         let catalog = match &config.catalog_dir {
             Some(dir) => MaterializationCatalog::open(dir, config.disk)?,
@@ -276,6 +283,7 @@ impl HelixService {
         // tenant-aware global-pressure eviction activates when the whole
         // store (not just one tenant's quota) is tight.
         catalog.set_global_budget(Some(config.storage_budget_bytes));
+        let pool_size = config.cores.min(config.max_concurrent_iterations).max(1);
         let inner = Arc::new(ServiceInner {
             budget: Arc::new(CoreBudget::new(config.cores)),
             catalog: Arc::new(catalog),
@@ -290,11 +298,22 @@ impl HelixService {
                 reserved_quota: 0,
                 next_session_id: 0,
             }),
+            runner: Runner::new(pool_size),
             work: Condvar::new(),
             space: Condvar::new(),
             idle: Condvar::new(),
             config,
         });
+        // Core grants wake parked drivers instead of blocked threads: the
+        // budget calls this after every release, with no budget lock held.
+        {
+            let weak = Arc::downgrade(&inner);
+            inner.budget.set_release_notifier(Some(Arc::new(move || {
+                if let Some(inner) = weak.upgrade() {
+                    inner.runner.promote_core_waiters(&inner);
+                }
+            })));
+        }
         let scheduler = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -302,7 +321,16 @@ impl HelixService {
                 .spawn(move || scheduler_loop(inner))
                 .map_err(|e| HelixError::config(format!("scheduler spawn failed: {e}")))?
         };
-        Ok(HelixService { inner, scheduler: Some(scheduler) })
+        let mut workers = Vec::with_capacity(inner.runner.pool_size());
+        for i in 0..inner.runner.pool_size() {
+            let inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("helix-serve-worker-{i}"))
+                .spawn(move || runner::worker_loop(inner))
+                .map_err(|e| HelixError::config(format!("worker spawn failed: {e}")))?;
+            workers.push(handle);
+        }
+        Ok(HelixService { inner, scheduler: Some(scheduler), workers })
     }
 
     /// The shared core budget (for monitoring and tests).
@@ -318,6 +346,15 @@ impl HelixService {
     /// The active configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.inner.config
+    }
+
+    /// Size of the session-runner worker pool:
+    /// `min(cores, max_concurrent_iterations)`, at least 1. Together
+    /// with the scheduler thread this is every thread the service owns —
+    /// open-loop clients can hold thousands of in-flight sessions
+    /// without the thread count moving (the stress bench asserts this).
+    pub fn worker_pool_size(&self) -> usize {
+        self.inner.runner.pool_size()
     }
 
     /// Register a tenant, carving its storage quota out of the global
@@ -467,11 +504,19 @@ impl Drop for HelixService {
         self.inner.work.notify_all();
         self.inner.space.notify_all();
         // Graceful drain: queued work still runs; new submissions fail.
+        // The worker pool keeps running through the drain (a drained
+        // queue means no job is queued, dispatched, or parked).
         self.drain();
         self.inner.work.notify_all();
         if let Some(handle) = self.scheduler.take() {
             let _ = handle.join();
         }
+        self.inner.runner.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Unhook the grant notifier last: nothing is left to promote.
+        self.inner.budget.set_release_notifier(None);
     }
 }
 
@@ -532,7 +577,19 @@ impl ServiceSession {
             });
         }
         self.inner.work.notify_all();
-        Ok(JobTicket { state: ticket })
+        Ok(JobTicket { state: ticket, service: Arc::downgrade(&self.inner) })
+    }
+
+    /// Submit a batch of iterations in order, returning one ticket per
+    /// workflow. Equivalent to calling [`submit`](Self::submit) once per
+    /// workflow: iterations of this session still retire in submission
+    /// order, and the call blocks whenever the bounded queue is full —
+    /// batch submitters get backpressure, not unbounded queues. Tickets
+    /// pair with the non-blocking surface ([`JobTicket::try_outcome`] /
+    /// [`JobTicket::wait_timeout`]) for open-loop drivers that submit
+    /// thousands of iterations before collecting any.
+    pub fn submit_all(&self, wfs: impl IntoIterator<Item = Workflow>) -> Result<Vec<JobTicket>> {
+        wfs.into_iter().map(|wf| self.submit(wf)).collect()
     }
 
     /// Submit one iteration and block for its report.
@@ -548,11 +605,30 @@ impl ServiceSession {
 
 /// Sessions survive a panicked iteration (the runner converts panics to
 /// errors); ignore mutex poisoning accordingly.
-fn lock_session(session: &Mutex<Session>) -> MutexGuard<'_, Session> {
+pub(crate) fn lock_session(session: &Mutex<Session>) -> MutexGuard<'_, Session> {
     match session.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     }
+}
+
+/// Cancel a still-queued job by its ticket: remove it from the admission
+/// queue and fulfill the ticket as cancelled. Returns `false` when the
+/// job already dispatched (it will finish its iteration) or already
+/// completed. Backs [`JobTicket::cancel`].
+pub(crate) fn cancel_queued(inner: &ServiceInner, ticket: &Arc<TicketState>) -> bool {
+    let removed = inner.sched().queue.remove_queued(ticket);
+    let Some(job) = removed else { return false };
+    // A queue slot freed and possibly the last job left the system.
+    inner.space.notify_all();
+    inner.idle.notify_all();
+    job.ticket.fulfill(JobOutcome {
+        result: Err(HelixError::exec("admission", "iteration cancelled before dispatch")),
+        queue_wait_nanos: job.enqueued.elapsed().as_nanos() as Nanos,
+        run_nanos: 0,
+        cancelled: true,
+    });
+    true
 }
 
 fn scheduler_loop(inner: Arc<ServiceInner>) {
@@ -600,150 +676,11 @@ fn scheduler_loop(inner: Arc<ServiceInner>) {
         // The pick freed a queue slot: wake submitters blocked on the
         // bounded queue now, not when the iteration eventually finishes.
         inner.space.notify_all();
-        let name = format!("helix-serve-{}", job.tenant);
-        // The job rides in a take-cell so a failed spawn can recover it —
-        // out of threads, it is never lost. With an idle session (we are
-        // its sole dispatched job, so nobody holds its lock) the
-        // scheduler safely runs it inline, preserving the progress
-        // guarantee even when *nothing* else is running to free threads.
-        // A pipelining successor must not run inline (it would park the
-        // scheduler on the incumbent's session lock for a whole
-        // iteration): it is requeued and retried once the incumbent —
-        // which does exist and will finish — frees a thread.
-        let cell = Arc::new(Mutex::new(Some(job)));
-        let spawned = {
-            let inner = Arc::clone(&inner);
-            let cell = Arc::clone(&cell);
-            std::thread::Builder::new().name(name).spawn(move || {
-                if let Some(job) = cell.lock().expect("job cell poisoned").take() {
-                    run_job(inner, job);
-                }
-            })
-        };
-        if spawned.is_err() {
-            if let Some(job) = cell.lock().expect("job cell poisoned").take() {
-                let inline_safe = inner.sched().queue.is_sole_dispatched(job.session_id);
-                if inline_safe {
-                    run_job(Arc::clone(&inner), job);
-                } else {
-                    inner.sched().queue.requeue(job);
-                    // Back off so thread exhaustion does not become a
-                    // pick/requeue spin; the incumbent finishing wakes
-                    // the scheduler through `work` anyway.
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                }
-            }
-        }
+        // The pick decided *which* session advances; the worker pool
+        // decides *where*. The job becomes a parked state machine in the
+        // runner — no per-job thread, no spawn-failure fallback.
+        inner.runner.submit(job);
     }
-}
-
-/// Convert an operator panic into a reportable error.
-fn panic_error(panic: Box<dyn std::any::Any + Send>) -> HelixError {
-    let detail = panic
-        .downcast_ref::<&str>()
-        .map(|s| (*s).to_string())
-        .or_else(|| panic.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "operator panicked".to_string());
-    HelixError::exec("service-runner", detail)
-}
-
-fn run_job(inner: Arc<ServiceInner>, job: Job) {
-    // Plan lane: if the predecessor published a speculation snapshot when
-    // it entered its execute phase, plan this iteration against it *now*,
-    // before blocking on the session lock — that is iteration `t+1`'s
-    // planning overlapping `t`'s tail execution. Planning is real CPU
-    // work, so it runs only when a core token is free (when the machine
-    // is saturated we skip straight to waiting, the pre-pipelining
-    // behavior). Stale snapshots are harmless: `prepare_iteration`
-    // revalidates the hint's entire read set and discards it on any
-    // drift.
-    let hint = {
-        let snapshot = job.spec_slot.lock().expect("spec slot poisoned").take();
-        snapshot.and_then(|inputs| {
-            let lease = inner.budget.try_acquire_one()?;
-            // A panicking speculation must not kill the runner thread
-            // (that would leak the dispatch slot and hang the ticket):
-            // degrade to no-hint — if the panic is a real planner bug,
-            // the serial plan below hits it inside its own guard and the
-            // ticket reports the error.
-            let spec = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                speculate(&inputs, &job.wf)
-            }))
-            .ok();
-            drop(lease);
-            spec
-        })
-    };
-    // Wait for the session (the incumbent holds it until its iteration
-    // retires — iterations of one session still retire in order), *then*
-    // take the base core token: blocking for the session while parking a
-    // token would starve the very incumbent we wait on. All extra
-    // parallelism inside the engine is non-blocking, which keeps the
-    // budget deadlock-free. Queue time is measured after both waits, so
-    // queue_wait + run covers the whole submission-to-report span.
-    let wait_span = helix_obs::span(helix_obs::layer::SERVE, "session.wait")
-        .track(format!("tenant-{}", job.tenant))
-        .tenant(job.tenant.as_str())
-        .session(job.session_id);
-    let mut session = lock_session(&job.session);
-    // The base token is labeled with the tenant: per-tenant
-    // executing-core accounting for `ServiceStats` and the fairness
-    // audit's ground truth.
-    let lease = inner.budget.acquire_one_labeled(&job.tenant);
-    drop(wait_span);
-    let exec_span = helix_obs::span(helix_obs::layer::SERVE, "execute")
-        .track(format!("tenant-{}", job.tenant))
-        .tenant(job.tenant.as_str())
-        .session(job.session_id);
-    let queue_wait = job.enqueued.elapsed().as_nanos() as Nanos;
-    let started = Instant::now();
-    let prepared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        session.prepare_iteration(&job.wf, hint)
-    }))
-    .unwrap_or_else(|panic| Err(panic_error(panic)));
-    let mut entered_execute = false;
-    let result = match prepared {
-        Ok(prepared) => {
-            // Entering the execute phase: publish the snapshot a
-            // successor will speculate from — but only when a successor
-            // is actually queued (the snapshot clones the session's
-            // statistics maps; an interactive submit-wait-submit client
-            // should not pay for, or retain, one nobody will read) —
-            // then release the session's ordering hold so the scheduler
-            // may dispatch that successor. Publish-before-mark: a
-            // successor can only be picked after mark_executing, so it
-            // never finds the slot empty.
-            if inner.sched().queue.has_queued_job(job.session_id) {
-                *job.spec_slot.lock().expect("spec slot poisoned") =
-                    Some(session.speculation_snapshot());
-            }
-            inner.sched().queue.mark_executing(job.session_id);
-            inner.work.notify_all();
-            entered_execute = true;
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                session.execute_prepared(&job.wf, prepared)
-            }))
-            .unwrap_or_else(|panic| Err(panic_error(panic)))
-        }
-        Err(err) => Err(err),
-    };
-    let run_nanos = started.elapsed().as_nanos() as Nanos;
-    drop(exec_span);
-    drop(session);
-    drop(lease);
-    {
-        let mut sched = inner.sched();
-        sched.queue.finish(&job.tenant, job.session_id, entered_execute);
-        if let Some(tenant) = sched.tenants.get_mut(&job.tenant) {
-            tenant.iterations += 1;
-            tenant.queue_wait_nanos += queue_wait;
-            tenant.run_nanos += run_nanos;
-        }
-    }
-    inner.work.notify_all();
-    inner.space.notify_all();
-    inner.idle.notify_all();
-    job.ticket.fulfill(JobOutcome { result, queue_wait_nanos: queue_wait, run_nanos });
 }
 
 /// Point-in-time statistics for one tenant.
@@ -1175,5 +1112,91 @@ mod tests {
         let report = ticket.wait_outcome().result.expect("queued job still ran");
         assert_eq!(report.output_scalar("c").unwrap().as_f64(), Some(11.0));
         assert!(session.submit(chain(1)).is_err(), "service is gone");
+    }
+
+    /// A workflow whose source blocks until `flag` is raised — pins a
+    /// worker in the execute phase so queued-behind jobs stay queued.
+    fn gated(flag: &'static std::sync::atomic::AtomicBool) -> Workflow {
+        use std::sync::atomic::Ordering;
+        let mut wf = Workflow::new("gated");
+        let x = wf.source("x", 1, move |_| {
+            while !flag.load(Ordering::Acquire) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Ok(Value::Scalar(Scalar::I64(1)))
+        });
+        wf.output(x);
+        wf
+    }
+
+    #[test]
+    fn cancel_dequeues_only_undispatched_jobs() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static GATE: AtomicBool = AtomicBool::new(false);
+        // One core, one dispatch slot: the gated job occupies the slot,
+        // so the second tenant's job cannot leave the queue.
+        let svc = HelixService::new(ServiceConfig::new(1).with_max_concurrent_iterations(1))
+            .expect("service starts");
+        svc.register_tenant("a", TenantSpec::default()).unwrap();
+        svc.register_tenant("b", TenantSpec::default()).unwrap();
+        let a = svc.open_session("a", SessionConfig::in_memory()).unwrap();
+        let b = svc.open_session("b", SessionConfig::in_memory()).unwrap();
+        let running = a.submit(gated(&GATE)).unwrap();
+        // Wait until the gated job actually occupies the dispatch slot —
+        // only then is "still queued" deterministic for the second job.
+        while svc.stats().queue.running == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let queued = b.submit(chain(1)).unwrap();
+        assert!(queued.cancel(), "a job still in the admission queue cancels");
+        let outcome = queued.try_outcome().expect("cancelled ticket fulfills immediately");
+        assert!(outcome.cancelled);
+        assert!(outcome.result.is_err(), "a cancelled job reports an error result");
+        assert_eq!(outcome.run_nanos, 0, "it never ran");
+        assert!(!queued.cancel(), "second cancel finds nothing to remove");
+        GATE.store(true, Ordering::Release);
+        assert!(!running.cancel(), "a dispatched job is past cancellation");
+        running.wait().expect("the gated job finishes normally");
+        let stats = svc.stats();
+        assert_eq!(stats.tenants["a"].iterations, 1);
+        assert_eq!(stats.tenants["b"].iterations, 0, "cancelled work never counts");
+    }
+
+    #[test]
+    fn try_outcome_and_wait_timeout_never_block_past_their_deadline() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static GATE: AtomicBool = AtomicBool::new(false);
+        let svc = service(1);
+        svc.register_tenant("t", TenantSpec::default()).unwrap();
+        let session = svc.open_session("t", SessionConfig::in_memory()).unwrap();
+        let ticket = session.submit(gated(&GATE)).unwrap();
+        assert!(ticket.try_outcome().is_none(), "nothing to take while blocked");
+        assert!(
+            ticket.wait_timeout(std::time::Duration::from_millis(20)).is_none(),
+            "deadline passes while the job is gated"
+        );
+        assert!(!ticket.is_done());
+        GATE.store(true, Ordering::Release);
+        let outcome = ticket
+            .wait_timeout(std::time::Duration::from_secs(60))
+            .expect("ungated job completes well inside the deadline");
+        assert!(outcome.result.is_ok());
+        assert!(!outcome.cancelled);
+        assert!(ticket.try_outcome().is_none(), "an outcome is taken exactly once");
+    }
+
+    #[test]
+    fn submit_all_preserves_per_session_order() {
+        let svc = service(2);
+        svc.register_tenant("t", TenantSpec::default()).unwrap();
+        let session = svc.open_session("t", SessionConfig::in_memory()).unwrap();
+        let tickets = session.submit_all([chain(1), chain(2), chain(3)]).unwrap();
+        assert_eq!(tickets.len(), 3);
+        let values: Vec<f64> = tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap().output_scalar("c").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(values, vec![11.0, 21.0, 31.0]);
+        assert_eq!(svc.stats().tenants["t"].iterations, 3);
     }
 }

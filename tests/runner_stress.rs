@@ -1,0 +1,85 @@
+//! Stress obligations of the pooled session runner: many open-loop
+//! sessions must multiplex over a *fixed* set of service threads —
+//! `min(cores, max_concurrent_iterations)` pool workers plus one
+//! scheduler — with every job completing and the core budget intact.
+//! This is the structural difference from the old thread-per-job
+//! runner, whose thread count scaled with the number of in-flight
+//! sessions.
+//!
+//! The CI smoke runs 512 sessions; the `#[ignore]`d variant is the
+//! acceptance run — 10,000 sessions — and is exercised by the
+//! `serve_async --check` bench in release mode (run it here with
+//! `cargo test --release --test runner_stress -- --ignored`).
+//!
+//! Thread counts are sampled from `/proc/self/task`, so the ceiling
+//! assertion is Linux-only (elsewhere the sampler reports 0 and the
+//! bound is skipped; completion and budget assertions still run).
+
+use helix_bench::serve_async::{run_serve_async, ServeAsyncConfig, ServeAsyncReport};
+use std::time::Duration;
+
+fn stress_config(sessions: usize) -> ServeAsyncConfig {
+    ServeAsyncConfig {
+        sessions,
+        tenants: 16.min(sessions),
+        cores: 4,
+        iterations_per_session: 1,
+        // Arrivals far above service capacity: the open-loop backlog is
+        // the point — thousands of admitted-but-waiting sessions, zero
+        // extra threads.
+        arrival_rate: 20_000.0,
+        seed: 42,
+        // The stress asserts completion and thread shape, not latency.
+        slo: Duration::from_secs(600),
+        fair: false,
+    }
+}
+
+fn assert_stress_invariants(report: &ServeAsyncReport) {
+    assert_eq!(
+        report.completed,
+        report.total_jobs,
+        "{} of {} jobs did not complete ({} failed, {} timed out)",
+        report.total_jobs - report.completed,
+        report.total_jobs,
+        report.failed,
+        report.timed_out,
+    );
+    assert!(
+        report.peak_cores_leased <= report.cores,
+        "core budget violated: peak {} > {}",
+        report.peak_cores_leased,
+        report.cores
+    );
+    assert!(report.pool_size <= report.cores, "pool never exceeds the core budget");
+    // The tentpole bound: the service adds its pool workers and one
+    // scheduler, and nothing that scales with session count. One thread
+    // of slack absorbs a transient (e.g. a lazy background-writer
+    // spin-up caught mid-sample).
+    if report.peak_threads > 0 {
+        assert!(
+            report.service_threads() <= report.pool_size + 2,
+            "thread ceiling violated: {} sessions made the service add {} threads at peak \
+             (pool {} + scheduler + slack allows {})",
+            report.sessions,
+            report.service_threads(),
+            report.pool_size,
+            report.pool_size + 2,
+        );
+    }
+}
+
+#[test]
+fn five_hundred_twelve_open_loop_sessions_share_a_fixed_pool() {
+    let report = run_serve_async(&stress_config(512)).expect("stress run completes");
+    assert_eq!(report.total_jobs, 512);
+    assert_stress_invariants(&report);
+}
+
+#[test]
+#[ignore = "acceptance-scale run (10k sessions); use --release -- --ignored"]
+fn ten_thousand_sessions_complete_on_a_bounded_thread_count() {
+    let report = run_serve_async(&stress_config(10_000)).expect("stress run completes");
+    assert_eq!(report.total_jobs, 10_000);
+    assert_stress_invariants(&report);
+}

@@ -195,6 +195,58 @@ fn eight_tenants_on_a_tight_budget_stay_within_two_cores() {
 }
 
 #[test]
+fn sessions_multiplexed_over_a_two_slot_pool_stay_byte_identical() {
+    // More tenants than the runner has worker slots: with
+    // `max_concurrent_iterations = 2` the pool holds two workers, so six
+    // tenants' whole schedules multiplex through park/resume on the
+    // same two threads — every iteration crosses the runner's session
+    // claim and core grant at least once. Bytes must not notice the
+    // pooling, exactly as they must not notice co-tenants or core count.
+    let tenants = 6;
+    let pool = 2;
+    let baselines: Vec<Vec<Outputs>> = (0..tenants).map(solo_serial_trace).collect();
+
+    let service = HelixService::new(scheduled(
+        ServiceConfig::new(pool).with_seed(SERVICE_SEED).with_max_concurrent_iterations(pool),
+    ))
+    .expect("service starts");
+    for ix in 0..tenants {
+        service.register_tenant(&format!("t{ix}"), TenantSpec::default()).expect("registers");
+    }
+
+    let traces: Vec<Vec<Outputs>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|ix| {
+                let service = &service;
+                scope.spawn(move || {
+                    let session = service
+                        .open_session(
+                            &format!("t{ix}"),
+                            SessionConfig::in_memory().with_workers(pool),
+                        )
+                        .expect("session opens");
+                    let tickets: Vec<_> = iteration_workflows(workload_for(ix))
+                        .into_iter()
+                        .map(|wf| session.submit(wf).expect("submission accepted"))
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| outputs_of(&t.wait().expect("iteration runs")))
+                        .collect::<Vec<Outputs>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("tenant thread panicked")).collect()
+    });
+
+    for (ix, (trace, baseline)) in traces.iter().zip(&baselines).enumerate() {
+        assert_eq!(trace, baseline, "tenant {ix} diverged on the two-slot pool");
+    }
+    let stats = service.stats();
+    assert!(stats.peak_cores_leased <= pool, "core budget violated on the two-slot pool");
+}
+
+#[test]
 fn distinct_seed_tenants_reproduce_solo_bytes_and_share_the_prefix() {
     // The acceptance obligation of provenance-keyed signatures: two
     // tenants run the same census schedule under *different* seeds on one
